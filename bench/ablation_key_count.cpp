@@ -1,0 +1,55 @@
+// Ablation — time-base period (k) vs overhead and attack behaviour.
+//
+// Sweeps the number of keys k on one circuit: overhead grows with the MUX
+// tree height (log2(k)+1 layers, k layer-1 slots) while the oracle-guided
+// attack outcome stays at CNS for every k >= 2.
+#include <cstdio>
+
+#include "attack/seq_attack.hpp"
+#include "bench_common.hpp"
+#include "benchgen/catalog.hpp"
+#include "core/cute_lock_str.hpp"
+#include "tech/overhead.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cl;
+  std::printf("ABLATION: key count k vs overhead and BMC outcome (b10)\n\n");
+
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit("b10");
+  const tech::OverheadReport base = tech::analyze_overhead(circuit.netlist);
+  attack::SequentialOracle oracle(circuit.netlist);
+  const attack::AttackBudget budget = bench::table_budget(bench::attack_seconds(2.0));
+
+  util::Table table({"k", "counter FFs", "area ovh %", "cells ovh %", "BMC"});
+  double prev_area = -1;
+  bool area_grows = true;
+  bool all_held = true;
+  for (const std::size_t k : {2u, 4u, 8u, 16u}) {
+    core::StrOptions options;
+    options.num_keys = k;
+    options.key_bits = 4;
+    options.locked_ffs = 2;
+    options.seed = 0xab2b;
+    const auto locked = core::cute_lock_str(circuit.netlist, options);
+    const tech::OverheadReport r = tech::analyze_overhead(locked.locked);
+    const attack::AttackResult bmc =
+        attack::bmc_attack(locked.locked, oracle, budget);
+    all_held = all_held && attack::defense_held(bmc.outcome);
+    char area[16], cells[16];
+    std::snprintf(area, sizeof area, "%.1f", r.area_overhead_pct(base));
+    std::snprintf(cells, sizeof cells, "%.1f", r.cells_overhead_pct(base));
+    table.add_row({std::to_string(k),
+                   std::to_string(locked.locked.dffs().size() -
+                                  circuit.netlist.dffs().size()),
+                   area, cells, bench::attack_cell(bmc)});
+    if (prev_area >= 0 && r.area_overhead_pct(base) < prev_area) {
+      area_grows = false;
+    }
+    prev_area = r.area_overhead_pct(base);
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("area overhead grows with k: %s; defense held for all k: %s\n",
+              area_grows ? "yes" : "no", all_held ? "yes" : "no");
+  return all_held ? 0 : 1;
+}

@@ -1,0 +1,58 @@
+// Ablation — the adaptive periodic-key attacker.
+//
+// The paper's evaluation (and every published tool) models a static key;
+// Tables III/IV show those attacks dead-end. This ablation quantifies the
+// defense margin against an attacker who *knows the construction* and
+// models key(t) = K[t mod p], sweeping hypothesized periods: the search
+// space grows from 2^ki to 2^(ki*k), and cost rises steeply with k.
+#include <cstdio>
+
+#include "attack/periodic_attack.hpp"
+#include "attack/seq_attack.hpp"
+#include "bench_common.hpp"
+#include "benchgen/s27.hpp"
+#include "core/cute_lock_str.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cl;
+  std::printf("ABLATION: adaptive periodic-key attacker vs Cute-Lock-Str "
+              "(s27)\n\n");
+
+  const auto s27 = benchgen::make_s27();
+  attack::SequentialOracle oracle(s27);
+
+  util::Table table({"k", "ki", "static BMC", "periodic attack", "period found",
+                     "oracle queries"});
+  for (const std::size_t k : {2u, 4u, 8u}) {
+    core::StrOptions options;
+    options.num_keys = k;
+    options.key_bits = 2;
+    options.locked_ffs = 2;
+    options.seed = 0xab3c + k;
+    const auto locked = core::cute_lock_str(s27, options);
+
+    const attack::AttackBudget budget =
+        bench::table_budget(bench::attack_seconds(20.0));
+    const attack::AttackResult static_bmc =
+        attack::bmc_attack(locked.locked, oracle, budget);
+
+    attack::PeriodicAttackOptions popt;
+    popt.max_period = k;
+    popt.budget = budget;
+    const attack::PeriodicAttackResult adaptive =
+        attack::periodic_key_attack(locked.locked, oracle, popt);
+
+    table.add_row({std::to_string(k), "2", bench::attack_cell(static_bmc),
+                   bench::attack_cell(adaptive.result),
+                   adaptive.recovered_period
+                       ? std::to_string(adaptive.recovered_period)
+                       : "-",
+                   std::to_string(adaptive.result.iterations)});
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("reading: static-key attacks dead-end (the paper's tables); an\n"
+              "attacker modelling the time base can recover the schedule, at a\n"
+              "cost that grows with the period — the margin k buys.\n");
+  return 0;
+}

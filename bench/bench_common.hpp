@@ -1,0 +1,45 @@
+// Shared helpers for the table/figure harnesses.
+//
+// Every harness honours CUTELOCK_ATTACK_SECONDS (per-attack wall-clock
+// budget, default tuned so the whole bench suite finishes in minutes) and
+// CUTELOCK_BENCH_SMALL=1 (restrict suites to their small members for smoke
+// runs).
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "attack/result.hpp"
+#include "util/timer.hpp"
+
+namespace cl::bench {
+
+inline double attack_seconds(double fallback) {
+  if (const char* env = std::getenv("CUTELOCK_ATTACK_SECONDS")) {
+    const double v = std::atof(env);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+inline bool small_run() {
+  const char* env = std::getenv("CUTELOCK_BENCH_SMALL");
+  return env != nullptr && env[0] == '1';
+}
+
+inline attack::AttackBudget table_budget(double seconds) {
+  attack::AttackBudget b;
+  b.time_limit_s = seconds;
+  b.max_iterations = 500;
+  b.max_depth = 24;
+  b.conflict_budget = 4'000'000;
+  return b;
+}
+
+/// "outcome (time)" cell in the paper's style.
+inline std::string attack_cell(const attack::AttackResult& r) {
+  return std::string(attack::outcome_label(r.outcome)) + " " +
+         util::format_duration(r.seconds);
+}
+
+}  // namespace cl::bench

@@ -1,0 +1,113 @@
+// Micro-benchmarks (google-benchmark): throughput of the substrates the
+// attack tables stand on — the CDCL solver, the bit-parallel simulator,
+// locking transforms, synthesis, and technology mapping.
+#include <benchmark/benchmark.h>
+
+#include "benchgen/catalog.hpp"
+#include "benchgen/fsm_suite.hpp"
+#include "core/cute_lock_beh.hpp"
+#include "core/cute_lock_str.hpp"
+#include "fsm/synth.hpp"
+#include "logic/minimize.hpp"
+#include "sat/solver.hpp"
+#include "sim/bit_sim.hpp"
+#include "tech/mapper.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace cl;
+
+void BM_SolverPlantedSat(benchmark::State& state) {
+  const int nv = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    util::Rng rng(42);
+    sat::Solver solver;
+    std::vector<sat::Var> vars;
+    std::vector<bool> planted;
+    for (int i = 0; i < nv; ++i) {
+      vars.push_back(solver.new_var());
+      planted.push_back(rng.chance(1, 2));
+    }
+    for (int c = 0; c < 4 * nv; ++c) {
+      std::vector<sat::Lit> clause;
+      const std::size_t sat_pos = rng.next_below(3);
+      for (std::size_t l = 0; l < 3; ++l) {
+        const std::size_t v = rng.next_below(static_cast<std::uint64_t>(nv));
+        bool neg = rng.chance(1, 2);
+        if (l == sat_pos) neg = !planted[v];
+        clause.push_back(sat::Lit(vars[v], neg));
+      }
+      solver.add_clause(clause);
+    }
+    benchmark::DoNotOptimize(solver.solve());
+  }
+  state.SetItemsProcessed(state.iterations() * nv);
+}
+BENCHMARK(BM_SolverPlantedSat)->Arg(200)->Arg(800);
+
+void BM_BitSim64Lanes(benchmark::State& state) {
+  const auto circuit = benchgen::make_circuit("b14");
+  sim::BitSim simulator(circuit.netlist);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (auto i : circuit.netlist.inputs()) simulator.set(i, rng.next_u64());
+    simulator.eval();
+    simulator.step();
+    benchmark::DoNotOptimize(simulator.get(circuit.netlist.outputs()[0]));
+  }
+  // 64 parallel lanes per eval.
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_BitSim64Lanes);
+
+void BM_CuteLockStr(benchmark::State& state) {
+  const auto circuit = benchgen::make_circuit("b12");
+  for (auto _ : state) {
+    core::StrOptions options;
+    options.num_keys = 8;
+    options.key_bits = 8;
+    options.locked_ffs = 4;
+    options.seed = 5;
+    benchmark::DoNotOptimize(core::cute_lock_str(circuit.netlist, options));
+  }
+}
+BENCHMARK(BM_CuteLockStr);
+
+void BM_CuteLockBehSynth(benchmark::State& state) {
+  const fsm::Stg stg = benchgen::make_fsm(benchgen::find_fsm_spec("cpu"));
+  for (auto _ : state) {
+    core::BehOptions options;
+    options.num_keys = 4;
+    options.key_bits = 14;
+    options.seed = 3;
+    const core::BehLock lock(stg, options);
+    benchmark::DoNotOptimize(
+        lock.synthesize(fsm::SynthStyle::DirectTransitions, "cpu_locked"));
+  }
+}
+BENCHMARK(BM_CuteLockBehSynth);
+
+void BM_QuineMcCluskey(benchmark::State& state) {
+  util::Rng rng(11);
+  std::vector<std::uint64_t> onset;
+  for (std::uint64_t m = 0; m < 1024; ++m) {
+    if (rng.chance(1, 3)) onset.push_back(m);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(logic::minimize(onset, {}, 10));
+  }
+}
+BENCHMARK(BM_QuineMcCluskey);
+
+void BM_TechMap(benchmark::State& state) {
+  const auto circuit = benchgen::make_circuit("b14");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tech::map_to_cells(circuit.netlist));
+  }
+}
+BENCHMARK(BM_TechMap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

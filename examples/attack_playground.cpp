@@ -1,0 +1,64 @@
+// Attack playground: the same circuit locked two ways — a classic
+// single-key XOR lock and Cute-Lock-Str — attacked with the oracle-guided
+// sequential suite. The XOR lock falls; the multi-key lock drives every
+// attack to a dead end (CNS / wrong key / budget).
+//
+//   $ ./attack_playground
+#include <cstdio>
+
+#include "attack/bbo.hpp"
+#include "attack/seq_attack.hpp"
+#include "benchgen/catalog.hpp"
+#include "core/cute_lock_str.hpp"
+#include "lock/comb_locks.hpp"
+#include "util/table.hpp"
+#include "util/timer.hpp"
+
+int main() {
+  using namespace cl;
+
+  const benchgen::SyntheticCircuit bench = benchgen::make_circuit("b03");
+  const netlist::Netlist& original = bench.netlist;
+  std::printf("circuit b03: %zu FFs, %zu gates\n\n",
+              original.dffs().size(), original.stats().gates);
+
+  util::Rng rng(11);
+  const lock::LockResult weak = lock::xor_lock(original, 4, rng);
+  core::StrOptions str_options;
+  str_options.num_keys = 4;
+  str_options.key_bits = 4;
+  str_options.locked_ffs = 2;
+  str_options.seed = 11;
+  const lock::LockResult strong = core::cute_lock_str(original, str_options);
+
+  attack::SequentialOracle oracle(original);
+  attack::AttackBudget budget;
+  budget.time_limit_s = 20.0;
+  budget.max_iterations = 400;
+
+  util::Table table({"lock", "attack", "outcome", "iterations", "time"});
+  const auto run = [&](const char* lock_name, const lock::LockResult& lr) {
+    struct Entry {
+      const char* name;
+      attack::AttackResult result;
+    };
+    const Entry entries[] = {
+        {"BMC (int)", attack::bmc_attack(lr.locked, oracle, budget)},
+        {"KC2", attack::kc2_attack(lr.locked, oracle, budget)},
+        {"RANE", attack::rane_attack(lr.locked, oracle, budget)},
+        {"BBO", attack::bbo_attack(lr.locked, oracle,
+                                   attack::BboOptions{budget, 8, 32, 22, 1})},
+    };
+    for (const Entry& e : entries) {
+      table.add_row({lock_name, e.name, attack::outcome_label(e.result.outcome),
+                     std::to_string(e.result.iterations),
+                     util::format_duration(e.result.seconds)});
+    }
+  };
+  run("xor_lock (single key)", weak);
+  run("cute_lock_str (multi-key)", strong);
+  std::printf("%s\n", table.to_string().c_str());
+  std::printf("legend: Equal = key recovered; CNS = proved no static key "
+              "exists; x..x = wrong key; N/A = budget exhausted\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// Dataflow clustering: run the DANA register-clustering attack on a
+// word-structured circuit before and after Cute-Lock-Str, and show how the
+// lock blends the register dependency structure (the Table V effect).
+//
+//   $ ./dataflow_clustering
+#include <cstdio>
+
+#include "attack/dana.hpp"
+#include "benchgen/catalog.hpp"
+#include "core/cute_lock_str.hpp"
+
+int main() {
+  using namespace cl;
+
+  const benchgen::SyntheticCircuit bench = benchgen::make_circuit("b12");
+  const netlist::Netlist& original = bench.netlist;
+  std::printf("b12: %zu FFs in %zu ground-truth register groups\n\n",
+              original.dffs().size(), bench.groups.size());
+
+  const attack::DanaResult before = attack::dana_attack(original);
+  std::printf("DANA on the original: %zu clusters, NMI = %.3f\n",
+              before.clusters.size(),
+              attack::nmi_score(original, before, bench.groups));
+
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 4;
+  opt.locked_ffs = 6;
+  opt.seed = 12;
+  const auto locked = core::cute_lock_str(original, opt);
+  const attack::DanaResult after = attack::dana_attack(locked.locked);
+  std::printf("DANA on the locked:   %zu clusters, NMI = %.3f\n\n",
+              after.clusters.size(),
+              attack::nmi_score(locked.locked, after, bench.groups));
+
+  std::printf("first clusters found on the locked netlist:\n");
+  std::size_t shown = 0;
+  for (const auto& cluster : after.clusters) {
+    if (shown++ == 8) break;
+    std::printf("  {");
+    for (std::size_t i = 0; i < cluster.size() && i < 8; ++i) {
+      std::printf("%s%s", i ? ", " : "",
+                  locked.locked.signal_name(cluster[i]).c_str());
+    }
+    if (cluster.size() > 8) std::printf(", ...");
+    std::printf("}\n");
+  }
+  return 0;
+}

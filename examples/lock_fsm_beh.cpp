@@ -1,0 +1,60 @@
+// Behavioral flow: lock the paper's 1001-sequence-detector FSM with
+// Cute-Lock-Beh, print the locked RTL (what the paper feeds to Vivado),
+// synthesize a gate-level implementation, and validate both.
+//
+//   $ ./lock_fsm_beh
+#include <cstdio>
+
+#include "core/cute_lock_beh.hpp"
+#include "fsm/kiss_io.hpp"
+#include "lock/lock_result.hpp"
+
+int main() {
+  using namespace cl;
+
+  // 1. The paper's running example (Fig. 1).
+  const fsm::Stg detector = fsm::make_1001_detector();
+  std::printf("original STG (KISS2):\n%s\n",
+              fsm::write_kiss_string(detector).c_str());
+
+  // 2. Lock behaviorally: 4 keys of 4 bits on a 2-bit counter, exactly the
+  //    Fig. 1 configuration.
+  core::BehOptions options;
+  options.num_keys = 4;
+  options.key_bits = 4;
+  options.seed = 7;
+  const core::BehLock lock(detector, options);
+  std::printf("key schedule: ");
+  for (std::size_t t = 0; t < lock.num_keys(); ++t) {
+    std::printf("K[%zu]=%llu ", t,
+                static_cast<unsigned long long>(lock.keys()[t]));
+  }
+  std::printf("\nwrongful redirects (state, t) -> state:\n");
+  for (int s = 0; s < detector.num_states(); ++s) {
+    std::printf("  %s:", detector.state_name(s).c_str());
+    for (std::size_t t = 0; t < lock.num_keys(); ++t) {
+      std::printf(" t%zu->%s", t,
+                  detector.state_name(lock.wrongful_target(s, t)).c_str());
+    }
+    std::printf("\n");
+  }
+
+  // 3. The locked RTL.
+  std::printf("\nlocked behavioral Verilog:\n%s\n",
+              lock.behavioral_verilog("detector_cutelock").c_str());
+
+  // 4. Gate-level synthesis + validation against the original netlist.
+  const auto original =
+      fsm::synthesize(detector, fsm::SynthStyle::TwoLevelMinimized, "detector");
+  const auto locked =
+      lock.synthesize(fsm::SynthStyle::TwoLevelMinimized, "detector_locked");
+  util::Rng rng(99);
+  const std::string verdict = lock::validate_lock(original, locked, rng);
+  std::printf("gate-level validation: %s\n",
+              verdict.empty() ? "PASS (correct schedule transparent, wrong keys corrupt)"
+                              : verdict.c_str());
+  std::printf("original: %zu gates; locked: %zu gates, %zu FFs\n",
+              original.stats().gates, locked.locked.stats().gates,
+              locked.locked.dffs().size());
+  return 0;
+}

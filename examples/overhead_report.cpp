@@ -1,0 +1,48 @@
+// Overhead report: synthesize (map + activity-estimate) a circuit before
+// and after Cute-Lock-Str and print the Genus-style comparison the paper's
+// Fig. 4 is built from.
+//
+//   $ ./overhead_report
+#include <cstdio>
+
+#include "benchgen/catalog.hpp"
+#include "core/cute_lock_str.hpp"
+#include "tech/overhead.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace cl;
+
+  const benchgen::SyntheticCircuit bench = benchgen::make_circuit("b10");
+  const netlist::Netlist& original = bench.netlist;
+
+  util::Table table({"design", "power(uW)", "area(um2)", "cells", "IOs",
+                     "dPower%", "dArea%", "dCells%"});
+  const tech::OverheadReport base = tech::analyze_overhead(original);
+  const auto add = [&](const char* name, const tech::OverheadReport& r) {
+    char power[32], area[32], dp[16], da[16], dc[16];
+    std::snprintf(power, sizeof power, "%.1f", r.power_w * 1e6);
+    std::snprintf(area, sizeof area, "%.1f", r.area_um2);
+    std::snprintf(dp, sizeof dp, "%+.1f", r.power_overhead_pct(base));
+    std::snprintf(da, sizeof da, "%+.1f", r.area_overhead_pct(base));
+    std::snprintf(dc, sizeof dc, "%+.1f", r.cells_overhead_pct(base));
+    table.add_row({name, power, area, std::to_string(r.cells),
+                   std::to_string(r.ios), dp, da, dc});
+  };
+  add("b10 (original)", base);
+
+  for (const auto& [label, k, ki] :
+       {std::tuple<const char*, std::size_t, std::size_t>{"cute-lock k=2", 2, 11},
+        {"cute-lock k=4 ki=3", 4, 3},
+        {"cute-lock k=16 ki=5", 16, 5}}) {
+    core::StrOptions opt;
+    opt.num_keys = k;
+    opt.key_bits = ki;
+    opt.locked_ffs = 2;
+    opt.seed = 3;
+    const auto locked = core::cute_lock_str(original, opt);
+    add(label, tech::analyze_overhead(locked.locked));
+  }
+  std::printf("%s\n", table.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: lock the ISCAS'89 s27 circuit with Cute-Lock-Str, show that
+// the correct per-cycle key schedule is transparent while a static key
+// corrupts, and emit the locked netlist in .bench format.
+//
+//   $ ./quickstart
+#include <cstdio>
+
+#include "benchgen/s27.hpp"
+#include "core/cute_lock_str.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/sequence.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace cl;
+
+  // 1. The victim circuit.
+  const netlist::Netlist s27 = benchgen::make_s27();
+  std::printf("s27: %zu inputs, %zu outputs, %zu FFs, %zu gates\n",
+              s27.inputs().size(), s27.outputs().size(), s27.dffs().size(),
+              s27.stats().gates);
+
+  // 2. Lock it: k = 4 time-base keys of ki = 2 bits (the paper's Table II
+  //    configuration, keys 1, 3, 2, 0).
+  core::StrOptions options;
+  options.num_keys = 4;
+  options.key_bits = 2;
+  options.locked_ffs = 1;
+  options.explicit_keys = {1, 3, 2, 0};
+  const lock::LockResult locked = core::cute_lock_str(s27, options);
+  std::printf("locked: +%zu gates, +%zu FFs (counter), %zu-bit key port\n",
+              locked.locked.stats().gates - s27.stats().gates,
+              locked.locked.dffs().size() - s27.dffs().size(),
+              locked.locked.key_inputs().size());
+  std::printf("key schedule (cycle t expects K[t %% 4]): ");
+  for (const auto& kv : locked.key_schedule) {
+    std::printf("%llu ", static_cast<unsigned long long>(sim::bits_to_u64(kv)));
+  }
+  std::printf("\n\n");
+
+  // 3. Simulate: correct schedule replays the original; a static key does
+  //    not.
+  util::Rng rng(2025);
+  const auto stimulus = sim::random_stimulus(rng, 24, s27.inputs().size());
+  const auto want = sim::run_sequence(s27, stimulus);
+  const auto with_schedule = locked.run_with_correct_key(stimulus);
+  std::printf("correct schedule: %s\n",
+              sim::first_divergence(want, with_schedule) == -1
+                  ? "outputs identical to the original (unlocked)"
+                  : "MISMATCH (bug!)");
+  const auto with_static = sim::run_sequence(locked.locked, stimulus,
+                                             {locked.key_schedule[0]});
+  const int diverge = sim::first_divergence(want, with_static);
+  std::printf("static key K[0]:  %s (first divergence at cycle %d)\n\n",
+              diverge == -1 ? "accidentally matched this stimulus"
+                            : "outputs corrupted",
+              diverge);
+
+  // 4. Export for external tools.
+  std::printf("locked netlist (.bench):\n%s\n",
+              netlist::write_bench_string(locked.locked).c_str());
+  return 0;
+}

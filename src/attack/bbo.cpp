@@ -1,0 +1,116 @@
+#include "attack/bbo.hpp"
+
+#include "attack/verify.hpp"
+#include "util/timer.hpp"
+
+namespace cl::attack {
+
+using netlist::Netlist;
+
+AttackResult bbo_attack(const Netlist& locked, const SequentialOracle& oracle,
+                        const BboOptions& options) {
+  if (locked.key_inputs().empty()) {
+    throw std::invalid_argument("bbo_attack: circuit has no key inputs");
+  }
+  util::Timer timer;
+  util::Rng rng(options.seed);
+  AttackResult result;
+  const std::size_t ki = locked.key_inputs().size();
+
+  // Screening pool: fixed random sequences + their oracle responses.
+  std::vector<std::vector<sim::BitVec>> stimuli;
+  std::vector<std::vector<sim::BitVec>> responses;
+  for (std::size_t s = 0; s < options.screen_sequences; ++s) {
+    stimuli.push_back(sim::random_stimulus(rng, options.screen_cycles,
+                                           oracle.num_inputs()));
+    responses.push_back(oracle.query(stimuli.back()));
+  }
+
+  const bool exhaustive = ki <= options.exhaustive_limit;
+  const std::uint64_t space = exhaustive ? (1ULL << ki) : 0;
+
+  // Screen a batch of 64 candidate keys (lane j = candidate j); returns the
+  // lane mask of survivors.
+  const auto screen_batch = [&](const std::vector<std::uint64_t>& key_words)
+      -> std::uint64_t {
+    std::uint64_t alive = ~0ULL;
+    for (std::size_t s = 0; s < stimuli.size() && alive != 0; ++s) {
+      const auto words = sim::run_sequence_keyed_lanes(locked, stimuli[s],
+                                                       key_words);
+      for (std::size_t c = 0; c < stimuli[s].size() && alive != 0; ++c) {
+        for (std::size_t o = 0; o < responses[s][c].size(); ++o) {
+          const std::uint64_t want = responses[s][c][o] ? ~0ULL : 0ULL;
+          alive &= ~(words[c][o] ^ want);
+        }
+      }
+    }
+    return alive;
+  };
+
+  const auto key_words_for = [&](const std::vector<std::uint64_t>& keys) {
+    std::vector<std::uint64_t> words(ki, 0);
+    for (std::size_t lane = 0; lane < keys.size(); ++lane) {
+      for (std::size_t b = 0; b < ki; ++b) {
+        if ((keys[lane] >> b) & 1ULL) words[b] |= 1ULL << lane;
+      }
+    }
+    return words;
+  };
+
+  const auto finish_with = [&](std::uint64_t key_value) -> AttackResult {
+    const sim::BitVec key = sim::u64_to_bits(key_value, ki);
+    const VerifyResult v = verify_static_key(locked, key, oracle.reference());
+    result.key = key;
+    result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
+    result.seconds = timer.seconds();
+    return result;
+  };
+
+  std::uint64_t tried = 0;
+  std::uint64_t next = 0;
+  while (true) {
+    if (timer.seconds() > options.budget.time_limit_s) {
+      result.outcome = Outcome::Timeout;
+      result.seconds = timer.seconds();
+      result.detail = "screened " + std::to_string(tried) + " keys";
+      return result;
+    }
+    std::vector<std::uint64_t> batch;
+    if (exhaustive) {
+      for (int j = 0; j < 64 && next < space; ++j) batch.push_back(next++);
+      if (batch.empty()) break;  // whole space screened
+    } else {
+      for (int j = 0; j < 64; ++j) {
+        batch.push_back(rng.next_u64() & ((ki == 64) ? ~0ULL : ((1ULL << ki) - 1)));
+      }
+      if (tried >= options.budget.max_iterations * 64) break;
+    }
+    const std::uint64_t alive = screen_batch(key_words_for(batch));
+    tried += batch.size();
+    ++result.iterations;
+    if (alive != 0) {
+      for (std::size_t lane = 0; lane < batch.size(); ++lane) {
+        if ((alive >> lane) & 1ULL) {
+          const AttackResult r = finish_with(batch[lane]);
+          if (r.outcome == Outcome::Equal) return r;
+          // Survivor of screening but not equivalent: keep searching.
+        }
+      }
+    }
+  }
+
+  result.seconds = timer.seconds();
+  if (exhaustive) {
+    // Every static key failed the oracle screen: proved unsatisfiable.
+    result.outcome = Outcome::Cns;
+    result.detail = "exhausted 2^" + std::to_string(ki) +
+                    " static keys; none matches the oracle";
+  } else {
+    result.outcome = Outcome::Fail;
+    result.detail = "random search exhausted (" + std::to_string(tried) +
+                    " keys screened)";
+  }
+  return result;
+}
+
+}  // namespace cl::attack

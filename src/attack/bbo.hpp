@@ -1,0 +1,26 @@
+// Black-box oracle attack (NEOS "bbo" mode): no structural insight, only
+// oracle queries and locked-netlist simulation. Candidate static keys are
+// screened 64 at a time with bit-parallel simulation against oracle
+// responses on random input sequences; survivors are verified exactly.
+// Small key spaces are enumerated exhaustively — if the whole space dies,
+// the attack has *proved* no static key works (CNS).
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "attack/result.hpp"
+
+namespace cl::attack {
+
+struct BboOptions {
+  AttackBudget budget;
+  std::size_t screen_sequences = 8;   // random sequences per screening pool
+  std::size_t screen_cycles = 32;     // cycles per sequence
+  std::size_t exhaustive_limit = 22;  // enumerate up to 2^limit keys
+  std::uint64_t seed = 0xbb0;
+};
+
+AttackResult bbo_attack(const netlist::Netlist& locked,
+                        const SequentialOracle& oracle,
+                        const BboOptions& options = {});
+
+}  // namespace cl::attack

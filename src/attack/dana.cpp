@@ -1,0 +1,163 @@
+#include "attack/dana.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "netlist/topo.hpp"
+#include "util/timer.hpp"
+
+namespace cl::attack {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+DanaResult dana_attack(const Netlist& nl, const DanaOptions& options) {
+  util::Timer timer;
+  DanaResult out;
+  const std::vector<SignalId>& ffs = nl.dffs();
+  const std::size_t n = ffs.size();
+  if (n == 0) {
+    out.seconds = timer.seconds();
+    return out;
+  }
+  std::unordered_map<SignalId, std::size_t> ff_index;
+  for (std::size_t i = 0; i < n; ++i) ff_index.emplace(ffs[i], i);
+
+  // Register dependency graph: preds[i] = FFs feeding FF i's next-state
+  // cone; succs derived by transposition.
+  const auto deps = netlist::dff_dependencies(nl);
+  std::vector<std::vector<std::size_t>> preds(n), succs(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (SignalId q : deps[i]) {
+      const std::size_t j = ff_index.at(q);
+      preds[i].push_back(j);
+      succs[j].push_back(i);
+    }
+  }
+
+  // Initial partition by structural shape — (in-degree, out-degree,
+  // self-loop) over the register graph — then coarsest refinement by the
+  // (predecessor-cluster set, successor-cluster set) signature until a
+  // fixpoint. The shape seeding mirrors DANA's use of structural register
+  // characteristics to bootstrap the grouping.
+  std::vector<std::size_t> cluster(n, 0);
+  {
+    std::map<std::tuple<std::size_t, std::size_t, bool>, std::size_t> shapes;
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool self =
+          std::find(preds[i].begin(), preds[i].end(), i) != preds[i].end();
+      const auto key = std::make_tuple(preds[i].size(), succs[i].size(), self);
+      const auto it = shapes.find(key);
+      if (it == shapes.end()) {
+        cluster[i] = shapes.size();
+        shapes.emplace(key, cluster[i]);
+      } else {
+        cluster[i] = it->second;
+      }
+    }
+  }
+  std::size_t num_clusters = 0;
+  for (std::size_t c : cluster) num_clusters = std::max(num_clusters, c + 1);
+  for (out.rounds = 0; out.rounds < options.max_rounds; ++out.rounds) {
+    std::map<std::tuple<std::size_t, std::vector<std::size_t>,
+                        std::vector<std::size_t>>,
+             std::size_t>
+        signature_map;
+    std::vector<std::size_t> next(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::vector<std::size_t> ps, ss;
+      ps.reserve(preds[i].size());
+      for (std::size_t j : preds[i]) ps.push_back(cluster[j]);
+      for (std::size_t j : succs[i]) ss.push_back(cluster[j]);
+      std::sort(ps.begin(), ps.end());
+      ps.erase(std::unique(ps.begin(), ps.end()), ps.end());
+      std::sort(ss.begin(), ss.end());
+      ss.erase(std::unique(ss.begin(), ss.end()), ss.end());
+      const auto key = std::make_tuple(cluster[i], std::move(ps), std::move(ss));
+      const auto it = signature_map.find(key);
+      if (it == signature_map.end()) {
+        const std::size_t id = signature_map.size();
+        signature_map.emplace(key, id);
+        next[i] = id;
+      } else {
+        next[i] = it->second;
+      }
+    }
+    const std::size_t new_count = signature_map.size();
+    const bool stable = (new_count == num_clusters) && (next == cluster);
+    cluster = std::move(next);
+    num_clusters = new_count;
+    if (stable) break;
+  }
+
+  out.clusters.assign(num_clusters, {});
+  for (std::size_t i = 0; i < n; ++i) out.clusters[cluster[i]].push_back(ffs[i]);
+  out.seconds = timer.seconds();
+  return out;
+}
+
+double nmi_score(const Netlist& nl, const DanaResult& dana,
+                 const RegisterGroups& truth) {
+  // Element universe: all DFFs of the netlist. Truth labels from the group
+  // table; FFs absent from the table become singleton truth groups.
+  std::unordered_map<std::string, int> truth_label;
+  int next_label = 0;
+  for (const auto& group : truth) {
+    for (const std::string& name : group) truth_label[name] = next_label;
+    ++next_label;
+  }
+  std::vector<int> x;  // DANA cluster per FF
+  std::vector<int> y;  // truth label per FF
+  int cluster_id = 0;
+  std::unordered_map<SignalId, int> dana_cluster;
+  for (const auto& cl : dana.clusters) {
+    for (SignalId s : cl) dana_cluster[s] = cluster_id;
+    ++cluster_id;
+  }
+  for (SignalId q : nl.dffs()) {
+    const auto it = dana_cluster.find(q);
+    if (it == dana_cluster.end()) continue;
+    x.push_back(it->second);
+    const auto lt = truth_label.find(nl.signal_name(q));
+    if (lt != truth_label.end()) {
+      y.push_back(lt->second);
+    } else {
+      y.push_back(next_label++);  // lock-added FF: its own truth group
+    }
+  }
+  const std::size_t n = x.size();
+  if (n == 0) return 0.0;
+
+  std::map<int, double> px, py;
+  std::map<std::pair<int, int>, double> pxy;
+  for (std::size_t i = 0; i < n; ++i) {
+    px[x[i]] += 1.0;
+    py[y[i]] += 1.0;
+    pxy[{x[i], y[i]}] += 1.0;
+  }
+  const double dn = static_cast<double>(n);
+  double hx = 0, hy = 0, mi = 0;
+  for (auto& [k, v] : px) {
+    v /= dn;
+    hx -= v * std::log(v);
+  }
+  for (auto& [k, v] : py) {
+    v /= dn;
+    hy -= v * std::log(v);
+  }
+  for (auto& [k, v] : pxy) {
+    v /= dn;
+    mi += v * std::log(v / (px[k.first] * py[k.second]));
+  }
+  if (hx <= 0.0 && hy <= 0.0) {
+    // Both partitions trivial: identical iff both single-cluster.
+    return 1.0;
+  }
+  if (hx <= 0.0 || hy <= 0.0) return 0.0;
+  return std::max(0.0, std::min(1.0, 2.0 * mi / (hx + hy)));
+}
+
+}  // namespace cl::attack

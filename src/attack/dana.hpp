@@ -1,0 +1,42 @@
+// DANA — Dataflow Analysis for gate-level Netlist reverse engineering
+// (Albartus et al., CHES'20), the paper's Table V dataflow attack.
+//
+// DANA groups flip-flops into candidate high-level registers by iterative
+// partition refinement on the register dependency graph: two FFs stay in
+// the same cluster only while their predecessor and successor register sets
+// map to the same clusters. The result is scored against ground-truth
+// register groups with Normalized Mutual Information (NMI), exactly the
+// metric the DANA and Cute-Lock papers report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::attack {
+
+struct DanaOptions {
+  std::size_t max_rounds = 64;
+};
+
+struct DanaResult {
+  /// Final clustering: each inner vector holds DFF SignalIds of one cluster.
+  std::vector<std::vector<netlist::SignalId>> clusters;
+  std::size_t rounds = 0;
+  double seconds = 0.0;
+};
+
+DanaResult dana_attack(const netlist::Netlist& nl, const DanaOptions& options = {});
+
+/// Ground truth for scoring: named register groups (vectors of FF names).
+using RegisterGroups = std::vector<std::vector<std::string>>;
+
+/// Normalized Mutual Information between DANA's clustering and the ground
+/// truth, computed over the FFs present in both (lock-added FFs missing from
+/// the ground truth are scored as their own singleton truth groups, which is
+/// how the locked-netlist evaluation penalizes structural blending).
+double nmi_score(const netlist::Netlist& nl, const DanaResult& dana,
+                 const RegisterGroups& truth);
+
+}  // namespace cl::attack

@@ -1,0 +1,40 @@
+// FALL — Functional Analysis attack on Logic Locking (Sirone & Subramanyan,
+// DATE'19), the removal-style attack of the paper's Table V.
+//
+// Pipeline (as in the original tool):
+//   1. Structural analysis: locate comparator structures in the locked
+//      netlist — AND-trees whose leaves are (possibly inverted) primary
+//      input literals. These are the hidden-pattern comparators that
+//      TTLock/SFLL-style stripped-functionality locks必 contain.
+//   2. Functional analysis: key-unateness profiling prunes gates whose
+//      functions cannot be key comparators.
+//   3. Candidate keys: the literal polarities of each surviving comparator.
+//   4. Confirmation: each candidate is verified against the oracle (SAT +
+//      simulation equivalence); only verified keys count.
+//
+// Cute-Lock-Str contains comparators over *key* inputs feeding MUX selects,
+// not input-pattern comparators feeding output-flip logic, so step 1 finds
+// nothing — the paper's "0 candidates / 0 keys" row.
+#pragma once
+
+#include "attack/oracle.hpp"
+#include "attack/result.hpp"
+
+namespace cl::attack {
+
+struct FallOptions {
+  AttackBudget budget;
+  std::size_t min_pattern_bits = 2;  // smallest comparator worth reporting
+};
+
+struct FallResult {
+  AttackResult result;
+  std::size_t candidates = 0;   // patterns extracted by structural analysis
+  std::size_t confirmed = 0;    // candidates passing oracle verification
+};
+
+FallResult fall_attack(const netlist::Netlist& locked,
+                       const SequentialOracle& oracle,
+                       const FallOptions& options = {});
+
+}  // namespace cl::attack

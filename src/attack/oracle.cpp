@@ -1,0 +1,28 @@
+#include "attack/oracle.hpp"
+
+#include <stdexcept>
+
+namespace cl::attack {
+
+SequentialOracle::SequentialOracle(const netlist::Netlist& original)
+    : original_(original) {
+  if (!original.key_inputs().empty()) {
+    throw std::invalid_argument(
+        "SequentialOracle: the oracle is the unlocked circuit; it must not "
+        "have key inputs");
+  }
+}
+
+std::vector<sim::BitVec> SequentialOracle::query(
+    const std::vector<sim::BitVec>& inputs) const {
+  ++queries_;
+  return sim::run_sequence(original_, inputs);
+}
+
+sim::BitVec SequentialOracle::query_comb(const sim::BitVec& inputs) const {
+  ++queries_;
+  const auto out = sim::run_sequence(original_, {inputs});
+  return out[0];
+}
+
+}  // namespace cl::attack

@@ -1,0 +1,36 @@
+// The attacker's oracle: a working chip bought off the market. It evaluates
+// the *original* (unlocked) circuit on attacker-chosen input sequences from
+// reset. The attacker never sees the key schedule or the internal state —
+// only input/output behaviour — matching the paper's threat model.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace cl::attack {
+
+class SequentialOracle {
+ public:
+  explicit SequentialOracle(const netlist::Netlist& original);
+
+  /// Outputs for an input sequence applied from reset.
+  std::vector<sim::BitVec> query(const std::vector<sim::BitVec>& inputs) const;
+
+  /// Scan-mode combinational query (for circuits prepared with
+  /// scan_expose()): single-cycle evaluation.
+  sim::BitVec query_comb(const sim::BitVec& inputs) const;
+
+  std::uint64_t num_queries() const { return queries_; }
+  std::size_t num_inputs() const { return original_.inputs().size(); }
+  std::size_t num_outputs() const { return original_.outputs().size(); }
+  const netlist::Netlist& reference() const { return original_; }
+
+ private:
+  const netlist::Netlist& original_;
+  mutable std::uint64_t queries_ = 0;
+};
+
+}  // namespace cl::attack

@@ -1,0 +1,163 @@
+#include "attack/periodic_attack.hpp"
+
+#include <algorithm>
+
+#include "cnf/encoder.hpp"
+#include "cnf/miter.hpp"
+#include "util/timer.hpp"
+
+namespace cl::attack {
+
+using netlist::DffInit;
+using netlist::Netlist;
+using netlist::SignalId;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+using sat::Var;
+
+namespace {
+
+/// Constrain: running `nl` with the periodic schedule given by `slots`
+/// (frame t uses slots[t % p]) on the concrete `inputs` produces `outputs`.
+void constrain_schedule(Solver& solver, const Netlist& nl,
+                        const std::vector<std::vector<Var>>& slots,
+                        const std::vector<sim::BitVec>& inputs,
+                        const std::vector<sim::BitVec>& outputs) {
+  std::vector<Var> state;
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    cnf::FrameSources src;
+    src.keys = slots[t % slots.size()];
+    if (t == 0) {
+      state.reserve(nl.dffs().size());
+      for (SignalId d : nl.dffs()) {
+        const Var v = solver.new_var();
+        if (nl.dff_init(d) == DffInit::Zero) cnf::encode_const(solver, v, false);
+        else if (nl.dff_init(d) == DffInit::One) cnf::encode_const(solver, v, true);
+        state.push_back(v);
+      }
+    }
+    src.states = state;
+    const cnf::FrameVars fv = cnf::encode_frame(solver, nl, std::move(src));
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      solver.add_unit(Lit(fv.var[nl.inputs()[i]], inputs[t][i] == 0));
+    }
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      solver.add_unit(Lit(fv.var[nl.outputs()[o]], outputs[t][o] == 0));
+    }
+    std::vector<Var> next;
+    next.reserve(nl.dffs().size());
+    for (SignalId d : nl.dffs()) next.push_back(fv.var[nl.dff_input(d)]);
+    state = std::move(next);
+  }
+}
+
+/// Heavy randomized validation of a recovered schedule.
+bool schedule_works(const Netlist& locked, const Netlist& original,
+                    const std::vector<sim::BitVec>& schedule, util::Rng& rng,
+                    std::vector<sim::BitVec>* counterexample) {
+  for (int trial = 0; trial < 48; ++trial) {
+    const auto stim = sim::random_stimulus(rng, 64, original.inputs().size());
+    std::vector<sim::BitVec> keys;
+    keys.reserve(stim.size());
+    for (std::size_t t = 0; t < stim.size(); ++t) {
+      keys.push_back(schedule[t % schedule.size()]);
+    }
+    const auto want = sim::run_sequence(original, stim);
+    const auto got = sim::run_sequence(locked, stim, keys);
+    const int diverge = sim::first_divergence(want, got);
+    if (diverge != -1) {
+      counterexample->assign(stim.begin(), stim.begin() + diverge + 1);
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+PeriodicAttackResult periodic_key_attack(const Netlist& locked,
+                                         const SequentialOracle& oracle,
+                                         const PeriodicAttackOptions& options) {
+  PeriodicAttackResult out;
+  util::Timer timer;
+  util::Rng rng(0x9e410d1c);
+  const std::size_t ki = locked.key_inputs().size();
+
+  // Shared pool of oracle responses, reused across period hypotheses.
+  std::vector<std::pair<std::vector<sim::BitVec>, std::vector<sim::BitVec>>> io;
+  const auto add_io = [&](const std::vector<sim::BitVec>& inputs) {
+    io.emplace_back(inputs, oracle.query(inputs));
+    ++out.result.iterations;
+  };
+  // Seed with a few random traces long enough to cover every hypothesis.
+  for (int i = 0; i < 4; ++i) {
+    add_io(sim::random_stimulus(rng, 2 * options.max_period + 6,
+                                oracle.num_inputs()));
+  }
+
+  for (std::size_t period = 1; period <= options.max_period; ++period) {
+    Solver solver;
+    solver.set_conflict_budget(options.budget.conflict_budget);
+    std::vector<std::vector<Var>> slots(period);
+    for (auto& slot : slots) {
+      for (std::size_t b = 0; b < ki; ++b) slot.push_back(solver.new_var());
+    }
+    std::size_t constrained = 0;
+    const auto sync = [&]() {
+      while (constrained < io.size()) {
+        constrain_schedule(solver, locked, slots, io[constrained].first,
+                           io[constrained].second);
+        ++constrained;
+      }
+    };
+    for (;;) {
+      if (timer.seconds() > options.budget.time_limit_s ||
+          out.result.iterations >= options.budget.max_iterations) {
+        out.result.outcome = Outcome::Timeout;
+        out.result.seconds = timer.seconds();
+        out.result.detail =
+            "budget exhausted at period " + std::to_string(period);
+        return out;
+      }
+      sync();
+      solver.set_time_budget(
+          std::max(0.05, options.budget.time_limit_s - timer.seconds()));
+      const Result r = solver.solve();
+      if (r == Result::Unknown) {
+        out.result.outcome = Outcome::Timeout;
+        out.result.seconds = timer.seconds();
+        return out;
+      }
+      if (r == Result::Unsat) break;  // period hypothesis refuted
+
+      std::vector<sim::BitVec> schedule;
+      for (const auto& slot : slots) {
+        schedule.push_back(cnf::extract_bits(solver, slot));
+      }
+      std::vector<sim::BitVec> counterexample;
+      if (schedule_works(locked, oracle.reference(), schedule, rng,
+                         &counterexample)) {
+        out.result.outcome = Outcome::Equal;
+        out.result.seconds = timer.seconds();
+        out.result.detail = "schedule recovered at period " +
+                            std::to_string(period);
+        out.recovered_period = period;
+        out.recovered_schedule = std::move(schedule);
+        if (!out.recovered_schedule.empty()) {
+          out.result.key = out.recovered_schedule[0];
+        }
+        return out;
+      }
+      add_io(counterexample);
+    }
+  }
+  out.result.outcome = Outcome::Cns;
+  out.result.seconds = timer.seconds();
+  out.result.detail = "no periodic schedule up to period " +
+                      std::to_string(options.max_period) +
+                      " is consistent with the oracle";
+  return out;
+}
+
+}  // namespace cl::attack

@@ -1,0 +1,27 @@
+#include "attack/result.hpp"
+
+#include <sstream>
+
+namespace cl::attack {
+
+const char* outcome_label(Outcome o) {
+  switch (o) {
+    case Outcome::Equal: return "Equal";
+    case Outcome::Cns: return "CNS";
+    case Outcome::WrongKey: return "x..x";
+    case Outcome::Fail: return "FAIL";
+    case Outcome::Timeout: return "N/A";
+  }
+  return "?";
+}
+
+std::string AttackResult::summary() const {
+  std::ostringstream out;
+  out << outcome_label(outcome);
+  if (!key.empty()) out << " key=" << sim::bits_to_string(key);
+  out << " iters=" << iterations;
+  if (!detail.empty()) out << " (" << detail << ")";
+  return out.str();
+}
+
+}  // namespace cl::attack

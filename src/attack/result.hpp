@@ -1,0 +1,44 @@
+// Attack outcome taxonomy, mirroring the paper's colour legend:
+//   Equal    (green)      — correct key recovered and verified
+//   Cns      (light red)  — "condition not solvable": the attack proved that
+//                           no static key is consistent with the oracle
+//   WrongKey (deeper red)  — a key was reported but fails verification
+//   Fail     (darkest red) — the attack aborted without any key
+//   Timeout  (yellow)      — budget exhausted with no verdict ("N/A")
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/sequence.hpp"
+
+namespace cl::attack {
+
+enum class Outcome : std::uint8_t { Equal, Cns, WrongKey, Fail, Timeout };
+
+/// Table label in the paper's notation ("Equal", "CNS", "x..x", "FAIL",
+/// "N/A").
+const char* outcome_label(Outcome o);
+
+/// True when the defense held (anything but Equal).
+inline bool defense_held(Outcome o) { return o != Outcome::Equal; }
+
+struct AttackResult {
+  Outcome outcome = Outcome::Fail;
+  sim::BitVec key;             // reported key, when any
+  double seconds = 0.0;        // wall-clock attack time
+  std::uint64_t iterations = 0;  // DIPs / oracle queries / candidates
+  std::string detail;          // free-form diagnostics
+
+  std::string summary() const;
+};
+
+/// Budget shared by all attacks. Attacks stop with Timeout when exceeded.
+struct AttackBudget {
+  double time_limit_s = 20.0;
+  std::uint64_t max_iterations = 2000;
+  std::size_t max_depth = 64;          // sequential unroll bound
+  std::int64_t conflict_budget = 2'000'000;  // SAT conflicts per solve
+};
+
+}  // namespace cl::attack

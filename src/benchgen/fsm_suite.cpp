@@ -1,0 +1,128 @@
+#include "benchgen/fsm_suite.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cl::benchgen {
+
+namespace {
+
+std::uint64_t name_seed(const std::string& name) {
+  std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+  for (char c : name) {
+    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c)) * 0x9e37ULL;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+/// Split the full input space into `target` disjoint cubes by recursive
+/// variable splitting.
+std::vector<logic::Cube> partition_cubes(util::Rng& rng, int num_inputs,
+                                         std::size_t target) {
+  std::vector<logic::Cube> cubes{logic::Cube{}};  // universal cube
+  while (cubes.size() < target) {
+    // Pick a cube with a free variable and split it.
+    std::vector<std::size_t> splittable;
+    for (std::size_t i = 0; i < cubes.size(); ++i) {
+      if (cubes[i].literal_count() < num_inputs) splittable.push_back(i);
+    }
+    if (splittable.empty()) break;
+    const std::size_t ci = splittable[rng.next_below(splittable.size())];
+    std::vector<int> free_vars;
+    for (int v = 0; v < num_inputs; ++v) {
+      if (((cubes[ci].mask >> v) & 1u) == 0) free_vars.push_back(v);
+    }
+    const int var = free_vars[rng.next_below(free_vars.size())];
+    logic::Cube zero = cubes[ci];
+    zero.mask |= 1u << var;
+    logic::Cube one = zero;
+    one.value |= 1u << var;
+    cubes[ci] = zero;
+    cubes.push_back(one);
+  }
+  return cubes;
+}
+
+}  // namespace
+
+const std::vector<FsmSpec>& synthezza_specs() {
+  static const std::vector<FsmSpec> specs = {
+      // name        tier      st  in out    k   ki   (k, ki from Table III)
+      {"bcomp",     "small",   24,  8, 39,   6,  18},
+      {"bech",      "small",   14,  3,  5,   6,  18},
+      {"bridge",    "small",   12,  3,  4,   5,  16},
+      {"cat",       "small",   10,  2,  3,   3,  11},
+      {"checker9",  "small",    9,  2,  2,   3,  10},
+      {"cpu",       "small",   16,  4,  6,   4,  14},
+      {"dmac",      "small",    8,  3,  4,   2,   7},
+      {"e10",       "small",   10,  2,  3,   3,  10},
+      {"e15",       "small",   15,  3,  4,   4,  13},
+      {"e16",       "small",   16,  3,  4,   4,  13},
+      {"e161",      "small",   16,  4,  5,   5,  16},
+      {"e17",       "small",   12,  2,  3,   2,   8},
+      {"acdl",      "medium",  28,  4,  8,   5,  16},
+      {"alf",       "medium",  32,  5, 10,   2,  31},
+      {"amtz",      "medium",  36,  4,  9,   7,  23},
+      {"ball",      "medium",  40,  5, 12,   4,  44},
+      {"bens",      "medium",  30,  4,  8,   7,  21},
+      {"berg",      "medium",  34,  4,  7,   7,  21},
+      {"bib",       "medium",  32,  4,  8,   7,  21},
+      {"big",       "medium",  36,  5, 10,   6,  18},
+      {"bs",        "medium",  30,  4,  6,   6,  19},
+      {"codec",     "medium",  26,  3,  8,   2,   4},
+      {"codec12",   "medium",  40,  5, 12,   9,  28},
+      {"cow",       "medium",  44,  5, 10,   6,  49},
+      {"cyr",       "medium",  34,  4,  8,   6,  20},
+      {"dav",       "medium",  32,  4,  8,   6,  18},
+      {"doron",     "medium",  38,  5,  9,   7,  22},
+      {"absurd",    "large",  128,  6, 16,  21,  64},  // ki 65 in the paper,
+                                                       // clamped to 64 bits
+      {"bulln",     "large",  120,  6, 14,  20,  61},
+      {"camel",     "large",  112,  6, 12,  19,  59},
+      {"exxm",      "large",   96,  5, 12,  15,  47},
+      {"lion",      "large",  108,  6, 12,  18,  55},
+      {"tiger",     "large",  104,  6, 12,  17,  51},
+  };
+  return specs;
+}
+
+const FsmSpec& find_fsm_spec(const std::string& name) {
+  for (const FsmSpec& s : synthezza_specs()) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("find_fsm_spec: unknown FSM " + name);
+}
+
+fsm::Stg make_fsm(const FsmSpec& spec) {
+  util::Rng rng(name_seed(spec.name));
+  fsm::Stg stg(spec.inputs, spec.outputs);
+  for (int s = 0; s < spec.states; ++s) {
+    stg.add_state("S" + std::to_string(s));
+  }
+  stg.set_initial(0);
+  const std::uint64_t out_space =
+      spec.outputs >= 64 ? ~0ULL : ((1ULL << spec.outputs) - 1);
+  for (int s = 0; s < spec.states; ++s) {
+    // 2..6 disjoint cubes per state; a random subset transitions, the rest
+    // hold implicitly (KISS semantics).
+    const std::size_t n_cubes = 2 + rng.next_below(5);
+    const auto cubes = partition_cubes(rng, spec.inputs, n_cubes);
+    for (const logic::Cube& cube : cubes) {
+      if (rng.chance(1, 8)) continue;  // leave an implicit hold
+      // Bias transitions toward a connected ring so everything stays
+      // reachable, with random long jumps mixed in.
+      const int to = rng.chance(1, 3)
+                         ? static_cast<int>(rng.next_below(
+                               static_cast<std::uint64_t>(spec.states)))
+                         : (s + 1) % spec.states;
+      const std::uint64_t output = rng.next_u64() & out_space;
+      stg.add_transition(s, cube, to, output);
+    }
+  }
+  stg.check();
+  return stg;
+}
+
+}  // namespace cl::benchgen

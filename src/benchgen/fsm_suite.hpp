@@ -1,0 +1,36 @@
+// Synthezza-like FSM benchmark suite for the Cute-Lock-Beh evaluation
+// (paper Table III). The original Synthezza suite is a commercial FSM
+// benchmark collection; these are deterministic random Mealy machines in
+// the same three size tiers, carrying the paper's circuit names and the
+// per-circuit (k, ki) locking parameters from Table III.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fsm/stg.hpp"
+
+namespace cl::benchgen {
+
+struct FsmSpec {
+  std::string name;
+  const char* tier;  // "small" | "medium" | "large"
+  int states;
+  int inputs;
+  int outputs;
+  std::size_t lock_keys;  // k (Table III)
+  std::size_t lock_bits;  // ki (Table III; clamped to 64)
+};
+
+const std::vector<FsmSpec>& synthezza_specs();
+
+/// Find a spec by name; throws when unknown.
+const FsmSpec& find_fsm_spec(const std::string& name);
+
+/// Deterministic Mealy machine for the spec. Every state's input space is
+/// partitioned into a few disjoint cubes (not minterms), like hand-written
+/// FSM benchmarks.
+fsm::Stg make_fsm(const FsmSpec& spec);
+
+}  // namespace cl::benchgen

@@ -1,0 +1,34 @@
+#include "benchgen/s27.hpp"
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::benchgen {
+
+const char* s27_bench_text() {
+  return R"(# s27 — ISCAS'89
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+}
+
+netlist::Netlist make_s27() {
+  return netlist::read_bench_string(s27_bench_text(), "s27");
+}
+
+}  // namespace cl::benchgen

@@ -1,0 +1,15 @@
+// The real ISCAS'89 s27 benchmark (public domain), used by the paper's
+// Table II validation exactly as published: 4 inputs, 1 output (G17),
+// 3 flip-flops, 10 gates.
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace cl::benchgen {
+
+netlist::Netlist make_s27();
+
+/// The raw .bench text (for IO tests and the examples).
+const char* s27_bench_text();
+
+}  // namespace cl::benchgen

@@ -1,0 +1,158 @@
+#include "benchgen/synthetic.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace cl::benchgen {
+
+using netlist::DffInit;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// Random 2-input combinational gate over two operands.
+SignalId random_gate(Netlist& nl, util::Rng& rng, SignalId a, SignalId b,
+                     const std::string& hint) {
+  static constexpr GateType kinds[] = {GateType::And,  GateType::Or,
+                                       GateType::Nand, GateType::Nor,
+                                       GateType::Xor,  GateType::Xnor};
+  const GateType t = kinds[rng.next_below(std::size(kinds))];
+  return nl.add_gate(t, {a, b}, nl.fresh_name(hint));
+}
+
+}  // namespace
+
+SyntheticCircuit make_synthetic(const SyntheticSpec& spec, std::uint64_t seed) {
+  if (spec.inputs == 0 || spec.outputs == 0 || spec.dffs == 0) {
+    throw std::invalid_argument("make_synthetic: degenerate spec");
+  }
+  util::Rng rng(seed);
+  SyntheticCircuit out{Netlist(spec.name), {}};
+  Netlist& nl = out.netlist;
+
+  std::vector<SignalId> pis;
+  for (std::size_t i = 0; i < spec.inputs; ++i) {
+    pis.push_back(nl.add_input("pi" + std::to_string(i)));
+  }
+
+  // Control FSM: a few registers forming a twisted ring counter, one group.
+  // n_ctrl is chosen so the remaining data FFs split into *uniform-width*
+  // words: bit-sliced uniformity is what keeps the register graph's degree
+  // structure word-regular, which the DANA baseline depends on.
+  std::size_t n_ctrl = spec.dffs >= 6 ? 2 : 1;
+  std::size_t chosen_width = 0;
+  for (std::size_t width = 8; width >= 2 && chosen_width == 0; --width) {
+    for (std::size_t c = (spec.dffs >= 6 ? 1 : 1);
+         c <= std::min<std::size_t>(4, spec.dffs - 1); ++c) {
+      const std::size_t data = spec.dffs - c;
+      if (data >= width && data % width == 0) {
+        n_ctrl = c;
+        chosen_width = width;
+        break;
+      }
+    }
+  }
+  if (chosen_width == 0) {  // tiny circuits: one word holds all data FFs
+    n_ctrl = spec.dffs > 1 ? 1 : 1;
+    chosen_width = std::max<std::size_t>(1, spec.dffs - n_ctrl);
+  }
+  std::vector<SignalId> ctrl;
+  for (std::size_t i = 0; i < n_ctrl; ++i) {
+    ctrl.push_back(nl.add_dff(netlist::k_no_signal,
+                              i == 0 ? DffInit::One : DffInit::Zero,
+                              "ctrl" + std::to_string(i)));
+  }
+  {
+    attack::RegisterGroups::value_type group;
+    for (SignalId c : ctrl) group.push_back(nl.signal_name(c));
+    out.groups.push_back(std::move(group));
+  }
+  for (std::size_t i = 0; i < n_ctrl; ++i) {
+    const SignalId prev = ctrl[(i + n_ctrl - 1) % n_ctrl];
+    // Twist with an input so the controller reacts to stimuli.
+    const SignalId d =
+        (i == 0) ? nl.add_xor(prev, pis[0], nl.fresh_name("ctrl_d"))
+                 : static_cast<SignalId>(prev);
+    nl.set_dff_input(ctrl[i], d);
+  }
+
+  // Data words, all of width `chosen_width`.
+  const std::size_t n_data = spec.dffs - n_ctrl;
+  const std::size_t word_width = chosen_width;
+  const std::size_t n_words = std::max<std::size_t>(1, n_data / word_width);
+  std::vector<std::vector<SignalId>> words(n_words);
+  for (std::size_t w = 0; w < n_words; ++w) {
+    attack::RegisterGroups::value_type group;
+    for (std::size_t b = 0; b < word_width && w * word_width + b < n_data; ++b) {
+      const std::string name =
+          "w" + std::to_string(w) + "_b" + std::to_string(b);
+      words[w].push_back(nl.add_dff(netlist::k_no_signal, DffInit::Zero, name));
+      group.push_back(name);
+    }
+    out.groups.push_back(std::move(group));
+  }
+
+  // Per-FF next-state logic. The *wiring shape* is fixed per word (bit b of
+  // word w always reads bits b and b+1 of its source word, bit b of its
+  // extra word, a sliding input tap, a control line, and its own feedback);
+  // only the gate types vary per bit. This bit-sliced regularity is what
+  // real RTL synthesizes to, and it is what lets DANA earn its high
+  // baseline NMI on the unlocked circuits.
+  const std::size_t output_budget = 2 * spec.outputs;
+  const std::size_t per_ff = std::max<std::size_t>(
+      1, (spec.gates > output_budget ? spec.gates - output_budget : spec.gates) /
+             std::max<std::size_t>(1, n_data));
+  for (std::size_t w = 0; w < n_words; ++w) {
+    // Word-level dataflow, chosen once per word: ring source, an optional
+    // extra source word, 2-3 source taps, optional control/feedback reads.
+    // The per-word variety breaks inter-word symmetry (so dataflow analysis
+    // has something to find) while the per-bit wiring stays uniform (so
+    // words stay coherent registers).
+    const std::size_t src = (w + n_words - 1) % n_words;
+    const std::size_t extra = rng.next_below(n_words);
+    const std::size_t pi_offset = rng.next_below(pis.size());
+    const std::size_t src_taps = 2 + rng.next_below(2);  // 2 or 3
+    const bool use_extra = rng.chance(1, 2);
+    // Word 0 always reads the controller so the control FSM stays live even
+    // in single-word circuits.
+    const bool use_ctrl = (w == 0) || rng.chance(2, 3);
+    const bool use_own = rng.chance(1, 2);
+    for (std::size_t b = 0; b < words[w].size(); ++b) {
+      const auto& sw = words[src];
+      const auto& ew = words[extra];
+      std::vector<SignalId> operands;
+      for (std::size_t t = 1; t < src_taps; ++t) {
+        operands.push_back(sw[(b + t) % sw.size()]);
+      }
+      if (use_extra) operands.push_back(ew[b % ew.size()]);
+      operands.push_back(pis[(b + pi_offset) % pis.size()]);
+      if (use_ctrl) operands.push_back(ctrl[0]);
+      if (use_own) operands.push_back(words[w][b]);
+      SignalId acc = sw[b % sw.size()];
+      for (std::size_t g = 0; g < per_ff; ++g) {
+        acc = random_gate(nl, rng, acc, operands[g % operands.size()], "g");
+      }
+      nl.set_dff_input(words[w][b], acc);
+    }
+  }
+
+  // Outputs: small observation trees over random state bits and inputs.
+  for (std::size_t o = 0; o < spec.outputs; ++o) {
+    const auto& wa = words[rng.next_below(n_words)];
+    const auto& wb = words[rng.next_below(n_words)];
+    const SignalId a = wa[rng.next_below(wa.size())];
+    const SignalId b = wb[rng.next_below(wb.size())];
+    const SignalId t = random_gate(nl, rng, a, b, "po_t");
+    const SignalId po = nl.add_gate(GateType::Buf, {t}, "po" + std::to_string(o));
+    nl.add_output(po);
+  }
+
+  nl.check();
+  return out;
+}
+
+}  // namespace cl::benchgen

@@ -1,0 +1,36 @@
+// Deterministic structured sequential-circuit generator.
+//
+// The ISCAS'89 / ITC'99 benchmark files are not redistributable here, so the
+// catalog (catalog.hpp) synthesizes stand-ins matching each circuit's
+// published interface and size. The generator produces *word-structured*
+// datapaths — registers grouped into words with word-level dataflow plus a
+// small control FSM — because (a) that is what the real RT-level benchmarks
+// look like after synthesis and (b) the DANA baseline must be able to earn a
+// high NMI on the originals for the Table V comparison to be meaningful.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "attack/dana.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cl::benchgen {
+
+struct SyntheticSpec {
+  std::string name;
+  std::size_t inputs = 4;
+  std::size_t outputs = 4;
+  std::size_t dffs = 16;
+  std::size_t gates = 120;  // combinational gate target (approximate)
+};
+
+struct SyntheticCircuit {
+  netlist::Netlist netlist;
+  attack::RegisterGroups groups;  // DANA ground truth: words + control
+};
+
+/// Generate the circuit for `spec`; fully determined by (spec, seed).
+SyntheticCircuit make_synthetic(const SyntheticSpec& spec, std::uint64_t seed);
+
+}  // namespace cl::benchgen

@@ -1,0 +1,182 @@
+#include "cnf/encoder.hpp"
+
+#include <stdexcept>
+
+#include "netlist/topo.hpp"
+
+namespace cl::cnf {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+using sat::Lit;
+using sat::Solver;
+using sat::Var;
+
+void encode_and(Solver& s, Var y, const std::vector<Var>& ins) {
+  // y -> ai ; (a1 & ... & an) -> y
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Var a : ins) {
+    s.add_binary(sat::neg(y), sat::pos(a));
+    big.push_back(sat::neg(a));
+  }
+  big.push_back(sat::pos(y));
+  s.add_clause(std::move(big));
+}
+
+void encode_or(Solver& s, Var y, const std::vector<Var>& ins) {
+  std::vector<Lit> big;
+  big.reserve(ins.size() + 1);
+  for (Var a : ins) {
+    s.add_binary(sat::pos(y), sat::neg(a));
+    big.push_back(sat::pos(a));
+  }
+  big.push_back(sat::neg(y));
+  s.add_clause(std::move(big));
+}
+
+void encode_xor2(Solver& s, Var y, Var a, Var b) {
+  s.add_ternary(sat::neg(y), sat::pos(a), sat::pos(b));
+  s.add_ternary(sat::neg(y), sat::neg(a), sat::neg(b));
+  s.add_ternary(sat::pos(y), sat::neg(a), sat::pos(b));
+  s.add_ternary(sat::pos(y), sat::pos(a), sat::neg(b));
+}
+
+void encode_eq(Solver& s, Var a, Var b) {
+  s.add_binary(sat::neg(a), sat::pos(b));
+  s.add_binary(sat::pos(a), sat::neg(b));
+}
+
+void encode_mux(Solver& s, Var y, Var sel, Var a, Var b) {
+  // sel=0 -> y=a ; sel=1 -> y=b
+  s.add_ternary(sat::pos(sel), sat::neg(a), sat::pos(y));
+  s.add_ternary(sat::pos(sel), sat::pos(a), sat::neg(y));
+  s.add_ternary(sat::neg(sel), sat::neg(b), sat::pos(y));
+  s.add_ternary(sat::neg(sel), sat::pos(b), sat::neg(y));
+}
+
+void encode_const(Solver& s, Var y, bool value) {
+  s.add_unit(Lit(y, !value));
+}
+
+FrameVars encode_frame(Solver& solver, const Netlist& nl, FrameSources sources) {
+  // Allocate or validate source variables.
+  const auto fill = [&solver](std::vector<Var>& vars, std::size_t need) {
+    if (vars.empty()) {
+      vars.reserve(need);
+      for (std::size_t i = 0; i < need; ++i) vars.push_back(solver.new_var());
+    } else if (vars.size() != need) {
+      throw std::invalid_argument("encode_frame: source var arity mismatch");
+    }
+  };
+  fill(sources.inputs, nl.inputs().size());
+  fill(sources.keys, nl.key_inputs().size());
+  fill(sources.states, nl.dffs().size());
+
+  FrameVars frame;
+  frame.var.assign(nl.size(), -1);
+  for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+    frame.var[nl.inputs()[i]] = sources.inputs[i];
+  }
+  for (std::size_t i = 0; i < nl.key_inputs().size(); ++i) {
+    frame.var[nl.key_inputs()[i]] = sources.keys[i];
+  }
+  for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+    frame.var[nl.dffs()[i]] = sources.states[i];
+  }
+
+  for (SignalId id : netlist::topo_order(nl)) {
+    const netlist::Node& n = nl.node(id);
+    if (n.type == GateType::Input || n.type == GateType::KeyInput ||
+        n.type == GateType::Dff) {
+      continue;
+    }
+    switch (n.type) {
+      case GateType::Const0:
+      case GateType::Const1: {
+        const Var y = solver.new_var();
+        encode_const(solver, y, n.type == GateType::Const1);
+        frame.var[id] = y;
+        break;
+      }
+      case GateType::Buf:
+        frame.var[id] = frame.var[n.fanins[0]];
+        break;
+      case GateType::Not: {
+        const Var y = solver.new_var();
+        const Var a = frame.var[n.fanins[0]];
+        solver.add_binary(sat::neg(y), sat::neg(a));
+        solver.add_binary(sat::pos(y), sat::pos(a));
+        frame.var[id] = y;
+        break;
+      }
+      case GateType::And:
+      case GateType::Nand: {
+        const Var y = solver.new_var();
+        std::vector<Var> ins;
+        ins.reserve(n.fanins.size());
+        for (SignalId f : n.fanins) ins.push_back(frame.var[f]);
+        if (n.type == GateType::And) {
+          encode_and(solver, y, ins);
+          frame.var[id] = y;
+        } else {
+          encode_and(solver, y, ins);
+          const Var ny = solver.new_var();
+          solver.add_binary(sat::neg(ny), sat::neg(y));
+          solver.add_binary(sat::pos(ny), sat::pos(y));
+          frame.var[id] = ny;
+        }
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        const Var y = solver.new_var();
+        std::vector<Var> ins;
+        ins.reserve(n.fanins.size());
+        for (SignalId f : n.fanins) ins.push_back(frame.var[f]);
+        if (n.type == GateType::Or) {
+          encode_or(solver, y, ins);
+          frame.var[id] = y;
+        } else {
+          encode_or(solver, y, ins);
+          const Var ny = solver.new_var();
+          solver.add_binary(sat::neg(ny), sat::neg(y));
+          solver.add_binary(sat::pos(ny), sat::pos(y));
+          frame.var[id] = ny;
+        }
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        // Chain pairwise XORs.
+        Var acc = frame.var[n.fanins[0]];
+        for (std::size_t k = 1; k < n.fanins.size(); ++k) {
+          const Var y = solver.new_var();
+          encode_xor2(solver, y, acc, frame.var[n.fanins[k]]);
+          acc = y;
+        }
+        if (n.type == GateType::Xnor) {
+          const Var ny = solver.new_var();
+          solver.add_binary(sat::neg(ny), sat::neg(acc));
+          solver.add_binary(sat::pos(ny), sat::pos(acc));
+          acc = ny;
+        }
+        frame.var[id] = acc;
+        break;
+      }
+      case GateType::Mux: {
+        const Var y = solver.new_var();
+        encode_mux(solver, y, frame.var[n.fanins[0]], frame.var[n.fanins[1]],
+                   frame.var[n.fanins[2]]);
+        frame.var[id] = y;
+        break;
+      }
+      default:
+        throw std::logic_error("encode_frame: unexpected gate type");
+    }
+  }
+  return frame;
+}
+
+}  // namespace cl::cnf

@@ -1,0 +1,44 @@
+// Tseitin encoding of a netlist's combinational core into a SAT solver.
+//
+// One "frame" is one copy of the combinational logic: the caller supplies
+// SAT variables for the sources (primary inputs, key inputs, DFF outputs) and
+// the encoder allocates variables and clauses for every gate. Next-state
+// values are read through the variables of the DFF D-pin signals.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sat/solver.hpp"
+
+namespace cl::cnf {
+
+/// Variables for one combinational frame, indexed by SignalId.
+struct FrameVars {
+  std::vector<sat::Var> var;  // size == netlist.size()
+
+  sat::Var operator[](netlist::SignalId s) const { return var[s]; }
+};
+
+/// Source variable assignment for a frame. Any of the vectors may be left
+/// empty to let the encoder allocate fresh variables for that port class.
+struct FrameSources {
+  std::vector<sat::Var> inputs;      // parallel to nl.inputs()
+  std::vector<sat::Var> keys;        // parallel to nl.key_inputs()
+  std::vector<sat::Var> states;      // parallel to nl.dffs()
+};
+
+/// Encode one combinational frame of `nl` into `solver`. Gate semantics are
+/// encoded exactly (AND/OR/NAND/NOR/XOR/XNOR/MUX/NOT/BUF/constants).
+FrameVars encode_frame(sat::Solver& solver, const netlist::Netlist& nl,
+                       FrameSources sources = {});
+
+/// Clause helpers shared with the miter builders.
+void encode_and(sat::Solver& s, sat::Var y, const std::vector<sat::Var>& ins);
+void encode_or(sat::Solver& s, sat::Var y, const std::vector<sat::Var>& ins);
+void encode_xor2(sat::Solver& s, sat::Var y, sat::Var a, sat::Var b);
+void encode_eq(sat::Solver& s, sat::Var a, sat::Var b);
+void encode_mux(sat::Solver& s, sat::Var y, sat::Var sel, sat::Var a, sat::Var b);
+void encode_const(sat::Solver& s, sat::Var y, bool value);
+
+}  // namespace cl::cnf

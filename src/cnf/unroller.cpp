@@ -1,0 +1,105 @@
+#include "cnf/unroller.hpp"
+
+#include <stdexcept>
+
+namespace cl::cnf {
+
+using netlist::DffInit;
+using netlist::Netlist;
+using netlist::SignalId;
+using sat::Var;
+
+Unroller::Unroller(sat::Solver& solver, const Netlist& nl, KeyMode key_mode,
+                   bool symbolic_initial_state)
+    : solver_(solver),
+      nl_(nl),
+      key_mode_(key_mode),
+      symbolic_init_(symbolic_initial_state) {
+  if (key_mode_ == KeyMode::Static) {
+    static_keys_.reserve(nl.key_inputs().size());
+    for (std::size_t i = 0; i < nl.key_inputs().size(); ++i) {
+      static_keys_.push_back(solver_.new_var());
+    }
+  }
+  if (symbolic_init_) {
+    initial_state_.reserve(nl.dffs().size());
+    for (std::size_t i = 0; i < nl.dffs().size(); ++i) {
+      initial_state_.push_back(solver_.new_var());
+    }
+  }
+}
+
+void Unroller::extend_to(std::size_t n) {
+  while (frames_.size() < n) {
+    const std::size_t t = frames_.size();
+    FrameSources sources;
+    // State: frame 0 from init (constants or symbolic); later frames wired
+    // to the previous frame's D-pin variables.
+    if (t == 0) {
+      if (symbolic_init_) {
+        sources.states = initial_state_;
+      } else {
+        sources.states.reserve(nl_.dffs().size());
+        for (SignalId d : nl_.dffs()) {
+          const Var v = solver_.new_var();
+          // X power-up is modelled as free (unconstrained) — the attack may
+          // choose it, which only makes the attacker stronger.
+          if (nl_.dff_init(d) == DffInit::Zero) {
+            encode_const(solver_, v, false);
+          } else if (nl_.dff_init(d) == DffInit::One) {
+            encode_const(solver_, v, true);
+          }
+          sources.states.push_back(v);
+        }
+      }
+    } else {
+      const FrameVars& prev = frames_[t - 1];
+      sources.states.reserve(nl_.dffs().size());
+      for (SignalId d : nl_.dffs()) {
+        sources.states.push_back(prev.var[nl_.dff_input(d)]);
+      }
+    }
+    // Keys.
+    if (key_mode_ == KeyMode::Static) {
+      sources.keys = static_keys_;
+    } else {
+      std::vector<Var> keys;
+      keys.reserve(nl_.key_inputs().size());
+      for (std::size_t i = 0; i < nl_.key_inputs().size(); ++i) {
+        keys.push_back(solver_.new_var());
+      }
+      per_frame_keys_.push_back(keys);
+      sources.keys = std::move(keys);
+    }
+    // Inputs: fresh per frame.
+    FrameVars fv = encode_frame(solver_, nl_, std::move(sources));
+    std::vector<Var> ins;
+    ins.reserve(nl_.inputs().size());
+    for (SignalId i : nl_.inputs()) ins.push_back(fv.var[i]);
+    frame_inputs_.push_back(std::move(ins));
+    frames_.push_back(std::move(fv));
+  }
+}
+
+const std::vector<Var>& Unroller::key_vars(std::size_t t) const {
+  if (key_mode_ == KeyMode::Static) return static_keys_;
+  return per_frame_keys_.at(t);
+}
+
+std::vector<Var> Unroller::output_vars(std::size_t t) const {
+  const FrameVars& fv = frames_.at(t);
+  std::vector<Var> out;
+  out.reserve(nl_.outputs().size());
+  for (SignalId o : nl_.outputs()) out.push_back(fv.var[o]);
+  return out;
+}
+
+std::vector<Var> Unroller::next_state_vars(std::size_t t) const {
+  const FrameVars& fv = frames_.at(t);
+  std::vector<Var> out;
+  out.reserve(nl_.dffs().size());
+  for (SignalId d : nl_.dffs()) out.push_back(fv.var[nl_.dff_input(d)]);
+  return out;
+}
+
+}  // namespace cl::cnf

@@ -1,0 +1,68 @@
+// Sequential time-frame expansion ("unrolling") of a netlist into a solver.
+//
+// Frame t's state variables are frame t-1's next-state variables; frame 0's
+// state comes from the DFF power-up values (constants), or from fresh
+// symbolic variables when `symbolic_initial_state` is set (the RANE threat
+// model, where reset state is part of the secret).
+//
+// Key handling: `KeyMode::Static` shares one set of key variables across all
+// frames (the assumption every oracle-guided attack formulation makes);
+// `KeyMode::PerFrame` gives each frame its own key variables (used by
+// ablation experiments to show what an attacker *would* need to model to
+// break time-based keys).
+#pragma once
+
+#include <vector>
+
+#include "cnf/encoder.hpp"
+
+namespace cl::cnf {
+
+enum class KeyMode { Static, PerFrame };
+
+class Unroller {
+ public:
+  Unroller(sat::Solver& solver, const netlist::Netlist& nl,
+           KeyMode key_mode = KeyMode::Static,
+           bool symbolic_initial_state = false);
+
+  /// Ensure at least `n` frames exist (frames are created on demand).
+  void extend_to(std::size_t n);
+
+  std::size_t num_frames() const { return frames_.size(); }
+
+  /// Variables of frame t (valid after extend_to(t+1)).
+  const FrameVars& frame(std::size_t t) const { return frames_.at(t); }
+
+  /// Input variables of frame t, parallel to nl.inputs().
+  const std::vector<sat::Var>& input_vars(std::size_t t) const {
+    return frame_inputs_.at(t);
+  }
+
+  /// Key variables: for Static mode the same vector for every frame.
+  const std::vector<sat::Var>& key_vars(std::size_t t = 0) const;
+
+  /// Output variables of frame t, parallel to nl.outputs().
+  std::vector<sat::Var> output_vars(std::size_t t) const;
+
+  /// Next-state variables computed by frame t (the D-pin vars).
+  std::vector<sat::Var> next_state_vars(std::size_t t) const;
+
+  /// Initial-state variables (only when symbolic_initial_state).
+  const std::vector<sat::Var>& initial_state_vars() const { return initial_state_; }
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+ private:
+  sat::Solver& solver_;
+  const netlist::Netlist& nl_;
+  KeyMode key_mode_;
+  bool symbolic_init_;
+  std::vector<sat::Var> static_keys_;
+  std::vector<std::vector<sat::Var>> per_frame_keys_;
+  std::vector<sat::Var> initial_state_;
+  std::vector<FrameVars> frames_;
+  std::vector<std::vector<sat::Var>> frame_inputs_;
+};
+
+}  // namespace cl::cnf

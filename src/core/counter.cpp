@@ -1,0 +1,54 @@
+#include "core/counter.hpp"
+
+#include <stdexcept>
+
+#include "logic/sop_builder.hpp"
+
+namespace cl::core {
+
+using netlist::DffInit;
+using netlist::Netlist;
+using netlist::SignalId;
+
+int counter_bits(std::size_t k) {
+  if (k < 2) throw std::invalid_argument("time base needs k >= 2");
+  int bits = 1;
+  while ((1ULL << bits) < k) ++bits;
+  return bits;
+}
+
+TimeBase build_time_base(Netlist& nl, std::size_t k, const std::string& prefix) {
+  const int bits = counter_bits(k);
+  TimeBase tb;
+  for (int i = 0; i < bits; ++i) {
+    tb.counter_ffs.push_back(nl.add_dff(netlist::k_no_signal, DffInit::Zero,
+                                        prefix + "_cnt" + std::to_string(i)));
+  }
+  // Increment with ripple carry; wrap to 0 after k-1.
+  const SignalId wrap = logic::build_equals_const(
+      nl, tb.counter_ffs, static_cast<std::uint64_t>(k - 1), prefix + "_wrap");
+  const SignalId not_wrap = nl.add_not(wrap, nl.fresh_name(prefix + "_nw"));
+  SignalId carry = netlist::k_no_signal;
+  for (int i = 0; i < bits; ++i) {
+    const SignalId q = tb.counter_ffs[static_cast<std::size_t>(i)];
+    SignalId inc;  // q XOR carry-in (carry-in of bit 0 is 1)
+    if (i == 0) {
+      inc = nl.add_not(q, nl.fresh_name(prefix + "_inc0"));
+      carry = q;
+    } else {
+      inc = nl.add_xor(q, carry, nl.fresh_name(prefix + "_inc" + std::to_string(i)));
+      carry = nl.add_and(q, carry, nl.fresh_name(prefix + "_car" + std::to_string(i)));
+    }
+    // Gate with the wrap: next = inc & ~wrap.
+    const SignalId next =
+        nl.add_and(inc, not_wrap, nl.fresh_name(prefix + "_nx" + std::to_string(i)));
+    nl.set_dff_input(q, next);
+  }
+  for (std::size_t t = 0; t < k; ++t) {
+    tb.is_time.push_back(logic::build_equals_const(
+        nl, tb.counter_ffs, t, prefix + "_is" + std::to_string(t)));
+  }
+  return tb;
+}
+
+}  // namespace cl::core

@@ -1,0 +1,27 @@
+// The time base: a wrap-around modulo-k counter plus per-time-slot indicator
+// signals. Both Cute-Lock variants synchronize their keys to this counter
+// (paper §III: "c: Number of clock cycles for the counter, determining when
+// specific keys must be provided").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::core {
+
+struct TimeBase {
+  std::vector<netlist::SignalId> counter_ffs;  // LSB first
+  std::vector<netlist::SignalId> is_time;      // indicator per slot 0..k-1
+};
+
+/// Number of counter flip-flops for a modulo-`k` counter.
+int counter_bits(std::size_t k);
+
+/// Build a modulo-`k` counter (reset value 0, +1 each cycle, wraps at k-1)
+/// and the k one-hot time indicators. Signals are prefixed with `prefix`.
+TimeBase build_time_base(netlist::Netlist& nl, std::size_t k,
+                         const std::string& prefix);
+
+}  // namespace cl::core

@@ -1,0 +1,259 @@
+#include "core/cute_lock_beh.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "core/counter.hpp"
+#include "logic/sop_builder.hpp"
+
+namespace cl::core {
+
+using netlist::DffInit;
+using netlist::Netlist;
+using netlist::SignalId;
+
+BehLock::BehLock(fsm::Stg original, const BehOptions& options)
+    : original_(std::move(original)), key_bits_(options.key_bits) {
+  if (options.num_keys < 2) {
+    throw std::invalid_argument("cute_lock_beh: need k >= 2 keys");
+  }
+  if (options.key_bits < 1 || options.key_bits > 64) {
+    throw std::invalid_argument("cute_lock_beh: key_bits out of [1,64]");
+  }
+  original_.check();
+  util::Rng rng(options.seed);
+  const std::uint64_t mask =
+      (key_bits_ == 64) ? ~0ULL : ((1ULL << key_bits_) - 1);
+  if (options.single_key_reduction) {
+    keys_.assign(options.num_keys, rng.next_u64() & mask);
+  } else {
+    for (std::size_t t = 0; t < options.num_keys; ++t) {
+      keys_.push_back(rng.next_u64() & mask);
+    }
+    for (std::size_t t = 1; mask > 0 && t < keys_.size(); ++t) {
+      if (keys_[t] == keys_[t - 1]) keys_[t] = (keys_[t] + 1) & mask;
+    }
+  }
+  // Wrongful STG: for every (state, counter time) a pseudo-random redirect.
+  // The redirect is biased away from the state itself so that a wrong key
+  // visibly derails the machine.
+  wrongful_.resize(static_cast<std::size_t>(original_.num_states()));
+  for (int s = 0; s < original_.num_states(); ++s) {
+    for (std::size_t t = 0; t < options.num_keys; ++t) {
+      int target = static_cast<int>(rng.next_below(
+          static_cast<std::uint64_t>(original_.num_states())));
+      if (target == s && original_.num_states() > 1) {
+        target = (target + 1) % original_.num_states();
+      }
+      wrongful_[static_cast<std::size_t>(s)].push_back(target);
+    }
+  }
+}
+
+int BehLock::wrongful_target(int state, std::size_t time) const {
+  return wrongful_.at(static_cast<std::size_t>(state)).at(time % keys_.size());
+}
+
+fsm::Stg::StepResult BehLock::step(int state, std::size_t time,
+                                   std::uint64_t key,
+                                   std::uint32_t input) const {
+  const fsm::Stg::StepResult correct = original_.step(state, input);
+  if (key == keys_[time % keys_.size()]) return correct;
+  // Wrong key: redirected next state; the Mealy output logic is untouched.
+  return {wrongful_target(state, time), correct.output};
+}
+
+std::vector<fsm::Stg::StepResult> BehLock::run(
+    const std::vector<std::uint32_t>& inputs,
+    const std::vector<std::uint64_t>& key_values) const {
+  if (inputs.size() != key_values.size()) {
+    throw std::invalid_argument("BehLock::run: length mismatch");
+  }
+  std::vector<fsm::Stg::StepResult> out;
+  out.reserve(inputs.size());
+  int state = original_.initial();
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    const auto r = step(state, t, key_values[t], inputs[t]);
+    out.push_back(r);
+    state = r.next_state;
+  }
+  return out;
+}
+
+lock::LockResult BehLock::synthesize(fsm::SynthStyle style,
+                                     const std::string& name) const {
+  lock::LockResult result{Netlist(name), {}, {}, "cute_lock_beh"};
+  Netlist& nl = result.locked;
+  const int sb = fsm::state_bits(original_);
+
+  std::vector<SignalId> inputs;
+  for (int i = 0; i < original_.num_inputs(); ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  std::vector<SignalId> key_port;
+  for (std::size_t i = 0; i < key_bits_; ++i) {
+    key_port.push_back(nl.add_key_input("keyinput" + std::to_string(i)));
+  }
+  std::vector<SignalId> state;
+  for (int j = 0; j < sb; ++j) {
+    const bool one = (static_cast<std::uint64_t>(original_.initial()) >> j) & 1ULL;
+    state.push_back(nl.add_dff(netlist::k_no_signal,
+                               one ? DffInit::One : DffInit::Zero,
+                               "state" + std::to_string(j)));
+  }
+
+  // Original next-state and output logic (outputs stay untouched).
+  const fsm::TransitionLogic tl =
+      fsm::build_transition_logic(nl, original_, state, inputs, style, "f");
+
+  // Time base and per-time key comparators; key_ok = key matches the key of
+  // the *current* counter slot.
+  const TimeBase tb = build_time_base(nl, keys_.size(), "clb");
+  std::vector<SignalId> ok_terms;
+  for (std::size_t t = 0; t < keys_.size(); ++t) {
+    const SignalId eq = logic::build_equals_const(
+        nl, key_port, keys_[t], "clb_k" + std::to_string(t));
+    ok_terms.push_back(
+        nl.add_and(tb.is_time[t], eq, nl.fresh_name("clb_ok")));
+  }
+  const SignalId key_ok = logic::build_or_tree(nl, ok_terms, "clb_keyok");
+
+  // Wrongful next-state logic: target depends on (state, counter time).
+  // Bit j of the wrongful target, as a SOP over state-decoder AND
+  // time-indicator terms.
+  std::vector<SignalId> state_eq(static_cast<std::size_t>(original_.num_states()));
+  for (int s = 0; s < original_.num_states(); ++s) {
+    state_eq[static_cast<std::size_t>(s)] = logic::build_equals_const(
+        nl, state, static_cast<std::uint64_t>(s), "clb_st" + std::to_string(s));
+  }
+  std::vector<SignalId> wrong_bits;
+  for (int j = 0; j < sb; ++j) {
+    std::vector<SignalId> terms;
+    for (int s = 0; s < original_.num_states(); ++s) {
+      for (std::size_t t = 0; t < keys_.size(); ++t) {
+        const int target = wrongful_[static_cast<std::size_t>(s)][t];
+        if ((static_cast<std::uint64_t>(target) >> j) & 1ULL) {
+          terms.push_back(nl.add_and(state_eq[static_cast<std::size_t>(s)],
+                                     tb.is_time[t],
+                                     nl.fresh_name("clb_wt")));
+        }
+      }
+    }
+    wrong_bits.push_back(
+        terms.empty()
+            ? nl.add_const(false, nl.fresh_name("clb_wz"))
+            : (terms.size() == 1 ? terms[0]
+                                 : logic::build_or_tree(nl, terms, "clb_w")));
+  }
+
+  // State update: key_ok ? original : wrongful (the paper's MUX realization).
+  for (int j = 0; j < sb; ++j) {
+    const SignalId d =
+        nl.add_mux(key_ok, wrong_bits[static_cast<std::size_t>(j)],
+                   tl.next_state[static_cast<std::size_t>(j)],
+                   nl.fresh_name("clb_d" + std::to_string(j)));
+    nl.set_dff_input(state[static_cast<std::size_t>(j)], d);
+  }
+  for (int o = 0; o < original_.num_outputs(); ++o) {
+    const SignalId out = nl.add_gate(netlist::GateType::Buf,
+                                     {tl.outputs[static_cast<std::size_t>(o)]},
+                                     "out" + std::to_string(o));
+    nl.add_output(out);
+  }
+
+  for (std::uint64_t v : keys_) {
+    result.key_schedule.push_back(
+        sim::u64_to_bits(v, key_bits_));
+  }
+  nl.check();
+  return result;
+}
+
+std::string BehLock::behavioral_verilog(const std::string& module_name) const {
+  const int sb = fsm::state_bits(original_);
+  const int cb = counter_bits(keys_.size());
+  std::ostringstream v;
+  v << "// Cute-Lock-Beh behavioral RTL — generated by cutelock\n";
+  v << "module " << module_name << " (\n";
+  v << "  input clk, input rst,\n";
+  v << "  input [" << original_.num_inputs() - 1 << ":0] x,\n";
+  v << "  input [" << key_bits_ - 1 << ":0] key,\n";
+  v << "  output reg [" << original_.num_outputs() - 1 << ":0] y\n);\n";
+  v << "  reg [" << sb - 1 << ":0] state;\n";
+  v << "  reg [" << cb - 1 << ":0] cnt;\n";
+  // Key-of-the-cycle check.
+  v << "  wire key_ok =\n";
+  for (std::size_t t = 0; t < keys_.size(); ++t) {
+    v << "    (cnt == " << cb << "'d" << t << " && key == " << key_bits_
+      << "'d" << keys_[t] << ")" << (t + 1 < keys_.size() ? " ||\n" : ";\n");
+  }
+  v << "  always @(posedge clk) begin\n";
+  v << "    if (rst) begin state <= " << sb << "'d" << original_.initial()
+    << "; cnt <= 0; end\n";
+  v << "    else begin\n";
+  v << "      cnt <= (cnt == " << cb << "'d" << keys_.size() - 1
+    << ") ? 0 : cnt + 1;\n";
+  v << "      if (key_ok) begin\n";
+  v << "        case (state)\n";
+  for (int s = 0; s < original_.num_states(); ++s) {
+    v << "          " << sb << "'d" << s << ": begin\n";
+    v << "            casez (x)\n";
+    for (const fsm::Transition& t : original_.transitions_from(s)) {
+      std::string pat(static_cast<std::size_t>(original_.num_inputs()), '?');
+      for (int i = 0; i < original_.num_inputs(); ++i) {
+        if ((t.when.mask >> i) & 1u) {
+          // Verilog vector literal is MSB-first.
+          pat[static_cast<std::size_t>(original_.num_inputs() - 1 - i)] =
+              ((t.when.value >> i) & 1u) ? '1' : '0';
+        }
+      }
+      v << "              " << original_.num_inputs() << "'b" << pat
+        << ": state <= " << sb << "'d" << t.to << ";\n";
+    }
+    v << "              default: state <= state;\n";
+    v << "            endcase\n          end\n";
+  }
+  v << "          default: state <= state;\n";
+  v << "        endcase\n";
+  v << "      end else begin\n";
+  v << "        // Wrongful STG (paper Fig. 1, part 3)\n";
+  v << "        case (state)\n";
+  for (int s = 0; s < original_.num_states(); ++s) {
+    v << "          " << sb << "'d" << s << ": ";
+    if (keys_.size() == 1) {
+      v << "state <= " << sb << "'d" << wrongful_[static_cast<std::size_t>(s)][0]
+        << ";\n";
+    } else {
+      v << "case (cnt)\n";
+      for (std::size_t t = 0; t < keys_.size(); ++t) {
+        v << "            " << cb << "'d" << t << ": state <= " << sb << "'d"
+          << wrongful_[static_cast<std::size_t>(s)][t] << ";\n";
+      }
+      v << "            default: state <= state;\n          endcase\n";
+    }
+  }
+  v << "          default: state <= state;\n";
+  v << "        endcase\n";
+  v << "      end\n    end\n  end\n";
+  // Mealy outputs (combinational, untouched by the lock).
+  v << "  always @(*) begin\n    y = 0;\n    case (state)\n";
+  for (int s = 0; s < original_.num_states(); ++s) {
+    v << "      " << sb << "'d" << s << ": begin\n        casez (x)\n";
+    for (const fsm::Transition& t : original_.transitions_from(s)) {
+      std::string pat(static_cast<std::size_t>(original_.num_inputs()), '?');
+      for (int i = 0; i < original_.num_inputs(); ++i) {
+        if ((t.when.mask >> i) & 1u) {
+          pat[static_cast<std::size_t>(original_.num_inputs() - 1 - i)] =
+              ((t.when.value >> i) & 1u) ? '1' : '0';
+        }
+      }
+      v << "          " << original_.num_inputs() << "'b" << pat << ": y = "
+        << original_.num_outputs() << "'d" << t.output << ";\n";
+    }
+    v << "          default: y = 0;\n        endcase\n      end\n";
+  }
+  v << "      default: y = 0;\n    endcase\n  end\nendmodule\n";
+  return v.str();
+}
+
+}  // namespace cl::core

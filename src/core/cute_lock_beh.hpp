@@ -1,0 +1,72 @@
+// Cute-Lock-Beh: the paper's RTL-level behavioral multi-key lock
+// (paper §III-B, Fig. 1).
+//
+// The STG is augmented with a modulo-k counter and a ki-bit key port. On
+// every cycle the key value K[counter] must be present: the machine then
+// takes its original transition. Under any other key value it takes a
+// *wrongful transition* — a pseudo-random redirect fixed at lock time (the
+// paper's "Wrongful STG"). Only the flip-flop update logic changes; the
+// Mealy output logic is untouched, exactly as the paper describes ("the only
+// additions are a counter and the wrongful state transitions ... added to
+// the FF logic").
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/stg.hpp"
+#include "fsm/synth.hpp"
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::core {
+
+struct BehOptions {
+  std::size_t num_keys = 4;   // k
+  std::size_t key_bits = 4;   // ki
+  std::uint64_t seed = 1;
+  bool single_key_reduction = false;  // §IV-A sanity mode
+};
+
+/// A behaviorally locked FSM: the original machine, the key schedule, and
+/// the wrongful redirect table (indexed [state][counter_time]).
+class BehLock {
+ public:
+  BehLock(fsm::Stg original, const BehOptions& options);
+
+  const fsm::Stg& original() const { return original_; }
+  std::size_t num_keys() const { return keys_.size(); }
+  std::size_t key_bits() const { return key_bits_; }
+  const std::vector<std::uint64_t>& keys() const { return keys_; }
+  int wrongful_target(int state, std::size_t time) const;
+
+  /// Reference semantics of the locked machine (used by tests and by the
+  /// validation table): one step given the current state, counter time, the
+  /// applied key value and the input minterm.
+  fsm::Stg::StepResult step(int state, std::size_t time, std::uint64_t key,
+                            std::uint32_t input) const;
+
+  /// Run from reset with explicit per-cycle key values.
+  std::vector<fsm::Stg::StepResult> run(
+      const std::vector<std::uint32_t>& inputs,
+      const std::vector<std::uint64_t>& key_values) const;
+
+  /// Gate-level implementation: synthesizes the original next-state logic,
+  /// the wrongful redirect logic, the counter, and the key comparators, and
+  /// MUXes the state updates (the paper implements Beh "using MUXs"). The
+  /// result's key_schedule holds K[0..k-1] (periodic).
+  lock::LockResult synthesize(fsm::SynthStyle style,
+                              const std::string& name) const;
+
+  /// Behavioral (RTL) Verilog of the locked machine: a case-statement FSM
+  /// with counter and key checks — what the paper feeds to Vivado.
+  std::string behavioral_verilog(const std::string& module_name) const;
+
+ private:
+  fsm::Stg original_;
+  std::size_t key_bits_;
+  std::vector<std::uint64_t> keys_;
+  std::vector<std::vector<int>> wrongful_;  // [state][time]
+};
+
+}  // namespace cl::core

@@ -1,0 +1,49 @@
+// Cute-Lock-Str: the paper's netlist-level structural multi-key lock
+// (paper §III-C, Figs. 2-3).
+//
+// Each locked flip-flop's D pin is driven through a MUX tree synchronized to
+// a modulo-k time-base counter:
+//
+//  * Layer 1 (one slot per counter time t): verifies the ki-bit key port
+//    against the time-t key K[t]. On a match the slot passes the FF's true
+//    next-state cone; on a mismatch it passes *repurposed wrongful hardware*
+//    — the existing next-state cone of another flip-flop, selected among the
+//    available cones by the low key bits (the paper's "2^ki - 1 wrongful
+//    hardware configurations", realized over the cones the circuit actually
+//    has; no new decoy logic is synthesized, which is what buys removal
+//    resistance).
+//  * Layers 2..m (m = log2(k)+1): counter-driven 2:1 MUXes; each select is
+//    the OR of the time indicators of one branch, exactly as in Fig. 3.
+//  * Layer m feeds the FF.
+//
+// The correct key value therefore changes every clock cycle with period k:
+// key_schedule[t % k] = K[t]. A static key — the assumption every
+// oracle-guided attack formulation makes — satisfies at most one counter
+// phase and corrupts the state machine in the others.
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::core {
+
+struct StrOptions {
+  std::size_t num_keys = 4;    // k: counter period / number of key values
+  std::size_t key_bits = 4;    // ki: width of the shared key port
+  std::size_t locked_ffs = 1;  // how many flip-flops receive MUX trees
+  std::uint64_t seed = 1;      // determinism
+  /// Validation mode (§IV-A): use the same key value in every slot, reducing
+  /// the scheme to a single-key lock that SAT attacks are expected to break.
+  bool single_key_reduction = false;
+  /// When non-empty, use exactly these key values (size must equal num_keys;
+  /// each value must fit in key_bits). Used to reproduce the paper's
+  /// Table II configuration (s27 with keys 1, 3, 2, 0).
+  std::vector<std::uint64_t> explicit_keys;
+};
+
+/// Apply Cute-Lock-Str. Throws std::invalid_argument when the circuit has no
+/// flip-flops or the options are inconsistent.
+lock::LockResult cute_lock_str(const netlist::Netlist& nl,
+                               const StrOptions& options);
+
+}  // namespace cl::core

@@ -1,0 +1,92 @@
+#include "fsm/minimize_fsm.hpp"
+
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace cl::fsm {
+
+namespace {
+
+/// Partition refinement over the (output, successor-class) signature on
+/// every input minterm. Exponential in inputs, fine for benchmark-sized
+/// machines (inputs <= ~10).
+std::vector<int> equivalence_classes(const Stg& stg) {
+  const int n = stg.num_states();
+  const std::uint32_t space = 1u << stg.num_inputs();
+  if (stg.num_inputs() > 10) {
+    throw std::invalid_argument("minimize_states: too many inputs (> 10)");
+  }
+  // Initial partition: states with identical output rows.
+  std::vector<int> cls(static_cast<std::size_t>(n), 0);
+  {
+    std::map<std::vector<std::uint64_t>, int> by_row;
+    for (int s = 0; s < n; ++s) {
+      std::vector<std::uint64_t> row;
+      row.reserve(space);
+      for (std::uint32_t m = 0; m < space; ++m) {
+        row.push_back(stg.step(s, m).output);
+      }
+      const auto [it, inserted] =
+          by_row.emplace(std::move(row), static_cast<int>(by_row.size()));
+      cls[static_cast<std::size_t>(s)] = it->second;
+    }
+  }
+  // Refine on successor classes until stable.
+  for (;;) {
+    std::map<std::vector<int>, int> by_sig;
+    std::vector<int> next(static_cast<std::size_t>(n));
+    for (int s = 0; s < n; ++s) {
+      std::vector<int> sig{cls[static_cast<std::size_t>(s)]};
+      for (std::uint32_t m = 0; m < space; ++m) {
+        sig.push_back(cls[static_cast<std::size_t>(stg.step(s, m).next_state)]);
+      }
+      const auto [it, inserted] =
+          by_sig.emplace(std::move(sig), static_cast<int>(by_sig.size()));
+      next[static_cast<std::size_t>(s)] = it->second;
+    }
+    if (next == cls) break;
+    cls = std::move(next);
+  }
+  return cls;
+}
+
+}  // namespace
+
+int count_distinct_states(const Stg& stg) {
+  const auto cls = equivalence_classes(stg);
+  int max_class = -1;
+  for (int c : cls) max_class = std::max(max_class, c);
+  return max_class + 1;
+}
+
+Stg minimize_states(const Stg& stg) {
+  const auto cls = equivalence_classes(stg);
+  int num_classes = 0;
+  for (int c : cls) num_classes = std::max(num_classes, c + 1);
+
+  Stg out(stg.num_inputs(), stg.num_outputs());
+  for (int c = 0; c < num_classes; ++c) {
+    out.add_state("M" + std::to_string(c));
+  }
+  out.set_initial(cls[static_cast<std::size_t>(stg.initial())]);
+
+  // Emit one representative per class. Representative transitions are taken
+  // from the lowest-index member; cube structure is preserved (all members
+  // behave identically, so any member's cubes are correct for the class).
+  std::vector<int> representative(static_cast<std::size_t>(num_classes), -1);
+  for (int s = 0; s < stg.num_states(); ++s) {
+    int& rep = representative[static_cast<std::size_t>(cls[static_cast<std::size_t>(s)])];
+    if (rep < 0) rep = s;
+  }
+  for (int c = 0; c < num_classes; ++c) {
+    const int rep = representative[static_cast<std::size_t>(c)];
+    for (const Transition& t : stg.transitions_from(rep)) {
+      out.add_transition(c, t.when, cls[static_cast<std::size_t>(t.to)], t.output);
+    }
+  }
+  out.check();
+  return out;
+}
+
+}  // namespace cl::fsm

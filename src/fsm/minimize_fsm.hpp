@@ -1,0 +1,21 @@
+// Mealy-machine state minimization (Hopcroft-style partition refinement).
+// Used to canonicalize generated FSM benchmarks and as a sanity pass before
+// behavioral locking (fewer states = fewer wrongful-transition targets to
+// manage). Equivalence: two states are merged iff no input sequence
+// distinguishes their output behaviour.
+#pragma once
+
+#include "fsm/stg.hpp"
+
+namespace cl::fsm {
+
+/// Behaviour-preserving state minimization. The initial state maps to the
+/// representative of its class; transition cubes are re-emitted at minterm
+/// granularity of the distinguishing partition (cube-merged per class where
+/// the originals already aligned).
+Stg minimize_states(const Stg& stg);
+
+/// Number of equivalence classes (without building the machine).
+int count_distinct_states(const Stg& stg);
+
+}  // namespace cl::fsm

@@ -1,0 +1,143 @@
+#include "fsm/stg.hpp"
+
+#include <stdexcept>
+
+namespace cl::fsm {
+
+Stg::Stg(int num_inputs, int num_outputs)
+    : num_inputs_(num_inputs), num_outputs_(num_outputs) {
+  if (num_inputs < 0 || num_inputs > 20) {
+    throw std::invalid_argument("Stg: num_inputs out of [0,20]");
+  }
+  if (num_outputs < 0 || num_outputs > 64) {
+    throw std::invalid_argument("Stg: num_outputs out of [0,64]");
+  }
+}
+
+int Stg::add_state(const std::string& name) {
+  if (find_state(name) >= 0) {
+    throw std::invalid_argument("Stg: duplicate state " + name);
+  }
+  state_names_.push_back(name);
+  by_state_.emplace_back();
+  return num_states() - 1;
+}
+
+int Stg::find_state(const std::string& name) const {
+  for (int s = 0; s < num_states(); ++s) {
+    if (state_names_[static_cast<std::size_t>(s)] == name) return s;
+  }
+  return -1;
+}
+
+void Stg::set_initial(int s) {
+  if (s < 0 || s >= num_states()) throw std::invalid_argument("set_initial");
+  initial_ = s;
+}
+
+void Stg::add_transition(int from, const logic::Cube& when, int to,
+                         std::uint64_t output) {
+  if (from < 0 || from >= num_states() || to < 0 || to >= num_states()) {
+    throw std::invalid_argument("add_transition: state out of range");
+  }
+  // Determinism: the new cube must not intersect existing cubes of `from`.
+  // Two cubes intersect iff they agree on all commonly-cared variables.
+  for (const Transition& t : by_state_[static_cast<std::size_t>(from)]) {
+    const std::uint32_t common = t.when.mask & when.mask;
+    if ((t.when.value & common) == (when.value & common)) {
+      throw std::invalid_argument(
+          "add_transition: overlapping input cubes in state " +
+          state_name(from));
+    }
+  }
+  by_state_[static_cast<std::size_t>(from)].push_back({from, when, to, output});
+}
+
+std::size_t Stg::num_transitions() const {
+  std::size_t n = 0;
+  for (const auto& v : by_state_) n += v.size();
+  return n;
+}
+
+Stg::StepResult Stg::step(int state, std::uint32_t input_minterm) const {
+  for (const Transition& t : by_state_.at(static_cast<std::size_t>(state))) {
+    if (t.when.contains_minterm(input_minterm)) return {t.to, t.output};
+  }
+  return {state, 0};  // hold
+}
+
+std::vector<Stg::StepResult> Stg::run(
+    const std::vector<std::uint32_t>& inputs) const {
+  std::vector<StepResult> out;
+  out.reserve(inputs.size());
+  int state = initial_;
+  for (std::uint32_t in : inputs) {
+    const StepResult r = step(state, in);
+    out.push_back(r);
+    state = r.next_state;
+  }
+  return out;
+}
+
+std::vector<int> Stg::reachable_states() const {
+  std::vector<bool> seen(static_cast<std::size_t>(num_states()), false);
+  std::vector<int> stack{initial_};
+  std::vector<int> order;
+  while (!stack.empty()) {
+    const int s = stack.back();
+    stack.pop_back();
+    if (seen[static_cast<std::size_t>(s)]) continue;
+    seen[static_cast<std::size_t>(s)] = true;
+    order.push_back(s);
+    for (const Transition& t : by_state_[static_cast<std::size_t>(s)]) {
+      if (!seen[static_cast<std::size_t>(t.to)]) stack.push_back(t.to);
+    }
+  }
+  return order;
+}
+
+void Stg::check() const {
+  if (num_states() == 0) throw std::logic_error("Stg: no states");
+  if (initial_ < 0 || initial_ >= num_states()) {
+    throw std::logic_error("Stg: bad initial state");
+  }
+  const std::uint32_t input_space =
+      (num_inputs_ == 32) ? 0xffffffffu : ((1u << num_inputs_) - 1);
+  for (const auto& list : by_state_) {
+    for (const Transition& t : list) {
+      if (t.to < 0 || t.to >= num_states()) {
+        throw std::logic_error("Stg: transition to unknown state");
+      }
+      if ((t.when.mask & ~input_space) != 0) {
+        throw std::logic_error("Stg: cube wider than input space");
+      }
+      if (num_outputs_ < 64 && (t.output >> num_outputs_) != 0) {
+        throw std::logic_error("Stg: output value wider than output space");
+      }
+    }
+  }
+}
+
+Stg make_1001_detector() {
+  // States track the longest matched prefix of "1001".
+  Stg stg(1, 1);
+  const int s0 = stg.add_state("S0");   // no prefix
+  const int s1 = stg.add_state("S1");   // "1"
+  const int s2 = stg.add_state("S10");  // "10"
+  const int s3 = stg.add_state("S100"); // "100"
+  stg.set_initial(s0);
+  const logic::Cube zero = logic::Cube::parse("0");
+  const logic::Cube one = logic::Cube::parse("1");
+  stg.add_transition(s0, zero, s0, 0);
+  stg.add_transition(s0, one, s1, 0);
+  stg.add_transition(s1, zero, s2, 0);
+  stg.add_transition(s1, one, s1, 0);
+  stg.add_transition(s2, zero, s3, 0);
+  stg.add_transition(s2, one, s1, 0);
+  stg.add_transition(s3, zero, s0, 0);
+  stg.add_transition(s3, one, s1, 1);  // "1001" completed on this input
+  stg.check();
+  return stg;
+}
+
+}  // namespace cl::fsm

@@ -1,0 +1,82 @@
+// Mealy-machine state transition graphs.
+//
+// A transition fires in state `from` when the primary inputs match `when`
+// (a cube over the machine's inputs); it moves to `to` and drives `output`
+// (a concrete bit-vector). Machines are deterministic: within a state,
+// transition cubes must not overlap. States not matching any cube hold
+// (self-loop with all-zero outputs) — the usual KISS reading.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+
+namespace cl::fsm {
+
+struct Transition {
+  int from = 0;
+  logic::Cube when;          // over num_inputs variables
+  int to = 0;
+  std::uint64_t output = 0;  // bit o = value of output o
+};
+
+class Stg {
+ public:
+  Stg(int num_inputs, int num_outputs);
+
+  int num_inputs() const { return num_inputs_; }
+  int num_outputs() const { return num_outputs_; }
+
+  /// Add a state; returns its index.
+  int add_state(const std::string& name);
+  int num_states() const { return static_cast<int>(state_names_.size()); }
+  const std::string& state_name(int s) const { return state_names_.at(static_cast<std::size_t>(s)); }
+  /// Index of a state by name; -1 when absent.
+  int find_state(const std::string& name) const;
+
+  void set_initial(int s);
+  int initial() const { return initial_; }
+
+  /// Add a deterministic transition; throws if it overlaps an existing cube
+  /// of the same state.
+  void add_transition(int from, const logic::Cube& when, int to,
+                      std::uint64_t output);
+
+  const std::vector<Transition>& transitions_from(int s) const {
+    return by_state_.at(static_cast<std::size_t>(s));
+  }
+  std::size_t num_transitions() const;
+
+  /// Step: returns {next_state, output} for a concrete input minterm. States
+  /// with no matching cube hold with zero output.
+  struct StepResult {
+    int next_state;
+    std::uint64_t output;
+  };
+  StepResult step(int state, std::uint32_t input_minterm) const;
+
+  /// Run a whole input sequence from the initial state.
+  std::vector<StepResult> run(const std::vector<std::uint32_t>& inputs) const;
+
+  /// States reachable from the initial state.
+  std::vector<int> reachable_states() const;
+
+  /// Structural sanity: state indices in range, cube widths sane. Throws
+  /// std::logic_error on violation. (Determinism is enforced on insertion.)
+  void check() const;
+
+ private:
+  int num_inputs_;
+  int num_outputs_;
+  int initial_ = 0;
+  std::vector<std::string> state_names_;
+  std::vector<std::vector<Transition>> by_state_;
+};
+
+/// The paper's running example (Figs. 1-2): a Mealy 1001-sequence detector
+/// with 4 states, 1 input, 1 output.
+Stg make_1001_detector();
+
+}  // namespace cl::fsm

@@ -1,0 +1,229 @@
+#include "fsm/synth.hpp"
+
+#include <stdexcept>
+
+#include "logic/minimize.hpp"
+#include "logic/sop_builder.hpp"
+
+namespace cl::fsm {
+
+using logic::Cube;
+using netlist::Netlist;
+using netlist::SignalId;
+
+int state_bits(const Stg& stg) {
+  int bits = 1;
+  while ((1 << bits) < stg.num_states()) ++bits;
+  return bits;
+}
+
+namespace {
+
+/// True if the transition cubes of a state cover the whole input space.
+/// Cubes are disjoint (enforced on insertion), so the minterm counts add up.
+bool input_cover_complete(const Stg& stg, int s) {
+  const int n = stg.num_inputs();
+  std::uint64_t covered = 0;
+  for (const Transition& t : stg.transitions_from(s)) {
+    covered += 1ULL << (n - t.when.literal_count());
+  }
+  return covered == (1ULL << n);
+}
+
+TransitionLogic build_direct(Netlist& nl, const Stg& stg,
+                             const std::vector<SignalId>& state,
+                             const std::vector<SignalId>& inputs,
+                             const std::string& prefix) {
+  const int sb = state_bits(stg);
+  // State decoder (shared).
+  std::vector<SignalId> state_eq(static_cast<std::size_t>(stg.num_states()));
+  for (int s = 0; s < stg.num_states(); ++s) {
+    state_eq[static_cast<std::size_t>(s)] = logic::build_equals_const(
+        nl, state, static_cast<std::uint64_t>(s), prefix + "_st" + std::to_string(s));
+  }
+  // Shared input inverters.
+  std::vector<SignalId> input_not(inputs.size(), netlist::k_no_signal);
+  const auto inv = [&](std::size_t i) {
+    if (input_not[i] == netlist::k_no_signal) {
+      input_not[i] = nl.add_not(inputs[i], nl.fresh_name(prefix + "_nx"));
+    }
+    return input_not[i];
+  };
+
+  // Fire terms per transition; hold terms per incomplete state.
+  std::vector<std::vector<SignalId>> next_terms(static_cast<std::size_t>(sb));
+  std::vector<std::vector<SignalId>> out_terms(
+      static_cast<std::size_t>(stg.num_outputs()));
+  for (int s = 0; s < stg.num_states(); ++s) {
+    std::vector<SignalId> fires_from_s;
+    for (const Transition& t : stg.transitions_from(s)) {
+      std::vector<SignalId> lits{state_eq[static_cast<std::size_t>(s)]};
+      for (std::size_t i = 0; i < inputs.size(); ++i) {
+        if (((t.when.mask >> i) & 1u) == 0) continue;
+        lits.push_back(((t.when.value >> i) & 1u) ? inputs[i] : inv(i));
+      }
+      const SignalId fire =
+          lits.size() == 1 ? lits[0]
+                           : logic::build_and_tree(nl, lits, prefix + "_t");
+      fires_from_s.push_back(fire);
+      for (int j = 0; j < sb; ++j) {
+        if ((static_cast<std::uint64_t>(t.to) >> j) & 1ULL) {
+          next_terms[static_cast<std::size_t>(j)].push_back(fire);
+        }
+      }
+      for (int o = 0; o < stg.num_outputs(); ++o) {
+        if ((t.output >> o) & 1ULL) {
+          out_terms[static_cast<std::size_t>(o)].push_back(fire);
+        }
+      }
+    }
+    // Hold term when no cube fires (only for incomplete covers and states
+    // whose code has any 1 bit — holding state 0 contributes nothing).
+    if (s != 0 && !input_cover_complete(stg, s)) {
+      SignalId hold = state_eq[static_cast<std::size_t>(s)];
+      if (!fires_from_s.empty()) {
+        const SignalId any =
+            fires_from_s.size() == 1
+                ? fires_from_s[0]
+                : logic::build_or_tree(nl, fires_from_s, prefix + "_any");
+        const SignalId none = nl.add_not(any, nl.fresh_name(prefix + "_none"));
+        hold = nl.add_and(hold, none, nl.fresh_name(prefix + "_hold"));
+      }
+      for (int j = 0; j < sb; ++j) {
+        if ((static_cast<std::uint64_t>(s) >> j) & 1ULL) {
+          next_terms[static_cast<std::size_t>(j)].push_back(hold);
+        }
+      }
+    }
+  }
+
+  TransitionLogic logic_out;
+  for (int j = 0; j < sb; ++j) {
+    auto& terms = next_terms[static_cast<std::size_t>(j)];
+    logic_out.next_state.push_back(
+        terms.empty()
+            ? nl.add_const(false, nl.fresh_name(prefix + "_ns" + std::to_string(j)))
+        : terms.size() == 1
+            ? terms[0]
+            : logic::build_or_tree(nl, terms, prefix + "_ns" + std::to_string(j)));
+  }
+  for (int o = 0; o < stg.num_outputs(); ++o) {
+    auto& terms = out_terms[static_cast<std::size_t>(o)];
+    logic_out.outputs.push_back(
+        terms.empty()
+            ? nl.add_const(false, nl.fresh_name(prefix + "_o" + std::to_string(o)))
+        : terms.size() == 1
+            ? terms[0]
+            : logic::build_or_tree(nl, terms, prefix + "_o" + std::to_string(o)));
+  }
+  return logic_out;
+}
+
+TransitionLogic build_minimized(Netlist& nl, const Stg& stg,
+                                const std::vector<SignalId>& state,
+                                const std::vector<SignalId>& inputs,
+                                const std::string& prefix) {
+  const int sb = state_bits(stg);
+  const int ni = stg.num_inputs();
+  const int total_vars = ni + sb;
+  if (total_vars > 16) {
+    throw std::invalid_argument(
+        "TwoLevelMinimized synthesis limited to inputs+state_bits <= 16; use "
+        "DirectTransitions");
+  }
+  // Variable order: inputs first, then state bits.
+  std::vector<SignalId> vars = inputs;
+  vars.insert(vars.end(), state.begin(), state.end());
+
+  const std::uint64_t space = 1ULL << total_vars;
+  std::vector<std::vector<std::uint64_t>> ns_on(static_cast<std::size_t>(sb));
+  std::vector<std::vector<std::uint64_t>> out_on(
+      static_cast<std::size_t>(stg.num_outputs()));
+  std::vector<std::uint64_t> dc;
+  for (std::uint64_t m = 0; m < space; ++m) {
+    const std::uint32_t input_part =
+        static_cast<std::uint32_t>(m & ((1ULL << ni) - 1));
+    const int state_code = static_cast<int>(m >> ni);
+    if (state_code >= stg.num_states()) {
+      dc.push_back(m);
+      continue;
+    }
+    const Stg::StepResult r = stg.step(state_code, input_part);
+    for (int j = 0; j < sb; ++j) {
+      if ((static_cast<std::uint64_t>(r.next_state) >> j) & 1ULL) {
+        ns_on[static_cast<std::size_t>(j)].push_back(m);
+      }
+    }
+    for (int o = 0; o < stg.num_outputs(); ++o) {
+      if ((r.output >> o) & 1ULL) out_on[static_cast<std::size_t>(o)].push_back(m);
+    }
+  }
+
+  TransitionLogic logic_out;
+  for (int j = 0; j < sb; ++j) {
+    const logic::Cover cover =
+        logic::minimize(ns_on[static_cast<std::size_t>(j)], dc, total_vars);
+    logic_out.next_state.push_back(
+        logic::build_sop(nl, vars, cover, prefix + "_ns" + std::to_string(j)));
+  }
+  for (int o = 0; o < stg.num_outputs(); ++o) {
+    const logic::Cover cover =
+        logic::minimize(out_on[static_cast<std::size_t>(o)], dc, total_vars);
+    logic_out.outputs.push_back(
+        logic::build_sop(nl, vars, cover, prefix + "_o" + std::to_string(o)));
+  }
+  return logic_out;
+}
+
+}  // namespace
+
+TransitionLogic build_transition_logic(Netlist& nl, const Stg& stg,
+                                       const std::vector<SignalId>& state,
+                                       const std::vector<SignalId>& inputs,
+                                       SynthStyle style,
+                                       const std::string& prefix) {
+  if (static_cast<int>(state.size()) != state_bits(stg)) {
+    throw std::invalid_argument("build_transition_logic: state width mismatch");
+  }
+  if (static_cast<int>(inputs.size()) != stg.num_inputs()) {
+    throw std::invalid_argument("build_transition_logic: input width mismatch");
+  }
+  return style == SynthStyle::DirectTransitions
+             ? build_direct(nl, stg, state, inputs, prefix)
+             : build_minimized(nl, stg, state, inputs, prefix);
+}
+
+Netlist synthesize(const Stg& stg, SynthStyle style, const std::string& name) {
+  stg.check();
+  Netlist nl(name);
+  const int sb = state_bits(stg);
+  std::vector<SignalId> inputs;
+  for (int i = 0; i < stg.num_inputs(); ++i) {
+    inputs.push_back(nl.add_input("x" + std::to_string(i)));
+  }
+  std::vector<SignalId> state;
+  for (int j = 0; j < sb; ++j) {
+    const bool init_one = (static_cast<std::uint64_t>(stg.initial()) >> j) & 1ULL;
+    state.push_back(nl.add_dff(netlist::k_no_signal,
+                               init_one ? netlist::DffInit::One
+                                        : netlist::DffInit::Zero,
+                               "state" + std::to_string(j)));
+  }
+  const TransitionLogic tl =
+      build_transition_logic(nl, stg, state, inputs, style, "f");
+  for (int j = 0; j < sb; ++j) {
+    nl.set_dff_input(state[static_cast<std::size_t>(j)],
+                     tl.next_state[static_cast<std::size_t>(j)]);
+  }
+  for (int o = 0; o < stg.num_outputs(); ++o) {
+    // Outputs keep stable names for the validation tables.
+    const SignalId out = nl.add_gate(netlist::GateType::Buf,
+                                     {tl.outputs[static_cast<std::size_t>(o)]},
+                                     "out" + std::to_string(o));
+    nl.add_output(out);
+  }
+  nl.check();
+  return nl;
+}
+
+}  // namespace cl::fsm

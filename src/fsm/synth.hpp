@@ -1,0 +1,51 @@
+// FSM synthesis: materialize an STG as a gate-level netlist.
+//
+// Two styles:
+//  * DirectTransitions — one product term per transition (state decoder AND
+//    input-cube literals), OR-planes for next-state/output bits, plus hold
+//    terms for states with incomplete input covers. Linear in the number of
+//    transitions; used for medium/large machines.
+//  * TwoLevelMinimized — exact truth tables over (inputs + state bits) with
+//    unreachable state codes as don't-cares, minimized with Quine-McCluskey.
+//    Produces smaller logic for small machines.
+//
+// States use natural binary encoding of their index; the reset state's code
+// is loaded into the DFF power-up values.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "fsm/stg.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cl::fsm {
+
+enum class SynthStyle { DirectTransitions, TwoLevelMinimized };
+
+/// Number of state flip-flops used by the natural binary encoding.
+int state_bits(const Stg& stg);
+
+/// Next-state and output logic built inside an existing netlist.
+struct TransitionLogic {
+  std::vector<netlist::SignalId> next_state;  // one per state bit
+  std::vector<netlist::SignalId> outputs;     // one per output
+};
+
+/// Build the combinational transition/output logic of `stg` reading the
+/// given current-state and input signals. Composable: Cute-Lock-Beh uses
+/// this to instantiate both the correct and the wrongful next-state logic in
+/// one netlist.
+TransitionLogic build_transition_logic(netlist::Netlist& nl, const Stg& stg,
+                                       const std::vector<netlist::SignalId>& state,
+                                       const std::vector<netlist::SignalId>& inputs,
+                                       SynthStyle style,
+                                       const std::string& prefix);
+
+/// Standalone synthesis: inputs "x<i>", state registers "state<j>" (reset to
+/// the initial state's code), outputs "out<o>" marked as primary outputs.
+netlist::Netlist synthesize(const Stg& stg,
+                            SynthStyle style = SynthStyle::DirectTransitions,
+                            const std::string& name = "fsm");
+
+}  // namespace cl::fsm

@@ -1,0 +1,289 @@
+#include "lock/comb_locks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/sop_builder.hpp"
+#include "netlist/topo.hpp"
+
+namespace cl::lock {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// Internal nets eligible for key-gate insertion: combinational gate outputs
+/// and DFF outputs that have at least one reader.
+std::vector<SignalId> lockable_nets(const Netlist& nl) {
+  const auto fo = netlist::fanouts(nl);
+  std::vector<SignalId> nets;
+  for (SignalId s = 0; s < nl.size(); ++s) {
+    const GateType t = nl.type(s);
+    const bool internal = netlist::is_comb_gate(t) || t == GateType::Dff;
+    const bool read = !fo[s].empty() ||
+                      std::find(nl.outputs().begin(), nl.outputs().end(), s) !=
+                          nl.outputs().end();
+    if (internal && read) nets.push_back(s);
+  }
+  return nets;
+}
+
+/// Input word used by the point-function schemes: the first
+/// min(key_bits, #inputs) primary inputs.
+std::vector<SignalId> input_word(const Netlist& nl, std::size_t width) {
+  if (nl.inputs().empty()) {
+    throw std::invalid_argument("point-function lock: circuit has no inputs");
+  }
+  const std::size_t w = std::min(width, nl.inputs().size());
+  return {nl.inputs().begin(), nl.inputs().begin() + static_cast<long>(w)};
+}
+
+std::vector<SignalId> add_key_inputs(Netlist& nl, std::size_t count,
+                                     std::size_t first_index = 0) {
+  std::vector<SignalId> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(
+        nl.add_key_input("keyinput" + std::to_string(first_index + i)));
+  }
+  return keys;
+}
+
+/// XOR `flip` into one randomly chosen primary output.
+void flip_output(Netlist& nl, SignalId flip, util::Rng& rng) {
+  if (nl.outputs().empty()) {
+    throw std::invalid_argument("lock: circuit has no outputs");
+  }
+  const std::size_t oi = rng.next_below(nl.outputs().size());
+  const SignalId target = nl.outputs()[oi];
+  const SignalId flipped =
+      nl.add_xor(target, flip, nl.fresh_name("lockflip"));
+  nl.replace_all_readers(target, flipped, {flipped});
+}
+
+/// Equality of `signals` against the constant packed in `bits`.
+SignalId equals_bits(Netlist& nl, const std::vector<SignalId>& signals,
+                     const sim::BitVec& bits, const std::string& hint) {
+  return logic::build_equals_const(nl, signals, sim::bits_to_u64(bits), hint);
+}
+
+}  // namespace
+
+LockResult xor_lock(const Netlist& nl, std::size_t key_bits, util::Rng& rng) {
+  LockResult result{nl.clone(nl.name() + "_xorlock"), {}, {}, "xor_lock"};
+  Netlist& out = result.locked;
+  std::vector<SignalId> nets = lockable_nets(out);
+  if (nets.size() < key_bits) {
+    throw std::invalid_argument("xor_lock: not enough lockable nets");
+  }
+  rng.shuffle(nets);
+  const std::vector<SignalId> keys = add_key_inputs(out, key_bits);
+  for (std::size_t i = 0; i < key_bits; ++i) {
+    const SignalId net = nets[i];
+    const bool use_xnor = rng.chance(1, 2);
+    const SignalId gate =
+        use_xnor ? out.add_xnor(net, keys[i], out.fresh_name("kg"))
+                 : out.add_xor(net, keys[i], out.fresh_name("kg"));
+    out.replace_all_readers(net, gate, {gate});
+    result.correct_key.push_back(use_xnor ? 1 : 0);
+  }
+  out.check();
+  return result;
+}
+
+LockResult mux_lock(const Netlist& nl, std::size_t key_bits, util::Rng& rng) {
+  LockResult result{nl.clone(nl.name() + "_muxlock"), {}, {}, "mux_lock"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> keys = add_key_inputs(out, key_bits);
+  std::vector<SignalId> nets = lockable_nets(out);
+  if (nets.size() < 2) {
+    throw std::invalid_argument("mux_lock: not enough nets");
+  }
+  rng.shuffle(nets);
+  std::size_t placed = 0;
+  for (SignalId target : nets) {
+    if (placed == key_bits) break;
+    // Decoy must not be in the transitive fanout of the target (that would
+    // create a combinational cycle through the new MUX).
+    std::vector<bool> reaches(out.size(), false);
+    {
+      const auto fo = netlist::fanouts(out);
+      std::vector<SignalId> stack{target};
+      while (!stack.empty()) {
+        const SignalId s = stack.back();
+        stack.pop_back();
+        if (reaches[s]) continue;
+        reaches[s] = true;
+        for (SignalId r : fo[s]) {
+          if (netlist::is_comb_gate(out.type(r)) && !reaches[r]) {
+            stack.push_back(r);
+          }
+        }
+      }
+    }
+    std::vector<SignalId> decoys;
+    for (SignalId d : nets) {
+      if (d != target && !reaches[d]) decoys.push_back(d);
+    }
+    if (decoys.empty()) continue;
+    const SignalId decoy = rng.pick(decoys);
+    const bool true_on_one = rng.chance(1, 2);
+    const SignalId mux =
+        true_on_one
+            ? out.add_mux(keys[placed], decoy, target, out.fresh_name("km"))
+            : out.add_mux(keys[placed], target, decoy, out.fresh_name("km"));
+    out.replace_all_readers(target, mux, {mux});
+    result.correct_key.push_back(true_on_one ? 1 : 0);
+    ++placed;
+  }
+  if (placed != key_bits) {
+    throw std::invalid_argument("mux_lock: could not place all key MUXes");
+  }
+  out.check();
+  return result;
+}
+
+LockResult sar_lock(const Netlist& nl, std::size_t key_bits, util::Rng& rng) {
+  LockResult result{nl.clone(nl.name() + "_sarlock"), {}, {}, "sar_lock"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> x = input_word(out, key_bits);
+  const std::vector<SignalId> keys = add_key_inputs(out, x.size());
+  result.correct_key = sim::random_bits(rng, x.size());
+
+  // eq = (X == K) bitwise comparator.
+  std::vector<SignalId> eq_bits;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    eq_bits.push_back(out.add_xnor(x[i], keys[i], out.fresh_name("sar_eq")));
+  }
+  const SignalId x_eq_k = logic::build_and_tree(out, eq_bits, "sar_cmp");
+  // mask = (K == K*): with the correct key the flip is permanently disabled.
+  const SignalId k_eq_correct = equals_bits(out, keys, result.correct_key, "sar_ok");
+  const SignalId not_ok = out.add_not(k_eq_correct, out.fresh_name("sar_wrong"));
+  const SignalId flip = out.add_and(x_eq_k, not_ok, out.fresh_name("sar_flip"));
+  flip_output(out, flip, rng);
+  out.check();
+  return result;
+}
+
+LockResult anti_sat(const Netlist& nl, std::size_t key_bits, util::Rng& rng) {
+  if (key_bits < 2 || key_bits % 2 != 0) {
+    throw std::invalid_argument("anti_sat: key_bits must be even and >= 2");
+  }
+  LockResult result{nl.clone(nl.name() + "_antisat"), {}, {}, "anti_sat"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> x = input_word(out, key_bits / 2);
+  const std::size_t half = x.size();
+  const std::vector<SignalId> keys = add_key_inputs(out, 2 * half);
+
+  // g = AND(x XOR k1) ; gbar = NAND(x XOR k2) ; flip = g & gbar.
+  std::vector<SignalId> t1, t2;
+  for (std::size_t i = 0; i < half; ++i) {
+    t1.push_back(out.add_xor(x[i], keys[i], out.fresh_name("as_a")));
+    t2.push_back(out.add_xor(x[i], keys[half + i], out.fresh_name("as_b")));
+  }
+  const SignalId g = logic::build_and_tree(out, t1, "as_g");
+  const SignalId g2 = logic::build_and_tree(out, t2, "as_h");
+  const SignalId gbar = out.add_not(g2, out.fresh_name("as_nh"));
+  const SignalId flip = out.add_and(g, gbar, out.fresh_name("as_flip"));
+  flip_output(out, flip, rng);
+
+  // Correct key: K1 == K2 (any shared pattern disables the flip for all X).
+  const sim::BitVec r = sim::random_bits(rng, half);
+  result.correct_key = r;
+  result.correct_key.insert(result.correct_key.end(), r.begin(), r.end());
+  out.check();
+  return result;
+}
+
+LockResult tt_lock(const Netlist& nl, std::size_t key_bits, util::Rng& rng) {
+  LockResult result{nl.clone(nl.name() + "_ttlock"), {}, {}, "tt_lock"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> x = input_word(out, key_bits);
+  const std::vector<SignalId> keys = add_key_inputs(out, x.size());
+  result.correct_key = sim::random_bits(rng, x.size());
+
+  // Cube removal: corrupt the output on the protected pattern...
+  const SignalId remove =
+      equals_bits(out, x, result.correct_key, "tt_prot");
+  // ...and the programmable restore: un-corrupt when X == K.
+  std::vector<SignalId> eq_bits;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    eq_bits.push_back(out.add_xnor(x[i], keys[i], out.fresh_name("tt_eq")));
+  }
+  const SignalId restore = logic::build_and_tree(out, eq_bits, "tt_rest");
+  const SignalId flip = out.add_xor(remove, restore, out.fresh_name("tt_flip"));
+  flip_output(out, flip, rng);
+  out.check();
+  return result;
+}
+
+LockResult sfll_hd(const Netlist& nl, std::size_t key_bits, int h,
+                   util::Rng& rng) {
+  if (h < 0 || static_cast<std::size_t>(h) > key_bits) {
+    throw std::invalid_argument("sfll_hd: h out of range");
+  }
+  LockResult result{nl.clone(nl.name() + "_sfll"), {}, {}, "sfll_hd"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> x = input_word(out, key_bits);
+  const std::vector<SignalId> keys = add_key_inputs(out, x.size());
+  result.correct_key = sim::random_bits(rng, x.size());
+
+  // Popcount-equality comparator builder: sum the diff bits with a ripple
+  // binary counter and compare against h.
+  const auto hd_equals = [&out, h](const std::vector<SignalId>& diffs,
+                                   const std::string& hint) {
+    std::vector<SignalId> sum;  // binary, LSB first
+    for (SignalId bit : diffs) {
+      SignalId carry = bit;
+      for (std::size_t j = 0; j < sum.size() && carry != netlist::k_no_signal; ++j) {
+        const SignalId new_sum =
+            out.add_xor(sum[j], carry, out.fresh_name(hint + "_s"));
+        carry = out.add_and(sum[j], carry, out.fresh_name(hint + "_c"));
+        sum[j] = new_sum;
+      }
+      if (carry != netlist::k_no_signal) sum.push_back(carry);
+    }
+    return logic::build_equals_const(out, sum, static_cast<std::uint64_t>(h),
+                                     hint + "_eq");
+  };
+
+  // Corruption: HD(X, P) == h for the hidden pattern P. For h == 0 this is
+  // the plain point-function comparator (X == P), which is also what the
+  // degenerate hardware reduces to after constant propagation.
+  SignalId corrupt = netlist::k_no_signal;
+  if (h == 0) {
+    corrupt = equals_bits(out, x, result.correct_key, "hd_p");
+  } else {
+    std::vector<SignalId> diff_p;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      diff_p.push_back(result.correct_key[i]
+                           ? out.add_not(x[i], out.fresh_name("hd_np"))
+                           : out.add_gate(GateType::Buf, {x[i]},
+                                          out.fresh_name("hd_bp")));
+    }
+    corrupt = hd_equals(diff_p, "hd_p");
+  }
+  // Restore: HD(X, K) == h.
+  std::vector<SignalId> diff_k;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    diff_k.push_back(out.add_xor(x[i], keys[i], out.fresh_name("hd_dk")));
+  }
+  const SignalId restore = h == 0
+                               ? [&] {
+                                   std::vector<SignalId> eq;
+                                   for (std::size_t i = 0; i < x.size(); ++i) {
+                                     eq.push_back(out.add_xnor(
+                                         x[i], keys[i], out.fresh_name("hd_eq")));
+                                   }
+                                   return logic::build_and_tree(out, eq, "hd_k");
+                                 }()
+                               : hd_equals(diff_k, "hd_k");
+  const SignalId flip = out.add_xor(corrupt, restore, out.fresh_name("hd_flip"));
+  flip_output(out, flip, rng);
+  out.check();
+  return result;
+}
+
+}  // namespace cl::lock

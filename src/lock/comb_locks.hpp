@@ -1,0 +1,46 @@
+// Combinational baseline locking schemes.
+//
+// These are the classic single-key techniques the paper's related-work
+// section positions Cute-Lock against. They serve two purposes here:
+// validating that our attack implementations genuinely break weak locks
+// (XOR/MUX fall to the SAT attack; TTLock/SFLL fall to FALL), and providing
+// the comparison points the evaluation tables assume.
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+/// EPIC-style random XOR/XNOR key-gate insertion on `key_bits` random
+/// internal nets. Correct key bit = 0 for XOR gates, 1 for XNOR gates.
+LockResult xor_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                    util::Rng& rng);
+
+/// MUX locking: each key bit selects between the true net and a random decoy
+/// net of similar logic level.
+LockResult mux_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                    util::Rng& rng);
+
+/// SARLock: flips one primary output when the (padded) input word equals the
+/// key and the key is wrong. One-DIP-per-key SAT resistance profile.
+LockResult sar_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                    util::Rng& rng);
+
+/// Anti-SAT: two complementary AND blocks g(X xor K1) & ~g(X xor K2); the
+/// flip signal stays 0 for every X iff K1 == K2 == correct pattern.
+/// `key_bits` must be even (split across K1/K2).
+LockResult anti_sat(const netlist::Netlist& nl, std::size_t key_bits,
+                    util::Rng& rng);
+
+/// TTLock: remove one protected input pattern from a chosen output cone and
+/// restore it with a key comparator; correct key = protected pattern.
+LockResult tt_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                   util::Rng& rng);
+
+/// SFLL-HD: flip the output for inputs at Hamming distance `h` from the key;
+/// restore-by-comparator with the same distance. h = 0 degenerates to TTLock.
+LockResult sfll_hd(const netlist::Netlist& nl, std::size_t key_bits, int h,
+                   util::Rng& rng);
+
+}  // namespace cl::lock

@@ -1,0 +1,58 @@
+#include "lock/kgate_lock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/sop_builder.hpp"
+
+namespace cl::lock {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+LockResult kgate_lock(const Netlist& nl, std::size_t key_bits,
+                      std::size_t encoded_inputs, util::Rng& rng) {
+  if (key_bits == 0) throw std::invalid_argument("kgate_lock: key_bits == 0");
+  if (nl.inputs().empty()) {
+    throw std::invalid_argument("kgate_lock: circuit has no inputs");
+  }
+  LockResult result{nl.clone(nl.name() + "_kgate"), {}, {}, "kgate_lock"};
+  Netlist& out = result.locked;
+
+  std::vector<SignalId> keys;
+  for (std::size_t i = 0; i < key_bits; ++i) {
+    keys.push_back(out.add_key_input("keyinput" + std::to_string(i)));
+  }
+  result.correct_key = sim::random_bits(rng, key_bits);
+
+  // Input encoding: each selected input x is replaced (for all readers) by
+  //   x' = x XOR (k_a XOR c_a) XOR (k_b XOR c_b)
+  // where (a, b) are key taps and (c_a, c_b) the correct polarities — the
+  // lattice evaluates to x only under a key word in the correct coset.
+  std::vector<SignalId> pis = out.inputs();
+  rng.shuffle(pis);
+  const std::size_t count = std::min(encoded_inputs, pis.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const SignalId x = pis[i];
+    const std::size_t a = rng.next_below(key_bits);
+    std::size_t b = rng.next_below(key_bits);
+    if (key_bits > 1 && b == a) b = (b + 1) % key_bits;
+    // delta_a = k_a XOR correct_a : 0 under the correct key.
+    const SignalId delta_a =
+        result.correct_key[a]
+            ? out.add_not(keys[a], out.fresh_name("kg_da"))
+            : out.add_gate(GateType::Buf, {keys[a]}, out.fresh_name("kg_da"));
+    const SignalId delta_b =
+        result.correct_key[b]
+            ? out.add_not(keys[b], out.fresh_name("kg_db"))
+            : out.add_gate(GateType::Buf, {keys[b]}, out.fresh_name("kg_db"));
+    const SignalId mix = out.add_xor(delta_a, delta_b, out.fresh_name("kg_m"));
+    const SignalId encoded = out.add_xor(x, mix, out.fresh_name("kg_x"));
+    out.replace_all_readers(x, encoded, {encoded});
+  }
+  out.check();
+  return result;
+}
+
+}  // namespace cl::lock

@@ -1,0 +1,21 @@
+// K-Gate Lock (Lopez & Rezaei, ASP-DAC'25 — the authors' prior multi-key
+// scheme, paper ref [37]): input-encoding-based combinational multi-key
+// locking. Selected primary inputs are re-encoded through key-controlled
+// XOR lattices, so the value the core logic sees depends on which of the k
+// valid key words is applied together with a matching input encoding. Fully
+// combinational (no state holders), which is why — as the paper notes — it
+// provides no structural benefit against dataflow/removal attacks.
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+/// Lock `encoded_inputs` primary inputs with a `key_bits`-wide port. The
+/// correct key is a single static word (multi-key refers to the encoding
+/// classes, not a schedule), recorded in LockResult::correct_key.
+LockResult kgate_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                      std::size_t encoded_inputs, util::Rng& rng);
+
+}  // namespace cl::lock

@@ -1,0 +1,50 @@
+// Common result type for locking transforms.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace cl::lock {
+
+/// A locked netlist together with its secret.
+///
+/// Static-key schemes fill `correct_key` only. Time-based schemes fill
+/// `key_schedule`: for a periodic schedule (the Cute-Lock family) the key
+/// expected on cycle t is key_schedule[t % size]; for an aperiodic one
+/// (DK-Lock / HARPOON activation prefixes) it is key_schedule[min(t, size-1)]
+/// — the last entry is held forever. When `key_schedule` is non-empty it
+/// takes precedence over `correct_key`.
+struct LockResult {
+  netlist::Netlist locked;
+  sim::BitVec correct_key;
+  std::vector<sim::BitVec> key_schedule;
+  std::string scheme;
+  bool periodic_schedule = true;
+
+  /// Activation prefix length: schemes with an unlock phase (HARPOON,
+  /// DK-Lock) hold the functional state at reset and corrupt outputs for the
+  /// first `startup_cycles` cycles; thereafter the locked circuit replays the
+  /// original from its reset state, delayed by this many cycles.
+  std::size_t startup_cycles = 0;
+
+  bool is_dynamic() const { return !key_schedule.empty(); }
+
+  /// Key vectors for `cycles` consecutive cycles starting at reset.
+  std::vector<sim::BitVec> keys_for(std::size_t cycles) const;
+
+  /// Run the locked circuit under the correct key material.
+  std::vector<sim::BitVec> run_with_correct_key(
+      const std::vector<sim::BitVec>& inputs) const;
+};
+
+/// Verify the lock is functionally transparent under the correct key and
+/// corrupts outputs for a random wrong key, over random stimuli. Returns a
+/// human-readable failure description or empty string on success.
+std::string validate_lock(const netlist::Netlist& original,
+                          const LockResult& lock, util::Rng& rng,
+                          std::size_t sequences = 8, std::size_t cycles = 32);
+
+}  // namespace cl::lock

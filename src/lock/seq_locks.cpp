@@ -1,0 +1,254 @@
+#include "lock/seq_locks.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "logic/sop_builder.hpp"
+#include "netlist/topo.hpp"
+
+namespace cl::lock {
+
+using netlist::DffInit;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+std::vector<SignalId> add_key_inputs(Netlist& nl, std::size_t count) {
+  std::vector<SignalId> keys;
+  keys.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    keys.push_back(nl.add_key_input("keyinput" + std::to_string(i)));
+  }
+  return keys;
+}
+
+/// Comparator: key port equals the given word.
+SignalId key_equals(Netlist& nl, const std::vector<SignalId>& keys,
+                    const sim::BitVec& word, const std::string& hint) {
+  return logic::build_equals_const(nl, keys, sim::bits_to_u64(word), hint);
+}
+
+/// Nets eligible for functional key gates.
+std::vector<SignalId> lockable_nets(const Netlist& nl) {
+  const auto fo = netlist::fanouts(nl);
+  std::vector<SignalId> nets;
+  for (SignalId s = 0; s < nl.size(); ++s) {
+    const GateType t = nl.type(s);
+    if ((netlist::is_comb_gate(t) || t == GateType::Dff) && !fo[s].empty()) {
+      nets.push_back(s);
+    }
+  }
+  return nets;
+}
+
+/// Build a one-hot stage chain: stage_i DFFs where stage 0 starts active;
+/// `advance[i]` moves activation from stage i to i+1; reaching the end sets a
+/// sticky `done` latch. Returns the done signal.
+SignalId build_stage_chain(Netlist& nl, const std::vector<SignalId>& keys,
+                           const std::vector<sim::BitVec>& stage_words,
+                           const std::string& prefix) {
+  const std::size_t stages = stage_words.size();
+  std::vector<SignalId> stage_q;
+  for (std::size_t i = 0; i < stages; ++i) {
+    stage_q.push_back(nl.add_dff(netlist::k_no_signal,
+                                 i == 0 ? DffInit::One : DffInit::Zero,
+                                 prefix + "_stage" + std::to_string(i)));
+  }
+  const SignalId done = nl.add_dff(netlist::k_no_signal, DffInit::Zero,
+                                   prefix + "_done");
+  std::vector<SignalId> match(stages);
+  for (std::size_t i = 0; i < stages; ++i) {
+    match[i] = key_equals(nl, keys, stage_words[i],
+                          prefix + "_m" + std::to_string(i));
+  }
+  // stage_i+1 next = stage_i & match_i  |  stage_i+1 & ~match_{i+1}
+  // stage_0 next = stage_0 & ~match_0 (holds until its word arrives).
+  for (std::size_t i = 0; i < stages; ++i) {
+    const SignalId hold = nl.add_and(
+        stage_q[i],
+        nl.add_not(match[i], nl.fresh_name(prefix + "_nm")),
+        nl.fresh_name(prefix + "_hold"));
+    if (i == 0) {
+      nl.set_dff_input(stage_q[0], hold);
+    } else {
+      const SignalId take = nl.add_and(stage_q[i - 1], match[i - 1],
+                                       nl.fresh_name(prefix + "_adv"));
+      nl.set_dff_input(stage_q[i],
+                       nl.add_or(take, hold, nl.fresh_name(prefix + "_d")));
+    }
+  }
+  // done latches when the last stage sees its word.
+  const SignalId finish = nl.add_and(stage_q[stages - 1], match[stages - 1],
+                                     nl.fresh_name(prefix + "_fin"));
+  nl.set_dff_input(done, nl.add_or(done, finish, nl.fresh_name(prefix + "_dd")));
+  return done;
+}
+
+}  // namespace
+
+namespace {
+
+/// Freeze every pre-existing (functional) DFF while `active` is low and
+/// corrupt every distinct primary-output net with `corrupt`.
+void gate_functional_mode(Netlist& out,
+                          const std::vector<SignalId>& functional_dffs,
+                          SignalId active, SignalId corrupt,
+                          const std::string& prefix) {
+  for (SignalId q : functional_dffs) {
+    const SignalId d = out.dff_input(q);
+    out.set_dff_input(
+        q, out.add_mux(active, q, d, out.fresh_name(prefix + "_en")));
+  }
+  std::vector<SignalId> targets = out.outputs();
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+  for (SignalId target : targets) {
+    const SignalId bad =
+        out.add_xor(target, corrupt, out.fresh_name(prefix + "_po"));
+    out.replace_all_readers(target, bad, {bad});
+  }
+}
+
+}  // namespace
+
+LockResult harpoon(const Netlist& nl, std::size_t key_bits,
+                   std::size_t obf_states, util::Rng& rng) {
+  if (obf_states == 0) throw std::invalid_argument("harpoon: need >= 1 stage");
+  LockResult result{nl.clone(nl.name() + "_harpoon"), {}, {}, "harpoon", false};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> functional_dffs = out.dffs();
+  const std::vector<SignalId> keys = add_key_inputs(out, key_bits);
+
+  std::vector<sim::BitVec> words;
+  for (std::size_t i = 0; i < obf_states; ++i) {
+    words.push_back(sim::random_bits(rng, key_bits));
+  }
+  const SignalId done = build_stage_chain(out, keys, words, "hp");
+  const SignalId obf = out.add_not(done, out.fresh_name("hp_obf"));
+  gate_functional_mode(out, functional_dffs, done, obf, "hp");
+
+  result.key_schedule = std::move(words);
+  result.startup_cycles = obf_states;
+  out.check();
+  return result;
+}
+
+LockResult dk_lock(const Netlist& nl, std::size_t key_bits,
+                   std::size_t activation_cycles, std::size_t locked_nets,
+                   util::Rng& rng) {
+  if (activation_cycles == 0) {
+    throw std::invalid_argument("dk_lock: need >= 1 activation cycle");
+  }
+  LockResult result{nl.clone(nl.name() + "_dklock"), {}, {}, "dk_lock", false};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> functional_dffs = out.dffs();
+  const std::vector<SignalId> keys = add_key_inputs(out, key_bits);
+
+  // Phase 1: activation words.
+  std::vector<sim::BitVec> words;
+  for (std::size_t i = 0; i < activation_cycles; ++i) {
+    words.push_back(sim::random_bits(rng, key_bits));
+  }
+  const SignalId activated = build_stage_chain(out, keys, words, "dk");
+  const SignalId inactive = out.add_not(activated, out.fresh_name("dk_off"));
+  gate_functional_mode(out, functional_dffs, activated, inactive, "dk");
+
+  // Phase 2: functional key gates. The functional word must differ from the
+  // last activation word, otherwise the schedule is ambiguous.
+  sim::BitVec fkey = sim::random_bits(rng, key_bits);
+  if (fkey == words.back()) fkey[0] ^= 1;
+  // Per-bit "wrong" indicators, shared across the key gates they drive.
+  std::vector<SignalId> wrong_bit(key_bits);
+  for (std::size_t kb = 0; kb < key_bits; ++kb) {
+    wrong_bit[kb] = fkey[kb]
+                        ? out.add_not(keys[kb], out.fresh_name("dk_w"))
+                        : out.add_gate(GateType::Buf, {keys[kb]},
+                                       out.fresh_name("dk_w"));
+  }
+  std::vector<SignalId> nets = lockable_nets(out);
+  // Never lock the controller's own logic or the mode gating.
+  nets.erase(std::remove_if(nets.begin(), nets.end(),
+                            [&out](SignalId s) {
+                              return out.signal_name(s).rfind("dk_", 0) == 0;
+                            }),
+             nets.end());
+  rng.shuffle(nets);
+  const std::size_t count = std::min(locked_nets, nets.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const SignalId target = nets[i];
+    const SignalId gate = out.add_xor(target, wrong_bit[i % key_bits],
+                                      out.fresh_name("dk_kg"));
+    out.replace_all_readers(target, gate, {gate});
+  }
+
+  result.key_schedule = std::move(words);
+  result.key_schedule.push_back(fkey);  // held forever (aperiodic)
+  result.startup_cycles = activation_cycles;
+  out.check();
+  return result;
+}
+
+LockResult sled(const Netlist& nl, std::size_t key_bits,
+                std::size_t locked_nets, util::Rng& rng) {
+  if (key_bits < 2) throw std::invalid_argument("sled: need >= 2 seed bits");
+  LockResult result{nl.clone(nl.name() + "_sled"), {}, {}, "sled"};
+  Netlist& out = result.locked;
+  const std::vector<SignalId> keys = add_key_inputs(out, key_bits);
+  const sim::BitVec seed = sim::random_bits(rng, key_bits);
+
+  // One-shot load flag: 0 on the first cycle (load seed), 1 afterwards.
+  const SignalId loaded = out.add_dff(netlist::k_no_signal, DffInit::Zero,
+                                      "sled_loaded");
+  out.set_dff_input(loaded, out.add_const(true, out.fresh_name("sled_one")));
+
+  // Fibonacci LFSR with taps on the last two registers; the user LFSR loads
+  // the key port, the reference LFSR loads the correct seed (as constants).
+  const auto build_lfsr = [&](const std::string& prefix,
+                              const std::function<SignalId(std::size_t)>& seed_bit) {
+    std::vector<SignalId> q;
+    for (std::size_t i = 0; i < key_bits; ++i) {
+      q.push_back(out.add_dff(netlist::k_no_signal, DffInit::Zero,
+                              prefix + std::to_string(i)));
+    }
+    const SignalId fb = out.add_xor(q[key_bits - 1], q[key_bits - 2],
+                                    out.fresh_name(prefix + "_fb"));
+    for (std::size_t i = 0; i < key_bits; ++i) {
+      const SignalId shifted = (i == 0) ? fb : q[i - 1];
+      const SignalId d = out.add_mux(loaded, seed_bit(i), shifted,
+                                     out.fresh_name(prefix + "_d"));
+      out.set_dff_input(q[i], d);
+    }
+    return q;
+  };
+  const auto user = build_lfsr("sled_u", [&](std::size_t i) { return keys[i]; });
+  const auto ref = build_lfsr("sled_r", [&](std::size_t i) {
+    return out.add_const(seed[i] != 0, out.fresh_name("sled_c"));
+  });
+
+  // Stream difference: zero on every cycle iff the seeds match.
+  const SignalId stream = out.add_xor(user[0], ref[0], out.fresh_name("sled_s"));
+
+  std::vector<SignalId> nets = lockable_nets(out);
+  nets.erase(std::remove_if(nets.begin(), nets.end(),
+                            [&out](SignalId s) {
+                              return out.signal_name(s).rfind("sled_", 0) == 0;
+                            }),
+             nets.end());
+  rng.shuffle(nets);
+  const std::size_t count = std::min(locked_nets, nets.size());
+  if (count == 0) throw std::invalid_argument("sled: no lockable nets");
+  for (std::size_t i = 0; i < count; ++i) {
+    const SignalId target = nets[i];
+    const SignalId gate = out.add_xor(target, stream, out.fresh_name("sled_kg"));
+    out.replace_all_readers(target, gate, {gate});
+  }
+
+  result.correct_key = seed;
+  out.check();
+  return result;
+}
+
+}  // namespace cl::lock

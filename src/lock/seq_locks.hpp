@@ -1,0 +1,35 @@
+// Sequential baseline locking schemes: HARPOON-style mode obfuscation,
+// DK-Lock (the paper's Fig. 4 overhead comparison point), and SLED-style
+// LFSR-generated dynamic keys.
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+/// HARPOON-style obfuscation mode: an `obf_states`-stage unlock FSM gated by
+/// a ki-bit key port. The circuit starts in obfuscation mode with corrupted
+/// outputs and state updates; applying the per-stage unlock words in order
+/// reaches functional mode (a sticky latch). Aperiodic schedule: the unlock
+/// prefix followed by a held final word.
+LockResult harpoon(const netlist::Netlist& nl, std::size_t key_bits,
+                   std::size_t obf_states, util::Rng& rng);
+
+/// DK-Lock: two-key locking. Phase 1 (activation): `activation_cycles`
+/// stages each expecting a stage-specific activation word on the shared
+/// ki-bit key port. Phase 2 (functional): the functional key must stay
+/// applied; `locked_nets` internal nets carry XOR key gates that corrupt
+/// whenever the functional word is wrong or the device is not activated.
+LockResult dk_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                   std::size_t activation_cycles, std::size_t locked_nets,
+                   util::Rng& rng);
+
+/// SLED-style dynamic keys: a seed (the static secret, loaded from the key
+/// port on the first cycle) drives an LFSR whose stream XORs `locked_nets`
+/// internal nets; a reference LFSR with the correct seed folded in as
+/// constants cancels the stream when the seed matches.
+LockResult sled(const netlist::Netlist& nl, std::size_t key_bits,
+                std::size_t locked_nets, util::Rng& rng);
+
+}  // namespace cl::lock

@@ -1,0 +1,79 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cl::logic {
+
+Cube Cube::minterm(std::uint32_t m, int num_vars) {
+  if (num_vars < 0 || num_vars > 32) throw std::invalid_argument("num_vars");
+  Cube c;
+  c.mask = (num_vars == 32) ? 0xffffffffu : ((1u << num_vars) - 1);
+  c.value = m & c.mask;
+  return c;
+}
+
+Cube Cube::parse(const std::string& text) {
+  if (text.size() > 32) throw std::invalid_argument("cube too wide");
+  Cube c;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char ch = text[i];
+    if (ch == '1') {
+      c.mask |= 1u << i;
+      c.value |= 1u << i;
+    } else if (ch == '0') {
+      c.mask |= 1u << i;
+    } else if (ch == '-' || ch == 'x' || ch == 'X') {
+      // don't care
+    } else {
+      throw std::invalid_argument("bad cube character");
+    }
+  }
+  return c;
+}
+
+std::string Cube::to_string(int num_vars) const {
+  std::string s(static_cast<std::size_t>(num_vars), '-');
+  for (int i = 0; i < num_vars; ++i) {
+    if ((mask >> i) & 1u) s[static_cast<std::size_t>(i)] = ((value >> i) & 1u) ? '1' : '0';
+  }
+  return s;
+}
+
+int Cube::literal_count() const { return std::popcount(mask); }
+
+bool Cube::contains_minterm(std::uint32_t m) const {
+  return (m & mask) == (value & mask);
+}
+
+bool Cube::covers(const Cube& other) const {
+  // Every literal of this cube must be a literal of `other` with the same
+  // polarity (this is less constrained => covers more minterms).
+  if ((mask & other.mask) != mask) return false;
+  return (value & mask) == (other.value & mask);
+}
+
+std::optional<Cube> Cube::combine(const Cube& other) const {
+  if (mask != other.mask) return std::nullopt;
+  const std::uint32_t diff = (value ^ other.value) & mask;
+  if (std::popcount(diff) != 1) return std::nullopt;
+  Cube merged;
+  merged.mask = mask & ~diff;
+  merged.value = value & merged.mask;
+  return merged;
+}
+
+bool cover_eval(const Cover& cover, std::uint32_t minterm) {
+  for (const Cube& c : cover) {
+    if (c.contains_minterm(minterm)) return true;
+  }
+  return false;
+}
+
+int cover_literals(const Cover& cover) {
+  int n = 0;
+  for (const Cube& c : cover) n += c.literal_count();
+  return n;
+}
+
+}  // namespace cl::logic

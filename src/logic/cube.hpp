@@ -1,0 +1,52 @@
+// Cube (product term) and cover (sum of products) algebra over up to 32
+// variables. A cube assigns each variable one of {0, 1, -}; it is stored as a
+// (care-mask, value) pair: variable i is cared about iff mask bit i is set,
+// and then takes value bit i.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace cl::logic {
+
+struct Cube {
+  std::uint32_t mask = 0;   // 1 = literal present
+  std::uint32_t value = 0;  // polarity (only meaningful where mask is 1)
+
+  /// The full-care cube of a single minterm.
+  static Cube minterm(std::uint32_t m, int num_vars);
+
+  /// Parse "1-0" style text (variable 0 first). '-'/'x'/'X' are don't-cares.
+  static Cube parse(const std::string& text);
+
+  /// Render as "1-0" text over num_vars variables.
+  std::string to_string(int num_vars) const;
+
+  /// Number of literals (cared variables).
+  int literal_count() const;
+
+  /// True if the cube evaluates to 1 on minterm m.
+  bool contains_minterm(std::uint32_t m) const;
+
+  /// True if this cube covers (is a superset of) `other`'s minterms.
+  bool covers(const Cube& other) const;
+
+  /// Merge two cubes differing in exactly one cared literal (the QM "combine"
+  /// step); nullopt if they are not adjacent.
+  std::optional<Cube> combine(const Cube& other) const;
+
+  bool operator==(const Cube& other) const = default;
+};
+
+/// Sum-of-products: OR of cubes.
+using Cover = std::vector<Cube>;
+
+/// Evaluate a cover on a minterm.
+bool cover_eval(const Cover& cover, std::uint32_t minterm);
+
+/// Total literal count (the classic two-level cost function).
+int cover_literals(const Cover& cover);
+
+}  // namespace cl::logic

@@ -1,0 +1,165 @@
+#include "logic/minimize.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace cl::logic {
+
+std::vector<Cube> prime_implicants(const std::vector<std::uint64_t>& onset,
+                                   const std::vector<std::uint64_t>& dc,
+                                   int num_vars) {
+  if (num_vars < 0 || num_vars > 20) {
+    throw std::invalid_argument("prime_implicants: num_vars out of range");
+  }
+  // Level 0: all onset + dc minterms as full cubes.
+  std::set<std::pair<std::uint32_t, std::uint32_t>> current;  // (mask,value)
+  for (std::uint64_t m : onset) {
+    const Cube c = Cube::minterm(static_cast<std::uint32_t>(m), num_vars);
+    current.insert({c.mask, c.value});
+  }
+  for (std::uint64_t m : dc) {
+    const Cube c = Cube::minterm(static_cast<std::uint32_t>(m), num_vars);
+    current.insert({c.mask, c.value});
+  }
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    // Group by mask, then try all pairs within a mask group that differ in
+    // exactly one bit. Combining cubes always share the same mask.
+    std::set<std::pair<std::uint32_t, std::uint32_t>> next;
+    std::map<std::pair<std::uint32_t, std::uint32_t>, bool> combined;
+    for (const auto& p : current) combined[p] = false;
+
+    std::map<std::uint32_t, std::vector<std::uint32_t>> by_mask;
+    for (const auto& [mask, value] : current) by_mask[mask].push_back(value);
+
+    for (const auto& [mask, values] : by_mask) {
+      // Bucket by popcount of value for the classic adjacency scan.
+      std::map<int, std::vector<std::uint32_t>> by_ones;
+      for (std::uint32_t v : values) by_ones[std::popcount(v)].push_back(v);
+      for (const auto& [ones, group] : by_ones) {
+        const auto it = by_ones.find(ones + 1);
+        if (it == by_ones.end()) continue;
+        for (std::uint32_t a : group) {
+          for (std::uint32_t b : it->second) {
+            const std::uint32_t diff = a ^ b;
+            if (std::popcount(diff) != 1) continue;
+            const std::uint32_t new_mask = mask & ~diff;
+            next.insert({new_mask, a & new_mask});
+            combined[{mask, a}] = true;
+            combined[{mask, b}] = true;
+          }
+        }
+      }
+    }
+    for (const auto& [key, was_combined] : combined) {
+      if (!was_combined) primes.push_back(Cube{key.first, key.second});
+    }
+    current = std::move(next);
+  }
+  // Deduplicate (different merge paths can produce the same cube).
+  std::sort(primes.begin(), primes.end(), [](const Cube& a, const Cube& b) {
+    return std::tie(a.mask, a.value) < std::tie(b.mask, b.value);
+  });
+  primes.erase(std::unique(primes.begin(), primes.end()), primes.end());
+  return primes;
+}
+
+Cover minimize(const std::vector<std::uint64_t>& onset,
+               const std::vector<std::uint64_t>& dc, int num_vars) {
+  if (onset.empty()) return {};
+  std::vector<Cube> primes = prime_implicants(onset, dc, num_vars);
+
+  // Cover table: onset minterms (don't-cares need not be covered).
+  std::vector<std::uint64_t> targets = onset;
+  std::sort(targets.begin(), targets.end());
+  targets.erase(std::unique(targets.begin(), targets.end()), targets.end());
+
+  Cover chosen;
+  std::vector<bool> covered(targets.size(), false);
+  std::size_t remaining = targets.size();
+
+  // Essential primes: a minterm covered by exactly one prime forces it.
+  std::vector<std::vector<std::size_t>> coverers(targets.size());
+  for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      if (primes[pi].contains_minterm(static_cast<std::uint32_t>(targets[ti]))) {
+        coverers[ti].push_back(pi);
+      }
+    }
+  }
+  std::vector<bool> prime_used(primes.size(), false);
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    if (coverers[ti].size() == 1 && !prime_used[coverers[ti][0]]) {
+      prime_used[coverers[ti][0]] = true;
+      chosen.push_back(primes[coverers[ti][0]]);
+    }
+  }
+  for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+    if (covered[ti]) continue;
+    for (const Cube& c : chosen) {
+      if (c.contains_minterm(static_cast<std::uint32_t>(targets[ti]))) {
+        covered[ti] = true;
+        --remaining;
+        break;
+      }
+    }
+  }
+
+  // Greedy: repeatedly take the prime covering the most uncovered minterms,
+  // breaking ties toward fewer literals (larger cubes).
+  while (remaining > 0) {
+    std::size_t best = primes.size();
+    std::size_t best_gain = 0;
+    for (std::size_t pi = 0; pi < primes.size(); ++pi) {
+      if (prime_used[pi]) continue;
+      std::size_t gain = 0;
+      for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+        if (!covered[ti] &&
+            primes[pi].contains_minterm(static_cast<std::uint32_t>(targets[ti]))) {
+          ++gain;
+        }
+      }
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && best < primes.size() &&
+           primes[pi].literal_count() < primes[best].literal_count())) {
+        best = pi;
+        best_gain = gain;
+      }
+    }
+    if (best == primes.size() || best_gain == 0) {
+      throw std::logic_error("minimize: cover selection failed");
+    }
+    prime_used[best] = true;
+    chosen.push_back(primes[best]);
+    for (std::size_t ti = 0; ti < targets.size(); ++ti) {
+      if (!covered[ti] &&
+          primes[best].contains_minterm(static_cast<std::uint32_t>(targets[ti]))) {
+        covered[ti] = true;
+        --remaining;
+      }
+    }
+  }
+  return chosen;
+}
+
+Cover minimize(const TruthTable& tt) {
+  return minimize(tt.onset(), {}, tt.num_vars());
+}
+
+bool cover_equals(const Cover& cover, const std::vector<std::uint64_t>& onset,
+                  const std::vector<std::uint64_t>& dc, int num_vars) {
+  std::set<std::uint64_t> on(onset.begin(), onset.end());
+  std::set<std::uint64_t> dcs(dc.begin(), dc.end());
+  for (std::uint64_t m = 0; m < (1ULL << num_vars); ++m) {
+    const bool val = cover_eval(cover, static_cast<std::uint32_t>(m));
+    if (dcs.count(m) != 0) continue;
+    if (val != (on.count(m) != 0)) return false;
+  }
+  return true;
+}
+
+}  // namespace cl::logic

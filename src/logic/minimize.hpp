@@ -1,0 +1,36 @@
+// Two-level logic minimization: Quine–McCluskey prime generation with an
+// essential-prime + greedy set-cover selection. Exact prime generation,
+// near-minimal cover — the classic textbook pipeline, adequate for the
+// next-state functions produced by FSM synthesis.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "logic/truth_table.hpp"
+
+namespace cl::logic {
+
+/// All prime implicants of the function whose onset is `onset` and don't-care
+/// set is `dc` (minterm lists over `num_vars` variables, num_vars <= 20; the
+/// cube representation caps the practical range at 32).
+std::vector<Cube> prime_implicants(const std::vector<std::uint64_t>& onset,
+                                   const std::vector<std::uint64_t>& dc,
+                                   int num_vars);
+
+/// Minimized SOP cover of the onset using don't-cares. The result covers
+/// every onset minterm, covers no offset minterm, and consists of prime
+/// implicants only.
+Cover minimize(const std::vector<std::uint64_t>& onset,
+               const std::vector<std::uint64_t>& dc, int num_vars);
+
+/// Convenience: minimize a truth table (no don't-cares).
+Cover minimize(const TruthTable& tt);
+
+/// Verify `cover` == the function given by (onset, dc): covers all of onset,
+/// nothing of the offset; don't-cares are free. Used in tests/assertions.
+bool cover_equals(const Cover& cover, const std::vector<std::uint64_t>& onset,
+                  const std::vector<std::uint64_t>& dc, int num_vars);
+
+}  // namespace cl::logic

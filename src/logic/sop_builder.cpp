@@ -1,0 +1,97 @@
+#include "logic/sop_builder.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace cl::logic {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+SignalId build_and_tree(Netlist& nl, std::vector<SignalId> terms,
+                        const std::string& name_hint) {
+  if (terms.empty()) throw std::invalid_argument("build_and_tree: empty");
+  while (terms.size() > 1) {
+    std::vector<SignalId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(nl.add_and(terms[i], terms[i + 1],
+                                nl.fresh_name(name_hint + "_a")));
+    }
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+SignalId build_or_tree(Netlist& nl, std::vector<SignalId> terms,
+                       const std::string& name_hint) {
+  if (terms.empty()) throw std::invalid_argument("build_or_tree: empty");
+  while (terms.size() > 1) {
+    std::vector<SignalId> next;
+    next.reserve((terms.size() + 1) / 2);
+    for (std::size_t i = 0; i + 1 < terms.size(); i += 2) {
+      next.push_back(nl.add_or(terms[i], terms[i + 1],
+                               nl.fresh_name(name_hint + "_o")));
+    }
+    if (terms.size() % 2 != 0) next.push_back(terms.back());
+    terms = std::move(next);
+  }
+  return terms[0];
+}
+
+SignalId build_sop(Netlist& nl, const std::vector<SignalId>& inputs,
+                   const Cover& cover, const std::string& name_hint) {
+  if (cover.empty()) {
+    return nl.add_const(false, nl.fresh_name(name_hint + "_zero"));
+  }
+  // Shared inverters, created on demand.
+  std::unordered_map<SignalId, SignalId> inverted;
+  const auto inv = [&](SignalId s) {
+    const auto it = inverted.find(s);
+    if (it != inverted.end()) return it->second;
+    const SignalId n = nl.add_not(s, nl.fresh_name(name_hint + "_n"));
+    inverted.emplace(s, n);
+    return n;
+  };
+
+  std::vector<SignalId> products;
+  products.reserve(cover.size());
+  for (const Cube& cube : cover) {
+    std::vector<SignalId> literals;
+    for (std::size_t i = 0; i < inputs.size(); ++i) {
+      if (((cube.mask >> i) & 1u) == 0) continue;
+      const bool positive = ((cube.value >> i) & 1u) != 0;
+      literals.push_back(positive ? inputs[i] : inv(inputs[i]));
+    }
+    if (literals.empty()) {
+      // Tautological cube: whole function is constant 1.
+      return nl.add_const(true, nl.fresh_name(name_hint + "_one"));
+    }
+    products.push_back(literals.size() == 1
+                           ? literals[0]
+                           : build_and_tree(nl, literals, name_hint));
+  }
+  return products.size() == 1 ? products[0]
+                              : build_or_tree(nl, products, name_hint);
+}
+
+SignalId build_equals_const(Netlist& nl,
+                            const std::vector<SignalId>& signals,
+                            std::uint64_t constant,
+                            const std::string& name_hint) {
+  if (signals.empty()) throw std::invalid_argument("build_equals_const: empty");
+  std::vector<SignalId> bits;
+  bits.reserve(signals.size());
+  for (std::size_t i = 0; i < signals.size(); ++i) {
+    const bool want_one = (constant >> i) & 1ULL;
+    if (want_one) {
+      bits.push_back(signals[i]);
+    } else {
+      bits.push_back(nl.add_not(signals[i], nl.fresh_name(name_hint + "_n")));
+    }
+  }
+  return build_and_tree(nl, std::move(bits), name_hint);
+}
+
+}  // namespace cl::logic

@@ -1,0 +1,36 @@
+// Materialize two-level covers as gate networks inside a Netlist.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "logic/cube.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cl::logic {
+
+/// Build AND-OR logic computing `cover` over the given input signals
+/// (variable i of every cube reads `inputs[i]`). Returns the output signal.
+/// An empty cover yields constant 0; a single empty cube yields constant 1.
+/// Inverters are shared across product terms.
+netlist::SignalId build_sop(netlist::Netlist& nl,
+                            const std::vector<netlist::SignalId>& inputs,
+                            const Cover& cover, const std::string& name_hint);
+
+/// Build a balanced AND (resp. OR) tree over `terms` using 2-input gates.
+/// Returns terms[0] when there is a single term; throws on empty input.
+netlist::SignalId build_and_tree(netlist::Netlist& nl,
+                                 std::vector<netlist::SignalId> terms,
+                                 const std::string& name_hint);
+netlist::SignalId build_or_tree(netlist::Netlist& nl,
+                                std::vector<netlist::SignalId> terms,
+                                const std::string& name_hint);
+
+/// Build an equality comparator: output is 1 iff the `signals` word equals
+/// `constant` (bit i of constant compared against signals[i]).
+netlist::SignalId build_equals_const(netlist::Netlist& nl,
+                                     const std::vector<netlist::SignalId>& signals,
+                                     std::uint64_t constant,
+                                     const std::string& name_hint);
+
+}  // namespace cl::logic

@@ -1,0 +1,145 @@
+#include "logic/truth_table.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace cl::logic {
+
+namespace {
+std::size_t words_for(int num_vars) {
+  const std::uint64_t minterms = 1ULL << num_vars;
+  return static_cast<std::size_t>((minterms + 63) / 64);
+}
+}  // namespace
+
+TruthTable::TruthTable(int num_vars) : num_vars_(num_vars) {
+  if (num_vars < 0 || num_vars > 20) {
+    throw std::invalid_argument("TruthTable: num_vars out of [0,20]");
+  }
+  words_.assign(words_for(num_vars), 0);
+}
+
+TruthTable TruthTable::from_function(
+    int num_vars, const std::function<bool(std::uint64_t)>& f) {
+  TruthTable t(num_vars);
+  for (std::uint64_t m = 0; m < t.num_minterms(); ++m) {
+    if (f(m)) t.set(m, true);
+  }
+  return t;
+}
+
+bool TruthTable::get(std::uint64_t minterm) const {
+  if (minterm >= num_minterms()) throw std::out_of_range("TruthTable::get");
+  return (words_[minterm >> 6] >> (minterm & 63)) & 1ULL;
+}
+
+void TruthTable::set(std::uint64_t minterm, bool value) {
+  if (minterm >= num_minterms()) throw std::out_of_range("TruthTable::set");
+  const std::uint64_t bit = 1ULL << (minterm & 63);
+  if (value) {
+    words_[minterm >> 6] |= bit;
+  } else {
+    words_[minterm >> 6] &= ~bit;
+  }
+}
+
+std::uint64_t TruthTable::count_ones() const {
+  std::uint64_t n = 0;
+  const std::uint64_t total = num_minterms();
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t word = words_[w];
+    if (num_vars_ < 6 && w == 0) word &= (1ULL << total) - 1;
+    n += static_cast<std::uint64_t>(std::popcount(word));
+  }
+  return n;
+}
+
+bool TruthTable::is_const_zero() const { return count_ones() == 0; }
+bool TruthTable::is_const_one() const { return count_ones() == num_minterms(); }
+
+TruthTable TruthTable::operator~() const {
+  TruthTable t(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] = ~words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator&(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_) throw std::invalid_argument("var mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] = words_[w] & o.words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator|(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_) throw std::invalid_argument("var mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] = words_[w] | o.words_[w];
+  return t;
+}
+
+TruthTable TruthTable::operator^(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_) throw std::invalid_argument("var mismatch");
+  TruthTable t(num_vars_);
+  for (std::size_t w = 0; w < words_.size(); ++w) t.words_[w] = words_[w] ^ o.words_[w];
+  return t;
+}
+
+bool TruthTable::operator==(const TruthTable& o) const {
+  if (num_vars_ != o.num_vars_) return false;
+  const std::uint64_t total = num_minterms();
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    std::uint64_t a = words_[w];
+    std::uint64_t b = o.words_[w];
+    if (num_vars_ < 6 && w == 0) {
+      const std::uint64_t mask = (1ULL << total) - 1;
+      a &= mask;
+      b &= mask;
+    }
+    if (a != b) return false;
+  }
+  return true;
+}
+
+TruthTable TruthTable::variable(int num_vars, int var) {
+  if (var < 0 || var >= num_vars) throw std::invalid_argument("variable index");
+  return from_function(num_vars,
+                       [var](std::uint64_t m) { return (m >> var) & 1ULL; });
+}
+
+TruthTable TruthTable::cofactor(int var, bool value) const {
+  if (var < 0 || var >= num_vars_) throw std::invalid_argument("cofactor index");
+  TruthTable t(num_vars_);
+  const std::uint64_t vbit = 1ULL << var;
+  for (std::uint64_t m = 0; m < num_minterms(); ++m) {
+    const std::uint64_t src = value ? (m | vbit) : (m & ~vbit);
+    t.set(m, get(src));
+  }
+  return t;
+}
+
+bool TruthTable::is_independent_of(int var) const {
+  return cofactor(var, false) == cofactor(var, true);
+}
+
+bool TruthTable::is_positive_unate(int var) const {
+  // f(x=0) <= f(x=1) pointwise: f0 & ~f1 empty.
+  const TruthTable f0 = cofactor(var, false);
+  const TruthTable f1 = cofactor(var, true);
+  return (f0 & ~f1).is_const_zero();
+}
+
+bool TruthTable::is_negative_unate(int var) const {
+  const TruthTable f0 = cofactor(var, false);
+  const TruthTable f1 = cofactor(var, true);
+  return (f1 & ~f0).is_const_zero();
+}
+
+std::vector<std::uint64_t> TruthTable::onset() const {
+  std::vector<std::uint64_t> out;
+  for (std::uint64_t m = 0; m < num_minterms(); ++m) {
+    if (get(m)) out.push_back(m);
+  }
+  return out;
+}
+
+}  // namespace cl::logic

@@ -1,0 +1,64 @@
+// Dense truth tables over up to 20 variables, packed 64 minterms per word.
+// Used by the two-level minimizer, FALL's functional analysis, and tests that
+// compare netlists against reference functions.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace cl::logic {
+
+/// Truth table of a single-output boolean function of `num_vars` inputs.
+/// Minterm m (variable i = bit i of m) is stored at word m/64, bit m%64.
+class TruthTable {
+ public:
+  /// All-zero function of n variables. n must be in [0, 20].
+  explicit TruthTable(int num_vars);
+
+  /// Build from an evaluator called once per minterm.
+  static TruthTable from_function(int num_vars,
+                                  const std::function<bool(std::uint64_t)>& f);
+
+  int num_vars() const { return num_vars_; }
+  std::uint64_t num_minterms() const { return 1ULL << num_vars_; }
+
+  bool get(std::uint64_t minterm) const;
+  void set(std::uint64_t minterm, bool value);
+
+  /// Number of minterms where the function is 1.
+  std::uint64_t count_ones() const;
+
+  bool is_const_zero() const;
+  bool is_const_one() const;
+
+  /// Pointwise operators.
+  TruthTable operator~() const;
+  TruthTable operator&(const TruthTable& o) const;
+  TruthTable operator|(const TruthTable& o) const;
+  TruthTable operator^(const TruthTable& o) const;
+  bool operator==(const TruthTable& o) const;
+
+  /// Projection of input variable `var` (truth table of xi itself).
+  static TruthTable variable(int num_vars, int var);
+
+  /// Shannon cofactor with variable `var` fixed to `value` (result keeps the
+  /// same variable count; the fixed variable becomes irrelevant).
+  TruthTable cofactor(int var, bool value) const;
+
+  /// True if the function does not depend on `var`.
+  bool is_independent_of(int var) const;
+
+  /// True if the function is positive/negative unate in `var`.
+  bool is_positive_unate(int var) const;
+  bool is_negative_unate(int var) const;
+
+  /// All minterms where the function evaluates to 1.
+  std::vector<std::uint64_t> onset() const;
+
+ private:
+  int num_vars_;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace cl::logic

@@ -1,0 +1,32 @@
+// ISCAS .bench reader/writer.
+//
+// Grammar (as used by the ISCAS'89 / ITC'99 distributions and the logic-
+// locking community):
+//   INPUT(g)            primary input (names starting with "keyinput" are
+//                       treated as locking key bits, the de-facto convention)
+//   OUTPUT(g)           primary output
+//   g = DFF(d)          D flip-flop; "# init g 0|1|x" comments set power-up
+//   g = AND(a, b, ...)  gates: AND OR NAND NOR XOR XNOR NOT BUF MUX CONST0/1
+// Comments start with '#'.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::netlist {
+
+/// Parse .bench text. Throws std::runtime_error with a line number on
+/// malformed input.
+Netlist read_bench(std::istream& in, const std::string& name = "top");
+Netlist read_bench_string(const std::string& text, const std::string& name = "top");
+Netlist read_bench_file(const std::string& path);
+
+/// Serialize to .bench. Key inputs are emitted as INPUT() lines with their
+/// (keyinput-prefixed) names; DFF init values are recorded as comments.
+void write_bench(std::ostream& out, const Netlist& nl);
+std::string write_bench_string(const Netlist& nl);
+void write_bench_file(const std::string& path, const Netlist& nl);
+
+}  // namespace cl::netlist

@@ -1,0 +1,331 @@
+#include "netlist/blif_io.hpp"
+
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "netlist/transform.hpp"
+#include "util/strings.hpp"
+
+namespace cl::netlist {
+
+namespace {
+
+using util::split;
+using util::starts_with;
+using util::trim;
+
+struct Cover {
+  std::vector<std::string> inputs;
+  std::string output;
+  std::vector<std::string> rows;  // "10-" style input parts
+  std::vector<char> out_vals;     // '1' or '0' per row
+  int line = 0;
+};
+
+struct Latch {
+  std::string d;
+  std::string q;
+  DffInit init = DffInit::Zero;
+  int line = 0;
+};
+
+[[noreturn]] void fail(int line, const std::string& msg) {
+  throw std::runtime_error("blif:" + std::to_string(line) + ": " + msg);
+}
+
+bool is_key_name(const std::string& name) {
+  return starts_with(util::to_lower(name), "keyinput");
+}
+
+}  // namespace
+
+Netlist read_blif(std::istream& in) {
+  std::string model_name = "top";
+  std::vector<std::string> input_names;
+  std::vector<std::string> output_names;
+  std::vector<Cover> covers;
+  std::vector<Latch> latches;
+
+  std::string raw;
+  std::string pending;  // handles '\' line continuation
+  int line_no = 0;
+  Cover* open_cover = nullptr;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    if (const auto hash = raw.find('#'); hash != std::string::npos) {
+      raw = raw.substr(0, hash);
+    }
+    std::string line = std::string(trim(raw));
+    if (line.empty()) continue;
+    if (line.back() == '\\') {
+      pending += line.substr(0, line.size() - 1) + " ";
+      continue;
+    }
+    line = pending + line;
+    pending.clear();
+
+    if (line[0] == '.') {
+      open_cover = nullptr;
+      const auto tok = split(line);
+      if (tok[0] == ".model") {
+        if (tok.size() >= 2) model_name = tok[1];
+      } else if (tok[0] == ".inputs") {
+        input_names.insert(input_names.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".outputs") {
+        output_names.insert(output_names.end(), tok.begin() + 1, tok.end());
+      } else if (tok[0] == ".latch") {
+        if (tok.size() < 3) fail(line_no, ".latch needs D and Q");
+        Latch l;
+        l.d = tok[1];
+        l.q = tok[2];
+        l.line = line_no;
+        // Optional trailing fields: [<type> <control>] [<init-val>]
+        if (tok.size() >= 4) {
+          const std::string& last = tok.back();
+          if (last == "0") l.init = DffInit::Zero;
+          else if (last == "1") l.init = DffInit::One;
+          else if (last == "2" || last == "3") l.init = DffInit::X;
+        }
+        latches.push_back(std::move(l));
+      } else if (tok[0] == ".names") {
+        if (tok.size() < 2) fail(line_no, ".names needs an output");
+        Cover c;
+        c.output = tok.back();
+        c.inputs.assign(tok.begin() + 1, tok.end() - 1);
+        c.line = line_no;
+        covers.push_back(std::move(c));
+        open_cover = &covers.back();
+      } else if (tok[0] == ".end") {
+        break;
+      } else if (tok[0] == ".wire_load_slope" || tok[0] == ".default_input_arrival" ||
+                 tok[0] == ".clock") {
+        // Ignored physical/clock annotations.
+      } else {
+        fail(line_no, "unsupported directive: " + tok[0]);
+      }
+      continue;
+    }
+
+    // Cover row.
+    if (open_cover == nullptr) fail(line_no, "cover row outside .names");
+    const auto tok = split(line);
+    if (open_cover->inputs.empty()) {
+      // Constant: a single "1" row means const1; "0" or no rows means const0.
+      if (tok.size() != 1) fail(line_no, "bad constant row");
+      open_cover->rows.push_back("");
+      open_cover->out_vals.push_back(tok[0][0]);
+    } else {
+      if (tok.size() != 2) fail(line_no, "bad cover row");
+      if (tok[0].size() != open_cover->inputs.size()) {
+        fail(line_no, "cover row width mismatch");
+      }
+      open_cover->rows.push_back(tok[0]);
+      open_cover->out_vals.push_back(tok[1][0]);
+    }
+  }
+
+  Netlist nl(model_name);
+  for (const auto& n : input_names) {
+    if (is_key_name(n)) nl.add_key_input(n);
+    else nl.add_input(n);
+  }
+  // Latches first: Q pins are sequential sources; created floating and
+  // wired once their D signals exist.
+  std::vector<SignalId> latch_ids;
+  for (const Latch& l : latches) {
+    latch_ids.push_back(nl.add_dff(k_no_signal, l.init, l.q));
+  }
+
+  std::map<std::string, std::size_t> cover_by_output;
+  for (std::size_t i = 0; i < covers.size(); ++i) {
+    if (!cover_by_output.emplace(covers[i].output, i).second) {
+      fail(covers[i].line, "signal defined twice: " + covers[i].output);
+    }
+  }
+
+  std::vector<std::uint8_t> state(covers.size(), 0);
+  const std::function<SignalId(const std::string&, int)> resolve =
+      [&](const std::string& sig, int line) -> SignalId {
+    const SignalId existing = nl.find(sig);
+    if (existing != k_no_signal) return existing;
+    const auto it = cover_by_output.find(sig);
+    if (it == cover_by_output.end()) fail(line, "undefined signal: " + sig);
+    const Cover& c = covers[it->second];
+    if (state[it->second] == 1) fail(c.line, "combinational cycle through " + sig);
+    state[it->second] = 1;
+
+    std::vector<SignalId> ins;
+    ins.reserve(c.inputs.size());
+    for (const std::string& i : c.inputs) ins.push_back(resolve(i, c.line));
+
+    SignalId out = k_no_signal;
+    if (c.inputs.empty()) {
+      const bool one = !c.out_vals.empty() && c.out_vals[0] == '1';
+      out = nl.add_const(one, c.output);
+    } else {
+      // On-set rows OR'd together; each row is an AND of literals. BLIF also
+      // allows off-set covers (output column '0'): complement at the end.
+      const bool off_set = !c.out_vals.empty() && c.out_vals[0] == '0';
+      for (char v : c.out_vals) {
+        if ((v == '0') != off_set) fail(c.line, "mixed on/off-set cover");
+      }
+      std::vector<SignalId> terms;
+      for (const std::string& row : c.rows) {
+        std::vector<SignalId> lits;
+        for (std::size_t i = 0; i < row.size(); ++i) {
+          if (row[i] == '-') continue;
+          SignalId lit = ins[i];
+          if (row[i] == '0') lit = nl.add_not(lit, nl.fresh_name(c.output + "_n"));
+          lits.push_back(lit);
+        }
+        if (lits.empty()) {
+          terms.push_back(nl.add_const(true, nl.fresh_name(c.output + "_t")));
+        } else if (lits.size() == 1) {
+          terms.push_back(lits[0]);
+        } else {
+          terms.push_back(nl.add_gate(GateType::And, lits,
+                                      nl.fresh_name(c.output + "_p")));
+        }
+      }
+      SignalId sum = k_no_signal;
+      if (terms.empty()) {
+        sum = nl.add_const(false, nl.fresh_name(c.output + "_z"));
+      } else if (terms.size() == 1) {
+        sum = terms[0];
+      } else {
+        sum = nl.add_gate(GateType::Or, terms, nl.fresh_name(c.output + "_s"));
+      }
+      if (off_set) {
+        out = nl.add_not(sum, c.output);
+      } else if (nl.signal_name(sum) == c.output) {
+        out = sum;
+      } else {
+        out = nl.add_gate(GateType::Buf, {sum}, c.output);
+      }
+    }
+    state[it->second] = 2;
+    return out;
+  };
+
+  for (std::size_t i = 0; i < latches.size(); ++i) {
+    nl.set_dff_input(latch_ids[i], resolve(latches[i].d, latches[i].line));
+  }
+  for (const std::string& o : output_names) {
+    nl.add_output(resolve(o, 0));
+  }
+  nl.check();
+  return nl;
+}
+
+Netlist read_blif_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_blif(in);
+}
+
+Netlist read_blif_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open " + path);
+  return read_blif(in);
+}
+
+namespace {
+
+/// Emit one gate as a .names cover.
+void write_cover(std::ostream& out, const Netlist& nl, const Node& n) {
+  out << ".names";
+  for (SignalId f : n.fanins) out << ' ' << nl.signal_name(f);
+  out << ' ' << n.name << '\n';
+  const std::size_t k = n.fanins.size();
+  switch (n.type) {
+    case GateType::Buf: out << "1 1\n"; break;
+    case GateType::Not: out << "0 1\n"; break;
+    case GateType::And: out << std::string(k, '1') << " 1\n"; break;
+    case GateType::Nand:
+      for (std::size_t i = 0; i < k; ++i) {
+        std::string row(k, '-');
+        row[i] = '0';
+        out << row << " 1\n";
+      }
+      break;
+    case GateType::Or:
+      for (std::size_t i = 0; i < k; ++i) {
+        std::string row(k, '-');
+        row[i] = '1';
+        out << row << " 1\n";
+      }
+      break;
+    case GateType::Nor: out << std::string(k, '0') << " 1\n"; break;
+    case GateType::Xor:
+    case GateType::Xnor: {
+      // Enumerate parity rows; gates from our flows are 2-input so the
+      // 2^k expansion stays tiny.
+      const bool want_odd = (n.type == GateType::Xor);
+      for (std::uint64_t m = 0; m < (1ULL << k); ++m) {
+        const bool odd = (__builtin_popcountll(m) & 1) != 0;
+        if (odd != want_odd) continue;
+        std::string row(k, '0');
+        for (std::size_t i = 0; i < k; ++i) {
+          if ((m >> i) & 1ULL) row[i] = '1';
+        }
+        out << row << " 1\n";
+      }
+      break;
+    }
+    case GateType::Mux:
+      out << "01- 1\n";  // sel=0 -> a
+      out << "1-1 1\n";  // sel=1 -> b
+      break;
+    default: break;
+  }
+}
+
+}  // namespace
+
+void write_blif(std::ostream& out, const Netlist& nl) {
+  out << ".model " << nl.name() << '\n';
+  out << ".inputs";
+  for (SignalId s : nl.inputs()) out << ' ' << nl.signal_name(s);
+  for (SignalId s : nl.key_inputs()) out << ' ' << nl.signal_name(s);
+  out << '\n';
+  out << ".outputs";
+  for (SignalId s : nl.outputs()) out << ' ' << nl.signal_name(s);
+  out << '\n';
+  for (SignalId s : nl.dffs()) {
+    out << ".latch " << nl.signal_name(nl.dff_input(s)) << ' '
+        << nl.signal_name(s) << " re clk ";
+    switch (nl.dff_init(s)) {
+      case DffInit::Zero: out << "0"; break;
+      case DffInit::One: out << "1"; break;
+      case DffInit::X: out << "2"; break;
+    }
+    out << '\n';
+  }
+  for (SignalId s = 0; s < nl.size(); ++s) {
+    const Node& n = nl.node(s);
+    if (n.type == GateType::Const0 || n.type == GateType::Const1) {
+      out << ".names " << n.name << '\n';
+      if (n.type == GateType::Const1) out << "1\n";
+      continue;
+    }
+    if (!is_comb_gate(n.type)) continue;
+    write_cover(out, nl, n);
+  }
+  out << ".end\n";
+}
+
+std::string write_blif_string(const Netlist& nl) {
+  std::ostringstream out;
+  write_blif(out, nl);
+  return out.str();
+}
+
+void write_blif_file(const std::string& path, const Netlist& nl) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot write " + path);
+  write_blif(out, nl);
+}
+
+}  // namespace cl::netlist

@@ -1,0 +1,25 @@
+// Berkeley Logic Interchange Format (BLIF) reader/writer.
+//
+// Supported subset (what Yosys/ABC emit for mapped sequential circuits):
+//   .model NAME / .inputs ... / .outputs ... / .latch D Q [type clk] [init]
+//   .names <in...> <out> followed by cover rows ("1-0 1"), and .end
+// On read, each .names cover becomes an AND/OR/NOT network (one product term
+// per row). On write, each gate is emitted as a .names cover.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::netlist {
+
+Netlist read_blif(std::istream& in);
+Netlist read_blif_string(const std::string& text);
+Netlist read_blif_file(const std::string& path);
+
+void write_blif(std::ostream& out, const Netlist& nl);
+std::string write_blif_string(const Netlist& nl);
+void write_blif_file(const std::string& path, const Netlist& nl);
+
+}  // namespace cl::netlist

@@ -1,0 +1,285 @@
+#include "netlist/netlist.hpp"
+
+#include <algorithm>
+
+#include "util/strings.hpp"
+
+namespace cl::netlist {
+
+const char* gate_type_name(GateType t) {
+  switch (t) {
+    case GateType::Input: return "INPUT";
+    case GateType::KeyInput: return "KEYINPUT";
+    case GateType::Const0: return "CONST0";
+    case GateType::Const1: return "CONST1";
+    case GateType::Buf: return "BUF";
+    case GateType::Not: return "NOT";
+    case GateType::And: return "AND";
+    case GateType::Nand: return "NAND";
+    case GateType::Or: return "OR";
+    case GateType::Nor: return "NOR";
+    case GateType::Xor: return "XOR";
+    case GateType::Xnor: return "XNOR";
+    case GateType::Mux: return "MUX";
+    case GateType::Dff: return "DFF";
+  }
+  return "?";
+}
+
+std::optional<GateType> gate_type_from_name(std::string_view name) {
+  using util::iequals;
+  struct Entry { const char* key; GateType type; };
+  static constexpr Entry table[] = {
+      {"BUF", GateType::Buf},     {"BUFF", GateType::Buf},
+      {"NOT", GateType::Not},     {"INV", GateType::Not},
+      {"AND", GateType::And},     {"NAND", GateType::Nand},
+      {"OR", GateType::Or},       {"NOR", GateType::Nor},
+      {"XOR", GateType::Xor},     {"XNOR", GateType::Xnor},
+      {"MUX", GateType::Mux},     {"DFF", GateType::Dff},
+      {"CONST0", GateType::Const0}, {"CONST1", GateType::Const1},
+  };
+  for (const auto& e : table) {
+    if (iequals(name, e.key)) return e.type;
+  }
+  return std::nullopt;
+}
+
+bool is_source(GateType t) {
+  return t == GateType::Input || t == GateType::KeyInput ||
+         t == GateType::Const0 || t == GateType::Const1;
+}
+
+bool is_comb_gate(GateType t) { return !is_source(t) && t != GateType::Dff; }
+
+namespace {
+
+void check_arity(GateType t, std::size_t n) {
+  bool ok = true;
+  switch (t) {
+    case GateType::Input:
+    case GateType::KeyInput:
+    case GateType::Const0:
+    case GateType::Const1: ok = (n == 0); break;
+    case GateType::Buf:
+    case GateType::Not:
+    case GateType::Dff: ok = (n == 1); break;
+    case GateType::Mux: ok = (n == 3); break;
+    default: ok = (n >= 2); break;
+  }
+  if (!ok) {
+    throw std::invalid_argument(std::string("bad fanin count for ") +
+                                gate_type_name(t) + ": " + std::to_string(n));
+  }
+}
+
+}  // namespace
+
+SignalId Netlist::add_node(Node n) {
+  if (n.name.empty()) {
+    n.name = fresh_name("n");
+  }
+  if (by_name_.count(n.name) != 0) {
+    throw std::invalid_argument("duplicate signal name: " + n.name);
+  }
+  check_arity(n.type, n.fanins.size());
+  const SignalId id = static_cast<SignalId>(nodes_.size());
+  for (SignalId f : n.fanins) {
+    // A DFF may reference itself (self-loop through the register is legal
+    // and is how floating DFFs are created).
+    if (f >= nodes_.size() && !(n.type == GateType::Dff && f == id)) {
+      throw std::invalid_argument("fanin id out of range for " + n.name);
+    }
+  }
+  by_name_.emplace(n.name, id);
+  nodes_.push_back(std::move(n));
+  return id;
+}
+
+SignalId Netlist::add_input(const std::string& name) {
+  const SignalId id = add_node({name, GateType::Input, {}, DffInit::Zero});
+  inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_key_input(const std::string& name) {
+  const SignalId id = add_node({name, GateType::KeyInput, {}, DffInit::Zero});
+  key_inputs_.push_back(id);
+  return id;
+}
+
+SignalId Netlist::add_const(bool value, const std::string& name) {
+  return add_node({name, value ? GateType::Const1 : GateType::Const0, {},
+                   DffInit::Zero});
+}
+
+SignalId Netlist::add_gate(GateType type, std::vector<SignalId> fanins,
+                           const std::string& name) {
+  if (!is_comb_gate(type)) {
+    throw std::invalid_argument("add_gate: not a combinational gate type");
+  }
+  return add_node({name, type, std::move(fanins), DffInit::Zero});
+}
+
+SignalId Netlist::add_dff(SignalId d, DffInit init, const std::string& name) {
+  if (d == k_no_signal) {
+    d = static_cast<SignalId>(nodes_.size());  // self-loop: D = own Q
+  }
+  const SignalId id = add_node({name, GateType::Dff, {d}, init});
+  dffs_.push_back(id);
+  return id;
+}
+
+void Netlist::add_output(SignalId s) {
+  if (s >= nodes_.size()) throw std::invalid_argument("add_output: bad id");
+  outputs_.push_back(s);
+}
+
+SignalId Netlist::add_not(SignalId a, const std::string& name) {
+  return add_gate(GateType::Not, {a}, name);
+}
+SignalId Netlist::add_and(SignalId a, SignalId b, const std::string& name) {
+  return add_gate(GateType::And, {a, b}, name);
+}
+SignalId Netlist::add_or(SignalId a, SignalId b, const std::string& name) {
+  return add_gate(GateType::Or, {a, b}, name);
+}
+SignalId Netlist::add_xor(SignalId a, SignalId b, const std::string& name) {
+  return add_gate(GateType::Xor, {a, b}, name);
+}
+SignalId Netlist::add_xnor(SignalId a, SignalId b, const std::string& name) {
+  return add_gate(GateType::Xnor, {a, b}, name);
+}
+SignalId Netlist::add_mux(SignalId sel, SignalId a, SignalId b,
+                          const std::string& name) {
+  return add_gate(GateType::Mux, {sel, a, b}, name);
+}
+
+SignalId Netlist::find(const std::string& name) const {
+  const auto it = by_name_.find(name);
+  return it == by_name_.end() ? k_no_signal : it->second;
+}
+
+SignalId Netlist::dff_input(SignalId dff) const {
+  const Node& n = nodes_.at(dff);
+  if (n.type != GateType::Dff) throw std::invalid_argument("dff_input: not a DFF");
+  return n.fanins[0];
+}
+
+void Netlist::set_dff_init(SignalId dff, DffInit init) {
+  Node& n = nodes_.at(dff);
+  if (n.type != GateType::Dff) throw std::invalid_argument("set_dff_init: not a DFF");
+  n.init = init;
+}
+
+NetlistStats Netlist::stats() const {
+  NetlistStats s;
+  s.inputs = inputs_.size();
+  s.key_inputs = key_inputs_.size();
+  s.outputs = outputs_.size();
+  s.dffs = dffs_.size();
+  for (const Node& n : nodes_) {
+    if (is_comb_gate(n.type)) ++s.gates;
+  }
+  return s;
+}
+
+std::vector<SignalId> Netlist::all_inputs() const {
+  std::vector<SignalId> v = inputs_;
+  v.insert(v.end(), key_inputs_.begin(), key_inputs_.end());
+  return v;
+}
+
+void Netlist::replace_fanin(SignalId gate, SignalId from, SignalId to) {
+  Node& n = nodes_.at(gate);
+  bool found = false;
+  for (SignalId& f : n.fanins) {
+    if (f == from) {
+      f = to;
+      found = true;
+    }
+  }
+  if (!found) {
+    throw std::invalid_argument("replace_fanin: " + nodes_.at(from).name +
+                                " is not a fanin of " + n.name);
+  }
+}
+
+void Netlist::replace_all_readers(SignalId old_sig, SignalId new_sig,
+                                  const std::vector<SignalId>& except) {
+  const auto excluded = [&](SignalId id) {
+    return std::find(except.begin(), except.end(), id) != except.end();
+  };
+  for (SignalId id = 0; id < nodes_.size(); ++id) {
+    if (excluded(id)) continue;
+    for (SignalId& f : nodes_[id].fanins) {
+      if (f == old_sig) f = new_sig;
+    }
+  }
+  for (SignalId& o : outputs_) {
+    if (o == old_sig) o = new_sig;
+  }
+}
+
+void Netlist::set_dff_input(SignalId dff, SignalId d) {
+  Node& n = nodes_.at(dff);
+  if (n.type != GateType::Dff) throw std::invalid_argument("set_dff_input: not a DFF");
+  n.fanins[0] = d;
+}
+
+std::string Netlist::fresh_name(const std::string& prefix) {
+  for (;;) {
+    std::string candidate = prefix + std::to_string(fresh_counter_++);
+    if (by_name_.count(candidate) == 0) return candidate;
+  }
+}
+
+void Netlist::check() const {
+  for (SignalId id = 0; id < nodes_.size(); ++id) {
+    const Node& n = nodes_[id];
+    check_arity(n.type, n.fanins.size());
+    for (SignalId f : n.fanins) {
+      if (f >= nodes_.size()) {
+        throw std::logic_error("dangling fanin in " + n.name);
+      }
+    }
+    const auto it = by_name_.find(n.name);
+    if (it == by_name_.end() || it->second != id) {
+      throw std::logic_error("name table inconsistent for " + n.name);
+    }
+  }
+  // Combinational acyclicity: DFS over comb gates; DFF outputs are sources.
+  enum class Mark : std::uint8_t { White, Grey, Black };
+  std::vector<Mark> mark(nodes_.size(), Mark::White);
+  std::vector<SignalId> stack;
+  for (SignalId root = 0; root < nodes_.size(); ++root) {
+    if (mark[root] != Mark::White) continue;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const SignalId id = stack.back();
+      if (mark[id] == Mark::White) {
+        mark[id] = Mark::Grey;
+        if (is_comb_gate(nodes_[id].type)) {
+          for (SignalId f : nodes_[id].fanins) {
+            if (!is_comb_gate(nodes_[f].type)) continue;
+            if (mark[f] == Mark::Grey) {
+              throw std::logic_error("combinational cycle through " +
+                                     nodes_[f].name);
+            }
+            if (mark[f] == Mark::White) stack.push_back(f);
+          }
+        }
+      } else {
+        mark[id] = Mark::Black;
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+Netlist Netlist::clone(const std::string& new_name) const {
+  Netlist copy = *this;
+  copy.name_ = new_name;
+  return copy;
+}
+
+}  // namespace cl::netlist

@@ -1,0 +1,17 @@
+// Lightweight logic optimization ("synthesis cleanup"): constant
+// propagation, unit/idempotence simplification, double-inverter removal,
+// structural hashing, and dead-logic sweep. Applied by the overhead flow so
+// the Fig. 4 numbers reflect an optimizing synthesis tool (Genus optimizes;
+// a raw netlist comparison would overstate everyone's overhead).
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace cl::netlist {
+
+/// One full optimization pass (iterated internally to a fixpoint, bounded).
+/// Functionally equivalence-preserving; the interface (ports, DFF count and
+/// init values) is preserved except that dead flip-flops are swept.
+Netlist optimize(const Netlist& nl);
+
+}  // namespace cl::netlist

@@ -1,0 +1,108 @@
+#include "netlist/topo.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cl::netlist {
+
+std::vector<SignalId> topo_order(const Netlist& nl) {
+  const std::size_t n = nl.size();
+  std::vector<SignalId> order;
+  order.reserve(n);
+  // Kahn's algorithm over combinational edges only.
+  std::vector<std::uint32_t> pending(n, 0);
+  for (SignalId id = 0; id < n; ++id) {
+    if (!is_comb_gate(nl.type(id))) continue;
+    std::uint32_t deg = 0;
+    for (SignalId f : nl.node(id).fanins) {
+      if (is_comb_gate(nl.type(f))) ++deg;
+    }
+    pending[id] = deg;
+  }
+  std::vector<std::vector<SignalId>> fo = fanouts(nl);
+  std::vector<SignalId> ready;
+  for (SignalId id = 0; id < n; ++id) {
+    if (!is_comb_gate(nl.type(id))) {
+      order.push_back(id);  // sources and DFFs first
+    } else if (pending[id] == 0) {
+      ready.push_back(id);
+    }
+  }
+  // Gates whose fanins are all sources/DFFs are immediately ready; release
+  // the rest as their combinational fanins retire.
+  std::size_t head = 0;
+  while (head < ready.size()) {
+    const SignalId id = ready[head++];
+    order.push_back(id);
+    for (SignalId reader : fo[id]) {
+      if (!is_comb_gate(nl.type(reader))) continue;
+      if (--pending[reader] == 0) ready.push_back(reader);
+    }
+  }
+  if (order.size() != n) {
+    throw std::logic_error("topo_order: combinational cycle detected");
+  }
+  return order;
+}
+
+std::vector<int> logic_levels(const Netlist& nl) {
+  std::vector<int> level(nl.size(), 0);
+  for (SignalId id : topo_order(nl)) {
+    if (!is_comb_gate(nl.type(id))) continue;
+    int best = 0;
+    for (SignalId f : nl.node(id).fanins) best = std::max(best, level[f]);
+    level[id] = best + 1;
+  }
+  return level;
+}
+
+std::vector<std::vector<SignalId>> fanouts(const Netlist& nl) {
+  std::vector<std::vector<SignalId>> fo(nl.size());
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    for (SignalId f : nl.node(id).fanins) fo[f].push_back(id);
+  }
+  return fo;
+}
+
+std::vector<bool> comb_fanin_cone(const Netlist& nl,
+                                  const std::vector<SignalId>& roots) {
+  std::vector<bool> in_cone(nl.size(), false);
+  std::vector<SignalId> stack = roots;
+  while (!stack.empty()) {
+    const SignalId id = stack.back();
+    stack.pop_back();
+    if (in_cone[id]) continue;
+    in_cone[id] = true;
+    if (is_comb_gate(nl.type(id))) {
+      for (SignalId f : nl.node(id).fanins) {
+        if (!in_cone[f]) stack.push_back(f);
+      }
+    }
+  }
+  return in_cone;
+}
+
+std::vector<SignalId> keys_in_cone(const Netlist& nl, SignalId root) {
+  const std::vector<bool> cone = comb_fanin_cone(nl, {root});
+  std::vector<SignalId> keys;
+  for (SignalId k : nl.key_inputs()) {
+    if (cone[k]) keys.push_back(k);
+  }
+  return keys;
+}
+
+std::vector<std::vector<SignalId>> dff_dependencies(const Netlist& nl) {
+  std::vector<std::vector<SignalId>> deps;
+  deps.reserve(nl.dffs().size());
+  for (SignalId d : nl.dffs()) {
+    const std::vector<bool> cone = comb_fanin_cone(nl, {nl.dff_input(d)});
+    std::vector<SignalId> sources;
+    for (SignalId q : nl.dffs()) {
+      if (cone[q]) sources.push_back(q);
+    }
+    deps.push_back(std::move(sources));
+  }
+  return deps;
+}
+
+}  // namespace cl::netlist

@@ -1,0 +1,38 @@
+// Structural analyses over a Netlist: topological order of the combinational
+// core, logic levels, fanout lists, and transitive fanin/fanout cones.
+#pragma once
+
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::netlist {
+
+/// Topological order of all nodes such that every combinational gate appears
+/// after its fanins. Sources and DFFs (whose Q is a sequential source) come
+/// first. Throws on combinational cycles.
+std::vector<SignalId> topo_order(const Netlist& nl);
+
+/// Logic level per node: sources/DFF-Q are level 0; a gate is 1 + max fanin
+/// level. Indexed by SignalId.
+std::vector<int> logic_levels(const Netlist& nl);
+
+/// Fanout adjacency: for each signal, the list of nodes reading it (gate
+/// fanins and DFF D-pins). Primary-output designations are not included.
+std::vector<std::vector<SignalId>> fanouts(const Netlist& nl);
+
+/// Transitive fanin cone of `roots`, stopping at (and including) sources and
+/// DFF outputs. Returned as a membership flag vector indexed by SignalId.
+std::vector<bool> comb_fanin_cone(const Netlist& nl,
+                                  const std::vector<SignalId>& roots);
+
+/// Signals of the combinational next-state/output logic that a given signal
+/// structurally depends on, restricted to key inputs. Convenience for the
+/// structural attacks.
+std::vector<SignalId> keys_in_cone(const Netlist& nl, SignalId root);
+
+/// For every DFF d, the set of DFFs whose Q appears in the combinational
+/// fanin cone of d's D pin — the register dependency graph used by DANA.
+std::vector<std::vector<SignalId>> dff_dependencies(const Netlist& nl);
+
+}  // namespace cl::netlist

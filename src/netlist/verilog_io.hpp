@@ -1,0 +1,17 @@
+// Structural Verilog writer (for inspection and for feeding external
+// synthesis flows). Gate-level output: continuous assigns for combinational
+// gates and one always-block per DFF.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::netlist {
+
+void write_verilog(std::ostream& out, const Netlist& nl);
+std::string write_verilog_string(const Netlist& nl);
+void write_verilog_file(const std::string& path, const Netlist& nl);
+
+}  // namespace cl::netlist

@@ -1,0 +1,78 @@
+#include "sat/dimacs.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace cl::sat {
+
+Dimacs read_dimacs(std::istream& in) {
+  Dimacs d;
+  std::string tok;
+  std::vector<int> clause;
+  bool saw_header = false;
+  while (in >> tok) {
+    if (tok == "c") {
+      std::string rest;
+      std::getline(in, rest);
+      continue;
+    }
+    if (tok == "p") {
+      std::string fmt;
+      int nc = 0;
+      if (!(in >> fmt >> d.num_vars >> nc) || fmt != "cnf") {
+        throw std::runtime_error("dimacs: bad header");
+      }
+      saw_header = true;
+      continue;
+    }
+    const int lit = std::stoi(tok);
+    if (lit == 0) {
+      d.clauses.push_back(clause);
+      clause.clear();
+    } else {
+      if (std::abs(lit) > d.num_vars) {
+        if (!saw_header) {
+          d.num_vars = std::abs(lit);
+        } else {
+          throw std::runtime_error("dimacs: literal exceeds declared vars");
+        }
+      }
+      clause.push_back(lit);
+    }
+  }
+  if (!clause.empty()) d.clauses.push_back(clause);
+  return d;
+}
+
+Dimacs read_dimacs_string(const std::string& text) {
+  std::istringstream in(text);
+  return read_dimacs(in);
+}
+
+Var load_dimacs(Solver& solver, const Dimacs& d) {
+  const Var base = solver.num_vars();
+  for (int i = 0; i < d.num_vars; ++i) solver.new_var();
+  for (const auto& clause : d.clauses) {
+    std::vector<Lit> lits;
+    lits.reserve(clause.size());
+    for (int l : clause) {
+      const Var v = base + std::abs(l) - 1;
+      lits.push_back(Lit(v, l < 0));
+    }
+    solver.add_clause(std::move(lits));
+  }
+  return base;
+}
+
+std::string write_dimacs_string(const Dimacs& d) {
+  std::ostringstream out;
+  out << "p cnf " << d.num_vars << ' ' << d.clauses.size() << '\n';
+  for (const auto& clause : d.clauses) {
+    for (int l : clause) out << l << ' ';
+    out << "0\n";
+  }
+  return out.str();
+}
+
+}  // namespace cl::sat

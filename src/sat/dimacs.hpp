@@ -1,0 +1,28 @@
+// Minimal DIMACS CNF reader/writer, used by the solver tests and for
+// exporting attack instances for external inspection.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace cl::sat {
+
+/// A raw CNF: clause list over 1-based DIMACS variables.
+struct Dimacs {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+};
+
+Dimacs read_dimacs(std::istream& in);
+Dimacs read_dimacs_string(const std::string& text);
+
+/// Load a DIMACS problem into a fresh region of `solver`; returns the Var
+/// corresponding to DIMACS variable 1 (variables are consecutive).
+Var load_dimacs(Solver& solver, const Dimacs& d);
+
+std::string write_dimacs_string(const Dimacs& d);
+
+}  // namespace cl::sat

@@ -1,0 +1,613 @@
+#include "sat/solver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cl::sat {
+
+struct Solver::Clause {
+  std::vector<Lit> lits;
+  double activity = 0.0;
+  int lbd = 0;
+  bool learnt = false;
+};
+
+Solver::Solver() = default;
+
+Solver::~Solver() {
+  for (Clause* c : clauses_) delete c;
+  for (Clause* c : learnts_) delete c;
+}
+
+Var Solver::new_var() {
+  const Var v = static_cast<Var>(activity_.size());
+  activity_.push_back(0.0);
+  assigns_.push_back(LBool::Undef);
+  phase_.push_back(false);
+  reason_.push_back(nullptr);
+  level_.push_back(0);
+  seen_.push_back(false);
+  watches_.emplace_back();
+  watches_.emplace_back();
+  heap_pos_.push_back(-1);
+  heap_insert(v);
+  return v;
+}
+
+LBool Solver::lit_value(Lit l) const {
+  const LBool v = assigns_[l.var()];
+  if (v == LBool::Undef) return LBool::Undef;
+  const bool b = (v == LBool::True) != l.negated();
+  return b ? LBool::True : LBool::False;
+}
+
+bool Solver::add_clause(std::vector<Lit> lits) {
+  if (!ok_) return false;
+  if (decision_level() != 0) {
+    throw std::logic_error("add_clause: only legal at decision level 0");
+  }
+  // Simplify: sort, drop duplicates, detect tautology, drop false literals,
+  // detect satisfied clauses.
+  std::sort(lits.begin(), lits.end());
+  std::vector<Lit> out;
+  Lit prev = Lit::from_code(-2);
+  for (Lit l : lits) {
+    if (l.var() < 0 || l.var() >= num_vars()) {
+      throw std::invalid_argument("add_clause: unknown variable");
+    }
+    if (l == prev) continue;
+    if (prev.code() >= 0 && l == ~prev) return true;  // tautology
+    const LBool v = lit_value(l);
+    if (v == LBool::True) return true;  // already satisfied at level 0
+    if (v == LBool::False) { prev = l; continue; }
+    out.push_back(l);
+    prev = l;
+  }
+  if (out.empty()) {
+    ok_ = false;
+    return false;
+  }
+  if (out.size() == 1) {
+    enqueue(out[0], nullptr);
+    if (propagate() != nullptr) ok_ = false;
+    return ok_;
+  }
+  Clause* c = new Clause{std::move(out), 0.0, 0, false};
+  clauses_.push_back(c);
+  attach(c);
+  return true;
+}
+
+void Solver::attach(Clause* c) {
+  watches_[(~c->lits[0]).code()].push_back({c, c->lits[1]});
+  watches_[(~c->lits[1]).code()].push_back({c, c->lits[0]});
+}
+
+void Solver::detach(Clause* c) {
+  for (int i = 0; i < 2; ++i) {
+    auto& ws = watches_[(~c->lits[i]).code()];
+    for (std::size_t j = 0; j < ws.size(); ++j) {
+      if (ws[j].clause == c) {
+        ws[j] = ws.back();
+        ws.pop_back();
+        break;
+      }
+    }
+  }
+}
+
+void Solver::enqueue(Lit l, Clause* reason) {
+  assigns_[l.var()] = l.negated() ? LBool::False : LBool::True;
+  phase_[l.var()] = !l.negated();
+  reason_[l.var()] = reason;
+  level_[l.var()] = decision_level();
+  trail_.push_back(l);
+}
+
+Solver::Clause* Solver::propagate() {
+  while (propagate_head_ < trail_.size()) {
+    const Lit p = trail_[propagate_head_++];
+    ++stats_propagations_;
+    auto& ws = watches_[p.code()];
+    std::size_t i = 0, j = 0;
+    while (i < ws.size()) {
+      const Watcher w = ws[i];
+      if (lit_value(w.blocker) == LBool::True) {
+        ws[j++] = ws[i++];
+        continue;
+      }
+      Clause* c = w.clause;
+      // Normalize: ensure the false literal ~p is at position 1.
+      const Lit not_p = ~p;
+      if (c->lits[0] == not_p) std::swap(c->lits[0], c->lits[1]);
+      // If first literal is true, keep watching.
+      if (lit_value(c->lits[0]) == LBool::True) {
+        ws[j++] = {c, c->lits[0]};
+        ++i;
+        continue;
+      }
+      // Search a new literal to watch.
+      bool found = false;
+      for (std::size_t k = 2; k < c->lits.size(); ++k) {
+        if (lit_value(c->lits[k]) != LBool::False) {
+          std::swap(c->lits[1], c->lits[k]);
+          watches_[(~c->lits[1]).code()].push_back({c, c->lits[0]});
+          found = true;
+          break;
+        }
+      }
+      if (found) {
+        ++i;  // this watcher is dropped (moved to the other list)
+        continue;
+      }
+      // Unit or conflicting.
+      if (lit_value(c->lits[0]) == LBool::False) {
+        // Conflict: restore remaining watchers and report.
+        while (i < ws.size()) ws[j++] = ws[i++];
+        ws.resize(j);
+        propagate_head_ = trail_.size();
+        return c;
+      }
+      enqueue(c->lits[0], c);
+      ws[j++] = {c, c->lits[0]};
+      ++i;
+    }
+    ws.resize(j);
+  }
+  return nullptr;
+}
+
+void Solver::bump_var(Var v) {
+  activity_[v] += var_inc_;
+  if (activity_[v] > 1e100) {
+    for (double& a : activity_) a *= 1e-100;
+    var_inc_ *= 1e-100;
+  }
+  if (heap_pos_[v] >= 0) heap_percolate_up(heap_pos_[v]);
+}
+
+void Solver::bump_clause(Clause* c) {
+  c->activity += clause_inc_;
+  if (c->activity > 1e20) {
+    for (Clause* l : learnts_) l->activity *= 1e-20;
+    clause_inc_ *= 1e-20;
+  }
+}
+
+void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
+                     int& backtrack_level) {
+  learnt.clear();
+  learnt.push_back(Lit::from_code(-2));  // slot for the asserting literal
+  int counter = 0;
+  Lit p = Lit::from_code(-2);
+  std::size_t trail_index = trail_.size();
+  Clause* reason = conflict;
+
+  do {
+    bump_clause(reason);
+    // Start at 1 when `reason` is the reason of p (lits[0] == p).
+    const std::size_t start = (p.code() >= 0) ? 1 : 0;
+    for (std::size_t k = start; k < reason->lits.size(); ++k) {
+      const Lit q = reason->lits[k];
+      if (!seen_[q.var()] && level_[q.var()] > 0) {
+        seen_[q.var()] = true;
+        bump_var(q.var());
+        if (level_[q.var()] >= decision_level()) {
+          ++counter;
+        } else {
+          learnt.push_back(q);
+        }
+      }
+    }
+    // Select next literal on the trail to resolve on.
+    while (!seen_[trail_[trail_index - 1].var()]) --trail_index;
+    --trail_index;
+    p = trail_[trail_index];
+    seen_[p.var()] = false;
+    reason = reason_[p.var()];
+    --counter;
+  } while (counter > 0);
+  learnt[0] = ~p;
+
+  // Mark remaining literals for minimization bookkeeping.
+  analyze_clear_ = learnt;
+  for (const Lit& l : learnt) {
+    if (l.code() >= 0) seen_[l.var()] = true;
+  }
+  // Clause minimization: drop literals implied by the rest of the clause.
+  std::uint32_t abstract_levels = 0;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
+  }
+  std::size_t out = 1;
+  for (std::size_t i = 1; i < learnt.size(); ++i) {
+    if (reason_[learnt[i].var()] == nullptr ||
+        !literal_redundant(learnt[i], abstract_levels)) {
+      learnt[out++] = learnt[i];
+    }
+  }
+  learnt.resize(out);
+
+  for (const Lit& l : analyze_clear_) {
+    if (l.code() >= 0) seen_[l.var()] = false;
+  }
+  analyze_clear_.clear();
+
+  // Compute backtrack level: max level among learnt[1..].
+  if (learnt.size() == 1) {
+    backtrack_level = 0;
+  } else {
+    std::size_t max_i = 1;
+    for (std::size_t i = 2; i < learnt.size(); ++i) {
+      if (level_[learnt[i].var()] > level_[learnt[max_i].var()]) max_i = i;
+    }
+    std::swap(learnt[1], learnt[max_i]);
+    backtrack_level = level_[learnt[1].var()];
+  }
+}
+
+bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
+  analyze_stack_.clear();
+  analyze_stack_.push_back(l);
+  const std::size_t top = analyze_clear_.size();
+  while (!analyze_stack_.empty()) {
+    const Lit cur = analyze_stack_.back();
+    analyze_stack_.pop_back();
+    const Clause* c = reason_[cur.var()];
+    if (c == nullptr) {
+      // Hit a decision: not redundant; undo marks made during this check.
+      for (std::size_t i = top; i < analyze_clear_.size(); ++i) {
+        seen_[analyze_clear_[i].var()] = false;
+      }
+      analyze_clear_.resize(top);
+      return false;
+    }
+    for (std::size_t k = 1; k < c->lits.size(); ++k) {
+      const Lit q = c->lits[k];
+      if (seen_[q.var()] || level_[q.var()] == 0) continue;
+      if (reason_[q.var()] == nullptr ||
+          ((1u << (level_[q.var()] & 31)) & abstract_levels) == 0) {
+        for (std::size_t i = top; i < analyze_clear_.size(); ++i) {
+          seen_[analyze_clear_[i].var()] = false;
+        }
+        analyze_clear_.resize(top);
+        return false;
+      }
+      seen_[q.var()] = true;
+      analyze_stack_.push_back(q);
+      analyze_clear_.push_back(q);
+    }
+  }
+  return true;
+}
+
+void Solver::backtrack(int target_level) {
+  if (decision_level() <= target_level) return;
+  const int limit = level_limits_[target_level];
+  for (int i = static_cast<int>(trail_.size()) - 1; i >= limit; --i) {
+    const Var v = trail_[static_cast<std::size_t>(i)].var();
+    assigns_[v] = LBool::Undef;
+    reason_[v] = nullptr;
+    if (heap_pos_[v] < 0) heap_insert(v);
+  }
+  trail_.resize(static_cast<std::size_t>(limit));
+  level_limits_.resize(static_cast<std::size_t>(target_level));
+  propagate_head_ = trail_.size();
+}
+
+Lit Solver::pick_branch() {
+  while (!heap_empty()) {
+    const Var v = heap_pop();
+    if (assigns_[v] == LBool::Undef) {
+      ++stats_decisions_;
+      return Lit(v, !phase_[v]);
+    }
+  }
+  return Lit::from_code(-2);
+}
+
+void Solver::reduce_db() {
+  // Keep clauses with low LBD or high activity; delete the bottom half.
+  std::sort(learnts_.begin(), learnts_.end(), [](Clause* a, Clause* b) {
+    if (a->lbd != b->lbd) return a->lbd > b->lbd;
+    return a->activity < b->activity;
+  });
+  const std::size_t target = learnts_.size() / 2;
+  std::vector<Clause*> kept;
+  kept.reserve(learnts_.size() - target);
+  std::size_t removed = 0;
+  for (Clause* c : learnts_) {
+    bool locked = false;
+    // A clause is locked if it is the reason of a current assignment.
+    const Lit first = c->lits[0];
+    if (lit_value(first) == LBool::True && reason_[first.var()] == c) {
+      locked = true;
+    }
+    if (removed < target && !locked && c->lbd > 2 && c->lits.size() > 2) {
+      detach(c);
+      delete c;
+      ++removed;
+    } else {
+      kept.push_back(c);
+    }
+  }
+  learnts_ = std::move(kept);
+}
+
+void Solver::analyze_final(Lit p) {
+  conflict_assumptions_.clear();
+  conflict_assumptions_.push_back(p);
+  if (decision_level() == 0) return;
+  seen_[p.var()] = true;
+  for (int i = static_cast<int>(trail_.size()) - 1;
+       i >= level_limits_[0]; --i) {
+    const Var v = trail_[static_cast<std::size_t>(i)].var();
+    if (!seen_[v]) continue;
+    if (reason_[v] == nullptr) {
+      if (level_[v] > 0 && trail_[static_cast<std::size_t>(i)] != p) {
+        conflict_assumptions_.push_back(trail_[static_cast<std::size_t>(i)]);
+      }
+    } else {
+      for (std::size_t k = 1; k < reason_[v]->lits.size(); ++k) {
+        const Var u = reason_[v]->lits[k].var();
+        if (level_[u] > 0) seen_[u] = true;
+      }
+    }
+    seen_[v] = false;
+  }
+  seen_[p.var()] = false;
+}
+
+double Solver::luby(double y, int i) {
+  int size = 1, seq = 0;
+  while (size < i + 1) {
+    ++seq;
+    size = 2 * size + 1;
+  }
+  while (size - 1 != i) {
+    size = (size - 1) / 2;
+    --seq;
+    i = i % size;
+  }
+  return std::pow(y, seq);
+}
+
+Result Solver::solve(const std::vector<Lit>& assumptions) {
+  if (!ok_) return Result::Unsat;
+  conflict_assumptions_.clear();
+  backtrack(0);
+  if (propagate() != nullptr) {
+    ok_ = false;
+    return Result::Unsat;
+  }
+
+  int restart_count = 0;
+  std::int64_t conflicts_until_restart =
+      static_cast<std::int64_t>(luby(2.0, restart_count) * 64);
+
+  std::vector<Lit> learnt;
+  for (;;) {
+    Clause* conflict = propagate();
+    if (conflict != nullptr) {
+      ++stats_conflicts_;
+      if (decision_level() == 0) {
+        ok_ = false;
+        return Result::Unsat;
+      }
+      // Conflict below/at the assumption prefix: find which assumptions fail.
+      if (static_cast<std::size_t>(decision_level()) <= assumptions.size()) {
+        // The conflict depends on assumptions only through decisions; collect
+        // them by resolving the conflict fully.
+        conflict_assumptions_.clear();
+        for (const Lit& l : conflict->lits) {
+          if (level_[l.var()] > 0) seen_[l.var()] = true;
+        }
+        for (int i = static_cast<int>(trail_.size()) - 1;
+             i >= level_limits_[0]; --i) {
+          const Var v = trail_[static_cast<std::size_t>(i)].var();
+          if (!seen_[v]) continue;
+          if (reason_[v] == nullptr) {
+            conflict_assumptions_.push_back(trail_[static_cast<std::size_t>(i)]);
+          } else {
+            for (std::size_t k = 1; k < reason_[v]->lits.size(); ++k) {
+              const Var u = reason_[v]->lits[k].var();
+              if (level_[u] > 0) seen_[u] = true;
+            }
+          }
+          seen_[v] = false;
+        }
+        backtrack(0);
+        return Result::Unsat;
+      }
+      int back_level = 0;
+      analyze(conflict, learnt, back_level);
+      // Never backtrack into the assumption prefix: clamp and re-decide.
+      const int floor_level =
+          std::min<int>(static_cast<int>(assumptions.size()), back_level);
+      backtrack(std::max(back_level, 0) < floor_level ? floor_level : back_level);
+      if (learnt.size() == 1) {
+        if (decision_level() == 0) {
+          enqueue(learnt[0], nullptr);
+        } else {
+          // Cannot assert a unit above level 0 while assumptions hold; store
+          // as a learnt unit by backtracking fully.
+          backtrack(0);
+          enqueue(learnt[0], nullptr);
+        }
+      } else {
+        Clause* c = new Clause{learnt, clause_inc_, 0, true};
+        // LBD: number of distinct decision levels among literals.
+        std::uint32_t seen_levels = 0;
+        int lbd = 0;
+        for (const Lit& l : learnt) {
+          const std::uint32_t bit = 1u << (level_[l.var()] & 31);
+          if ((seen_levels & bit) == 0) {
+            seen_levels |= bit;
+            ++lbd;
+          }
+        }
+        c->lbd = lbd;
+        learnts_.push_back(c);
+        ++stats_learned_;
+        attach(c);
+        enqueue(learnt[0], c);
+      }
+      decay_var_activity();
+      clause_inc_ /= 0.999;
+
+      if (conflict_budget_ >= 0 &&
+          stats_conflicts_ >= static_cast<std::uint64_t>(conflict_budget_)) {
+        backtrack(0);
+        return Result::Unknown;
+      }
+      if (time_budget_s_ >= 0 && --deadline_check_countdown_ <= 0) {
+        deadline_check_countdown_ = 256;
+        if (std::chrono::steady_clock::now() > deadline_) {
+          backtrack(0);
+          return Result::Unknown;
+        }
+      }
+      if (--conflicts_until_restart <= 0) {
+        ++restart_count;
+        conflicts_until_restart =
+            static_cast<std::int64_t>(luby(2.0, restart_count) * 64);
+        backtrack(static_cast<int>(assumptions.size()) <= decision_level()
+                      ? static_cast<int>(assumptions.size())
+                      : 0);
+      }
+      if (learnts_.size() > max_learnts_) {
+        reduce_db();
+        max_learnts_ = max_learnts_ + max_learnts_ / 10;
+      }
+    } else {
+      if (propagation_budget_ >= 0 &&
+          stats_propagations_ >= static_cast<std::uint64_t>(propagation_budget_)) {
+        backtrack(0);
+        return Result::Unknown;
+      }
+      // Place assumptions as the first decisions.
+      if (static_cast<std::size_t>(decision_level()) < assumptions.size()) {
+        const Lit a = assumptions[static_cast<std::size_t>(decision_level())];
+        const LBool v = lit_value(a);
+        if (v == LBool::True) {
+          new_decision_level();  // already satisfied; dummy level keeps indexing
+          continue;
+        }
+        if (v == LBool::False) {
+          analyze_final(~a);
+          backtrack(0);
+          return Result::Unsat;
+        }
+        new_decision_level();
+        enqueue(a, nullptr);
+        continue;
+      }
+      const Lit next = pick_branch();
+      if (next.code() < 0) {
+        // All variables assigned: model found. Copy it out and restore the
+        // solver to level 0 so clauses can be added incrementally.
+        model_ = assigns_;
+        backtrack(0);
+        return Result::Sat;
+      }
+      new_decision_level();
+      enqueue(next, nullptr);
+    }
+  }
+}
+
+bool Solver::model_value(Var v) const {
+  if (v < 0 || v >= static_cast<Var>(model_.size())) {
+    throw std::out_of_range("model_value: no model for variable");
+  }
+  return model_[v] == LBool::True;
+}
+
+bool Solver::model_value(Lit l) const {
+  return model_value(l.var()) != l.negated();
+}
+
+void Solver::set_conflict_budget(std::int64_t max_conflicts) {
+  conflict_budget_ =
+      max_conflicts < 0 ? -1
+                        : static_cast<std::int64_t>(stats_conflicts_) + max_conflicts;
+}
+
+void Solver::set_propagation_budget(std::int64_t max_propagations) {
+  propagation_budget_ =
+      max_propagations < 0
+          ? -1
+          : static_cast<std::int64_t>(stats_propagations_) + max_propagations;
+}
+
+void Solver::set_time_budget(double seconds) {
+  time_budget_s_ = seconds;
+  if (seconds >= 0) {
+    deadline_ = std::chrono::steady_clock::now() +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(seconds));
+  }
+}
+
+// ---- activity heap ---------------------------------------------------------
+
+void Solver::heap_insert(Var v) {
+  heap_pos_[v] = static_cast<int>(heap_.size());
+  heap_.push_back(v);
+  heap_percolate_up(heap_pos_[v]);
+}
+
+Var Solver::heap_pop() {
+  const Var top = heap_[0];
+  heap_pos_[top] = -1;
+  heap_[0] = heap_.back();
+  heap_.pop_back();
+  if (!heap_.empty()) {
+    heap_pos_[heap_[0]] = 0;
+    heap_percolate_down(0);
+  }
+  return top;
+}
+
+void Solver::heap_update(Var v) {
+  if (heap_pos_[v] >= 0) {
+    heap_percolate_up(heap_pos_[v]);
+    heap_percolate_down(heap_pos_[v]);
+  }
+}
+
+void Solver::heap_percolate_up(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  while (i > 0) {
+    const int parent = (i - 1) / 2;
+    if (activity_[heap_[static_cast<std::size_t>(parent)]] >= activity_[v]) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(parent)];
+    heap_pos_[heap_[static_cast<std::size_t>(i)]] = i;
+    i = parent;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[v] = i;
+}
+
+void Solver::heap_percolate_down(int i) {
+  const Var v = heap_[static_cast<std::size_t>(i)];
+  const int n = static_cast<int>(heap_.size());
+  for (;;) {
+    int child = 2 * i + 1;
+    if (child >= n) break;
+    if (child + 1 < n &&
+        activity_[heap_[static_cast<std::size_t>(child + 1)]] >
+            activity_[heap_[static_cast<std::size_t>(child)]]) {
+      ++child;
+    }
+    if (activity_[heap_[static_cast<std::size_t>(child)]] <= activity_[v]) break;
+    heap_[static_cast<std::size_t>(i)] = heap_[static_cast<std::size_t>(child)];
+    heap_pos_[heap_[static_cast<std::size_t>(i)]] = i;
+    i = child;
+  }
+  heap_[static_cast<std::size_t>(i)] = v;
+  heap_pos_[v] = i;
+}
+
+}  // namespace cl::sat

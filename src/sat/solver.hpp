@@ -1,0 +1,169 @@
+// Self-contained CDCL SAT solver.
+//
+// Features: two-watched-literal propagation with blockers, VSIDS decision
+// heuristic with phase saving, first-UIP conflict analysis with recursive
+// clause minimization, LBD-aware learned-clause reduction, Luby restarts, and
+// incremental solving under assumptions (required by the KC2 attack). No
+// external dependencies.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+namespace cl::sat {
+
+/// 0-based variable index.
+using Var = std::int32_t;
+
+/// Literal: encodes (variable, sign) as 2*var + (negated ? 1 : 0).
+class Lit {
+ public:
+  Lit() : code_(-2) {}
+  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
+
+  static Lit from_code(std::int32_t code) {
+    Lit l;
+    l.code_ = code;
+    return l;
+  }
+
+  Var var() const { return code_ >> 1; }
+  bool negated() const { return code_ & 1; }
+  Lit operator~() const { return from_code(code_ ^ 1); }
+  std::int32_t code() const { return code_; }
+
+  bool operator==(const Lit& o) const = default;
+  bool operator<(const Lit& o) const { return code_ < o.code_; }
+
+ private:
+  std::int32_t code_;
+};
+
+inline Lit pos(Var v) { return Lit(v, false); }
+inline Lit neg(Var v) { return Lit(v, true); }
+
+enum class Result : std::uint8_t { Sat, Unsat, Unknown };
+
+/// Tri-state assignment value.
+enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
+
+class Solver {
+ public:
+  Solver();
+  ~Solver();
+  Solver(const Solver&) = delete;
+  Solver& operator=(const Solver&) = delete;
+
+  /// Allocate a fresh variable.
+  Var new_var();
+  int num_vars() const { return static_cast<int>(activity_.size()); }
+
+  /// Add a clause over existing variables. Returns false if the database is
+  /// already unsatisfiable (the clause is still recorded as appropriate).
+  bool add_clause(std::vector<Lit> lits);
+  bool add_unit(Lit a) { return add_clause({a}); }
+  bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
+  bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
+
+  /// Solve under the given assumptions. Returns Unknown when a budget set via
+  /// set_conflict_budget / set_propagation_budget is exhausted.
+  Result solve(const std::vector<Lit>& assumptions = {});
+
+  /// Model access after Result::Sat.
+  bool model_value(Var v) const;
+  bool model_value(Lit l) const;
+
+  /// After Unsat under assumptions: the subset of assumption literals that
+  /// participate in the final conflict (analogous to MiniSat's conflict
+  /// clause over assumptions).
+  const std::vector<Lit>& unsat_assumptions() const { return conflict_assumptions_; }
+
+  /// Budgets: negative = unlimited. Budgets are consumed across solve calls
+  /// until reset by another set_* call.
+  void set_conflict_budget(std::int64_t max_conflicts);
+  void set_propagation_budget(std::int64_t max_propagations);
+
+  /// Wall-clock deadline for solve(); checked every few hundred conflicts.
+  /// Negative disables. solve() returns Unknown when exceeded.
+  void set_time_budget(double seconds);
+
+  // Statistics.
+  std::uint64_t num_conflicts() const { return stats_conflicts_; }
+  std::uint64_t num_decisions() const { return stats_decisions_; }
+  std::uint64_t num_propagations() const { return stats_propagations_; }
+  std::uint64_t num_learned() const { return stats_learned_; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+
+ private:
+  struct Clause;
+  struct Watcher {
+    Clause* clause;
+    Lit blocker;
+  };
+
+  LBool lit_value(Lit l) const;
+  void new_decision_level() { level_limits_.push_back(static_cast<int>(trail_.size())); }
+  int decision_level() const { return static_cast<int>(level_limits_.size()); }
+  void attach(Clause* c);
+  void detach(Clause* c);
+  void enqueue(Lit l, Clause* reason);
+  Clause* propagate();
+  void analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  bool literal_redundant(Lit l, std::uint32_t abstract_levels);
+  void backtrack(int level);
+  Lit pick_branch();
+  void bump_var(Var v);
+  void decay_var_activity() { var_inc_ /= 0.95; }
+  void bump_clause(Clause* c);
+  void reduce_db();
+  void analyze_final(Lit p);
+  static double luby(double y, int i);
+
+  // Heap of variables ordered by activity.
+  void heap_insert(Var v);
+  void heap_update(Var v);
+  Var heap_pop();
+  bool heap_empty() const { return heap_.empty(); }
+  void heap_percolate_up(int i);
+  void heap_percolate_down(int i);
+
+  std::vector<Clause*> clauses_;
+  std::vector<Clause*> learnts_;
+  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<LBool> assigns_;
+  std::vector<bool> phase_;
+  std::vector<Clause*> reason_;
+  std::vector<int> level_;
+  std::vector<Lit> trail_;
+  std::vector<int> level_limits_;
+  std::size_t propagate_head_ = 0;
+
+  std::vector<double> activity_;
+  double var_inc_ = 1.0;
+  double clause_inc_ = 1.0;
+  std::vector<int> heap_;       // heap of vars
+  std::vector<int> heap_pos_;   // var -> index in heap_ or -1
+
+  std::vector<bool> seen_;
+  std::vector<Lit> analyze_stack_;
+  std::vector<Lit> analyze_clear_;
+
+  std::vector<Lit> conflict_assumptions_;
+  std::vector<LBool> model_;
+  bool ok_ = true;
+
+  std::int64_t conflict_budget_ = -1;
+  std::int64_t propagation_budget_ = -1;
+  double time_budget_s_ = -1.0;
+  std::int64_t deadline_check_countdown_ = 0;
+  std::chrono::steady_clock::time_point deadline_{};
+
+  std::uint64_t stats_conflicts_ = 0;
+  std::uint64_t stats_decisions_ = 0;
+  std::uint64_t stats_propagations_ = 0;
+  std::uint64_t stats_learned_ = 0;
+  std::size_t max_learnts_ = 4000;
+};
+
+}  // namespace cl::sat

@@ -1,0 +1,131 @@
+#include "sim/bit_sim.hpp"
+
+#include <bit>
+
+#include "netlist/topo.hpp"
+
+namespace cl::sim {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+BitSim::BitSim(const Netlist& nl)
+    : nl_(nl),
+      order_(netlist::topo_order(nl)),
+      values_(nl.size(), 0),
+      prev_values_(nl.size(), 0),
+      toggles_(nl.size(), 0) {
+  reset();
+}
+
+void BitSim::reset() {
+  for (SignalId s = 0; s < nl_.size(); ++s) values_[s] = 0;
+  for (SignalId d : nl_.dffs()) {
+    values_[d] = (nl_.dff_init(d) == netlist::DffInit::One) ? ~0ULL : 0ULL;
+  }
+  have_prev_ = false;
+}
+
+void BitSim::set(SignalId s, std::uint64_t word) {
+  const GateType t = nl_.type(s);
+  if (t != GateType::Input && t != GateType::KeyInput) {
+    throw std::invalid_argument("BitSim::set: not an input: " +
+                                nl_.signal_name(s));
+  }
+  values_[s] = word;
+}
+
+void BitSim::eval() {
+  for (SignalId s : order_) {
+    const netlist::Node& n = nl_.node(s);
+    switch (n.type) {
+      case GateType::Input:
+      case GateType::KeyInput:
+      case GateType::Dff:
+        break;  // sources: already set
+      case GateType::Const0: values_[s] = 0; break;
+      case GateType::Const1: values_[s] = ~0ULL; break;
+      case GateType::Buf: values_[s] = values_[n.fanins[0]]; break;
+      case GateType::Not: values_[s] = ~values_[n.fanins[0]]; break;
+      case GateType::And: {
+        std::uint64_t v = ~0ULL;
+        for (SignalId f : n.fanins) v &= values_[f];
+        values_[s] = v;
+        break;
+      }
+      case GateType::Nand: {
+        std::uint64_t v = ~0ULL;
+        for (SignalId f : n.fanins) v &= values_[f];
+        values_[s] = ~v;
+        break;
+      }
+      case GateType::Or: {
+        std::uint64_t v = 0;
+        for (SignalId f : n.fanins) v |= values_[f];
+        values_[s] = v;
+        break;
+      }
+      case GateType::Nor: {
+        std::uint64_t v = 0;
+        for (SignalId f : n.fanins) v |= values_[f];
+        values_[s] = ~v;
+        break;
+      }
+      case GateType::Xor: {
+        std::uint64_t v = 0;
+        for (SignalId f : n.fanins) v ^= values_[f];
+        values_[s] = v;
+        break;
+      }
+      case GateType::Xnor: {
+        std::uint64_t v = 0;
+        for (SignalId f : n.fanins) v ^= values_[f];
+        values_[s] = ~v;
+        break;
+      }
+      case GateType::Mux: {
+        const std::uint64_t sel = values_[n.fanins[0]];
+        const std::uint64_t a = values_[n.fanins[1]];
+        const std::uint64_t b = values_[n.fanins[2]];
+        values_[s] = (sel & b) | (~sel & a);
+        break;
+      }
+    }
+  }
+  if (count_toggles_) {
+    if (have_prev_) {
+      for (SignalId s = 0; s < nl_.size(); ++s) {
+        toggles_[s] += static_cast<std::uint64_t>(
+            std::popcount(values_[s] ^ prev_values_[s]));
+      }
+    }
+    prev_values_ = values_;
+    have_prev_ = true;
+  }
+}
+
+void BitSim::step() {
+  // Latch all D values computed by the last eval(); two-phase to honour
+  // register-to-register paths.
+  std::vector<std::uint64_t> next;
+  next.reserve(nl_.dffs().size());
+  for (SignalId d : nl_.dffs()) next.push_back(values_[nl_.dff_input(d)]);
+  std::size_t i = 0;
+  for (SignalId d : nl_.dffs()) values_[d] = next[i++];
+}
+
+std::vector<std::uint64_t> BitSim::outputs() {
+  eval();
+  std::vector<std::uint64_t> out;
+  out.reserve(nl_.outputs().size());
+  for (SignalId o : nl_.outputs()) out.push_back(values_[o]);
+  return out;
+}
+
+void BitSim::clear_toggles() {
+  toggles_.assign(nl_.size(), 0);
+  have_prev_ = false;
+}
+
+}  // namespace cl::sim

@@ -1,0 +1,63 @@
+// 64-way bit-parallel two-valued simulator.
+//
+// Every signal carries a 64-bit word: bit lane j is an independent simulation
+// instance, so one eval() pass simulates 64 input vectors at once. Sequential
+// circuits are advanced with step(), which latches each DFF's D word into its
+// Q word. DFFs with X power-up are treated as 0 here (use XSim for faithful
+// three-valued power-up behaviour).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::sim {
+
+class BitSim {
+ public:
+  explicit BitSim(const netlist::Netlist& nl);
+
+  /// Reset all DFFs to their power-up values (X treated as 0) and clear
+  /// input/key words.
+  void reset();
+
+  /// Assign the 64-lane word of a primary/key input.
+  void set(netlist::SignalId s, std::uint64_t word);
+
+  /// Current word of any signal (valid after eval()).
+  std::uint64_t get(netlist::SignalId s) const { return values_[s]; }
+
+  /// Propagate through the combinational core (inputs and DFF Qs are
+  /// sources).
+  void eval();
+
+  /// Latch every DFF: Q <= D. Call after eval().
+  void step();
+
+  /// eval() + collect outputs in declaration order.
+  std::vector<std::uint64_t> outputs();
+
+  const netlist::Netlist& netlist() const { return nl_; }
+
+  /// Number of 0->1 / 1->0 transitions observed per signal across step()
+  /// boundaries in lane 0..63 combined (used for switching activity). The
+  /// counter accumulates over the object's lifetime; reset with
+  /// clear_toggles().
+  const std::vector<std::uint64_t>& toggle_counts() const { return toggles_; }
+  void clear_toggles();
+
+  /// Enable toggle accounting (off by default; costs one pass per eval).
+  void enable_toggle_counting(bool on) { count_toggles_ = on; }
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> order_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> prev_values_;
+  std::vector<std::uint64_t> toggles_;
+  bool count_toggles_ = false;
+  bool have_prev_ = false;
+};
+
+}  // namespace cl::sim

@@ -1,0 +1,173 @@
+#include "sim/sequence.hpp"
+
+#include <stdexcept>
+
+namespace cl::sim {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+void check_widths(const Netlist& nl, const std::vector<BitVec>& inputs,
+                  const std::vector<BitVec>& keys) {
+  for (const BitVec& v : inputs) {
+    if (v.size() != nl.inputs().size()) {
+      throw std::invalid_argument("run_sequence: input width mismatch");
+    }
+  }
+  for (const BitVec& v : keys) {
+    if (v.size() != nl.key_inputs().size()) {
+      throw std::invalid_argument("run_sequence: key width mismatch");
+    }
+  }
+  if (!keys.empty() && keys.size() != 1 && keys.size() != inputs.size()) {
+    throw std::invalid_argument(
+        "run_sequence: keys must be empty, size 1 (static) or per-cycle");
+  }
+  if (keys.empty() && !nl.key_inputs().empty()) {
+    throw std::invalid_argument(
+        "run_sequence: circuit has key inputs but no key values given");
+  }
+}
+
+const BitVec& key_for_cycle(const std::vector<BitVec>& keys, std::size_t c) {
+  return keys.size() == 1 ? keys[0] : keys[c];
+}
+
+}  // namespace
+
+std::vector<BitVec> run_sequence(const Netlist& nl,
+                                 const std::vector<BitVec>& inputs,
+                                 const std::vector<BitVec>& keys) {
+  check_widths(nl, inputs, keys);
+  BitSim sim(nl);
+  std::vector<BitVec> out;
+  out.reserve(inputs.size());
+  for (std::size_t c = 0; c < inputs.size(); ++c) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      sim.set(nl.inputs()[i], inputs[c][i] ? ~0ULL : 0ULL);
+    }
+    if (!keys.empty()) {
+      const BitVec& kv = key_for_cycle(keys, c);
+      for (std::size_t k = 0; k < nl.key_inputs().size(); ++k) {
+        sim.set(nl.key_inputs()[k], kv[k] ? ~0ULL : 0ULL);
+      }
+    }
+    sim.eval();
+    BitVec cycle_out(nl.outputs().size());
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      cycle_out[o] = (sim.get(nl.outputs()[o]) & 1ULL) ? 1 : 0;
+    }
+    out.push_back(std::move(cycle_out));
+    sim.step();
+  }
+  return out;
+}
+
+std::vector<std::vector<Trit>> run_sequence_x(const Netlist& nl,
+                                              const std::vector<BitVec>& inputs,
+                                              const std::vector<BitVec>& keys) {
+  check_widths(nl, inputs, keys);
+  XSim sim(nl);
+  std::vector<std::vector<Trit>> out;
+  out.reserve(inputs.size());
+  for (std::size_t c = 0; c < inputs.size(); ++c) {
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      sim.set(nl.inputs()[i], inputs[c][i] ? Trit::One : Trit::Zero);
+    }
+    if (!keys.empty()) {
+      const BitVec& kv = key_for_cycle(keys, c);
+      for (std::size_t k = 0; k < nl.key_inputs().size(); ++k) {
+        sim.set(nl.key_inputs()[k], kv[k] ? Trit::One : Trit::Zero);
+      }
+    }
+    sim.eval();
+    std::vector<Trit> cycle_out(nl.outputs().size());
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      cycle_out[o] = sim.get(nl.outputs()[o]);
+    }
+    out.push_back(std::move(cycle_out));
+    sim.step();
+  }
+  return out;
+}
+
+std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
+    const Netlist& nl, const std::vector<BitVec>& inputs,
+    const std::vector<std::uint64_t>& key_words) {
+  if (key_words.size() != nl.key_inputs().size()) {
+    throw std::invalid_argument("run_sequence_keyed_lanes: key width mismatch");
+  }
+  BitSim sim(nl);
+  std::vector<std::vector<std::uint64_t>> out;
+  out.reserve(inputs.size());
+  for (std::size_t c = 0; c < inputs.size(); ++c) {
+    if (inputs[c].size() != nl.inputs().size()) {
+      throw std::invalid_argument("run_sequence_keyed_lanes: input width mismatch");
+    }
+    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+      sim.set(nl.inputs()[i], inputs[c][i] ? ~0ULL : 0ULL);
+    }
+    for (std::size_t k = 0; k < key_words.size(); ++k) {
+      sim.set(nl.key_inputs()[k], key_words[k]);
+    }
+    sim.eval();
+    std::vector<std::uint64_t> cycle_out(nl.outputs().size());
+    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
+      cycle_out[o] = sim.get(nl.outputs()[o]);
+    }
+    out.push_back(std::move(cycle_out));
+    sim.step();
+  }
+  return out;
+}
+
+BitVec random_bits(util::Rng& rng, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = rng.chance(1, 2) ? 1 : 0;
+  return v;
+}
+
+std::vector<BitVec> random_stimulus(util::Rng& rng, std::size_t cycles,
+                                    std::size_t n) {
+  std::vector<BitVec> out;
+  out.reserve(cycles);
+  for (std::size_t c = 0; c < cycles; ++c) out.push_back(random_bits(rng, n));
+  return out;
+}
+
+int first_divergence(const std::vector<BitVec>& a, const std::vector<BitVec>& b) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument("first_divergence: length mismatch");
+  }
+  for (std::size_t c = 0; c < a.size(); ++c) {
+    if (a[c] != b[c]) return static_cast<int>(c);
+  }
+  return -1;
+}
+
+std::string bits_to_string(const BitVec& bits) {
+  std::string s;
+  s.reserve(bits.size());
+  for (std::uint8_t b : bits) s += b ? '1' : '0';
+  return s;
+}
+
+std::uint64_t bits_to_u64(const BitVec& bits) {
+  if (bits.size() > 64) throw std::invalid_argument("bits_to_u64: too wide");
+  std::uint64_t w = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    if (bits[i]) w |= 1ULL << i;
+  }
+  return w;
+}
+
+BitVec u64_to_bits(std::uint64_t word, std::size_t n) {
+  if (n > 64) throw std::invalid_argument("u64_to_bits: too wide");
+  BitVec v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = (word >> i) & 1ULL ? 1 : 0;
+  return v;
+}
+
+}  // namespace cl::sim

@@ -1,0 +1,64 @@
+// Multi-cycle sequence simulation helpers: scalar (lane-0) and 64-lane
+// parallel runs, random stimulus generation, and sequence comparison. These
+// are the building blocks for oracles, validation tables, and the black-box
+// attack.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/bit_sim.hpp"
+#include "sim/x_sim.hpp"
+#include "util/rng.hpp"
+
+namespace cl::sim {
+
+/// One bit per signal, cycle-major: pattern[cycle][i] drives the i-th entry
+/// of the corresponding port list.
+using BitVec = std::vector<std::uint8_t>;
+
+/// Run `nl` for inputs.size() cycles. inputs[c][i] drives nl.inputs()[i] and
+/// keys[c][j] drives nl.key_inputs()[j] on cycle c. `keys` may be empty when
+/// the circuit has no key inputs, or contain a single entry that is then held
+/// constant for the whole run (a static key). Outputs are sampled
+/// combinationally each cycle, before the clock edge.
+std::vector<BitVec> run_sequence(const netlist::Netlist& nl,
+                                 const std::vector<BitVec>& inputs,
+                                 const std::vector<BitVec>& keys = {});
+
+/// Three-valued variant (power-up X preserved). Returns trits per cycle.
+std::vector<std::vector<Trit>> run_sequence_x(const netlist::Netlist& nl,
+                                              const std::vector<BitVec>& inputs,
+                                              const std::vector<BitVec>& keys = {});
+
+/// 64 independent key candidates in one pass: lane j of `key_lanes[j_bit]`...
+/// Concretely, key_words[k] holds the 64 lanes of key bit k; all lanes see
+/// the same input sequence. Returns output words per cycle (outputs[c][o] is
+/// the 64-lane word of output o on cycle c).
+std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
+    const netlist::Netlist& nl, const std::vector<BitVec>& inputs,
+    const std::vector<std::uint64_t>& key_words);
+
+/// Uniform random bit-vector of width n.
+BitVec random_bits(util::Rng& rng, std::size_t n);
+
+/// Uniform random stimulus: `cycles` vectors of width n.
+std::vector<BitVec> random_stimulus(util::Rng& rng, std::size_t cycles,
+                                    std::size_t n);
+
+/// First cycle where the two output traces differ, or -1 if identical.
+/// Traces must have equal dimensions.
+int first_divergence(const std::vector<BitVec>& a, const std::vector<BitVec>& b);
+
+/// Render a BitVec as binary text, index 0 leftmost.
+std::string bits_to_string(const BitVec& bits);
+
+/// Pack a BitVec (index 0 = LSB) into a word; width must be <= 64.
+std::uint64_t bits_to_u64(const BitVec& bits);
+
+/// Unpack the low `n` bits of a word into a BitVec (index 0 = LSB).
+BitVec u64_to_bits(std::uint64_t word, std::size_t n);
+
+}  // namespace cl::sim

@@ -1,0 +1,34 @@
+// VCD (Value Change Dump) waveform writer — record a multi-cycle simulation
+// for inspection in GTKWave & co. Captures inputs, keys, outputs and
+// flip-flop states each cycle; three-valued traces render power-up X.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/sequence.hpp"
+
+namespace cl::sim {
+
+struct VcdOptions {
+  std::string timescale = "1ns";
+  std::size_t cycle_ns = 20;  // matches the paper's 20 ns tables
+  bool include_internal = false;  // also dump every combinational signal
+};
+
+/// Simulate `nl` over `inputs` (+ optional per-cycle `keys`, same contract
+/// as run_sequence) and stream a VCD document. Uses the three-valued
+/// simulator so X power-up is visible.
+void write_vcd(std::ostream& out, const netlist::Netlist& nl,
+               const std::vector<BitVec>& inputs,
+               const std::vector<BitVec>& keys = {},
+               const VcdOptions& options = {});
+
+std::string write_vcd_string(const netlist::Netlist& nl,
+                             const std::vector<BitVec>& inputs,
+                             const std::vector<BitVec>& keys = {},
+                             const VcdOptions& options = {});
+
+}  // namespace cl::sim

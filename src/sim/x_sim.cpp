@@ -1,0 +1,133 @@
+#include "sim/x_sim.hpp"
+
+#include <stdexcept>
+
+#include "netlist/topo.hpp"
+
+namespace cl::sim {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+char trit_char(Trit t) {
+  switch (t) {
+    case Trit::Zero: return '0';
+    case Trit::One: return '1';
+    case Trit::X: return 'x';
+  }
+  return '?';
+}
+
+Trit trit_not(Trit a) {
+  if (a == Trit::X) return Trit::X;
+  return a == Trit::Zero ? Trit::One : Trit::Zero;
+}
+
+Trit trit_and(Trit a, Trit b) {
+  if (a == Trit::Zero || b == Trit::Zero) return Trit::Zero;
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return Trit::One;
+}
+
+Trit trit_or(Trit a, Trit b) {
+  if (a == Trit::One || b == Trit::One) return Trit::One;
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return Trit::Zero;
+}
+
+Trit trit_xor(Trit a, Trit b) {
+  if (a == Trit::X || b == Trit::X) return Trit::X;
+  return (a == b) ? Trit::Zero : Trit::One;
+}
+
+Trit trit_mux(Trit sel, Trit a, Trit b) {
+  if (sel == Trit::Zero) return a;
+  if (sel == Trit::One) return b;
+  // Unknown select: defined only if both data inputs agree.
+  return (a == b) ? a : Trit::X;
+}
+
+XSim::XSim(const Netlist& nl)
+    : nl_(nl), order_(netlist::topo_order(nl)), values_(nl.size(), Trit::X) {
+  reset();
+}
+
+void XSim::reset() {
+  for (SignalId s = 0; s < nl_.size(); ++s) values_[s] = Trit::X;
+  for (SignalId d : nl_.dffs()) {
+    switch (nl_.dff_init(d)) {
+      case netlist::DffInit::Zero: values_[d] = Trit::Zero; break;
+      case netlist::DffInit::One: values_[d] = Trit::One; break;
+      case netlist::DffInit::X: values_[d] = Trit::X; break;
+    }
+  }
+}
+
+void XSim::set(SignalId s, Trit value) {
+  const GateType t = nl_.type(s);
+  if (t != GateType::Input && t != GateType::KeyInput) {
+    throw std::invalid_argument("XSim::set: not an input: " +
+                                nl_.signal_name(s));
+  }
+  values_[s] = value;
+}
+
+void XSim::eval() {
+  for (SignalId s : order_) {
+    const netlist::Node& n = nl_.node(s);
+    switch (n.type) {
+      case GateType::Input:
+      case GateType::KeyInput:
+      case GateType::Dff:
+        break;
+      case GateType::Const0: values_[s] = Trit::Zero; break;
+      case GateType::Const1: values_[s] = Trit::One; break;
+      case GateType::Buf: values_[s] = values_[n.fanins[0]]; break;
+      case GateType::Not: values_[s] = trit_not(values_[n.fanins[0]]); break;
+      case GateType::And:
+      case GateType::Nand: {
+        Trit v = Trit::One;
+        for (SignalId f : n.fanins) v = trit_and(v, values_[f]);
+        values_[s] = (n.type == GateType::Nand) ? trit_not(v) : v;
+        break;
+      }
+      case GateType::Or:
+      case GateType::Nor: {
+        Trit v = Trit::Zero;
+        for (SignalId f : n.fanins) v = trit_or(v, values_[f]);
+        values_[s] = (n.type == GateType::Nor) ? trit_not(v) : v;
+        break;
+      }
+      case GateType::Xor:
+      case GateType::Xnor: {
+        Trit v = Trit::Zero;
+        for (SignalId f : n.fanins) v = trit_xor(v, values_[f]);
+        values_[s] = (n.type == GateType::Xnor) ? trit_not(v) : v;
+        break;
+      }
+      case GateType::Mux:
+        values_[s] = trit_mux(values_[n.fanins[0]], values_[n.fanins[1]],
+                              values_[n.fanins[2]]);
+        break;
+    }
+  }
+}
+
+void XSim::step() {
+  std::vector<Trit> next;
+  next.reserve(nl_.dffs().size());
+  for (SignalId d : nl_.dffs()) next.push_back(values_[nl_.dff_input(d)]);
+  std::size_t i = 0;
+  for (SignalId d : nl_.dffs()) values_[d] = next[i++];
+}
+
+std::vector<Trit> XSim::outputs() {
+  eval();
+  std::vector<Trit> out;
+  out.reserve(nl_.outputs().size());
+  for (SignalId o : nl_.outputs()) out.push_back(values_[o]);
+  return out;
+}
+
+}  // namespace cl::sim

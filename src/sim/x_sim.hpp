@@ -1,0 +1,49 @@
+// Three-valued (0/1/X) scalar simulator with pessimistic X propagation.
+// Faithful to power-up-unknown flip-flops; used by the validation tables
+// (Table II prints 'x' before the first clock edge) and by FALL's controlled
+// X-analysis.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::sim {
+
+enum class Trit : std::uint8_t { Zero = 0, One = 1, X = 2 };
+
+/// Render '0' / '1' / 'x'.
+char trit_char(Trit t);
+
+/// Three-valued connectives (Kleene logic).
+Trit trit_not(Trit a);
+Trit trit_and(Trit a, Trit b);
+Trit trit_or(Trit a, Trit b);
+Trit trit_xor(Trit a, Trit b);
+Trit trit_mux(Trit sel, Trit a, Trit b);
+
+class XSim {
+ public:
+  explicit XSim(const netlist::Netlist& nl);
+
+  /// Reset DFFs to their power-up values (X init stays X); inputs become X.
+  void reset();
+
+  void set(netlist::SignalId s, Trit value);
+  Trit get(netlist::SignalId s) const { return values_[s]; }
+
+  void eval();
+  void step();
+
+  /// eval() + outputs in declaration order.
+  std::vector<Trit> outputs();
+
+ private:
+  const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> order_;
+  std::vector<Trit> values_;
+};
+
+}  // namespace cl::sim

@@ -1,0 +1,49 @@
+#include "tech/cell_library.hpp"
+
+#include <stdexcept>
+
+namespace cl::tech {
+
+const char* cell_type_name(CellType t) {
+  switch (t) {
+    case CellType::Inv: return "INV_X1";
+    case CellType::Buf: return "BUF_X1";
+    case CellType::Nand2: return "NAND2_X1";
+    case CellType::Nor2: return "NOR2_X1";
+    case CellType::And2: return "AND2_X1";
+    case CellType::Or2: return "OR2_X1";
+    case CellType::Xor2: return "XOR2_X1";
+    case CellType::Xnor2: return "XNOR2_X1";
+    case CellType::Mux2: return "MUX2_X1";
+    case CellType::Dff: return "DFF_X1";
+    case CellType::Tie: return "TIE_X1";
+  }
+  return "?";
+}
+
+const CellLibrary& CellLibrary::nangate45_like() {
+  static const CellLibrary lib({
+      //  type             name                area    leak(nW) E/tog(fJ)
+      {CellType::Inv, cell_type_name(CellType::Inv), 0.798, 9.5, 0.60},
+      {CellType::Buf, cell_type_name(CellType::Buf), 1.064, 12.8, 0.95},
+      {CellType::Nand2, cell_type_name(CellType::Nand2), 1.064, 11.8, 0.78},
+      {CellType::Nor2, cell_type_name(CellType::Nor2), 1.064, 12.9, 0.80},
+      {CellType::And2, cell_type_name(CellType::And2), 1.330, 15.5, 1.02},
+      {CellType::Or2, cell_type_name(CellType::Or2), 1.330, 16.1, 1.05},
+      {CellType::Xor2, cell_type_name(CellType::Xor2), 2.128, 25.3, 1.72},
+      {CellType::Xnor2, cell_type_name(CellType::Xnor2), 2.128, 26.0, 1.74},
+      {CellType::Mux2, cell_type_name(CellType::Mux2), 2.394, 29.8, 1.90},
+      {CellType::Dff, cell_type_name(CellType::Dff), 4.522, 48.6, 3.50},
+      {CellType::Tie, cell_type_name(CellType::Tie), 0.532, 2.1, 0.00},
+  });
+  return lib;
+}
+
+const Cell& CellLibrary::cell(CellType t) const {
+  for (const Cell& c : cells_) {
+    if (c.type == t) return c;
+  }
+  throw std::logic_error("CellLibrary: unknown cell");
+}
+
+}  // namespace cl::tech

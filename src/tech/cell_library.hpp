@@ -1,0 +1,51 @@
+// Standard-cell library model for the overhead analysis (the paper uses
+// Cadence Genus with a 45 nm process; we model a 45 nm-class library with
+// area / leakage / switching-energy figures in the range of the open
+// 45 nm PDKs). Absolute numbers are representative; the Fig. 4 comparison
+// is relative, which this preserves.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace cl::tech {
+
+enum class CellType : std::uint8_t {
+  Inv,
+  Buf,
+  Nand2,
+  Nor2,
+  And2,
+  Or2,
+  Xor2,
+  Xnor2,
+  Mux2,
+  Dff,
+  Tie,  // constant driver
+};
+
+struct Cell {
+  CellType type;
+  const char* name;
+  double area_um2;        // placed cell area
+  double leakage_nw;      // static leakage power
+  double switch_energy_fj;  // energy per output toggle (internal + load est.)
+};
+
+class CellLibrary {
+ public:
+  /// The built-in 45 nm-class library.
+  static const CellLibrary& nangate45_like();
+
+  const Cell& cell(CellType t) const;
+  const std::vector<Cell>& cells() const { return cells_; }
+
+ private:
+  explicit CellLibrary(std::vector<Cell> cells) : cells_(std::move(cells)) {}
+  std::vector<Cell> cells_;
+};
+
+const char* cell_type_name(CellType t);
+
+}  // namespace cl::tech

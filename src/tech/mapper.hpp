@@ -1,0 +1,29 @@
+// Technology mapping: rewrite a netlist onto the 2-input cell library
+// (multi-input gates become balanced trees; NAND/NOR of width > 2 become
+// trees with an inverted root) and tally the mapped cells.
+#pragma once
+
+#include <map>
+
+#include "netlist/netlist.hpp"
+#include "tech/cell_library.hpp"
+
+namespace cl::tech {
+
+struct MappedDesign {
+  netlist::Netlist netlist;            // 2-input-only equivalent
+  std::map<CellType, std::size_t> cell_counts;
+
+  std::size_t total_cells() const;
+  double total_area(const CellLibrary& lib) const;
+  double total_leakage_nw(const CellLibrary& lib) const;
+};
+
+/// Map `nl` onto the cell library. The result is functionally equivalent
+/// (verified by the test suite via simulation).
+MappedDesign map_to_cells(const netlist::Netlist& nl);
+
+/// Cell type implementing a (2-input-or-less) gate.
+CellType cell_for_gate(netlist::GateType g);
+
+}  // namespace cl::tech

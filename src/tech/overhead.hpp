@@ -1,0 +1,36 @@
+// Synthesis-style overhead report (the Genus substitute behind Fig. 4):
+// power (dynamic from simulated switching activity + leakage), placed area,
+// cell count, and I/O count.
+#pragma once
+
+#include "netlist/netlist.hpp"
+#include "tech/mapper.hpp"
+
+namespace cl::tech {
+
+struct OverheadOptions {
+  double clock_hz = 100e6;        // activity-to-power conversion
+  std::size_t activity_cycles = 64;  // random-simulation length (x64 lanes)
+  std::uint64_t seed = 0xacdc;
+};
+
+struct OverheadReport {
+  double power_w = 0.0;
+  double area_um2 = 0.0;
+  std::size_t cells = 0;
+  std::size_t ios = 0;  // PIs + key inputs + POs + clock
+
+  /// Percentage overhead of `this` relative to a baseline report.
+  double power_overhead_pct(const OverheadReport& base) const;
+  double area_overhead_pct(const OverheadReport& base) const;
+  double cells_overhead_pct(const OverheadReport& base) const;
+  double ios_overhead_pct(const OverheadReport& base) const;
+};
+
+/// Map the netlist, estimate switching activity with bit-parallel random
+/// simulation, and report the synthesis-style totals. Key inputs (if any)
+/// are driven with random values — the standard pessimistic assumption.
+OverheadReport analyze_overhead(const netlist::Netlist& nl,
+                                const OverheadOptions& options = {});
+
+}  // namespace cl::tech

@@ -1,0 +1,29 @@
+// Small string helpers shared by the netlist / FSM file parsers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cl::util {
+
+/// Strip leading and trailing whitespace.
+std::string_view trim(std::string_view s);
+
+/// Split on any character in `delims`, dropping empty fields.
+std::vector<std::string> split(std::string_view s, std::string_view delims = " \t");
+
+/// Case-insensitive equality (ASCII).
+bool iequals(std::string_view a, std::string_view b);
+
+/// Lower-case copy (ASCII).
+std::string to_lower(std::string_view s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(std::string_view s, std::string_view prefix);
+
+/// Format an unsigned value as a zero-padded binary string of `width` bits,
+/// most significant bit first.
+std::string to_binary(std::uint64_t value, int width);
+
+}  // namespace cl::util

@@ -1,0 +1,29 @@
+// Plain-text table rendering for the benchmark harnesses. The bench binaries
+// print the same rows the paper's tables report; this keeps the formatting in
+// one place.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cl::util {
+
+/// Column-aligned ASCII table with a header row and a rule under it.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with two-space column gaps.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cl::util

@@ -1,0 +1,46 @@
+// Wall-clock timing with the paper's "XmY.ZZZs" formatting.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace cl::util {
+
+/// Monotonic stopwatch started at construction.
+class Timer {
+ public:
+  Timer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Format seconds the way the paper's tables do, e.g. 385.446 -> "6m25.446s",
+/// 24290.0 -> "6h44m50s".
+inline std::string format_duration(double seconds) {
+  char buf[64];
+  if (seconds < 0) seconds = 0;
+  const long total_ms = static_cast<long>(seconds * 1000.0 + 0.5);
+  const long h = total_ms / 3'600'000;
+  const long m = (total_ms / 60'000) % 60;
+  const long s = (total_ms / 1000) % 60;
+  const long ms = total_ms % 1000;
+  if (h > 0) {
+    std::snprintf(buf, sizeof buf, "%ldh%ldm%lds", h, m, s);
+  } else if (m > 0) {
+    std::snprintf(buf, sizeof buf, "%ldm%ld.%03lds", m, s, ms);
+  } else {
+    std::snprintf(buf, sizeof buf, "%ld.%03lds", s, ms);
+  }
+  return buf;
+}
+
+}  // namespace cl::util

@@ -1,0 +1,113 @@
+#include "attack/dana.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cute_lock_str.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cl::attack {
+namespace {
+
+using netlist::DffInit;
+using netlist::k_no_signal;
+using netlist::Netlist;
+using netlist::SignalId;
+
+/// Two 4-bit register words A -> B (a pipeline), bit-sliced: the word
+/// structure DANA is designed to recover.
+Netlist two_word_pipeline() {
+  Netlist nl("pipe");
+  std::vector<SignalId> in;
+  for (int i = 0; i < 4; ++i) in.push_back(nl.add_input("x" + std::to_string(i)));
+  std::vector<SignalId> a, b;
+  for (int i = 0; i < 4; ++i) {
+    a.push_back(nl.add_dff(in[static_cast<std::size_t>(i)], DffInit::Zero,
+                           "A" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) {
+    const SignalId g = nl.add_not(a[static_cast<std::size_t>(i)],
+                                  "g" + std::to_string(i));
+    b.push_back(nl.add_dff(g, DffInit::Zero, "B" + std::to_string(i)));
+  }
+  for (int i = 0; i < 4; ++i) nl.add_output(b[static_cast<std::size_t>(i)]);
+  nl.check();
+  return nl;
+}
+
+RegisterGroups pipeline_truth() {
+  return {{"A0", "A1", "A2", "A3"}, {"B0", "B1", "B2", "B3"}};
+}
+
+TEST(Dana, RecoversWordStructure) {
+  const Netlist nl = two_word_pipeline();
+  const DanaResult r = dana_attack(nl);
+  // Exactly two clusters: {A*}, {B*}.
+  ASSERT_EQ(r.clusters.size(), 2u);
+  const double nmi = nmi_score(nl, r, pipeline_truth());
+  EXPECT_DOUBLE_EQ(nmi, 1.0);
+}
+
+TEST(Dana, LockingDegradesClustering) {
+  const Netlist nl = two_word_pipeline();
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 2;
+  opt.locked_ffs = 3;
+  opt.seed = 3;
+  const auto lr = core::cute_lock_str(nl, opt);
+  const DanaResult locked = dana_attack(lr.locked);
+  const double nmi_locked = nmi_score(lr.locked, locked, pipeline_truth());
+  const DanaResult orig = dana_attack(nl);
+  const double nmi_orig = nmi_score(nl, orig, pipeline_truth());
+  EXPECT_LT(nmi_locked, nmi_orig);
+}
+
+TEST(Dana, SelfFeedingRegistersSplitFromPipeline) {
+  Netlist nl("mix");
+  const SignalId x = nl.add_input("x");
+  // Word W: two FFs fed by the input.
+  const SignalId w0 = nl.add_dff(x, DffInit::Zero, "W0");
+  const SignalId w1 = nl.add_dff(x, DffInit::Zero, "W1");
+  // Counter-ish FF feeding itself.
+  SignalId c = nl.add_dff(k_no_signal, DffInit::Zero, "C");
+  nl.set_dff_input(c, nl.add_not(c, "nc"));
+  nl.add_output(w0);
+  nl.add_output(w1);
+  nl.add_output(c);
+  const DanaResult r = dana_attack(nl);
+  // W0/W1 share a cluster; C is alone.
+  ASSERT_EQ(r.clusters.size(), 2u);
+  const double nmi = nmi_score(nl, r, {{"W0", "W1"}, {"C"}});
+  EXPECT_DOUBLE_EQ(nmi, 1.0);
+}
+
+TEST(Dana, EmptyCircuitYieldsNoClusters) {
+  Netlist nl("none");
+  const SignalId a = nl.add_input("a");
+  nl.add_output(nl.add_not(a, "y"));
+  const DanaResult r = dana_attack(nl);
+  EXPECT_TRUE(r.clusters.empty());
+  EXPECT_EQ(nmi_score(nl, r, {}), 0.0);
+}
+
+TEST(Dana, NmiProperties) {
+  const Netlist nl = two_word_pipeline();
+  const DanaResult r = dana_attack(nl);
+  // Perfect match scores 1 (tested above); a maximally-wrong ground truth
+  // (grouping one bit of each word together) scores lower.
+  const double mismatched =
+      nmi_score(nl, r, {{"A0", "B0"}, {"A1", "B1"}, {"A2", "B2"}, {"A3", "B3"}});
+  EXPECT_LT(mismatched, 1.0);
+  EXPECT_GE(mismatched, 0.0);
+}
+
+TEST(Dana, ConvergesWithinRoundLimit) {
+  const Netlist nl = two_word_pipeline();
+  DanaOptions opts;
+  opts.max_rounds = 2;
+  const DanaResult r = dana_attack(nl, opts);
+  EXPECT_LE(r.rounds, 2u);
+}
+
+}  // namespace
+}  // namespace cl::attack

@@ -1,0 +1,141 @@
+#include "attack/seq_attack.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cute_lock_str.hpp"
+#include "lock/comb_locks.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace cl::attack {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+Netlist s27() { return netlist::read_bench_string(k_s27, "s27"); }
+
+AttackBudget small_budget() {
+  AttackBudget b;
+  b.time_limit_s = 30.0;
+  b.max_iterations = 200;
+  b.max_depth = 16;
+  return b;
+}
+
+TEST(SeqAttack, BmcBreaksSequentialXorLock) {
+  const Netlist nl = s27();
+  for (std::uint64_t seed = 1; seed <= 2; ++seed) {
+    util::Rng rng(seed);
+    const auto lr = lock::xor_lock(nl, 4, rng);
+    SequentialOracle oracle(nl);
+    const AttackResult r = bmc_attack(lr.locked, oracle, small_budget());
+    EXPECT_EQ(r.outcome, Outcome::Equal) << "seed " << seed << ": " << r.summary();
+  }
+}
+
+TEST(SeqAttack, Kc2BreaksSequentialXorLock) {
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  const AttackResult r = kc2_attack(lr.locked, oracle, small_budget());
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+}
+
+TEST(SeqAttack, RaneBreaksSequentialXorLock) {
+  const Netlist nl = s27();
+  util::Rng rng(7);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  // The symbolic reset state multiplies the hypothesis space (key x init),
+  // so RANE needs a larger discrimination budget than plain BMC.
+  AttackBudget budget = small_budget();
+  budget.max_iterations = 1500;
+  budget.time_limit_s = 60.0;
+  const AttackResult r = rane_attack(lr.locked, oracle, budget);
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+}
+
+TEST(SeqAttack, SingleKeyReductionOfCuteLockIsBroken) {
+  // Paper §IV-A: reducing Cute-Lock-Str to a single key must make the
+  // oracle-guided attacks succeed — validating both the lock construction
+  // and the attack implementations.
+  const Netlist nl = s27();
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 2;
+  opt.locked_ffs = 1;
+  opt.seed = 42;
+  opt.single_key_reduction = true;
+  const auto lr = core::cute_lock_str(nl, opt);
+  SequentialOracle oracle(nl);
+  const AttackResult r = bmc_attack(lr.locked, oracle, small_budget());
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+  EXPECT_EQ(r.key, lr.key_schedule[0]);
+}
+
+class MultiKeyDefense : public ::testing::TestWithParam<int> {};
+
+TEST_P(MultiKeyDefense, CuteLockStrDefeatsStaticKeyAttacks) {
+  // The paper's central claim (Tables III-IV): multi-key time-based locking
+  // drives static-key attacks to a dead end — CNS, a wrong key, or budget
+  // exhaustion, never a verified key.
+  const Netlist nl = s27();
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 2;
+  opt.locked_ffs = 2;
+  opt.seed = static_cast<std::uint64_t>(GetParam());
+  const auto lr = core::cute_lock_str(nl, opt);
+  SequentialOracle oracle(nl);
+
+  const AttackResult bmc = bmc_attack(lr.locked, oracle, small_budget());
+  EXPECT_TRUE(defense_held(bmc.outcome)) << "bmc: " << bmc.summary();
+  const AttackResult kc2 = kc2_attack(lr.locked, oracle, small_budget());
+  EXPECT_TRUE(defense_held(kc2.outcome)) << "kc2: " << kc2.summary();
+  const AttackResult rane = rane_attack(lr.locked, oracle, small_budget());
+  EXPECT_TRUE(defense_held(rane.outcome)) << "rane: " << rane.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MultiKeyDefense, ::testing::Values(1, 2, 3));
+
+TEST(SeqAttack, TimeoutOnZeroBudget) {
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  AttackBudget b;
+  b.max_iterations = 0;
+  b.time_limit_s = 30.0;
+  const AttackResult r = bmc_attack(lr.locked, oracle, b);
+  EXPECT_EQ(r.outcome, Outcome::Timeout);
+}
+
+TEST(SeqAttack, RequiresKeyInputs) {
+  const Netlist nl = s27();
+  SequentialOracle oracle(nl);
+  EXPECT_THROW(bmc_attack(nl, oracle, small_budget()), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::attack

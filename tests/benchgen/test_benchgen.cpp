@@ -1,0 +1,163 @@
+#include <gtest/gtest.h>
+
+#include "attack/dana.hpp"
+#include "benchgen/catalog.hpp"
+#include "benchgen/fsm_suite.hpp"
+#include "benchgen/s27.hpp"
+#include "fsm/synth.hpp"
+#include "sim/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace cl::benchgen {
+namespace {
+
+TEST(S27, MatchesPublishedInterface) {
+  const auto nl = make_s27();
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.stats().gates, 10u);
+}
+
+TEST(Catalog, SpecsCoverPaperTables) {
+  EXPECT_EQ(iscas89_specs().size(), 15u);  // 14 Table-IV rows + s27
+  EXPECT_EQ(itc99_specs().size(), 20u);    // b01..b22 minus b13/b16
+  EXPECT_NO_THROW(find_spec("b17"));
+  EXPECT_NO_THROW(find_spec("s35932"));
+  EXPECT_THROW(find_spec("b99"), std::invalid_argument);
+}
+
+TEST(Catalog, GeneratedCircuitsMatchSpecInterface) {
+  for (const char* name : {"s298", "b01", "b06", "b10"}) {
+    const CircuitSpec& spec = find_spec(name);
+    const SyntheticCircuit c = make_circuit(spec);
+    EXPECT_EQ(c.netlist.inputs().size(), spec.inputs) << name;
+    EXPECT_EQ(c.netlist.outputs().size(), spec.outputs) << name;
+    EXPECT_EQ(c.netlist.dffs().size(), spec.dffs) << name;
+    // Gate counts approximate the target within a reasonable factor.
+    const double ratio = static_cast<double>(c.netlist.stats().gates) /
+                         static_cast<double>(spec.gates);
+    EXPECT_GT(ratio, 0.4) << name << " gates=" << c.netlist.stats().gates;
+    EXPECT_LT(ratio, 2.5) << name << " gates=" << c.netlist.stats().gates;
+    c.netlist.check();
+  }
+}
+
+TEST(Catalog, GenerationIsDeterministic) {
+  const SyntheticCircuit a = make_circuit("b03");
+  const SyntheticCircuit b = make_circuit("b03");
+  EXPECT_EQ(a.netlist.size(), b.netlist.size());
+  EXPECT_EQ(a.groups, b.groups);
+}
+
+TEST(Catalog, GroundTruthGroupsCoverAllDffs) {
+  const SyntheticCircuit c = make_circuit("b04");
+  std::size_t grouped = 0;
+  for (const auto& g : c.groups) grouped += g.size();
+  EXPECT_EQ(grouped, c.netlist.dffs().size());
+}
+
+TEST(Catalog, DanaScoresHighOnOriginals) {
+  // The DANA baseline requirement (Table V): word-structured originals must
+  // cluster well. Not all circuits reach NMI 1.0 (the original paper
+  // reports 0.87-0.99); require a healthy score on a sample.
+  double total = 0;
+  int count = 0;
+  for (const char* name : {"b03", "b04", "b10", "b12"}) {
+    const SyntheticCircuit c = make_circuit(name);
+    const attack::DanaResult r = attack::dana_attack(c.netlist);
+    const double nmi = attack::nmi_score(c.netlist, r, c.groups);
+    total += nmi;
+    ++count;
+    EXPECT_GT(nmi, 0.5) << name;
+  }
+  EXPECT_GT(total / count, 0.75);
+}
+
+TEST(Catalog, S27ViaCatalogIsExact) {
+  const SyntheticCircuit c = make_circuit("s27");
+  EXPECT_EQ(c.netlist.stats().gates, 10u);
+  EXPECT_EQ(c.groups.size(), 3u);
+}
+
+TEST(Synthetic, RejectsDegenerateSpecs) {
+  SyntheticSpec s;
+  s.inputs = 0;
+  EXPECT_THROW(make_synthetic(s, 1), std::invalid_argument);
+}
+
+TEST(Synthetic, CircuitsAreAlive) {
+  // Outputs must respond to inputs (not constant) for the attack oracles to
+  // be meaningful.
+  const SyntheticCircuit c = make_circuit("b03");
+  util::Rng rng(1);
+  bool saw_zero = false, saw_one = false;
+  for (int trial = 0; trial < 8; ++trial) {
+    const auto stim = sim::random_stimulus(rng, 32, c.netlist.inputs().size());
+    const auto out = sim::run_sequence(c.netlist, stim);
+    for (const auto& cycle : out) {
+      for (auto bit : cycle) {
+        (bit ? saw_one : saw_zero) = true;
+      }
+    }
+  }
+  EXPECT_TRUE(saw_zero);
+  EXPECT_TRUE(saw_one);
+}
+
+TEST(FsmSuite, SpecsCoverTableThree) {
+  EXPECT_EQ(synthezza_specs().size(), 33u);
+  EXPECT_NO_THROW(find_fsm_spec("bcomp"));
+  EXPECT_NO_THROW(find_fsm_spec("tiger"));
+  EXPECT_THROW(find_fsm_spec("nope"), std::invalid_argument);
+}
+
+TEST(FsmSuite, MachinesAreWellFormedAndSized) {
+  for (const char* name : {"bcomp", "dmac", "acdl", "absurd"}) {
+    const FsmSpec& spec = find_fsm_spec(name);
+    const fsm::Stg stg = make_fsm(spec);
+    EXPECT_EQ(stg.num_states(), spec.states) << name;
+    EXPECT_EQ(stg.num_inputs(), spec.inputs) << name;
+    EXPECT_EQ(stg.num_outputs(), spec.outputs) << name;
+    EXPECT_NO_THROW(stg.check()) << name;
+    // Most states reachable (generator biases toward a connected ring).
+    EXPECT_GT(stg.reachable_states().size(),
+              static_cast<std::size_t>(spec.states / 2))
+        << name;
+  }
+}
+
+TEST(FsmSuite, BcompMatchesTableOneInterface) {
+  // Table I shows x[7:0] inputs and y[38:0] outputs for bcomp.
+  const FsmSpec& spec = find_fsm_spec("bcomp");
+  EXPECT_EQ(spec.inputs, 8);
+  EXPECT_EQ(spec.outputs, 39);
+}
+
+TEST(FsmSuite, MachinesSynthesizeAndSimulate) {
+  const fsm::Stg stg = make_fsm(find_fsm_spec("dmac"));
+  const auto nl = fsm::synthesize(stg, fsm::SynthStyle::DirectTransitions, "dmac");
+  util::Rng rng(3);
+  std::vector<std::uint32_t> minterms;
+  std::vector<sim::BitVec> stim;
+  for (int t = 0; t < 64; ++t) {
+    const auto m = static_cast<std::uint32_t>(
+        rng.next_below(1ULL << stg.num_inputs()));
+    minterms.push_back(m);
+    stim.push_back(sim::u64_to_bits(m, static_cast<std::size_t>(stg.num_inputs())));
+  }
+  const auto want = stg.run(minterms);
+  const auto got = sim::run_sequence(nl, stim);
+  for (std::size_t t = 0; t < stim.size(); ++t) {
+    EXPECT_EQ(sim::bits_to_u64(got[t]), want[t].output) << "cycle " << t;
+  }
+}
+
+TEST(FsmSuite, DeterministicGeneration) {
+  const fsm::Stg a = make_fsm(find_fsm_spec("cat"));
+  const fsm::Stg b = make_fsm(find_fsm_spec("cat"));
+  EXPECT_EQ(a.num_transitions(), b.num_transitions());
+}
+
+}  // namespace
+}  // namespace cl::benchgen

@@ -1,0 +1,153 @@
+#include "cnf/unroller.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "sim/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace cl::cnf {
+namespace {
+
+using netlist::Netlist;
+using sat::Lit;
+using sat::Result;
+using sat::Solver;
+
+// 2-bit counter; output = (count == 3).
+const char* k_counter = R"(
+INPUT(en)
+OUTPUT(hit)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(q0, en)
+carry = AND(q0, en)
+d1 = XOR(q1, carry)
+hit = AND(q0, q1)
+)";
+
+TEST(Unroller, UnrolledOutputsMatchSequentialSim) {
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  util::Rng rng(42);
+  for (int trial = 0; trial < 8; ++trial) {
+    const std::size_t depth = 1 + rng.next_below(6);
+    const auto stim = sim::random_stimulus(rng, depth, nl.inputs().size());
+    const auto expected = sim::run_sequence(nl, stim);
+
+    Solver solver;
+    Unroller unroller(solver, nl);
+    unroller.extend_to(depth);
+    std::vector<Lit> assumptions;
+    for (std::size_t t = 0; t < depth; ++t) {
+      for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
+        assumptions.push_back(Lit(unroller.input_vars(t)[i], stim[t][i] == 0));
+      }
+    }
+    ASSERT_EQ(solver.solve(assumptions), Result::Sat);
+    for (std::size_t t = 0; t < depth; ++t) {
+      const auto out_vars = unroller.output_vars(t);
+      for (std::size_t o = 0; o < out_vars.size(); ++o) {
+        EXPECT_EQ(solver.model_value(out_vars[o]), expected[t][o] != 0)
+            << "trial " << trial << " frame " << t;
+      }
+    }
+  }
+}
+
+TEST(Unroller, ReachabilityQuery) {
+  // Can the counter reach hit==1 within d frames? Needs >= 4 frames of
+  // en=1 from reset; at depth 3 it must be unreachable, at 4 reachable.
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  {
+    Solver solver;
+    Unroller u(solver, nl);
+    u.extend_to(3);
+    std::vector<Lit> assume{Lit(u.output_vars(2)[0], false)};  // hit@2 == 1
+    EXPECT_EQ(solver.solve(assume), Result::Unsat);
+  }
+  {
+    Solver solver;
+    Unroller u(solver, nl);
+    u.extend_to(4);
+    std::vector<Lit> assume{Lit(u.output_vars(3)[0], false)};  // hit@3 == 1
+    ASSERT_EQ(solver.solve(assume), Result::Sat);
+    // The model must drive en=1 in the first 3 frames (the increments).
+    for (std::size_t t = 0; t < 3; ++t) {
+      EXPECT_TRUE(solver.model_value(u.input_vars(t)[0])) << "frame " << t;
+    }
+  }
+}
+
+TEST(Unroller, StaticKeysSharedAcrossFrames) {
+  const char* locked = R"(
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, keyinput0)
+y = BUF(q)
+)";
+  const Netlist nl = netlist::read_bench_string(locked, "lk");
+  Solver solver;
+  Unroller u(solver, nl, KeyMode::Static);
+  u.extend_to(2);
+  EXPECT_EQ(u.key_vars(0), u.key_vars(1));
+  // Force key=1 and a=0 at both frames: y@1 = d@0 = 1, y@2(d@1)=1.
+  std::vector<Lit> assume{Lit(u.key_vars()[0], false),
+                          Lit(u.input_vars(0)[0], true),
+                          Lit(u.input_vars(1)[0], true)};
+  ASSERT_EQ(solver.solve(assume), Result::Sat);
+  EXPECT_FALSE(solver.model_value(u.output_vars(0)[0]));  // q init 0
+  EXPECT_TRUE(solver.model_value(u.output_vars(1)[0]));
+}
+
+TEST(Unroller, PerFrameKeysAreIndependent) {
+  const char* locked = R"(
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+)";
+  const Netlist nl = netlist::read_bench_string(locked, "lk2");
+  Solver solver;
+  Unroller u(solver, nl, KeyMode::PerFrame);
+  u.extend_to(2);
+  EXPECT_NE(u.key_vars(0), u.key_vars(1));
+  // key@0=0, key@1=1, a=1 both frames: y@0=1, y@1=0.
+  std::vector<Lit> assume{
+      Lit(u.key_vars(0)[0], true), Lit(u.key_vars(1)[0], false),
+      Lit(u.input_vars(0)[0], false), Lit(u.input_vars(1)[0], false)};
+  ASSERT_EQ(solver.solve(assume), Result::Sat);
+  EXPECT_TRUE(solver.model_value(u.output_vars(0)[0]));
+  EXPECT_FALSE(solver.model_value(u.output_vars(1)[0]));
+}
+
+TEST(Unroller, SymbolicInitialStateIsFree) {
+  // With symbolic init, hit@0 == 1 becomes satisfiable (state 11 chosen).
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  Solver solver;
+  Unroller u(solver, nl, KeyMode::Static, /*symbolic_initial_state=*/true);
+  u.extend_to(1);
+  std::vector<Lit> assume{Lit(u.output_vars(0)[0], false)};
+  ASSERT_EQ(solver.solve(assume), Result::Sat);
+  EXPECT_TRUE(solver.model_value(u.initial_state_vars()[0]));
+  EXPECT_TRUE(solver.model_value(u.initial_state_vars()[1]));
+}
+
+TEST(Unroller, DffInitOneRespected) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(a)  # init q 1
+y = BUF(q)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "i1");
+  Solver solver;
+  Unroller u(solver, nl);
+  u.extend_to(1);
+  std::vector<Lit> assume{Lit(u.output_vars(0)[0], true)};  // y@0 == 0
+  EXPECT_EQ(solver.solve(assume), Result::Unsat);
+}
+
+}  // namespace
+}  // namespace cl::cnf

@@ -1,0 +1,53 @@
+#include "core/counter.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/bit_sim.hpp"
+
+namespace cl::core {
+namespace {
+
+using netlist::Netlist;
+
+TEST(TimeBase, CounterBitsCeilLog) {
+  EXPECT_EQ(counter_bits(2), 1);
+  EXPECT_EQ(counter_bits(3), 2);
+  EXPECT_EQ(counter_bits(4), 2);
+  EXPECT_EQ(counter_bits(5), 3);
+  EXPECT_EQ(counter_bits(16), 4);
+  EXPECT_THROW(counter_bits(1), std::invalid_argument);
+}
+
+class TimeBaseSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TimeBaseSweep, CountsModuloKWithOneHotIndicators) {
+  const std::size_t k = GetParam();
+  Netlist nl("tb");
+  const TimeBase tb = build_time_base(nl, k, "t");
+  // Anchor the indicators so the netlist has outputs for cleanliness.
+  for (auto s : tb.is_time) nl.add_output(s);
+  nl.check();
+  sim::BitSim sim(nl);
+  for (std::size_t cycle = 0; cycle < 3 * k + 1; ++cycle) {
+    sim.eval();
+    const std::size_t expect = cycle % k;
+    // Counter value.
+    std::uint64_t value = 0;
+    for (std::size_t b = 0; b < tb.counter_ffs.size(); ++b) {
+      if (sim.get(tb.counter_ffs[b]) & 1ULL) value |= 1ULL << b;
+    }
+    EXPECT_EQ(value, expect) << "cycle " << cycle;
+    // Indicators are one-hot at the current slot.
+    for (std::size_t t = 0; t < k; ++t) {
+      EXPECT_EQ(sim.get(tb.is_time[t]) & 1ULL, t == expect ? 1ULL : 0ULL)
+          << "cycle " << cycle << " slot " << t;
+    }
+    sim.step();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, TimeBaseSweep,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16, 21));
+
+}  // namespace
+}  // namespace cl::core

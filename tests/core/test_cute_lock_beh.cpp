@@ -1,0 +1,153 @@
+#include "core/cute_lock_beh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sequence.hpp"
+
+namespace cl::core {
+namespace {
+
+BehOptions opts(std::size_t k, std::size_t ki, std::uint64_t seed) {
+  BehOptions o;
+  o.num_keys = k;
+  o.key_bits = ki;
+  o.seed = seed;
+  return o;
+}
+
+TEST(CuteLockBeh, CorrectScheduleReplaysOriginal) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(4, 4, 1));
+  util::Rng rng(10);
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint64_t> keys;
+  for (int t = 0; t < 200; ++t) {
+    inputs.push_back(static_cast<std::uint32_t>(rng.next_below(2)));
+    keys.push_back(lock.keys()[static_cast<std::size_t>(t) % lock.num_keys()]);
+  }
+  const auto want = stg.run(inputs);
+  const auto got = lock.run(inputs, keys);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    EXPECT_EQ(got[t].output, want[t].output) << "cycle " << t;
+    EXPECT_EQ(got[t].next_state, want[t].next_state) << "cycle " << t;
+  }
+}
+
+TEST(CuteLockBeh, WrongKeyTakesWrongfulTransition) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(4, 4, 2));
+  const std::uint64_t wrong = lock.keys()[0] ^ 1ULL;
+  const auto r = lock.step(stg.initial(), 0, wrong, 1);
+  EXPECT_EQ(r.next_state, lock.wrongful_target(stg.initial(), 0));
+  // The redirect never self-loops (it must visibly leave the state).
+  EXPECT_NE(r.next_state, stg.initial());
+}
+
+TEST(CuteLockBeh, RightKeyAtWrongTimeFails) {
+  // The essence of time-based keys: K[1] applied at time 0 is wrong unless
+  // K[0] == K[1] (excluded by construction).
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(4, 4, 3));
+  ASSERT_NE(lock.keys()[0], lock.keys()[1]);
+  const auto r = lock.step(stg.initial(), 0, lock.keys()[1], 1);
+  EXPECT_EQ(r.next_state, lock.wrongful_target(stg.initial(), 0));
+}
+
+TEST(CuteLockBeh, SingleKeyReductionUsesOneValue) {
+  BehOptions o = opts(4, 6, 4);
+  o.single_key_reduction = true;
+  const BehLock lock(fsm::make_1001_detector(), o);
+  for (std::size_t t = 1; t < lock.num_keys(); ++t) {
+    EXPECT_EQ(lock.keys()[t], lock.keys()[0]);
+  }
+}
+
+class BehSynthSweep
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t, std::uint64_t>> {};
+
+TEST_P(BehSynthSweep, SynthesizedNetlistMatchesReferenceSemantics) {
+  const auto [k, ki, seed] = GetParam();
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(k, ki, seed));
+  const auto lr = lock.synthesize(fsm::SynthStyle::DirectTransitions, "beh");
+  ASSERT_EQ(lr.key_schedule.size(), k);
+  ASSERT_EQ(lr.locked.key_inputs().size(), ki);
+
+  util::Rng rng(seed * 17 + 1);
+  // Mixed key material: sometimes correct, sometimes random — the netlist
+  // must track the reference semantics cycle-by-cycle either way.
+  std::vector<std::uint32_t> inputs;
+  std::vector<std::uint64_t> keys;
+  std::vector<sim::BitVec> stim;
+  std::vector<sim::BitVec> key_vecs;
+  const std::uint64_t mask = (1ULL << ki) - 1;
+  for (int t = 0; t < 120; ++t) {
+    const std::uint32_t x = static_cast<std::uint32_t>(rng.next_below(2));
+    const std::uint64_t key =
+        rng.chance(2, 3) ? lock.keys()[static_cast<std::size_t>(t) % k]
+                         : (rng.next_u64() & mask);
+    inputs.push_back(x);
+    keys.push_back(key);
+    stim.push_back(sim::u64_to_bits(x, 1));
+    key_vecs.push_back(sim::u64_to_bits(key, ki));
+  }
+  const auto want = lock.run(inputs, keys);
+  const auto got = sim::run_sequence(lr.locked, stim, key_vecs);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    EXPECT_EQ(sim::bits_to_u64(got[t]), want[t].output) << "cycle " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BehSynthSweep,
+                         ::testing::Values(std::make_tuple(2, 2, 1ULL),
+                                           std::make_tuple(3, 4, 2ULL),
+                                           std::make_tuple(4, 4, 3ULL),
+                                           std::make_tuple(4, 8, 4ULL),
+                                           std::make_tuple(6, 5, 5ULL),
+                                           std::make_tuple(8, 6, 6ULL)));
+
+TEST(CuteLockBeh, SynthesizedLockValidatesAgainstOriginalNetlist) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const auto original = fsm::synthesize(stg, fsm::SynthStyle::DirectTransitions, "det");
+  const BehLock lock(stg, opts(4, 4, 9));
+  const auto lr = lock.synthesize(fsm::SynthStyle::DirectTransitions, "det_locked");
+  util::Rng rng(55);
+  EXPECT_EQ(lock::validate_lock(original, lr, rng), "");
+}
+
+TEST(CuteLockBeh, BehavioralVerilogEmits) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(4, 4, 11));
+  const std::string v = lock.behavioral_verilog("det_beh");
+  EXPECT_NE(v.find("module det_beh"), std::string::npos);
+  EXPECT_NE(v.find("key_ok"), std::string::npos);
+  EXPECT_NE(v.find("Wrongful STG"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // One key comparison per counter slot.
+  std::size_t count = 0;
+  for (std::size_t pos = v.find("key =="); pos != std::string::npos;
+       pos = v.find("key ==", pos + 1)) {
+    ++count;
+  }
+  EXPECT_EQ(count, 4u);
+}
+
+TEST(CuteLockBeh, OptionValidation) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  EXPECT_THROW(BehLock(stg, opts(1, 4, 1)), std::invalid_argument);
+  EXPECT_THROW(BehLock(stg, opts(4, 0, 1)), std::invalid_argument);
+  EXPECT_THROW(BehLock(stg, opts(4, 65, 1)), std::invalid_argument);
+}
+
+TEST(CuteLockBeh, WrongfulTargetsAvoidSelfLoops) {
+  const fsm::Stg stg = fsm::make_1001_detector();
+  const BehLock lock(stg, opts(4, 4, 13));
+  for (int s = 0; s < stg.num_states(); ++s) {
+    for (std::size_t t = 0; t < lock.num_keys(); ++t) {
+      EXPECT_NE(lock.wrongful_target(s, t), s) << "state " << s << " time " << t;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cl::core

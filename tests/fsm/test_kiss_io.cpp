@@ -1,0 +1,75 @@
+#include "fsm/kiss_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::fsm {
+namespace {
+
+const char* k_toy = R"(
+.i 2
+.o 1
+.s 2
+.r OFF
+11 OFF ON 1
+0- ON OFF 0
+)";
+
+TEST(KissIo, ParsesDirectivesAndRows) {
+  const Stg stg = read_kiss_string(k_toy);
+  EXPECT_EQ(stg.num_inputs(), 2);
+  EXPECT_EQ(stg.num_outputs(), 1);
+  EXPECT_EQ(stg.num_states(), 2);
+  EXPECT_EQ(stg.state_name(stg.initial()), "OFF");
+  EXPECT_EQ(stg.num_transitions(), 2u);
+}
+
+TEST(KissIo, RoundTripPreservesBehaviour) {
+  const Stg a = read_kiss_string(k_toy);
+  const Stg b = read_kiss_string(write_kiss_string(a));
+  EXPECT_EQ(a.num_states(), b.num_states());
+  // Behavioural equality over all inputs from each state.
+  for (int s = 0; s < a.num_states(); ++s) {
+    const int bs = b.find_state(a.state_name(s));
+    ASSERT_GE(bs, 0);
+    for (std::uint32_t m = 0; m < 4; ++m) {
+      const auto ra = a.step(s, m);
+      const auto rb = b.step(bs, m);
+      EXPECT_EQ(ra.output, rb.output);
+      EXPECT_EQ(b.state_name(rb.next_state), a.state_name(ra.next_state));
+    }
+  }
+}
+
+TEST(KissIo, DetectorRoundTrip) {
+  const Stg a = make_1001_detector();
+  const Stg b = read_kiss_string(write_kiss_string(a));
+  const std::vector<std::uint32_t> seq{1, 0, 0, 1, 1, 0, 0, 1};
+  const auto ra = a.run(seq);
+  const auto rb = b.run(seq);
+  for (std::size_t i = 0; i < seq.size(); ++i) {
+    EXPECT_EQ(ra[i].output, rb[i].output) << i;
+  }
+}
+
+TEST(KissIo, MissingHeaderRejected) {
+  EXPECT_THROW(read_kiss_string("11 A B 1\n"), std::runtime_error);
+}
+
+TEST(KissIo, WidthMismatchesRejected) {
+  EXPECT_THROW(read_kiss_string(".i 2\n.o 1\n111 A B 1\n"), std::runtime_error);
+  EXPECT_THROW(read_kiss_string(".i 2\n.o 1\n11 A B 11\n"), std::runtime_error);
+}
+
+TEST(KissIo, UnknownResetStateRejected) {
+  EXPECT_THROW(read_kiss_string(".i 1\n.o 1\n.r GHOST\n1 A B 1\n"),
+               std::runtime_error);
+}
+
+TEST(KissIo, DontCareOutputsReadAsZero) {
+  const Stg stg = read_kiss_string(".i 1\n.o 2\n1 A B -1\n");
+  const auto r = stg.step(stg.find_state("A"), 1);
+  EXPECT_EQ(r.output, 0b10u);
+}
+
+}  // namespace
+}  // namespace cl::fsm

@@ -1,0 +1,85 @@
+#include "fsm/minimize_fsm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "benchgen/fsm_suite.hpp"
+#include "util/rng.hpp"
+
+namespace cl::fsm {
+namespace {
+
+/// Behavioural equivalence over random input sequences.
+void expect_equivalent(const Stg& a, const Stg& b, std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::uint32_t> inputs;
+  for (int t = 0; t < 300; ++t) {
+    inputs.push_back(static_cast<std::uint32_t>(
+        rng.next_below(1ULL << a.num_inputs())));
+  }
+  const auto ra = a.run(inputs);
+  const auto rb = b.run(inputs);
+  for (std::size_t t = 0; t < inputs.size(); ++t) {
+    ASSERT_EQ(ra[t].output, rb[t].output) << "cycle " << t;
+  }
+}
+
+TEST(MinimizeFsm, DetectorIsAlreadyMinimal) {
+  const Stg stg = make_1001_detector();
+  EXPECT_EQ(count_distinct_states(stg), 4);
+  const Stg min = minimize_states(stg);
+  EXPECT_EQ(min.num_states(), 4);
+  expect_equivalent(stg, min, 1);
+}
+
+TEST(MinimizeFsm, MergesDuplicatedStates) {
+  // Build a machine with two behaviourally identical states B1/B2.
+  Stg stg(1, 1);
+  const int a = stg.add_state("A");
+  const int b1 = stg.add_state("B1");
+  const int b2 = stg.add_state("B2");
+  stg.set_initial(a);
+  const auto c0 = logic::Cube::parse("0");
+  const auto c1 = logic::Cube::parse("1");
+  stg.add_transition(a, c0, b1, 0);
+  stg.add_transition(a, c1, b2, 0);
+  stg.add_transition(b1, c0, a, 1);
+  stg.add_transition(b1, c1, b1, 0);
+  stg.add_transition(b2, c0, a, 1);
+  stg.add_transition(b2, c1, b2, 0);
+  EXPECT_EQ(count_distinct_states(stg), 2);
+  const Stg min = minimize_states(stg);
+  EXPECT_EQ(min.num_states(), 2);
+  expect_equivalent(stg, min, 2);
+}
+
+TEST(MinimizeFsm, DistinguishesByDeepBehaviour) {
+  // Two states with identical outputs but successors that diverge two steps
+  // later must NOT merge.
+  Stg stg(1, 1);
+  for (int i = 0; i < 4; ++i) stg.add_state("S" + std::to_string(i));
+  stg.set_initial(0);
+  const auto any = logic::Cube::parse("-");
+  stg.add_transition(0, any, 1, 0);
+  stg.add_transition(1, any, 2, 0);
+  stg.add_transition(2, any, 3, 0);
+  stg.add_transition(3, any, 0, 1);  // only S3 emits
+  EXPECT_EQ(count_distinct_states(stg), 4);
+}
+
+TEST(MinimizeFsm, SuiteMachinesStayEquivalent) {
+  for (const char* name : {"dmac", "cat", "e17"}) {
+    const Stg stg = benchgen::make_fsm(benchgen::find_fsm_spec(name));
+    const Stg min = minimize_states(stg);
+    EXPECT_LE(min.num_states(), stg.num_states()) << name;
+    expect_equivalent(stg, min, 3);
+  }
+}
+
+TEST(MinimizeFsm, RefusesHugeInputSpaces) {
+  Stg wide(11, 1);
+  wide.add_state("A");
+  EXPECT_THROW(count_distinct_states(wide), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::fsm

@@ -1,0 +1,135 @@
+#include "fsm/synth.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/sequence.hpp"
+#include "util/rng.hpp"
+
+namespace cl::fsm {
+namespace {
+
+/// Random deterministic Mealy machine for property tests.
+Stg random_stg(util::Rng& rng, int states, int inputs, int outputs) {
+  Stg stg(inputs, outputs);
+  for (int s = 0; s < states; ++s) stg.add_state("S" + std::to_string(s));
+  stg.set_initial(0);
+  // Full-cover transitions: one per input minterm (grouped randomly is
+  // harder to keep disjoint; minterm granularity is always safe).
+  for (int s = 0; s < states; ++s) {
+    for (std::uint32_t m = 0; m < (1u << inputs); ++m) {
+      if (rng.chance(1, 5)) continue;  // leave some holes to exercise holds
+      const int to = static_cast<int>(rng.next_below(states));
+      const std::uint64_t out = rng.next_below(1ULL << outputs);
+      stg.add_transition(s, logic::Cube::minterm(m, inputs), to, out);
+    }
+  }
+  return stg;
+}
+
+/// Compare netlist behaviour against the STG reference over random runs.
+void check_equivalence(const Stg& stg, const netlist::Netlist& nl,
+                       util::Rng& rng, int cycles) {
+  ASSERT_EQ(nl.inputs().size(), static_cast<std::size_t>(stg.num_inputs()));
+  ASSERT_EQ(nl.outputs().size(), static_cast<std::size_t>(stg.num_outputs()));
+  std::vector<std::uint32_t> minterms;
+  std::vector<sim::BitVec> stim;
+  for (int c = 0; c < cycles; ++c) {
+    const std::uint32_t m =
+        static_cast<std::uint32_t>(rng.next_below(1ULL << stg.num_inputs()));
+    minterms.push_back(m);
+    stim.push_back(sim::u64_to_bits(m, static_cast<std::size_t>(stg.num_inputs())));
+  }
+  const auto expected = stg.run(minterms);
+  const auto got = sim::run_sequence(nl, stim);
+  for (int c = 0; c < cycles; ++c) {
+    const std::uint64_t got_bits =
+        sim::bits_to_u64(got[static_cast<std::size_t>(c)]);
+    EXPECT_EQ(got_bits, expected[static_cast<std::size_t>(c)].output)
+        << "cycle " << c;
+  }
+}
+
+TEST(Synth, StateBitsCeilLog) {
+  Stg one(1, 1);
+  one.add_state("A");
+  EXPECT_EQ(state_bits(one), 1);
+  Stg five(1, 1);
+  for (int i = 0; i < 5; ++i) five.add_state("S" + std::to_string(i));
+  EXPECT_EQ(state_bits(five), 3);
+}
+
+TEST(Synth, DetectorDirectMatchesStg) {
+  const Stg stg = make_1001_detector();
+  const auto nl = synthesize(stg, SynthStyle::DirectTransitions, "det");
+  util::Rng rng(1);
+  check_equivalence(stg, nl, rng, 200);
+}
+
+TEST(Synth, DetectorMinimizedMatchesStg) {
+  const Stg stg = make_1001_detector();
+  const auto nl = synthesize(stg, SynthStyle::TwoLevelMinimized, "det");
+  util::Rng rng(2);
+  check_equivalence(stg, nl, rng, 200);
+}
+
+TEST(Synth, MinimizedIsSmallerForSmallMachines) {
+  const Stg stg = make_1001_detector();
+  const auto direct = synthesize(stg, SynthStyle::DirectTransitions, "d");
+  const auto mini = synthesize(stg, SynthStyle::TwoLevelMinimized, "m");
+  EXPECT_LE(mini.stats().gates, direct.stats().gates);
+}
+
+TEST(Synth, NonZeroInitialStateEncodedInDffInit) {
+  Stg stg(1, 1);
+  stg.add_state("A");
+  stg.add_state("B");
+  stg.add_state("C");
+  stg.set_initial(2);  // code 10
+  stg.add_transition(2, logic::Cube::parse("-"), 0, 1);
+  const auto nl = synthesize(stg, SynthStyle::DirectTransitions, "init");
+  ASSERT_EQ(nl.dffs().size(), 2u);
+  EXPECT_EQ(nl.dff_init(nl.find("state0")), netlist::DffInit::Zero);
+  EXPECT_EQ(nl.dff_init(nl.find("state1")), netlist::DffInit::One);
+}
+
+class SynthProperty : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(SynthProperty, RandomMachinesMatchReference) {
+  const auto [states, inputs, outputs, seed] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(seed));
+  const Stg stg = random_stg(rng, states, inputs, outputs);
+  const auto direct = synthesize(stg, SynthStyle::DirectTransitions, "d");
+  check_equivalence(stg, direct, rng, 100);
+  if (state_bits(stg) + inputs <= 10) {
+    const auto mini = synthesize(stg, SynthStyle::TwoLevelMinimized, "m");
+    check_equivalence(stg, mini, rng, 100);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SynthProperty,
+    ::testing::Values(std::make_tuple(2, 1, 1, 10), std::make_tuple(4, 2, 2, 11),
+                      std::make_tuple(5, 2, 3, 12), std::make_tuple(8, 3, 2, 13),
+                      std::make_tuple(13, 2, 4, 14), std::make_tuple(16, 4, 1, 15),
+                      std::make_tuple(23, 3, 5, 16), std::make_tuple(32, 2, 8, 17)));
+
+TEST(Synth, ComposableLogicRespectsWidthChecks) {
+  const Stg stg = make_1001_detector();
+  netlist::Netlist nl("x");
+  const auto a = nl.add_input("a");
+  EXPECT_THROW(
+      build_transition_logic(nl, stg, {a}, {a}, SynthStyle::DirectTransitions, "p"),
+      std::invalid_argument);
+}
+
+TEST(Synth, MinimizedRefusesHugeMachines) {
+  Stg big(10, 1);  // 10 inputs + state bits > 16 triggers the guard
+  for (int i = 0; i < 200; ++i) big.add_state("S" + std::to_string(i));
+  big.set_initial(0);
+  big.add_transition(0, logic::Cube::minterm(0, 10), 1, 1);
+  EXPECT_THROW(synthesize(big, SynthStyle::TwoLevelMinimized, "big"),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::fsm

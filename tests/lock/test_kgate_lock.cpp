@@ -1,0 +1,67 @@
+#include "lock/kgate_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/dana.hpp"
+#include "benchgen/catalog.hpp"
+#include "benchgen/s27.hpp"
+
+namespace cl::lock {
+namespace {
+
+TEST(KGateLock, Validates) {
+  const auto s27 = benchgen::make_s27();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    const LockResult lr = kgate_lock(s27, 6, 3, rng);
+    EXPECT_EQ(lr.locked.key_inputs().size(), 6u);
+    util::Rng vrng(seed + 50);
+    EXPECT_EQ(validate_lock(s27, lr, vrng), "") << "seed " << seed;
+  }
+}
+
+TEST(KGateLock, IsFullyCombinationalAddition) {
+  // K-Gate adds no state holders (the property the paper contrasts with).
+  const auto s27 = benchgen::make_s27();
+  util::Rng rng(4);
+  const LockResult lr = kgate_lock(s27, 4, 2, rng);
+  EXPECT_EQ(lr.locked.dffs().size(), s27.dffs().size());
+}
+
+TEST(KGateLock, CosetKeysAlsoUnlock) {
+  // The multi-key property: keys in the correct XOR-coset of each lattice
+  // are also functional. Flipping two key bits tapped by the same lattice
+  // preserves k_a XOR k_b. With a single encoded input and 2 key bits, the
+  // complement of the correct key must also work.
+  const auto s27 = benchgen::make_s27();
+  util::Rng rng(5);
+  const LockResult lr = kgate_lock(s27, 2, 1, rng);
+  sim::BitVec flipped = lr.correct_key;
+  flipped[0] ^= 1;
+  flipped[1] ^= 1;
+  util::Rng srng(6);
+  const auto stim = sim::random_stimulus(srng, 32, s27.inputs().size());
+  EXPECT_EQ(sim::run_sequence(s27, stim),
+            sim::run_sequence(lr.locked, stim, {flipped}));
+}
+
+TEST(KGateLock, NoDataflowBenefit) {
+  // The paper's point about combinational multi-key schemes: register
+  // clustering is untouched, so DANA scores exactly as on the original.
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit("b04");
+  util::Rng rng(7);
+  const LockResult lr = kgate_lock(circuit.netlist, 8, 4, rng);
+  const auto orig = attack::dana_attack(circuit.netlist);
+  const auto locked = attack::dana_attack(lr.locked);
+  EXPECT_DOUBLE_EQ(attack::nmi_score(circuit.netlist, orig, circuit.groups),
+                   attack::nmi_score(lr.locked, locked, circuit.groups));
+}
+
+TEST(KGateLock, ParameterValidation) {
+  const auto s27 = benchgen::make_s27();
+  util::Rng rng(1);
+  EXPECT_THROW(kgate_lock(s27, 0, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::lock

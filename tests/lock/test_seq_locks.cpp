@@ -1,0 +1,145 @@
+#include "lock/seq_locks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::lock {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_counter = R"(
+INPUT(en)
+OUTPUT(hit)
+q0 = DFF(d0)
+q1 = DFF(d1)
+d0 = XOR(q0, en)
+carry = AND(q0, en)
+d1 = XOR(q1, carry)
+hit = AND(q0, q1)
+)";
+
+Netlist counter() { return netlist::read_bench_string(k_counter, "cnt"); }
+
+TEST(SeqLocks, HarpoonValidates) {
+  const Netlist nl = counter();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    const LockResult lr = harpoon(nl, 4, 3, rng);
+    EXPECT_EQ(lr.startup_cycles, 3u);
+    EXPECT_FALSE(lr.periodic_schedule);
+    EXPECT_EQ(lr.key_schedule.size(), 3u);
+    util::Rng vrng(seed + 100);
+    EXPECT_EQ(validate_lock(nl, lr, vrng), "") << "seed " << seed;
+  }
+}
+
+TEST(SeqLocks, HarpoonOutputsCorruptedBeforeUnlock) {
+  const Netlist nl = counter();
+  util::Rng rng(7);
+  const LockResult lr = harpoon(nl, 4, 2, rng);
+  // With an all-zero (wrong) static key the device stays obfuscated; outputs
+  // must differ from the original's on some cycle.
+  util::Rng srng(8);
+  const auto stim = sim::random_stimulus(srng, 16, nl.inputs().size());
+  const auto want = sim::run_sequence(nl, stim);
+  sim::BitVec wrong(4, 0);
+  if (wrong == lr.key_schedule[0]) wrong[0] = 1;
+  const auto got = sim::run_sequence(lr.locked, stim, {wrong});
+  EXPECT_NE(sim::first_divergence(want, got), -1);
+}
+
+TEST(SeqLocks, HarpoonPartialUnlockStaysLocked) {
+  const Netlist nl = counter();
+  util::Rng rng(11);
+  const LockResult lr = harpoon(nl, 4, 3, rng);
+  // Apply only the first unlock word, then garbage.
+  std::vector<sim::BitVec> keys(16, sim::BitVec(4, 0));
+  keys[0] = lr.key_schedule[0];
+  util::Rng srng(12);
+  const auto stim = sim::random_stimulus(srng, 16, nl.inputs().size());
+  const auto want = sim::run_sequence(nl, stim);
+  const auto got = sim::run_sequence(lr.locked, stim, keys);
+  EXPECT_NE(sim::first_divergence(want, got), -1);
+}
+
+TEST(SeqLocks, DkLockValidates) {
+  const Netlist nl = counter();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    const LockResult lr = dk_lock(nl, 4, 2, 3, rng);
+    EXPECT_EQ(lr.startup_cycles, 2u);
+    EXPECT_EQ(lr.key_schedule.size(), 3u);  // 2 activation + 1 functional
+    util::Rng vrng(seed + 200);
+    EXPECT_EQ(validate_lock(nl, lr, vrng), "") << "seed " << seed;
+  }
+}
+
+TEST(SeqLocks, DkLockNeedsFunctionalKeyAfterActivation) {
+  const Netlist nl = counter();
+  util::Rng rng(21);
+  const LockResult lr = dk_lock(nl, 4, 2, 3, rng);
+  // Activate correctly but then hold a wrong functional key.
+  sim::BitVec bad_f = lr.key_schedule.back();
+  bad_f[0] ^= 1;
+  std::vector<sim::BitVec> keys;
+  keys.push_back(lr.key_schedule[0]);
+  keys.push_back(lr.key_schedule[1]);
+  for (int t = 0; t < 14; ++t) keys.push_back(bad_f);
+  util::Rng srng(22);
+  auto stim = sim::random_stimulus(srng, 14, nl.inputs().size());
+  std::vector<sim::BitVec> padded(2, sim::BitVec(nl.inputs().size(), 0));
+  padded.insert(padded.end(), stim.begin(), stim.end());
+  const auto want = sim::run_sequence(nl, stim);
+  const auto got_full = sim::run_sequence(lr.locked, padded, keys);
+  const std::vector<sim::BitVec> got(got_full.begin() + 2, got_full.end());
+  EXPECT_NE(sim::first_divergence(want, got), -1);
+}
+
+TEST(SeqLocks, SledValidates) {
+  const Netlist nl = counter();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    util::Rng rng(seed);
+    const LockResult lr = sled(nl, 4, 3, rng);
+    EXPECT_FALSE(lr.is_dynamic());  // the *seed* is static
+    EXPECT_EQ(lr.correct_key.size(), 4u);
+    util::Rng vrng(seed + 300);
+    EXPECT_EQ(validate_lock(nl, lr, vrng), "") << "seed " << seed;
+  }
+}
+
+TEST(SeqLocks, SledWrongSeedCorruptsEventually) {
+  const Netlist nl = counter();
+  util::Rng rng(31);
+  const LockResult lr = sled(nl, 4, 3, rng);
+  sim::BitVec wrong = lr.correct_key;
+  wrong[1] ^= 1;
+  util::Rng srng(32);
+  const auto stim = sim::random_stimulus(srng, 24, nl.inputs().size());
+  const auto want = sim::run_sequence(nl, stim);
+  const auto got = sim::run_sequence(lr.locked, stim, {wrong});
+  EXPECT_NE(sim::first_divergence(want, got), -1);
+}
+
+TEST(SeqLocks, ParameterValidation) {
+  const Netlist nl = counter();
+  util::Rng rng(1);
+  EXPECT_THROW(harpoon(nl, 4, 0, rng), std::invalid_argument);
+  EXPECT_THROW(dk_lock(nl, 4, 0, 2, rng), std::invalid_argument);
+  EXPECT_THROW(sled(nl, 1, 2, rng), std::invalid_argument);
+}
+
+TEST(SeqLocks, AperiodicScheduleClamping) {
+  const Netlist nl = counter();
+  util::Rng rng(41);
+  const LockResult lr = dk_lock(nl, 4, 2, 2, rng);
+  const auto keys = lr.keys_for(6);
+  ASSERT_EQ(keys.size(), 6u);
+  EXPECT_EQ(keys[0], lr.key_schedule[0]);
+  EXPECT_EQ(keys[1], lr.key_schedule[1]);
+  for (std::size_t t = 2; t < 6; ++t) EXPECT_EQ(keys[t], lr.key_schedule[2]);
+}
+
+}  // namespace
+}  // namespace cl::lock

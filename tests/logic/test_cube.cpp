@@ -1,0 +1,68 @@
+#include "logic/cube.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::logic {
+namespace {
+
+TEST(Cube, ParseAndToString) {
+  const Cube c = Cube::parse("1-0");
+  EXPECT_EQ(c.to_string(3), "1-0");
+  EXPECT_EQ(c.literal_count(), 2);
+  EXPECT_THROW(Cube::parse("12"), std::invalid_argument);
+}
+
+TEST(Cube, MintermConstruction) {
+  const Cube c = Cube::minterm(0b101, 3);
+  EXPECT_EQ(c.to_string(3), "101");
+  EXPECT_EQ(c.literal_count(), 3);
+  EXPECT_TRUE(c.contains_minterm(0b101));
+  EXPECT_FALSE(c.contains_minterm(0b100));
+}
+
+TEST(Cube, ContainsMinterm) {
+  const Cube c = Cube::parse("1-");
+  EXPECT_TRUE(c.contains_minterm(0b01));
+  EXPECT_TRUE(c.contains_minterm(0b11));
+  EXPECT_FALSE(c.contains_minterm(0b00));
+}
+
+TEST(Cube, CoversIsSupersetRelation) {
+  const Cube wide = Cube::parse("1--");
+  const Cube narrow = Cube::parse("1-0");
+  EXPECT_TRUE(wide.covers(narrow));
+  EXPECT_FALSE(narrow.covers(wide));
+  EXPECT_TRUE(wide.covers(wide));
+  const Cube other = Cube::parse("0--");
+  EXPECT_FALSE(wide.covers(other));
+}
+
+TEST(Cube, CombineAdjacentCubes) {
+  const Cube a = Cube::parse("10");
+  const Cube b = Cube::parse("11");
+  const auto merged = a.combine(b);
+  ASSERT_TRUE(merged.has_value());
+  EXPECT_EQ(merged->to_string(2), "1-");
+}
+
+TEST(Cube, CombineRejectsNonAdjacent) {
+  EXPECT_FALSE(Cube::parse("00").combine(Cube::parse("11")).has_value());
+  // Different masks cannot combine.
+  EXPECT_FALSE(Cube::parse("0-").combine(Cube::parse("01")).has_value());
+}
+
+TEST(Cube, CoverEvalIsDisjunction) {
+  const Cover cover{Cube::parse("11-"), Cube::parse("--1")};
+  EXPECT_TRUE(cover_eval(cover, 0b011));   // matches 11-
+  EXPECT_TRUE(cover_eval(cover, 0b100));   // matches --1
+  EXPECT_FALSE(cover_eval(cover, 0b010));
+  EXPECT_FALSE(cover_eval({}, 0));
+}
+
+TEST(Cube, CoverLiteralsSums) {
+  const Cover cover{Cube::parse("11-"), Cube::parse("--1")};
+  EXPECT_EQ(cover_literals(cover), 3);
+}
+
+}  // namespace
+}  // namespace cl::logic

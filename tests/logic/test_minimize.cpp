@@ -1,0 +1,103 @@
+#include "logic/minimize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cl::logic {
+namespace {
+
+TEST(Minimize, TextbookExample) {
+  // f(a,b,c,d) onset = {4,8,10,11,12,15}, dc = {9,14} — the classic QM
+  // example; minimal cover uses 3-4 cubes.
+  const std::vector<std::uint64_t> onset{4, 8, 10, 11, 12, 15};
+  const std::vector<std::uint64_t> dc{9, 14};
+  const Cover cover = minimize(onset, dc, 4);
+  EXPECT_TRUE(cover_equals(cover, onset, dc, 4));
+  EXPECT_LE(cover.size(), 4u);
+}
+
+TEST(Minimize, XorHasNoMergedCubes) {
+  const TruthTable x = TruthTable::variable(2, 0) ^ TruthTable::variable(2, 1);
+  const Cover cover = minimize(x);
+  EXPECT_EQ(cover.size(), 2u);  // a'b + ab'
+  EXPECT_EQ(cover_literals(cover), 4);
+}
+
+TEST(Minimize, FullCubeCollapsesToTautology) {
+  const std::vector<std::uint64_t> onset{0, 1, 2, 3};
+  const Cover cover = minimize(onset, {}, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 0);
+}
+
+TEST(Minimize, EmptyOnsetGivesEmptyCover) {
+  EXPECT_TRUE(minimize({}, {}, 3).empty());
+}
+
+TEST(Minimize, SingleMinterm) {
+  const Cover cover = minimize({5}, {}, 3);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].to_string(3), "101");
+}
+
+TEST(Minimize, DontCaresEnableLargerCubes) {
+  // onset {0}, dc {1,2,3} over 2 vars: minimal cover is the tautology cube.
+  const Cover cover = minimize({0}, {1, 2, 3}, 2);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].literal_count(), 0);
+}
+
+TEST(Minimize, PrimeImplicantsOfAndFunction) {
+  // f = ab over 2 vars: single prime "11".
+  const auto primes = prime_implicants({3}, {}, 2);
+  ASSERT_EQ(primes.size(), 1u);
+  EXPECT_EQ(primes[0].to_string(2), "11");
+}
+
+TEST(Minimize, PrimesCoverOnsetNeverOffset) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int n = 4 + static_cast<int>(rng.next_below(3));  // 4..6 vars
+    std::vector<std::uint64_t> onset;
+    for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+      if (rng.chance(1, 3)) onset.push_back(m);
+    }
+    const Cover cover = minimize(onset, {}, n);
+    EXPECT_TRUE(cover_equals(cover, onset, {}, n)) << "trial " << trial;
+  }
+}
+
+TEST(Minimize, CoverUsesOnlyPrimeImplicants) {
+  util::Rng rng(7);
+  const int n = 4;
+  std::vector<std::uint64_t> onset;
+  for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+    if (rng.chance(1, 2)) onset.push_back(m);
+  }
+  const auto primes = prime_implicants(onset, {}, n);
+  const Cover cover = minimize(onset, {}, n);
+  for (const Cube& c : cover) {
+    const bool is_prime =
+        std::find(primes.begin(), primes.end(), c) != primes.end();
+    EXPECT_TRUE(is_prime) << c.to_string(n);
+  }
+}
+
+TEST(Minimize, RandomFunctionsWithDontCares) {
+  util::Rng rng(1234);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int n = 5;
+    std::vector<std::uint64_t> onset, dc;
+    for (std::uint64_t m = 0; m < (1ULL << n); ++m) {
+      const auto r = rng.next_below(4);
+      if (r == 0) onset.push_back(m);
+      else if (r == 1) dc.push_back(m);
+    }
+    const Cover cover = minimize(onset, dc, n);
+    EXPECT_TRUE(cover_equals(cover, onset, dc, n)) << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace cl::logic

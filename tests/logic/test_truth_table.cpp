@@ -1,0 +1,121 @@
+#include "logic/truth_table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::logic {
+namespace {
+
+TEST(TruthTable, ConstructsAllZero) {
+  const TruthTable t(3);
+  EXPECT_EQ(t.num_vars(), 3);
+  EXPECT_EQ(t.num_minterms(), 8u);
+  EXPECT_TRUE(t.is_const_zero());
+  EXPECT_FALSE(t.is_const_one());
+}
+
+TEST(TruthTable, RejectsBadArity) {
+  EXPECT_THROW(TruthTable(-1), std::invalid_argument);
+  EXPECT_THROW(TruthTable(21), std::invalid_argument);
+}
+
+TEST(TruthTable, SetGetRoundTrip) {
+  TruthTable t(4);
+  t.set(5, true);
+  t.set(11, true);
+  EXPECT_TRUE(t.get(5));
+  EXPECT_TRUE(t.get(11));
+  EXPECT_FALSE(t.get(6));
+  t.set(5, false);
+  EXPECT_FALSE(t.get(5));
+  EXPECT_THROW(t.get(16), std::out_of_range);
+}
+
+TEST(TruthTable, FromFunctionMajority) {
+  const TruthTable maj = TruthTable::from_function(3, [](std::uint64_t m) {
+    const int ones = ((m >> 0) & 1) + ((m >> 1) & 1) + ((m >> 2) & 1);
+    return ones >= 2;
+  });
+  EXPECT_EQ(maj.count_ones(), 4u);
+  EXPECT_TRUE(maj.get(0b011));
+  EXPECT_FALSE(maj.get(0b001));
+}
+
+TEST(TruthTable, OperatorsMatchSemantics) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  const TruthTable and_tt = a & b;
+  const TruthTable or_tt = a | b;
+  const TruthTable xor_tt = a ^ b;
+  for (std::uint64_t m = 0; m < 4; ++m) {
+    const bool av = (m >> 0) & 1, bv = (m >> 1) & 1;
+    EXPECT_EQ(and_tt.get(m), av && bv);
+    EXPECT_EQ(or_tt.get(m), av || bv);
+    EXPECT_EQ(xor_tt.get(m), av != bv);
+  }
+  EXPECT_TRUE((~a | a).is_const_one());
+  EXPECT_TRUE((~a & a).is_const_zero());
+}
+
+TEST(TruthTable, EqualityIgnoresPaddingBits) {
+  // For < 6 vars the top word has unused bits; ~ fills them with 1s, which
+  // must not break equality.
+  const TruthTable a = TruthTable::variable(3, 0);
+  const TruthTable twice_negated = ~~a;
+  EXPECT_TRUE(a == twice_negated);
+}
+
+TEST(TruthTable, CofactorShannon) {
+  // f = x0 & x1 | x2
+  const TruthTable f = (TruthTable::variable(3, 0) & TruthTable::variable(3, 1)) |
+                       TruthTable::variable(3, 2);
+  const TruthTable f_x2_1 = f.cofactor(2, true);
+  EXPECT_TRUE(f_x2_1.is_const_one());
+  const TruthTable f_x2_0 = f.cofactor(2, false);
+  const TruthTable expect = TruthTable::variable(3, 0) & TruthTable::variable(3, 1);
+  EXPECT_TRUE(f_x2_0 == expect);
+}
+
+TEST(TruthTable, IndependenceDetection) {
+  const TruthTable f = TruthTable::variable(3, 0);
+  EXPECT_TRUE(f.is_independent_of(1));
+  EXPECT_TRUE(f.is_independent_of(2));
+  EXPECT_FALSE(f.is_independent_of(0));
+}
+
+TEST(TruthTable, UnatenessDetection) {
+  const TruthTable a = TruthTable::variable(2, 0);
+  const TruthTable b = TruthTable::variable(2, 1);
+  const TruthTable and_tt = a & b;
+  EXPECT_TRUE(and_tt.is_positive_unate(0));
+  EXPECT_TRUE(and_tt.is_positive_unate(1));
+  EXPECT_FALSE((~a).is_positive_unate(0));
+  EXPECT_TRUE((~a).is_negative_unate(0));
+  const TruthTable xor_tt = a ^ b;
+  EXPECT_FALSE(xor_tt.is_positive_unate(0));
+  EXPECT_FALSE(xor_tt.is_negative_unate(0));
+}
+
+TEST(TruthTable, OnsetEnumeration) {
+  TruthTable t(3);
+  t.set(1, true);
+  t.set(6, true);
+  EXPECT_EQ(t.onset(), (std::vector<std::uint64_t>{1, 6}));
+}
+
+TEST(TruthTable, LargeArityWorks) {
+  const TruthTable t = TruthTable::from_function(
+      10, [](std::uint64_t m) { return (m % 3) == 0; });
+  EXPECT_EQ(t.num_minterms(), 1024u);
+  EXPECT_EQ(t.count_ones(), 342u);  // ceil(1024/3)
+}
+
+TEST(TruthTable, ZeroVarTable) {
+  TruthTable t(0);
+  EXPECT_EQ(t.num_minterms(), 1u);
+  EXPECT_TRUE(t.is_const_zero());
+  t.set(0, true);
+  EXPECT_TRUE(t.is_const_one());
+}
+
+}  // namespace
+}  // namespace cl::logic

@@ -1,0 +1,158 @@
+#include "netlist/bench_io.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::netlist {
+namespace {
+
+// The real ISCAS'89 s27 netlist (public domain benchmark).
+const char* k_s27 = R"(
+# s27
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+TEST(BenchIo, ParsesS27) {
+  const Netlist nl = read_bench_string(k_s27, "s27");
+  EXPECT_EQ(nl.inputs().size(), 4u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 3u);
+  EXPECT_EQ(nl.stats().gates, 10u);
+  EXPECT_EQ(nl.signal_name(nl.outputs()[0]), "G17");
+  // G10 drives the D pin of G5.
+  const SignalId g5 = nl.find("G5");
+  EXPECT_EQ(nl.signal_name(nl.dff_input(g5)), "G10");
+}
+
+TEST(BenchIo, RoundTripPreservesStructure) {
+  const Netlist a = read_bench_string(k_s27, "s27");
+  const Netlist b = read_bench_string(write_bench_string(a), "s27");
+  EXPECT_EQ(a.size(), b.size());
+  EXPECT_EQ(a.stats().gates, b.stats().gates);
+  EXPECT_EQ(a.dffs().size(), b.dffs().size());
+  for (SignalId id = 0; id < a.size(); ++id) {
+    const SignalId other = b.find(a.signal_name(id));
+    ASSERT_NE(other, k_no_signal) << a.signal_name(id);
+    EXPECT_EQ(a.type(id), b.type(other));
+  }
+}
+
+TEST(BenchIo, KeyInputConventionDetected) {
+  const char* text = R"(
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(nl.key_inputs().size(), 1u);
+}
+
+TEST(BenchIo, DffInitCommentRoundTrips) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)  # init q 1
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.dff_init(nl.find("q")), DffInit::One);
+  const Netlist again = read_bench_string(write_bench_string(nl));
+  EXPECT_EQ(again.dff_init(again.find("q")), DffInit::One);
+}
+
+TEST(BenchIo, ForwardReferencesResolve) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(b, a)
+b = NOT(a)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.stats().gates, 2u);
+}
+
+TEST(BenchIo, SingleInputAndBecomesBuf) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = AND(a)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.type(nl.find("y")), GateType::Buf);
+}
+
+TEST(BenchIo, MuxSupported) {
+  const char* text = R"(
+INPUT(s)
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = MUX(s, a, b)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.type(nl.find("y")), GateType::Mux);
+}
+
+TEST(BenchIo, ErrorsCarryLineNumbers) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n"),
+               std::runtime_error);
+  try {
+    read_bench_string("INPUT(a)\ny = FROB(a)\nOUTPUT(y)\n");
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("bench:"), std::string::npos);
+  }
+}
+
+TEST(BenchIo, UndefinedSignalRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, DuplicateDefinitionRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(y)\ny = NOT(a)\ny = BUF(a)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, CombinationalCycleRejected) {
+  EXPECT_THROW(
+      read_bench_string("INPUT(a)\nOUTPUT(x)\nx = AND(a, y)\ny = NOT(x)\n"),
+      std::runtime_error);
+}
+
+TEST(BenchIo, OutputOfUndefinedSignalRejected) {
+  EXPECT_THROW(read_bench_string("INPUT(a)\nOUTPUT(ghost)\n"),
+               std::runtime_error);
+}
+
+TEST(BenchIo, SequentialCycleThroughDffAccepted) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(g)
+g = NOT(q)
+)";
+  const Netlist nl = read_bench_string(text);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  EXPECT_EQ(nl.stats().gates, 1u);
+}
+
+}  // namespace
+}  // namespace cl::netlist

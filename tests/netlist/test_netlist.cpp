@@ -1,0 +1,178 @@
+#include "netlist/netlist.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::netlist {
+namespace {
+
+Netlist tiny() {
+  // q = DFF(a AND q); out = q XOR b
+  Netlist nl("tiny");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  SignalId q = nl.add_dff(k_no_signal, DffInit::Zero, "q");
+  const SignalId g = nl.add_and(a, q, "g");
+  nl.set_dff_input(q, g);
+  const SignalId out = nl.add_xor(q, b, "out");
+  nl.add_output(out);
+  nl.check();
+  return nl;
+}
+
+TEST(Netlist, BasicConstruction) {
+  const Netlist nl = tiny();
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+  EXPECT_EQ(nl.dffs().size(), 1u);
+  const NetlistStats st = nl.stats();
+  EXPECT_EQ(st.gates, 2u);
+  EXPECT_EQ(st.key_inputs, 0u);
+}
+
+TEST(Netlist, FindByName) {
+  const Netlist nl = tiny();
+  EXPECT_NE(nl.find("g"), k_no_signal);
+  EXPECT_EQ(nl.find("nope"), k_no_signal);
+  EXPECT_EQ(nl.signal_name(nl.find("out")), "out");
+}
+
+TEST(Netlist, DuplicateNamesRejected) {
+  Netlist nl;
+  nl.add_input("x");
+  EXPECT_THROW(nl.add_input("x"), std::invalid_argument);
+}
+
+TEST(Netlist, ArityValidation) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::And, {a}, "bad"), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::Not, {a, a}, "bad"), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::Mux, {a, a}, "bad"), std::invalid_argument);
+}
+
+TEST(Netlist, AddGateRejectsNonCombTypes) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_gate(GateType::Dff, {a}, "bad"), std::invalid_argument);
+  EXPECT_THROW(nl.add_gate(GateType::Input, {}, "bad"), std::invalid_argument);
+}
+
+TEST(Netlist, FaninOutOfRangeRejected) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  EXPECT_THROW(nl.add_and(a, 999, "bad"), std::invalid_argument);
+}
+
+TEST(Netlist, KeyInputsTrackedSeparately) {
+  Netlist nl;
+  nl.add_input("x");
+  nl.add_key_input("keyinput0");
+  EXPECT_EQ(nl.inputs().size(), 1u);
+  EXPECT_EQ(nl.key_inputs().size(), 1u);
+  EXPECT_EQ(nl.all_inputs().size(), 2u);
+  EXPECT_EQ(nl.type(nl.find("keyinput0")), GateType::KeyInput);
+}
+
+TEST(Netlist, DffInitRoundTrip) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId q = nl.add_dff(a, DffInit::One, "q");
+  EXPECT_EQ(nl.dff_init(q), DffInit::One);
+  nl.set_dff_init(q, DffInit::X);
+  EXPECT_EQ(nl.dff_init(q), DffInit::X);
+  EXPECT_EQ(nl.dff_input(q), a);
+}
+
+TEST(Netlist, DffAccessorsRejectNonDff) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  EXPECT_THROW(nl.dff_input(a), std::invalid_argument);
+  EXPECT_THROW(nl.set_dff_init(a, DffInit::One), std::invalid_argument);
+  EXPECT_THROW(nl.set_dff_input(a, a), std::invalid_argument);
+}
+
+TEST(Netlist, ReplaceFanin) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId c = nl.add_input("c");
+  const SignalId g = nl.add_and(a, b, "g");
+  nl.replace_fanin(g, a, c);
+  EXPECT_EQ(nl.node(g).fanins[0], c);
+  EXPECT_THROW(nl.replace_fanin(g, a, c), std::invalid_argument);
+}
+
+TEST(Netlist, ReplaceAllReadersRespectsExceptions) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId g1 = nl.add_and(a, b, "g1");
+  const SignalId g2 = nl.add_or(a, b, "g2");
+  nl.add_output(a);
+  const SignalId replacement = nl.add_not(a, "na");
+  nl.replace_all_readers(a, replacement, {replacement, g2});
+  EXPECT_EQ(nl.node(g1).fanins[0], replacement);
+  EXPECT_EQ(nl.node(g2).fanins[0], a);          // excluded
+  EXPECT_EQ(nl.node(replacement).fanins[0], a); // excluded (no self-loop)
+  EXPECT_EQ(nl.outputs()[0], replacement);
+}
+
+TEST(Netlist, FreshNamesNeverCollide) {
+  Netlist nl;
+  nl.add_input("n0");
+  const std::string f1 = nl.fresh_name("n");
+  EXPECT_NE(f1, "n0");
+  nl.add_input(f1);
+  const std::string f2 = nl.fresh_name("n");
+  EXPECT_NE(f2, f1);
+}
+
+TEST(Netlist, CheckDetectsCombinationalCycle) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId g1 = nl.add_and(a, a, "g1");
+  const SignalId g2 = nl.add_or(g1, a, "g2");
+  // Manufacture a cycle g1 <- g2 via replace_fanin.
+  nl.replace_fanin(g1, a, g2);
+  EXPECT_THROW(nl.check(), std::logic_error);
+}
+
+TEST(Netlist, SequentialLoopIsLegal) {
+  // DFF in the loop: q -> g -> q is fine.
+  EXPECT_NO_THROW(tiny().check());
+}
+
+TEST(Netlist, CloneIsDeepAndRenames) {
+  Netlist nl = tiny();
+  Netlist copy = nl.clone("copy");
+  EXPECT_EQ(copy.name(), "copy");
+  EXPECT_EQ(copy.size(), nl.size());
+  // Mutating the copy must not affect the original.
+  copy.set_dff_init(copy.dffs()[0], DffInit::One);
+  EXPECT_EQ(nl.dff_init(nl.dffs()[0]), DffInit::Zero);
+}
+
+TEST(Netlist, GateTypeNamesRoundTrip) {
+  for (GateType t : {GateType::And, GateType::Nand, GateType::Or, GateType::Nor,
+                     GateType::Xor, GateType::Xnor, GateType::Not, GateType::Buf,
+                     GateType::Mux, GateType::Dff}) {
+    const auto parsed = gate_type_from_name(gate_type_name(t));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, t);
+  }
+  EXPECT_FALSE(gate_type_from_name("FROB").has_value());
+  EXPECT_EQ(*gate_type_from_name("buff"), GateType::Buf);
+  EXPECT_EQ(*gate_type_from_name("inv"), GateType::Not);
+}
+
+TEST(Netlist, OutputMayRepeat) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  nl.add_output(a);
+  nl.add_output(a);
+  EXPECT_EQ(nl.outputs().size(), 2u);
+  nl.check();
+}
+
+}  // namespace
+}  // namespace cl::netlist

@@ -1,0 +1,110 @@
+#include "netlist/topo.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace cl::netlist {
+namespace {
+
+Netlist chain3() {
+  // a -> g1 -> g2 -> g3 -> out; q feeds g2 as well.
+  Netlist nl("chain3");
+  const SignalId a = nl.add_input("a");
+  const SignalId q = nl.add_dff(k_no_signal, DffInit::Zero, "q");
+  const SignalId g1 = nl.add_not(a, "g1");
+  const SignalId g2 = nl.add_and(g1, q, "g2");
+  const SignalId g3 = nl.add_or(g2, a, "g3");
+  nl.set_dff_input(q, g3);
+  nl.add_output(g3);
+  return nl;
+}
+
+TEST(Topo, OrderRespectsFaninBeforeGate) {
+  const Netlist nl = chain3();
+  const auto order = topo_order(nl);
+  EXPECT_EQ(order.size(), nl.size());
+  std::vector<std::size_t> pos(nl.size());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    if (!is_comb_gate(nl.type(id))) continue;
+    for (SignalId f : nl.node(id).fanins) {
+      EXPECT_LT(pos[f], pos[id]) << "fanin after gate";
+    }
+  }
+}
+
+TEST(Topo, LevelsIncreaseAlongChain) {
+  const Netlist nl = chain3();
+  const auto level = logic_levels(nl);
+  EXPECT_EQ(level[nl.find("a")], 0);
+  EXPECT_EQ(level[nl.find("q")], 0);
+  EXPECT_EQ(level[nl.find("g1")], 1);
+  EXPECT_EQ(level[nl.find("g2")], 2);
+  EXPECT_EQ(level[nl.find("g3")], 3);
+}
+
+TEST(Topo, FanoutsListReaders) {
+  const Netlist nl = chain3();
+  const auto fo = fanouts(nl);
+  const SignalId a = nl.find("a");
+  // a feeds g1 and g3.
+  EXPECT_EQ(fo[a].size(), 2u);
+  // g3 feeds the DFF D-pin.
+  const SignalId g3 = nl.find("g3");
+  ASSERT_EQ(fo[g3].size(), 1u);
+  EXPECT_EQ(fo[g3][0], nl.find("q"));
+}
+
+TEST(Topo, ConeStopsAtDffOutputs) {
+  const Netlist nl = chain3();
+  const auto cone = comb_fanin_cone(nl, {nl.find("g2")});
+  EXPECT_TRUE(cone[nl.find("g2")]);
+  EXPECT_TRUE(cone[nl.find("g1")]);
+  EXPECT_TRUE(cone[nl.find("a")]);
+  EXPECT_TRUE(cone[nl.find("q")]);   // included as a cone leaf
+  EXPECT_FALSE(cone[nl.find("g3")]); // not in the fanin of g2
+}
+
+TEST(Topo, KeysInConeFindsOnlyReachableKeys) {
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId k0 = nl.add_key_input("keyinput0");
+  nl.add_key_input("keyinput1");  // not connected to g
+  const SignalId g = nl.add_xor(a, k0, "g");
+  nl.add_output(g);
+  const auto keys = keys_in_cone(nl, g);
+  ASSERT_EQ(keys.size(), 1u);
+  EXPECT_EQ(keys[0], k0);
+}
+
+TEST(Topo, DffDependenciesFormRegisterGraph) {
+  // q2's D depends on q1; q1's D depends on input only.
+  Netlist nl;
+  const SignalId a = nl.add_input("a");
+  const SignalId q1 = nl.add_dff(k_no_signal, DffInit::Zero, "q1");
+  const SignalId q2 = nl.add_dff(k_no_signal, DffInit::Zero, "q2");
+  nl.set_dff_input(q1, nl.add_not(a, "g1"));
+  nl.set_dff_input(q2, nl.add_and(q1, a, "g2"));
+  const auto deps = dff_dependencies(nl);
+  ASSERT_EQ(deps.size(), 2u);
+  EXPECT_TRUE(deps[0].empty());
+  ASSERT_EQ(deps[1].size(), 1u);
+  EXPECT_EQ(deps[1][0], q1);
+  (void)q2;
+}
+
+TEST(Topo, SelfLoopThroughDffAllowed) {
+  Netlist nl;
+  SignalId q = nl.add_dff(k_no_signal, DffInit::Zero, "q");
+  const SignalId g = nl.add_not(q, "g");
+  nl.set_dff_input(q, g);
+  nl.add_output(q);
+  const auto deps = dff_dependencies(nl);
+  ASSERT_EQ(deps.size(), 1u);
+  ASSERT_EQ(deps[0].size(), 1u);
+  EXPECT_EQ(deps[0][0], q);
+}
+
+}  // namespace
+}  // namespace cl::netlist

@@ -1,0 +1,127 @@
+#include "netlist/transform.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/topo.hpp"
+
+namespace cl::netlist {
+namespace {
+
+TEST(Transform, RemoveDanglingDropsUnreachableGates) {
+  Netlist nl("d");
+  const SignalId a = nl.add_input("a");
+  const SignalId keep = nl.add_not(a, "keep");
+  nl.add_and(a, keep, "dead");  // never used
+  nl.add_output(keep);
+  const Netlist out = remove_dangling(nl);
+  EXPECT_EQ(out.find("dead"), k_no_signal);
+  EXPECT_NE(out.find("keep"), k_no_signal);
+  EXPECT_EQ(out.stats().gates, 1u);
+}
+
+TEST(Transform, RemoveDanglingKeepsPorts) {
+  Netlist nl("p");
+  nl.add_input("unused_in");
+  nl.add_key_input("keyinput0");
+  const SignalId a = nl.add_input("a");
+  nl.add_output(nl.add_not(a, "y"));
+  const Netlist out = remove_dangling(nl);
+  EXPECT_NE(out.find("unused_in"), k_no_signal);
+  EXPECT_NE(out.find("keyinput0"), k_no_signal);
+}
+
+TEST(Transform, RemoveDanglingKeepsSequentialLoops) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(g)
+g = XOR(q, a)
+y = NOT(q)
+)";
+  const Netlist nl = read_bench_string(text);
+  const Netlist out = remove_dangling(nl);
+  EXPECT_EQ(out.dffs().size(), 1u);
+  EXPECT_NE(out.find("g"), k_no_signal);
+}
+
+TEST(Transform, RemoveDanglingDropsDeadDff) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+deadq = DFF(a)
+y = NOT(a)
+)";
+  const Netlist nl = read_bench_string(text);
+  const Netlist out = remove_dangling(nl);
+  EXPECT_EQ(out.dffs().size(), 0u);
+  EXPECT_EQ(out.find("deadq"), k_no_signal);
+}
+
+TEST(Transform, DecomposeMuxesRemovesAllMuxGates) {
+  Netlist nl("m");
+  const SignalId s = nl.add_input("s");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  nl.add_output(nl.add_mux(s, a, b, "y"));
+  const Netlist out = decompose_muxes(nl);
+  for (SignalId id = 0; id < out.size(); ++id) {
+    EXPECT_NE(out.type(id), GateType::Mux);
+  }
+  // y survives with the same name.
+  EXPECT_NE(out.find("y"), k_no_signal);
+}
+
+TEST(Transform, StrashMergesDuplicateGates) {
+  Netlist nl("s");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId g1 = nl.add_and(a, b, "g1");
+  const SignalId g2 = nl.add_and(b, a, "g2");  // commutative duplicate
+  nl.add_output(nl.add_xor(g1, g2, "y"));
+  const Netlist out = strash(nl);
+  // g1 and g2 merge; XOR(x, x) remains structurally (no const propagation).
+  EXPECT_EQ(out.stats().gates, 2u);
+}
+
+TEST(Transform, StrashCollapsesBuffers) {
+  Netlist nl("b");
+  const SignalId a = nl.add_input("a");
+  const SignalId buf = nl.add_gate(GateType::Buf, {a}, "buf");
+  nl.add_output(nl.add_not(buf, "y"));
+  const Netlist out = strash(nl);
+  const SignalId y = out.find("y");
+  ASSERT_NE(y, k_no_signal);
+  EXPECT_EQ(out.node(y).fanins[0], out.find("a"));
+}
+
+TEST(Transform, StrashPreservesDffBoundary) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+q1 = DFF(g)
+q2 = DFF(g)
+g = NOT(a)
+y = XOR(q1, q2)
+)";
+  // Two DFFs with identical D must NOT merge (state duplication is
+  // semantically meaningful under different init values).
+  const Netlist nl = read_bench_string(text);
+  const Netlist out = strash(nl);
+  EXPECT_EQ(out.dffs().size(), 2u);
+}
+
+TEST(Transform, NameMapCoversEverySignal) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+y = NOT(a)
+)";
+  const Netlist nl = read_bench_string(text);
+  const auto m = name_map(nl);
+  EXPECT_EQ(m.size(), nl.size());
+  EXPECT_EQ(m.at("y"), nl.find("y"));
+}
+
+}  // namespace
+}  // namespace cl::netlist

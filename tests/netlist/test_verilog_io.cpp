@@ -1,0 +1,78 @@
+#include "netlist/verilog_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::netlist {
+namespace {
+
+TEST(VerilogIo, EmitsModuleWithPorts) {
+  Netlist nl("mod");
+  const SignalId a = nl.add_input("a");
+  const SignalId k = nl.add_key_input("keyinput0");
+  const SignalId y = nl.add_xor(a, k, "y");
+  nl.add_output(y);
+  const std::string v = write_verilog_string(nl);
+  EXPECT_NE(v.find("module mod"), std::string::npos);
+  EXPECT_NE(v.find("input a;"), std::string::npos);
+  EXPECT_NE(v.find("input keyinput0;"), std::string::npos);
+  EXPECT_NE(v.find("output po0;"), std::string::npos);
+  EXPECT_NE(v.find("assign y = a ^ keyinput0;"), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+}
+
+TEST(VerilogIo, DffBecomesAlwaysBlock) {
+  Netlist nl("seq");
+  const SignalId a = nl.add_input("a");
+  const SignalId q = nl.add_dff(a, DffInit::One, "q");
+  nl.add_output(q);
+  const std::string v = write_verilog_string(nl);
+  EXPECT_NE(v.find("reg q;"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk) q <= a;"), std::string::npos);
+  EXPECT_NE(v.find("initial q = 1'b1;"), std::string::npos);
+}
+
+TEST(VerilogIo, InvertedGatesWrapInNot) {
+  Netlist nl("n");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_gate(GateType::Nand, {a, b}, "y");
+  nl.add_output(y);
+  const std::string v = write_verilog_string(nl);
+  EXPECT_NE(v.find("assign y = ~(a & b);"), std::string::npos);
+}
+
+TEST(VerilogIo, MuxUsesTernary) {
+  Netlist nl("m");
+  const SignalId s = nl.add_input("s");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_mux(s, a, b, "y");
+  nl.add_output(y);
+  const std::string v = write_verilog_string(nl);
+  EXPECT_NE(v.find("assign y = s ? b : a;"), std::string::npos);
+}
+
+TEST(VerilogIo, SanitizesHostileNames) {
+  Netlist nl("sani");
+  const SignalId a = nl.add_input("3bad.name");
+  nl.add_output(nl.add_not(a, "x-y"));
+  const std::string v = write_verilog_string(nl);
+  // No raw '.' or '-' may survive in identifiers.
+  EXPECT_EQ(v.find("3bad.name"), std::string::npos);
+  EXPECT_EQ(v.find("x-y"), std::string::npos);
+  EXPECT_NE(v.find("s_3bad_name"), std::string::npos);
+}
+
+TEST(VerilogIo, ConstantsEmitted) {
+  Netlist nl("c");
+  nl.add_output(nl.add_const(true, "one"));
+  nl.add_output(nl.add_const(false, "zero"));
+  const std::string v = write_verilog_string(nl);
+  EXPECT_NE(v.find("assign one = 1'b1;"), std::string::npos);
+  EXPECT_NE(v.find("assign zero = 1'b0;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cl::netlist

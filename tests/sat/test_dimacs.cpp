@@ -1,0 +1,51 @@
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::sat {
+namespace {
+
+TEST(Dimacs, ParsesHeaderAndClauses) {
+  const Dimacs d = read_dimacs_string("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n");
+  EXPECT_EQ(d.num_vars, 3);
+  ASSERT_EQ(d.clauses.size(), 2u);
+  EXPECT_EQ(d.clauses[0], (std::vector<int>{1, -2}));
+  EXPECT_EQ(d.clauses[1], (std::vector<int>{2, 3}));
+}
+
+TEST(Dimacs, HeaderlessInputInfersVars) {
+  const Dimacs d = read_dimacs_string("1 -4 0\n");
+  EXPECT_EQ(d.num_vars, 4);
+}
+
+TEST(Dimacs, LoadsIntoSolverAndSolves) {
+  const Dimacs d = read_dimacs_string("p cnf 2 2\n1 0\n-1 2 0\n");
+  Solver s;
+  const Var base = load_dimacs(s, d);
+  ASSERT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(base));
+  EXPECT_TRUE(s.model_value(base + 1));
+}
+
+TEST(Dimacs, UnsatInstance) {
+  const Dimacs d = read_dimacs_string("p cnf 1 2\n1 0\n-1 0\n");
+  Solver s;
+  load_dimacs(s, d);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Dimacs, WriteRoundTrip) {
+  Dimacs d;
+  d.num_vars = 3;
+  d.clauses = {{1, -2}, {3}};
+  const Dimacs again = read_dimacs_string(write_dimacs_string(d));
+  EXPECT_EQ(again.num_vars, 3);
+  EXPECT_EQ(again.clauses, d.clauses);
+}
+
+TEST(Dimacs, LiteralBeyondHeaderRejected) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n3 0\n"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace cl::sat

@@ -1,0 +1,282 @@
+#include "sat/solver.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace cl::sat {
+namespace {
+
+TEST(Solver, TrivialSat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, TrivialUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  s.add_unit(neg(a));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, EmptyClauseIsUnsat) {
+  Solver s;
+  (void)s.new_var();
+  EXPECT_FALSE(s.add_clause({}));
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, TautologyIgnored) {
+  Solver s;
+  const Var a = s.new_var();
+  EXPECT_TRUE(s.add_clause({pos(a), neg(a)}));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, DuplicateLiteralsCollapsed) {
+  Solver s;
+  const Var a = s.new_var();
+  s.add_clause({pos(a), pos(a), pos(a)});
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, UnknownVariableRejected) {
+  Solver s;
+  EXPECT_THROW(s.add_unit(pos(3)), std::invalid_argument);
+}
+
+TEST(Solver, ImplicationChainPropagates) {
+  Solver s;
+  std::vector<Var> v;
+  for (int i = 0; i < 50; ++i) v.push_back(s.new_var());
+  for (int i = 0; i + 1 < 50; ++i) {
+    s.add_binary(neg(v[static_cast<std::size_t>(i)]),
+                 pos(v[static_cast<std::size_t>(i + 1)]));
+  }
+  s.add_unit(pos(v[0]));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(s.model_value(v[static_cast<std::size_t>(i)]));
+}
+
+TEST(Solver, PigeonHole3Into2IsUnsat) {
+  // PHP(3,2): 3 pigeons, 2 holes. p[i][j] = pigeon i in hole j.
+  Solver s;
+  Var p[3][2];
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < 3; ++i) s.add_binary(pos(p[i][0]), pos(p[i][1]));
+  for (int j = 0; j < 2; ++j) {
+    for (int i1 = 0; i1 < 3; ++i1) {
+      for (int i2 = i1 + 1; i2 < 3; ++i2) {
+        s.add_binary(neg(p[i1][j]), neg(p[i2][j]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, PigeonHole5Into4IsUnsat) {
+  Solver s;
+  constexpr int n = 5;
+  std::vector<std::vector<Var>> p(n, std::vector<Var>(n - 1));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < n - 1; ++j) clause.push_back(pos(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < n - 1; ++j) {
+    for (int i1 = 0; i1 < n; ++i1) {
+      for (int i2 = i1 + 1; i2 < n; ++i2) {
+        s.add_binary(neg(p[i1][j]), neg(p[i2][j]));
+      }
+    }
+  }
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, XorChainSatWithOddParity) {
+  // x1 ^ x2 ^ ... ^ x8 = 1 via ternary xor encodings and aux vars.
+  Solver s;
+  std::vector<Var> x;
+  for (int i = 0; i < 8; ++i) x.push_back(s.new_var());
+  Var acc = x[0];
+  for (int i = 1; i < 8; ++i) {
+    const Var y = s.new_var();
+    // y = acc xor x[i]
+    s.add_ternary(neg(y), pos(acc), pos(x[static_cast<std::size_t>(i)]));
+    s.add_ternary(neg(y), neg(acc), neg(x[static_cast<std::size_t>(i)]));
+    s.add_ternary(pos(y), neg(acc), pos(x[static_cast<std::size_t>(i)]));
+    s.add_ternary(pos(y), pos(acc), neg(x[static_cast<std::size_t>(i)]));
+    acc = y;
+  }
+  s.add_unit(pos(acc));
+  ASSERT_EQ(s.solve(), Result::Sat);
+  int parity = 0;
+  for (Var v : x) parity ^= s.model_value(v) ? 1 : 0;
+  EXPECT_EQ(parity, 1);
+}
+
+TEST(Solver, AssumptionsSatAndUnsat) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(neg(a), pos(b));  // a -> b
+  EXPECT_EQ(s.solve({pos(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({pos(a), neg(b)}), Result::Unsat);
+  // Solver is reusable after an assumption failure.
+  EXPECT_EQ(s.solve({neg(b)}), Result::Sat);
+  EXPECT_FALSE(s.model_value(a));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, IncrementalClauseAddition) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_EQ(s.solve(), Result::Sat);
+  s.add_binary(pos(a), pos(b));
+  EXPECT_EQ(s.solve({neg(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  s.add_unit(neg(b));
+  EXPECT_EQ(s.solve({neg(a)}), Result::Unsat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+}
+
+TEST(Solver, ConflictBudgetReturnsUnknown) {
+  // A hard instance (PHP 7/6) with a tiny conflict budget.
+  Solver s;
+  constexpr int n = 7;
+  std::vector<std::vector<Var>> p(n, std::vector<Var>(n - 1));
+  for (auto& row : p) {
+    for (Var& v : row) v = s.new_var();
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<Lit> clause;
+    for (int j = 0; j < n - 1; ++j) clause.push_back(pos(p[i][j]));
+    s.add_clause(clause);
+  }
+  for (int j = 0; j < n - 1; ++j) {
+    for (int i1 = 0; i1 < n; ++i1) {
+      for (int i2 = i1 + 1; i2 < n; ++i2) {
+        s.add_binary(neg(p[i1][j]), neg(p[i2][j]));
+      }
+    }
+  }
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  s.set_conflict_budget(-1);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(Solver, RandomInstancesAgreeWithBruteForce) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    const int nv = 6;
+    const int nc = 3 + static_cast<int>(rng.next_below(22));
+    std::vector<std::vector<int>> clauses;
+    for (int c = 0; c < nc; ++c) {
+      std::vector<int> clause;
+      const int width = 1 + static_cast<int>(rng.next_below(3));
+      for (int l = 0; l < width; ++l) {
+        const int var = 1 + static_cast<int>(rng.next_below(nv));
+        clause.push_back(rng.chance(1, 2) ? var : -var);
+      }
+      clauses.push_back(clause);
+    }
+    // Brute force.
+    bool brute_sat = false;
+    for (std::uint32_t m = 0; m < (1u << nv) && !brute_sat; ++m) {
+      bool all = true;
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (int l : clause) {
+          const bool val = (m >> (std::abs(l) - 1)) & 1u;
+          if ((l > 0) == val) {
+            any = true;
+            break;
+          }
+        }
+        if (!any) {
+          all = false;
+          break;
+        }
+      }
+      brute_sat = all;
+    }
+    // Solver.
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    for (const auto& clause : clauses) {
+      std::vector<Lit> lits;
+      for (int l : clause) {
+        lits.push_back(Lit(vars[static_cast<std::size_t>(std::abs(l) - 1)], l < 0));
+      }
+      s.add_clause(lits);
+    }
+    const Result r = s.solve();
+    EXPECT_EQ(r == Result::Sat, brute_sat) << "trial " << trial;
+    if (r == Result::Sat) {
+      // Verify the model satisfies every clause.
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (int l : clause) {
+          if (s.model_value(vars[static_cast<std::size_t>(std::abs(l) - 1)]) == (l > 0)) {
+            any = true;
+            break;
+          }
+        }
+        EXPECT_TRUE(any) << "model violates clause in trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(Solver, StatisticsAdvance) {
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(pos(a), pos(b));
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_GE(s.num_decisions(), 1u);
+}
+
+TEST(Solver, ManyVariablesLargeRandomSat) {
+  // A satisfiable planted instance: plant an assignment, generate clauses
+  // containing at least one satisfied literal.
+  util::Rng rng(555);
+  Solver s;
+  const int nv = 300;
+  std::vector<Var> vars;
+  std::vector<bool> planted;
+  for (int i = 0; i < nv; ++i) {
+    vars.push_back(s.new_var());
+    planted.push_back(rng.chance(1, 2));
+  }
+  for (int c = 0; c < 1200; ++c) {
+    std::vector<Lit> clause;
+    const std::size_t sat_pos = rng.next_below(3);
+    for (std::size_t l = 0; l < 3; ++l) {
+      const std::size_t v = static_cast<std::size_t>(rng.next_below(nv));
+      bool negate = rng.chance(1, 2);
+      if (l == sat_pos) negate = !planted[v];  // force satisfied literal
+      clause.push_back(Lit(vars[v], negate));
+    }
+    s.add_clause(clause);
+  }
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+}  // namespace
+}  // namespace cl::sat

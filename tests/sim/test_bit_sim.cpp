@@ -1,0 +1,165 @@
+#include "sim/bit_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::sim {
+namespace {
+
+using netlist::Netlist;
+using netlist::SignalId;
+
+TEST(BitSim, CombinationalGateSemantics) {
+  Netlist nl("gates");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId and_g = nl.add_and(a, b, "and_g");
+  const SignalId or_g = nl.add_or(a, b, "or_g");
+  const SignalId xor_g = nl.add_xor(a, b, "xor_g");
+  const SignalId nand_g = nl.add_gate(netlist::GateType::Nand, {a, b}, "nand_g");
+  const SignalId nor_g = nl.add_gate(netlist::GateType::Nor, {a, b}, "nor_g");
+  const SignalId xnor_g = nl.add_xnor(a, b, "xnor_g");
+  const SignalId not_g = nl.add_not(a, "not_g");
+  nl.add_output(and_g);
+
+  BitSim sim(nl);
+  // Lanes encode the 4 input combinations: a=0101..., b=0011...
+  sim.set(a, 0b0101);
+  sim.set(b, 0b0011);
+  sim.eval();
+  EXPECT_EQ(sim.get(and_g) & 0xf, 0b0001u);
+  EXPECT_EQ(sim.get(or_g) & 0xf, 0b0111u);
+  EXPECT_EQ(sim.get(xor_g) & 0xf, 0b0110u);
+  EXPECT_EQ(sim.get(nand_g) & 0xf, 0b1110u);
+  EXPECT_EQ(sim.get(nor_g) & 0xf, 0b1000u);
+  EXPECT_EQ(sim.get(xnor_g) & 0xf, 0b1001u);
+  EXPECT_EQ(sim.get(not_g) & 0xf, 0b1010u);
+}
+
+TEST(BitSim, MuxSelectsPerLane) {
+  Netlist nl("mux");
+  const SignalId s = nl.add_input("s");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId y = nl.add_mux(s, a, b, "y");
+  nl.add_output(y);
+  BitSim sim(nl);
+  sim.set(s, 0b01);
+  sim.set(a, 0b10);
+  sim.set(b, 0b11);
+  sim.eval();
+  // lane0: s=1 -> b=1 ; lane1: s=0 -> a=1
+  EXPECT_EQ(sim.get(y) & 0b11, 0b11u);
+}
+
+TEST(BitSim, ConstantsEvaluate) {
+  Netlist nl("c");
+  const SignalId one = nl.add_const(true, "one");
+  const SignalId zero = nl.add_const(false, "zero");
+  nl.add_output(one);
+  BitSim sim(nl);
+  sim.eval();
+  EXPECT_EQ(sim.get(one), ~0ULL);
+  EXPECT_EQ(sim.get(zero), 0ULL);
+}
+
+TEST(BitSim, MultiInputGates) {
+  Netlist nl("multi");
+  const SignalId a = nl.add_input("a");
+  const SignalId b = nl.add_input("b");
+  const SignalId c = nl.add_input("c");
+  const SignalId and3 = nl.add_gate(netlist::GateType::And, {a, b, c}, "and3");
+  const SignalId xor3 = nl.add_gate(netlist::GateType::Xor, {a, b, c}, "xor3");
+  nl.add_output(and3);
+  BitSim sim(nl);
+  sim.set(a, 0b1111'0000);  // lanes 4..7
+  sim.set(b, 0b1100'1100);
+  sim.set(c, 0b1010'1010);
+  sim.eval();
+  EXPECT_EQ(sim.get(and3) & 0xff, 0b1000'0000u);
+  // xor3 = parity.
+  EXPECT_EQ(sim.get(xor3) & 0xff, 0b1001'0110u);
+}
+
+TEST(BitSim, SequentialCounterSteps) {
+  // 1-bit toggler: q <= ~q, init 0.
+  Netlist nl("tog");
+  SignalId q = nl.add_dff(netlist::k_no_signal, netlist::DffInit::Zero, "q");
+  nl.set_dff_input(q, nl.add_not(q, "nq"));
+  nl.add_output(q);
+  BitSim sim(nl);
+  std::vector<std::uint64_t> seen;
+  for (int t = 0; t < 4; ++t) {
+    sim.eval();
+    seen.push_back(sim.get(q) & 1ULL);
+    sim.step();
+  }
+  EXPECT_EQ(seen, (std::vector<std::uint64_t>{0, 1, 0, 1}));
+}
+
+TEST(BitSim, DffInitRespectedOnReset) {
+  Netlist nl("init");
+  const SignalId a = nl.add_input("a");
+  const SignalId q1 = nl.add_dff(a, netlist::DffInit::One, "q1");
+  const SignalId q0 = nl.add_dff(a, netlist::DffInit::Zero, "q0");
+  nl.add_output(q1);
+  BitSim sim(nl);
+  EXPECT_EQ(sim.get(q1), ~0ULL);
+  EXPECT_EQ(sim.get(q0), 0ULL);
+  sim.set(a, 0);
+  sim.eval();
+  sim.step();
+  EXPECT_EQ(sim.get(q1), 0ULL);
+  sim.reset();
+  EXPECT_EQ(sim.get(q1), ~0ULL);
+}
+
+TEST(BitSim, RegisterToRegisterShiftIsTwoPhase) {
+  // Shift register: q2 <= q1, q1 <= a. A one-cycle pulse on `a` must take
+  // exactly two steps to reach q2 (no shoot-through).
+  Netlist nl("shift");
+  const SignalId a = nl.add_input("a");
+  const SignalId q1 = nl.add_dff(a, netlist::DffInit::Zero, "q1");
+  const SignalId q2 = nl.add_dff(q1, netlist::DffInit::Zero, "q2");
+  nl.add_output(q2);
+  BitSim sim(nl);
+  sim.set(a, ~0ULL);
+  sim.eval();
+  sim.step();
+  EXPECT_EQ(sim.get(q1), ~0ULL);
+  EXPECT_EQ(sim.get(q2), 0ULL);  // not yet
+  sim.set(a, 0);
+  sim.eval();
+  sim.step();
+  EXPECT_EQ(sim.get(q2), ~0ULL);
+}
+
+TEST(BitSim, SetRejectsNonInputs) {
+  Netlist nl("x");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  BitSim sim(nl);
+  EXPECT_THROW(sim.set(g, 1), std::invalid_argument);
+}
+
+TEST(BitSim, ToggleCountingCountsTransitions) {
+  Netlist nl("tgl");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  BitSim sim(nl);
+  sim.enable_toggle_counting(true);
+  sim.set(a, 0);
+  sim.eval();
+  sim.set(a, ~0ULL);  // all 64 lanes flip
+  sim.eval();
+  EXPECT_EQ(sim.toggle_counts()[a], 64u);
+  EXPECT_EQ(sim.toggle_counts()[g], 64u);
+  sim.clear_toggles();
+  EXPECT_EQ(sim.toggle_counts()[a], 0u);
+}
+
+}  // namespace
+}  // namespace cl::sim

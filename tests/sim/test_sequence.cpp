@@ -1,0 +1,134 @@
+#include "sim/sequence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::sim {
+namespace {
+
+using netlist::Netlist;
+
+// 2-bit counter with enable; output = (count == 3).
+const char* k_counter = R"(
+INPUT(en)
+OUTPUT(hit)
+q0 = DFF(d0)
+q1 = DFF(d1)
+nq0 = NOT(q0)
+d0 = XOR(q0, en)
+carry = AND(q0, en)
+d1 = XOR(q1, carry)
+hit = AND(q0, q1)
+)";
+
+TEST(Sequence, CounterCountsWhenEnabled) {
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  std::vector<BitVec> inputs(6, BitVec{1});
+  const auto out = run_sequence(nl, inputs);
+  ASSERT_EQ(out.size(), 6u);
+  // count: 0,1,2,3,0,1 -> hit at cycle 3 only.
+  for (std::size_t c = 0; c < 6; ++c) {
+    EXPECT_EQ(out[c][0], c == 3 ? 1 : 0) << "cycle " << c;
+  }
+}
+
+TEST(Sequence, DisabledCounterHolds) {
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  std::vector<BitVec> inputs(4, BitVec{0});
+  const auto out = run_sequence(nl, inputs);
+  for (const auto& cycle : out) EXPECT_EQ(cycle[0], 0);
+}
+
+TEST(Sequence, WidthValidation) {
+  const Netlist nl = netlist::read_bench_string(k_counter, "cnt");
+  EXPECT_THROW(run_sequence(nl, {BitVec{1, 0}}), std::invalid_argument);
+}
+
+TEST(Sequence, KeyedCircuitRequiresKeys) {
+  const char* locked = R"(
+INPUT(a)
+INPUT(keyinput0)
+OUTPUT(y)
+y = XOR(a, keyinput0)
+)";
+  const Netlist nl = netlist::read_bench_string(locked, "l");
+  EXPECT_THROW(run_sequence(nl, {BitVec{1}}), std::invalid_argument);
+  // Static key (single entry) is broadcast.
+  const auto out = run_sequence(nl, {BitVec{1}, BitVec{1}}, {BitVec{1}});
+  EXPECT_EQ(out[0][0], 0);
+  EXPECT_EQ(out[1][0], 0);
+  // Per-cycle keys flip the output.
+  const auto out2 = run_sequence(nl, {BitVec{1}, BitVec{1}}, {BitVec{1}, BitVec{0}});
+  EXPECT_EQ(out2[0][0], 0);
+  EXPECT_EQ(out2[1][0], 1);
+}
+
+TEST(Sequence, KeyedLanesMatchScalarRuns) {
+  const char* locked = R"(
+INPUT(a)
+INPUT(keyinput0)
+INPUT(keyinput1)
+OUTPUT(y)
+q = DFF(d)
+d = XOR(a, keyinput0)
+t = XOR(q, keyinput1)
+y = NOT(t)
+)";
+  const Netlist nl = netlist::read_bench_string(locked, "l2");
+  util::Rng rng(5);
+  const auto inputs = random_stimulus(rng, 5, 1);
+  // 4 candidate keys in lanes 0..3.
+  std::vector<std::uint64_t> key_words(2, 0);
+  const std::vector<BitVec> keys{{0, 0}, {1, 0}, {0, 1}, {1, 1}};
+  for (int lane = 0; lane < 4; ++lane) {
+    if (keys[static_cast<std::size_t>(lane)][0]) key_words[0] |= 1ULL << lane;
+    if (keys[static_cast<std::size_t>(lane)][1]) key_words[1] |= 1ULL << lane;
+  }
+  const auto lanes = run_sequence_keyed_lanes(nl, inputs, key_words);
+  for (int lane = 0; lane < 4; ++lane) {
+    const auto scalar = run_sequence(nl, inputs, {keys[static_cast<std::size_t>(lane)]});
+    for (std::size_t c = 0; c < inputs.size(); ++c) {
+      EXPECT_EQ((lanes[c][0] >> lane) & 1ULL, scalar[c][0])
+          << "lane " << lane << " cycle " << c;
+    }
+  }
+}
+
+TEST(Sequence, FirstDivergenceFindsCycle) {
+  std::vector<BitVec> a{{0}, {1}, {0}};
+  std::vector<BitVec> b{{0}, {1}, {1}};
+  EXPECT_EQ(first_divergence(a, a), -1);
+  EXPECT_EQ(first_divergence(a, b), 2);
+  std::vector<BitVec> c{{0}, {1}};
+  EXPECT_THROW(first_divergence(a, c), std::invalid_argument);
+}
+
+TEST(Sequence, BitPackingRoundTrip) {
+  const BitVec v{1, 0, 1, 1};
+  EXPECT_EQ(bits_to_u64(v), 0b1101u);
+  EXPECT_EQ(u64_to_bits(0b1101, 4), v);
+  EXPECT_EQ(bits_to_string(v), "1011");
+}
+
+TEST(Sequence, RandomStimulusShape) {
+  util::Rng rng(3);
+  const auto s = random_stimulus(rng, 7, 3);
+  EXPECT_EQ(s.size(), 7u);
+  for (const auto& v : s) EXPECT_EQ(v.size(), 3u);
+}
+
+TEST(Sequence, XVariantShowsPowerUpX) {
+  const char* seq = R"(
+INPUT(a)
+OUTPUT(q)
+q = DFF(a)  # init q x
+)";
+  const Netlist nl = netlist::read_bench_string(seq, "x");
+  const auto out = run_sequence_x(nl, {BitVec{1}, BitVec{1}});
+  EXPECT_EQ(out[0][0], Trit::X);
+  EXPECT_EQ(out[1][0], Trit::One);
+}
+
+}  // namespace
+}  // namespace cl::sim

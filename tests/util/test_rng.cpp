@@ -1,0 +1,129 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace cl::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextBelowStaysInRange) {
+  Rng r(7);
+  for (std::uint64_t bound : {1ULL, 2ULL, 3ULL, 10ULL, 1000ULL, 1ULL << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(r.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowRejectsZero) {
+  Rng r(7);
+  EXPECT_THROW(r.next_below(0), std::invalid_argument);
+}
+
+TEST(Rng, NextInCoversInclusiveRange) {
+  Rng r(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 2000; ++i) seen.insert(r.next_in(-3, 3));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.begin(), -3);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, NextInRejectsInvertedRange) {
+  Rng r(9);
+  EXPECT_THROW(r.next_in(4, 3), std::invalid_argument);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng r(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(r.chance(0, 10));
+    EXPECT_TRUE(r.chance(10, 10));
+  }
+  EXPECT_THROW(r.chance(11, 10), std::invalid_argument);
+  EXPECT_THROW(r.chance(1, 0), std::invalid_argument);
+}
+
+TEST(Rng, ChanceApproximatesProbability) {
+  Rng r(13);
+  int hits = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (r.chance(1, 4)) ++hits;
+  }
+  const double p = static_cast<double>(hits) / trials;
+  EXPECT_NEAR(p, 0.25, 0.02);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng r(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double d = r.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(19);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  r.shuffle(v);
+  auto resorted = v;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ShuffleActuallyPermutes) {
+  Rng r(23);
+  std::vector<int> v(64);
+  for (int i = 0; i < 64; ++i) v[static_cast<std::size_t>(i)] = i;
+  const auto before = v;
+  r.shuffle(v);
+  EXPECT_NE(v, before);
+}
+
+TEST(Rng, ForkIsIndependent) {
+  Rng parent(31);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (parent.next_u64() == child.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, PickReturnsMember) {
+  Rng r(37);
+  const std::vector<int> v{5, 6, 7};
+  std::map<int, int> histogram;
+  for (int i = 0; i < 3000; ++i) ++histogram[r.pick(v)];
+  EXPECT_EQ(histogram.size(), 3u);
+  for (const auto& [value, count] : histogram) {
+    EXPECT_GE(count, 800) << "value " << value << " under-represented";
+  }
+}
+
+TEST(SplitMix, KnownFirstValueStable) {
+  std::uint64_t s1 = 0, s2 = 0;
+  EXPECT_EQ(splitmix64(s1), splitmix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace cl::util

@@ -1,0 +1,54 @@
+#include "util/strings.hpp"
+
+#include <gtest/gtest.h>
+
+namespace cl::util {
+namespace {
+
+TEST(Strings, TrimRemovesSurroundingWhitespace) {
+  EXPECT_EQ(trim("  abc \t"), "abc");
+  EXPECT_EQ(trim("abc"), "abc");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("\t a b \n"), "a b");
+}
+
+TEST(Strings, SplitDropsEmptyFields) {
+  EXPECT_EQ(split("a b  c"), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split(" a,b ,, c ", ", "), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(split("").empty());
+  EXPECT_TRUE(split("   ").empty());
+}
+
+TEST(Strings, SplitSingleToken) {
+  EXPECT_EQ(split("hello"), (std::vector<std::string>{"hello"}));
+}
+
+TEST(Strings, IequalsIsCaseInsensitive) {
+  EXPECT_TRUE(iequals("AND", "and"));
+  EXPECT_TRUE(iequals("DfF", "dFf"));
+  EXPECT_FALSE(iequals("AND", "ANDx"));
+  EXPECT_FALSE(iequals("AND", "ORR"));
+  EXPECT_TRUE(iequals("", ""));
+}
+
+TEST(Strings, ToLower) {
+  EXPECT_EQ(to_lower("KeyInput3"), "keyinput3");
+  EXPECT_EQ(to_lower(""), "");
+}
+
+TEST(Strings, StartsWith) {
+  EXPECT_TRUE(starts_with("keyinput12", "keyinput"));
+  EXPECT_FALSE(starts_with("key", "keyinput"));
+  EXPECT_TRUE(starts_with("abc", ""));
+}
+
+TEST(Strings, ToBinaryMsbFirst) {
+  EXPECT_EQ(to_binary(0b1011, 4), "1011");
+  EXPECT_EQ(to_binary(1, 4), "0001");
+  EXPECT_EQ(to_binary(0, 3), "000");
+  EXPECT_EQ(to_binary(0b101, 5), "00101");
+}
+
+}  // namespace
+}  // namespace cl::util

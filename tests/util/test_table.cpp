@@ -1,0 +1,53 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/timer.hpp"
+
+namespace cl::util {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"long-name", "22"});
+  const std::string s = t.to_string();
+  // Every data row should be at least as wide as the longest cell per column.
+  EXPECT_NE(s.find("name       value"), std::string::npos);
+  EXPECT_NE(s.find("long-name  22"), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, CountsRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(FormatDuration, MatchesPaperStyle) {
+  EXPECT_EQ(format_duration(385.446), "6m25.446s");
+  EXPECT_EQ(format_duration(0.885), "0.885s");
+  EXPECT_EQ(format_duration(0.0), "0.000s");
+  // 6h44m50s from Table IV.
+  EXPECT_EQ(format_duration(6 * 3600 + 44 * 60 + 50), "6h44m50s");
+}
+
+TEST(FormatDuration, NegativeClampsToZero) {
+  EXPECT_EQ(format_duration(-1.0), "0.000s");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_LT(t.seconds(), 1.0);
+}
+
+}  // namespace
+}  // namespace cl::util

@@ -1,0 +1,219 @@
+// cutelock — command-line driver for the library.
+//
+//   cutelock info <circuit.bench>
+//   cutelock lock <circuit.bench> -o <locked.bench> [--k 4] [--ki 4]
+//            [--ffs 2] [--seed 1] [--single-key] [--keys 1,3,2,0]
+//   cutelock attack <locked.bench> --oracle <original.bench>
+//            [--attack bmc|kc2|rane|bbo|fall|dana|periodic] [--seconds 10]
+//   cutelock overhead <circuit.bench> [--baseline <original.bench>]
+//   cutelock vcd <circuit.bench> -o <out.vcd> [--cycles 32] [--seed 1]
+//
+// Exit code 0 on success; attacks return 0 when the defense held and 2 when
+// a key was recovered (so scripts can assert either way).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "attack/bbo.hpp"
+#include "attack/dana.hpp"
+#include "attack/fall.hpp"
+#include "attack/periodic_attack.hpp"
+#include "attack/seq_attack.hpp"
+#include "core/cute_lock_str.hpp"
+#include "netlist/bench_io.hpp"
+#include "sim/vcd.hpp"
+#include "tech/overhead.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Args {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;
+  bool flag(const std::string& name) const { return options.count(name) != 0; }
+  std::string get(const std::string& name, const std::string& fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : it->second;
+  }
+  std::uint64_t get_u64(const std::string& name, std::uint64_t fallback) const {
+    const auto it = options.find(name);
+    return it == options.end() ? fallback : std::stoull(it->second);
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0 || a == "-o") {
+      const std::string name = (a == "-o") ? "out" : a.substr(2);
+      // Boolean flags have no value; peek at the next token.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        args.options[name] = argv[++i];
+      } else {
+        args.options[name] = "1";
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  return args;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: cutelock <info|lock|attack|overhead|vcd> <file> "
+               "[options]\n  see the header of tools/cutelock_cli.cpp\n");
+  return 64;
+}
+
+int cmd_info(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_bench_file(args.positional[0]);
+  const auto st = nl.stats();
+  std::printf("%s: %zu inputs, %zu key inputs, %zu outputs, %zu FFs, %zu gates\n",
+              nl.name().c_str(), st.inputs, st.key_inputs, st.outputs, st.dffs,
+              st.gates);
+  return 0;
+}
+
+int cmd_lock(const Args& args) {
+  if (args.positional.empty() || !args.flag("out")) return usage();
+  const auto nl = netlist::read_bench_file(args.positional[0]);
+  core::StrOptions options;
+  options.num_keys = args.get_u64("k", 4);
+  options.key_bits = args.get_u64("ki", 4);
+  options.locked_ffs = args.get_u64("ffs", 1);
+  options.seed = args.get_u64("seed", 1);
+  options.single_key_reduction = args.flag("single-key");
+  if (args.flag("keys")) {
+    for (const std::string& v : util::split(args.get("keys", ""), ",")) {
+      options.explicit_keys.push_back(std::stoull(v));
+    }
+  }
+  const lock::LockResult locked = core::cute_lock_str(nl, options);
+  netlist::write_bench_file(args.get("out", ""), locked.locked);
+  std::printf("locked %s -> %s\nkey schedule (cycle t expects K[t %% %zu]):",
+              nl.name().c_str(), args.get("out", "").c_str(),
+              locked.key_schedule.size());
+  for (const auto& kv : locked.key_schedule) {
+    std::printf(" %llu", static_cast<unsigned long long>(sim::bits_to_u64(kv)));
+  }
+  std::printf("\n");
+  return 0;
+}
+
+int cmd_attack(const Args& args) {
+  if (args.positional.empty() || !args.flag("oracle")) return usage();
+  const auto locked = netlist::read_bench_file(args.positional[0]);
+  const auto original = netlist::read_bench_file(args.get("oracle", ""));
+  attack::SequentialOracle oracle(original);
+  attack::AttackBudget budget;
+  budget.time_limit_s = static_cast<double>(args.get_u64("seconds", 10));
+
+  const std::string mode = args.get("attack", "bmc");
+  attack::AttackResult result;
+  if (mode == "bmc") result = attack::bmc_attack(locked, oracle, budget);
+  else if (mode == "kc2") result = attack::kc2_attack(locked, oracle, budget);
+  else if (mode == "rane") result = attack::rane_attack(locked, oracle, budget);
+  else if (mode == "bbo") {
+    attack::BboOptions o;
+    o.budget = budget;
+    result = attack::bbo_attack(locked, oracle, o);
+  } else if (mode == "fall") {
+    attack::FallOptions o;
+    o.budget = budget;
+    const attack::FallResult fr = attack::fall_attack(locked, oracle, o);
+    std::printf("FALL: %zu candidates, %zu confirmed\n", fr.candidates,
+                fr.confirmed);
+    result = fr.result;
+  } else if (mode == "dana") {
+    const attack::DanaResult dr = attack::dana_attack(locked);
+    std::printf("DANA: %zu clusters over %zu FFs in %zu rounds (%.3fs)\n",
+                dr.clusters.size(), locked.dffs().size(), dr.rounds, dr.seconds);
+    return 0;
+  } else if (mode == "periodic") {
+    attack::PeriodicAttackOptions o;
+    o.budget = budget;
+    o.max_period = args.get_u64("max-period", 8);
+    const attack::PeriodicAttackResult pr =
+        attack::periodic_key_attack(locked, oracle, o);
+    std::printf("periodic attack: %s", pr.result.summary().c_str());
+    if (pr.recovered_period != 0) {
+      std::printf(" period=%zu schedule:", pr.recovered_period);
+      for (const auto& kv : pr.recovered_schedule) {
+        std::printf(" %llu",
+                    static_cast<unsigned long long>(sim::bits_to_u64(kv)));
+      }
+    }
+    std::printf("\n");
+    return pr.result.outcome == attack::Outcome::Equal ? 2 : 0;
+  } else {
+    return usage();
+  }
+  std::printf("%s attack: %s (%.3fs)\n", mode.c_str(), result.summary().c_str(),
+              result.seconds);
+  return result.outcome == attack::Outcome::Equal ? 2 : 0;
+}
+
+int cmd_overhead(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_bench_file(args.positional[0]);
+  const tech::OverheadReport r = tech::analyze_overhead(nl);
+  std::printf("%s: power %.2f uW, area %.1f um2, %zu cells, %zu IOs\n",
+              nl.name().c_str(), r.power_w * 1e6, r.area_um2, r.cells, r.ios);
+  if (args.flag("baseline")) {
+    const auto base_nl = netlist::read_bench_file(args.get("baseline", ""));
+    const tech::OverheadReport base = tech::analyze_overhead(base_nl);
+    std::printf("overhead vs %s: power %+.1f%%, area %+.1f%%, cells %+.1f%%, "
+                "IOs %+.1f%%\n",
+                base_nl.name().c_str(), r.power_overhead_pct(base),
+                r.area_overhead_pct(base), r.cells_overhead_pct(base),
+                r.ios_overhead_pct(base));
+  }
+  return 0;
+}
+
+int cmd_vcd(const Args& args) {
+  if (args.positional.empty() || !args.flag("out")) return usage();
+  const auto nl = netlist::read_bench_file(args.positional[0]);
+  util::Rng rng(args.get_u64("seed", 1));
+  const std::size_t cycles = args.get_u64("cycles", 32);
+  const auto stim = sim::random_stimulus(rng, cycles, nl.inputs().size());
+  std::vector<sim::BitVec> keys;
+  if (!nl.key_inputs().empty()) {
+    keys.push_back(sim::random_bits(rng, nl.key_inputs().size()));
+  }
+  std::ofstream out(args.get("out", ""));
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", args.get("out", "").c_str());
+    return 66;
+  }
+  sim::write_vcd(out, nl, stim, keys);
+  std::printf("wrote %zu cycles to %s\n", cycles, args.get("out", "").c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  const Args args = parse(argc, argv);
+  try {
+    if (command == "info") return cmd_info(args);
+    if (command == "lock") return cmd_lock(args);
+    if (command == "attack") return cmd_attack(args);
+    if (command == "overhead") return cmd_overhead(args);
+    if (command == "vcd") return cmd_vcd(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cutelock: %s\n", e.what());
+    return 65;
+  }
+  return usage();
+}
