@@ -3,6 +3,10 @@
 // locking transforms, synthesis, and technology mapping.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "benchgen/fsm_suite.hpp"
 #include "core/cute_lock_beh.hpp"
@@ -110,4 +114,18 @@ BENCHMARK(BM_TechMap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN(), plus the CUTELOCK_BENCH_SMALL=1 contract the other
+// harnesses honour: smoke runs cap per-benchmark measurement time. The flag
+// is inserted before user arguments so an explicit --benchmark_min_time
+// still wins.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string small_min_time = "--benchmark_min_time=0.01";
+  if (bench::small_run()) args.insert(args.begin() + 1, small_min_time.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,6 @@
+# ASan + UBSan toggle, applied globally so the static library and every
+# binary linked against it agree on the runtime.
+if(CUTELOCK_SANITIZE)
+  add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=address,undefined)
+endif()

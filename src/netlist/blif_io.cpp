@@ -168,48 +168,70 @@ Netlist read_blif(std::istream& in) {
     } else {
       // On-set rows OR'd together; each row is an AND of literals. BLIF also
       // allows off-set covers (output column '0'): complement at the end.
+      // Whichever node is built last carries the cover's output name —
+      // intermediates get fresh derived names — so single-gate covers read
+      // back as single gates and write -> read -> write converges instead of
+      // wrapping an extra Buf per round trip.
       const bool off_set = !c.out_vals.empty() && c.out_vals[0] == '0';
       for (char v : c.out_vals) {
         if ((v == '0') != off_set) fail(c.line, "mixed on/off-set cover");
       }
+      const bool single_row = c.rows.size() == 1;
       std::vector<SignalId> terms;
       for (const std::string& row : c.rows) {
-        std::vector<SignalId> lits;
+        const bool term_is_output = single_row && !off_set;
+        std::vector<std::size_t> idx;
         for (std::size_t i = 0; i < row.size(); ++i) {
-          if (row[i] == '-') continue;
-          SignalId lit = ins[i];
-          if (row[i] == '0') lit = nl.add_not(lit, nl.fresh_name(c.output + "_n"));
-          lits.push_back(lit);
+          if (row[i] != '-') idx.push_back(i);
         }
-        if (lits.empty()) {
-          terms.push_back(nl.add_const(true, nl.fresh_name(c.output + "_t")));
-        } else if (lits.size() == 1) {
-          terms.push_back(lits[0]);
+        if (idx.empty()) {
+          terms.push_back(nl.add_const(
+              true, term_is_output ? c.output : nl.fresh_name(c.output + "_t")));
+        } else if (idx.size() == 1) {
+          const std::size_t i = idx[0];
+          if (row[i] == '0') {
+            terms.push_back(nl.add_not(
+                ins[i],
+                term_is_output ? c.output : nl.fresh_name(c.output + "_n")));
+          } else if (term_is_output) {
+            terms.push_back(nl.add_gate(GateType::Buf, {ins[i]}, c.output));
+          } else {
+            terms.push_back(ins[i]);
+          }
         } else {
-          terms.push_back(nl.add_gate(GateType::And, lits,
-                                      nl.fresh_name(c.output + "_p")));
+          std::vector<SignalId> lits;
+          for (std::size_t i : idx) {
+            lits.push_back(row[i] == '0'
+                               ? nl.add_not(ins[i],
+                                            nl.fresh_name(c.output + "_n"))
+                               : ins[i]);
+          }
+          terms.push_back(nl.add_gate(
+              GateType::And, lits,
+              term_is_output ? c.output : nl.fresh_name(c.output + "_p")));
         }
       }
       SignalId sum = k_no_signal;
       if (terms.empty()) {
-        sum = nl.add_const(false, nl.fresh_name(c.output + "_z"));
+        sum = nl.add_const(false, off_set ? nl.fresh_name(c.output + "_z")
+                                          : c.output);
       } else if (terms.size() == 1) {
         sum = terms[0];
       } else {
-        sum = nl.add_gate(GateType::Or, terms, nl.fresh_name(c.output + "_s"));
+        sum = nl.add_gate(GateType::Or, terms,
+                          off_set ? nl.fresh_name(c.output + "_s") : c.output);
       }
-      if (off_set) {
-        out = nl.add_not(sum, c.output);
-      } else if (nl.signal_name(sum) == c.output) {
-        out = sum;
-      } else {
-        out = nl.add_gate(GateType::Buf, {sum}, c.output);
-      }
+      out = off_set ? nl.add_not(sum, c.output) : sum;
     }
     state[it->second] = 2;
     return out;
   };
 
+  // Resolve covers in file order first: for topologically sorted files (such
+  // as our own writer's output) node creation order then mirrors the file,
+  // making write -> read -> write a fixpoint. Out-of-order references still
+  // work through the recursive resolve.
+  for (const Cover& c : covers) resolve(c.output, c.line);
   for (std::size_t i = 0; i < latches.size(); ++i) {
     nl.set_dff_input(latch_ids[i], resolve(latches[i].d, latches[i].line));
   }
