@@ -4,48 +4,92 @@
 // resist oracle-guided SAT attacks, locking more FFs would provide more
 // resilience against dataflow and removal attacks." This sweep measures
 // DANA's NMI as the number of locked flip-flops grows.
+//
+// One Runner job per (circuit x locked_ffs) cell.
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "attack/dana.hpp"
+#include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+constexpr std::size_t kFfSweep[] = {0, 1, 2, 4, 8};
+
+struct Row {
+  const char* name;
+  std::size_t dffs = 0;
+  double nmi[5] = {0, 0, 0, 0, 0};
+};
+
+}  // namespace
 
 int main() {
   using namespace cl;
   std::printf("ABLATION: DANA NMI vs number of locked flip-flops\n\n");
 
-  util::Table table({"circuit", "ffs", "NMI@0", "NMI@1", "NMI@2", "NMI@4", "NMI@8"});
-  bool monotone_overall = true;
+  std::vector<Row> rows;
   for (const char* name : {"b03", "b04", "b10", "b12", "b07"}) {
-    const benchgen::SyntheticCircuit circuit = benchgen::make_circuit(name);
-    std::vector<std::string> row{name,
-                                 std::to_string(circuit.netlist.dffs().size())};
-    double first = -1, last = -1;
-    for (const std::size_t locked_ffs : {0u, 1u, 2u, 4u, 8u}) {
-      double nmi;
-      if (locked_ffs == 0) {
-        const auto dana = attack::dana_attack(circuit.netlist);
-        nmi = attack::nmi_score(circuit.netlist, dana, circuit.groups);
-      } else {
-        core::StrOptions options;
-        options.num_keys = 4;
-        options.key_bits = 4;
-        options.locked_ffs =
-            std::min<std::size_t>(locked_ffs, circuit.netlist.dffs().size());
-        options.seed = 0xab1a;
-        const auto lr = core::cute_lock_str(circuit.netlist, options);
-        const auto dana = attack::dana_attack(lr.locked);
-        nmi = attack::nmi_score(lr.locked, dana, circuit.groups);
-      }
-      if (first < 0) first = nmi;
-      last = nmi;
+    Row row;
+    row.name = name;
+    row.dffs = benchgen::make_circuit(name).netlist.dffs().size();
+    rows.push_back(row);
+  }
+
+  bench::Runner runner("ablation_locked_ffs");
+  for (Row& row : rows) {
+    const char* name = row.name;
+    for (std::size_t i = 0; i < std::size(kFfSweep); ++i) {
+      const std::size_t locked_ffs = kFfSweep[i];
+      double* slot = &row.nmi[i];
+      runner.add({"ITC'99", name,
+                  "DANA@" + std::to_string(locked_ffs) + "ffs", 4, 4},
+                 [slot, name, locked_ffs]() {
+                   const auto circuit = benchgen::make_circuit(name);
+                   if (locked_ffs == 0) {
+                     const auto dana = attack::dana_attack(circuit.netlist);
+                     *slot = attack::nmi_score(circuit.netlist, dana,
+                                               circuit.groups);
+                   } else {
+                     core::StrOptions options;
+                     options.num_keys = 4;
+                     options.key_bits = 4;
+                     options.locked_ffs = std::min<std::size_t>(
+                         locked_ffs, circuit.netlist.dffs().size());
+                     options.seed = 0xab1a;
+                     const auto lr =
+                         core::cute_lock_str(circuit.netlist, options);
+                     const auto dana = attack::dana_attack(lr.locked);
+                     *slot = attack::nmi_score(lr.locked, dana, circuit.groups);
+                   }
+                   char nmi[16];
+                   std::snprintf(nmi, sizeof nmi, "%.2f", *slot);
+                   return bench::JobOutcome{nmi, -1.0, 0};
+                 });
+    }
+  }
+  runner.run();
+
+  util::Table table({"circuit", "ffs", "NMI@0", "NMI@1", "NMI@2", "NMI@4",
+                     "NMI@8"});
+  bool monotone_overall = true;
+  for (const Row& row : rows) {
+    std::vector<std::string> cells{row.name, std::to_string(row.dffs)};
+    for (double nmi : row.nmi) {
       char buf[16];
       std::snprintf(buf, sizeof buf, "%.2f", nmi);
-      row.push_back(buf);
+      cells.push_back(buf);
     }
-    monotone_overall = monotone_overall && (last <= first);
-    table.add_row(row);
+    monotone_overall =
+        monotone_overall && (row.nmi[std::size(kFfSweep) - 1] <= row.nmi[0]);
+    table.add_row(cells);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("locking more FFs %s dataflow recovery\n",

@@ -5,50 +5,90 @@
 // defense margin against an attacker who *knows the construction* and
 // models key(t) = K[t mod p], sweeping hypothesized periods: the search
 // space grows from 2^ki to 2^(ki*k), and cost rises steeply with k.
+//
+// Two Runner jobs per k (static BMC, adaptive periodic), each rebuilding
+// s27, lock and oracle.
 #include <cstdio>
+#include <vector>
 
 #include "attack/periodic_attack.hpp"
 #include "attack/seq_attack.hpp"
 #include "bench_common.hpp"
 #include "benchgen/s27.hpp"
 #include "core/cute_lock_str.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Row {
+  std::size_t k;
+  attack::AttackResult static_bmc;
+  attack::PeriodicAttackResult adaptive;
+};
+
+lock::LockResult lock_s27(const netlist::Netlist& s27, std::size_t k) {
+  core::StrOptions options;
+  options.num_keys = k;
+  options.key_bits = 2;
+  options.locked_ffs = 2;
+  options.seed = 0xab3c + k;
+  return core::cute_lock_str(s27, options);
+}
+
+}  // namespace
 
 int main() {
   using namespace cl;
   std::printf("ABLATION: adaptive periodic-key attacker vs Cute-Lock-Str "
               "(s27)\n\n");
+  const double seconds = bench::attack_seconds(20.0);
 
-  const auto s27 = benchgen::make_s27();
-  attack::SequentialOracle oracle(s27);
+  std::vector<Row> rows;
+  for (const std::size_t k : {2u, 4u, 8u}) rows.push_back(Row{k, {}, {}});
+
+  bench::Runner runner("ablation_periodic_attack");
+  for (Row& row : rows) {
+    const std::size_t k = row.k;
+    runner.add_attack({"ISCAS'89", "s27", "INT", static_cast<int>(k), 2},
+                      &row.static_bmc, [k, seconds]() {
+                        const auto s27 = benchgen::make_s27();
+                        const auto locked = lock_s27(s27, k);
+                        attack::SequentialOracle oracle(s27);
+                        return attack::bmc_attack(
+                            locked.locked, oracle,
+                            bench::table_budget(seconds));
+                      });
+    runner.add({"ISCAS'89", "s27", "periodic", static_cast<int>(k), 2},
+               [&row, k, seconds]() {
+                 const auto s27 = benchgen::make_s27();
+                 const auto locked = lock_s27(s27, k);
+                 attack::SequentialOracle oracle(s27);
+                 attack::PeriodicAttackOptions popt;
+                 popt.max_period = k;
+                 popt.budget = bench::table_budget(seconds);
+                 row.adaptive =
+                     attack::periodic_key_attack(locked.locked, oracle, popt);
+                 return bench::JobOutcome{
+                     attack::outcome_label(row.adaptive.result.outcome),
+                     row.adaptive.result.seconds,
+                     row.adaptive.result.iterations};
+               });
+  }
+  runner.run();
 
   util::Table table({"k", "ki", "static BMC", "periodic attack", "period found",
                      "oracle queries"});
-  for (const std::size_t k : {2u, 4u, 8u}) {
-    core::StrOptions options;
-    options.num_keys = k;
-    options.key_bits = 2;
-    options.locked_ffs = 2;
-    options.seed = 0xab3c + k;
-    const auto locked = core::cute_lock_str(s27, options);
-
-    const attack::AttackBudget budget =
-        bench::table_budget(bench::attack_seconds(20.0));
-    const attack::AttackResult static_bmc =
-        attack::bmc_attack(locked.locked, oracle, budget);
-
-    attack::PeriodicAttackOptions popt;
-    popt.max_period = k;
-    popt.budget = budget;
-    const attack::PeriodicAttackResult adaptive =
-        attack::periodic_key_attack(locked.locked, oracle, popt);
-
-    table.add_row({std::to_string(k), "2", bench::attack_cell(static_bmc),
-                   bench::attack_cell(adaptive.result),
-                   adaptive.recovered_period
-                       ? std::to_string(adaptive.recovered_period)
+  for (const Row& row : rows) {
+    table.add_row({std::to_string(row.k), "2",
+                   bench::attack_cell(row.static_bmc),
+                   bench::attack_cell(row.adaptive.result),
+                   row.adaptive.recovered_period
+                       ? std::to_string(row.adaptive.recovered_period)
                        : "-",
-                   std::to_string(adaptive.result.iterations)});
+                   std::to_string(row.adaptive.result.iterations)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("reading: static-key attacks dead-end (the paper's tables); an\n"

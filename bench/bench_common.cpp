@@ -1,0 +1,143 @@
+#include "bench_common.hpp"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cl::bench {
+
+namespace {
+
+/// Strict strtod: the whole string (modulo surrounding spaces the caller did
+/// not strip) must parse, otherwise report failure. atof would silently read
+/// "2s" as 2 and "abc" as 0.
+bool parse_double_strict(const char* text, double* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  // Reject "inf"/"nan" too: a non-finite budget fed into
+  // Solver::set_time_budget would overflow the duration_cast.
+  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_size_strict(const char* text, std::size_t* out) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long long v = std::strtoll(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 0) return false;
+  *out = static_cast<std::size_t>(v);
+  return true;
+}
+
+bool env_flag(const char* name) {
+  const char* env = std::getenv(name);
+  return env != nullptr && env[0] == '1' && env[1] == '\0';
+}
+
+}  // namespace
+
+double attack_seconds(double fallback) {
+  const char* env = std::getenv("CUTELOCK_ATTACK_SECONDS");
+  if (env == nullptr) return fallback;
+  double v = 0.0;
+  if (!parse_double_strict(env, &v) || v <= 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid CUTELOCK_ATTACK_SECONDS=\"%s\" "
+                 "(want a positive number); using %.1fs\n",
+                 env, fallback);
+    return fallback;
+  }
+  return v;
+}
+
+bool small_run() { return env_flag("CUTELOCK_BENCH_SMALL"); }
+
+bool stable_cells() { return env_flag("CUTELOCK_BENCH_STABLE"); }
+
+std::size_t jobs_from_env() {
+  const char* env = std::getenv("CUTELOCK_JOBS");
+  if (env == nullptr) return util::ThreadPool::default_thread_count();
+  std::size_t v = 0;
+  if (!parse_size_strict(env, &v) || v == 0) {
+    std::fprintf(stderr,
+                 "warning: ignoring invalid CUTELOCK_JOBS=\"%s\" "
+                 "(want a positive integer); using %zu\n",
+                 env, util::ThreadPool::default_thread_count());
+    return util::ThreadPool::default_thread_count();
+  }
+  return v;
+}
+
+bool json_enabled() {
+  const char* env = std::getenv("CUTELOCK_BENCH_JSON");
+  return !(env != nullptr && env[0] == '0' && env[1] == '\0');
+}
+
+std::string json_dir() {
+  if (const char* env = std::getenv("CUTELOCK_BENCH_JSON_DIR")) {
+    if (env[0] != '\0') return env;
+  }
+  return ".";
+}
+
+attack::AttackBudget table_budget(double seconds) {
+  attack::AttackBudget b;
+  b.time_limit_s = seconds;
+  b.max_iterations = 500;
+  b.max_depth = 24;
+  b.conflict_budget = 4'000'000;
+  if (stable_cells()) {
+    // Byte-identical output requires outcomes that do not depend on the
+    // clock: replace wall deadlines (attack and candidate-key verification)
+    // with the deterministic budgets above (iterations, depth, conflicts).
+    b.time_limit_s = 1e9;
+    b.verify_time_limit_s = 1e9;
+  }
+  return b;
+}
+
+std::string attack_cell(const attack::AttackResult& r) {
+  if (stable_cells()) return attack::outcome_label(r.outcome);
+  return std::string(attack::outcome_label(r.outcome)) + " " +
+         util::format_duration(r.seconds);
+}
+
+std::string time_cell(double seconds) {
+  if (stable_cells()) return "-";
+  return util::format_duration(seconds);
+}
+
+std::vector<benchgen::CircuitSpec> selected_circuits(
+    const std::vector<benchgen::CircuitSpec>& suite) {
+  constexpr std::size_t kSmallGateCutoff = 1200;
+  std::vector<benchgen::CircuitSpec> out;
+  for (const benchgen::CircuitSpec& spec : suite) {
+    if (small_run() && spec.gates > kSmallGateCutoff) continue;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+std::vector<benchgen::FsmSpec> selected_fsms(
+    const std::vector<benchgen::FsmSpec>& suite) {
+  std::vector<benchgen::FsmSpec> out;
+  for (const benchgen::FsmSpec& spec : suite) {
+    if (small_run() && std::strcmp(spec.tier, "small") != 0) continue;
+    out.push_back(spec);
+  }
+  return out;
+}
+
+}  // namespace cl::bench

@@ -9,75 +9,119 @@
 //   Test Run 3: k = 16, ki = 5
 //   DK-Lock:    average of a 10-bit-key setup and a ki = n setup
 //               (no data for b20-b22, as in the paper).
+//
+// One Runner job per (circuit x series); every job rebuilds the circuit and
+// its base overhead report, so jobs share nothing.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
 #include "lock/seq_locks.hpp"
+#include "runner.hpp"
 #include "tech/overhead.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Series {
+  benchgen::CircuitSpec spec;
+  // power, area, cells, ios
+  double run1[4] = {0, 0, 0, 0};
+  double run2[4] = {0, 0, 0, 0};
+  double run3[4] = {0, 0, 0, 0};
+  double dk[4] = {0, 0, 0, 0};
+  bool has_dk = false;
+};
+
+void str_overhead(const benchgen::CircuitSpec& spec, std::size_t k,
+                  std::size_t ki, double out[4]) {
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit(spec);
+  const netlist::Netlist& original = circuit.netlist;
+  const tech::OverheadReport base = tech::analyze_overhead(original);
+  core::StrOptions options;
+  options.num_keys = k;
+  options.key_bits = ki;
+  options.locked_ffs = std::min<std::size_t>(4, original.dffs().size());
+  options.seed = 0xf14 + spec.gates;
+  const auto locked = core::cute_lock_str(original, options);
+  const tech::OverheadReport r = tech::analyze_overhead(locked.locked);
+  out[0] = r.power_overhead_pct(base);
+  out[1] = r.area_overhead_pct(base);
+  out[2] = r.cells_overhead_pct(base);
+  out[3] = r.ios_overhead_pct(base);
+}
+
+void dk_overhead(const benchgen::CircuitSpec& spec, double out[4]) {
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit(spec);
+  const netlist::Netlist& original = circuit.netlist;
+  const tech::OverheadReport base = tech::analyze_overhead(original);
+  double acc[4] = {0, 0, 0, 0};
+  for (const std::size_t kb : {std::size_t{10}, spec.inputs}) {
+    util::Rng rng(0xdc + spec.gates);
+    const auto locked = lock::dk_lock(
+        original, std::max<std::size_t>(1, kb), 2,
+        std::min<std::size_t>(kb, original.dffs().size()), rng);
+    const tech::OverheadReport r = tech::analyze_overhead(locked.locked);
+    acc[0] += r.power_overhead_pct(base);
+    acc[1] += r.area_overhead_pct(base);
+    acc[2] += r.cells_overhead_pct(base);
+    acc[3] += r.ios_overhead_pct(base);
+  }
+  for (int m = 0; m < 4; ++m) out[m] = acc[m] / 2.0;
+}
+
+}  // namespace
 
 int main() {
   using namespace cl;
   std::printf("FIGURE 4: overhead of Cute-Lock-Str Test Runs 1-3 vs DK-Lock "
               "(percent over unlocked original)\n\n");
 
-  struct Series {
-    std::string circuit;
-    double run1[4], run2[4], run3[4], dk[4];  // power, area, cells, ios
-    bool has_dk;
-  };
   std::vector<Series> rows;
-
-  for (const benchgen::CircuitSpec& spec : benchgen::itc99_specs()) {
-    if (bench::small_run() && spec.gates > 1200) continue;
-    const benchgen::SyntheticCircuit circuit = benchgen::make_circuit(spec);
-    const netlist::Netlist& original = circuit.netlist;
-    const tech::OverheadReport base = tech::analyze_overhead(original);
-
-    const auto str_overhead = [&](std::size_t k, std::size_t ki, double out[4]) {
-      core::StrOptions options;
-      options.num_keys = k;
-      options.key_bits = ki;
-      options.locked_ffs = std::min<std::size_t>(4, original.dffs().size());
-      options.seed = 0xf14 + spec.gates;
-      const auto locked = core::cute_lock_str(original, options);
-      const tech::OverheadReport r = tech::analyze_overhead(locked.locked);
-      out[0] = r.power_overhead_pct(base);
-      out[1] = r.area_overhead_pct(base);
-      out[2] = r.cells_overhead_pct(base);
-      out[3] = r.ios_overhead_pct(base);
-    };
-
+  for (const benchgen::CircuitSpec& spec :
+       bench::selected_circuits(benchgen::itc99_specs())) {
     Series s;
-    s.circuit = spec.name;
-    str_overhead(2, spec.inputs, s.run1);
-    str_overhead(4, 3, s.run2);
-    str_overhead(16, 5, s.run3);
-
-    // DK-Lock: average of the 10-bit and ki=n setups; the paper has no
-    // DK-Lock data for b20-b22.
-    s.has_dk = !(spec.name == "b20" || spec.name == "b21" || spec.name == "b22");
-    if (s.has_dk) {
-      double acc[4] = {0, 0, 0, 0};
-      for (const std::size_t kb : {std::size_t{10}, spec.inputs}) {
-        util::Rng rng(0xdc + spec.gates);
-        const auto locked = lock::dk_lock(
-            original, std::max<std::size_t>(1, kb), 2,
-            std::min<std::size_t>(kb, original.dffs().size()), rng);
-        const tech::OverheadReport r = tech::analyze_overhead(locked.locked);
-        acc[0] += r.power_overhead_pct(base);
-        acc[1] += r.area_overhead_pct(base);
-        acc[2] += r.cells_overhead_pct(base);
-        acc[3] += r.ios_overhead_pct(base);
-      }
-      for (double& v : s.dk) v = 0;
-      for (int m = 0; m < 4; ++m) s.dk[m] = acc[m] / 2.0;
-    }
+    s.spec = spec;
+    // The paper has no DK-Lock data for b20-b22.
+    s.has_dk =
+        !(spec.name == "b20" || spec.name == "b21" || spec.name == "b22");
     rows.push_back(std::move(s));
   }
+
+  bench::Runner runner("fig4_overhead");
+  for (Series& s : rows) {
+    const benchgen::CircuitSpec spec = s.spec;
+    const auto meta = [&](const char* series, int k, int ki) {
+      return bench::JobMeta{"ITC'99", spec.name, series, k, ki};
+    };
+    const auto overhead_job = [](double* out, const benchgen::CircuitSpec c,
+                                 std::size_t k, std::size_t ki) {
+      return [out, c, k, ki]() {
+        str_overhead(c, k, ki, out);
+        char area[16];
+        std::snprintf(area, sizeof area, "%.1f", out[1]);
+        return bench::JobOutcome{area, -1.0, 0};
+      };
+    };
+    runner.add(meta("TestRun1", 2, static_cast<int>(spec.inputs)),
+               overhead_job(s.run1, spec, 2, spec.inputs));
+    runner.add(meta("TestRun2", 4, 3), overhead_job(s.run2, spec, 4, 3));
+    runner.add(meta("TestRun3", 16, 5), overhead_job(s.run3, spec, 16, 5));
+    if (s.has_dk) {
+      runner.add(meta("DK-Lock", -1, -1), [&s, spec]() {
+        dk_overhead(spec, s.dk);
+        char area[16];
+        std::snprintf(area, sizeof area, "%.1f", s.dk[1]);
+        return bench::JobOutcome{area, -1.0, 0};
+      });
+    }
+  }
+  runner.run();
 
   const char* metric_names[4] = {"(a) Power", "(b) Area", "(c) Cell Count",
                                  "(d) Number of IOs"};
@@ -94,7 +138,7 @@ int main() {
       } else {
         std::snprintf(dk, sizeof dk, "-");
       }
-      table.add_row({s.circuit, r1, r2, r3, dk});
+      table.add_row({s.spec.name, r1, r2, r3, dk});
     }
     std::printf("%s\n", table.to_string().c_str());
   }
@@ -104,13 +148,12 @@ int main() {
   // range for Test Runs 1-2.
   double small_avg = 0, large_avg = 0;
   int small_n = 0, large_n = 0;
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const auto& spec = benchgen::find_spec(rows[i].circuit);
-    if (spec.gates < 1200) {
-      small_avg += rows[i].run1[1];
+  for (const Series& s : rows) {
+    if (s.spec.gates < 1200) {
+      small_avg += s.run1[1];
       ++small_n;
-    } else if (spec.gates > 9000) {
-      large_avg += rows[i].run1[1];
+    } else if (s.spec.gates > 9000) {
+      large_avg += s.run1[1];
       ++large_n;
     }
   }

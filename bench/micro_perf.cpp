@@ -117,11 +117,23 @@ BENCHMARK(BM_TechMap);
 // BENCHMARK_MAIN(), plus the CUTELOCK_BENCH_SMALL=1 contract the other
 // harnesses honour: smoke runs cap per-benchmark measurement time. The flag
 // is inserted before user arguments so an explicit --benchmark_min_time
-// still wins.
+// still wins. Like the Runner-based harnesses, a BENCH_micro_perf.json
+// baseline is emitted (Google Benchmark's own JSON reporter) unless
+// CUTELOCK_BENCH_JSON=0; CUTELOCK_BENCH_JSON_DIR selects the directory.
 int main(int argc, char** argv) {
   std::vector<char*> args(argv, argv + argc);
   std::string small_min_time = "--benchmark_min_time=0.01";
   if (bench::small_run()) args.insert(args.begin() + 1, small_min_time.data());
+  std::string json_out, json_fmt = "--benchmark_out_format=json";
+  bool user_out = false;
+  for (char* a : args) {
+    if (std::string(a).rfind("--benchmark_out=", 0) == 0) user_out = true;
+  }
+  if (!user_out && bench::json_enabled()) {
+    json_out = "--benchmark_out=" + bench::json_dir() + "/BENCH_micro_perf.json";
+    args.insert(args.begin() + 1, json_out.data());
+    args.insert(args.begin() + 2, json_fmt.data());
+  }
   int n = static_cast<int>(args.size());
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;

@@ -1,0 +1,141 @@
+#include "runner.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "bench_common.hpp"
+#include "util/thread_pool.hpp"
+#include "util/timer.hpp"
+
+namespace cl::bench {
+
+namespace {
+
+void append_json_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Runner::Runner(std::string harness)
+    : harness_(std::move(harness)), threads_(jobs_from_env()) {}
+
+std::size_t Runner::add(JobMeta meta, std::function<JobOutcome()> fn) {
+  if (ran_) throw std::logic_error("Runner::add: run() already happened");
+  jobs_.push_back(Job{std::move(meta), std::move(fn), JobOutcome{}});
+  return jobs_.size() - 1;
+}
+
+std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
+                               std::function<attack::AttackResult()> fn) {
+  return add(std::move(meta), [slot, fn = std::move(fn)]() {
+    *slot = fn();
+    return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
+                      slot->iterations};
+  });
+}
+
+void Runner::set_threads(std::size_t n) {
+  if (ran_) throw std::logic_error("Runner::set_threads: run() already happened");
+  threads_ = std::max<std::size_t>(1, n);
+}
+
+void Runner::execute(Job& job) {
+  util::Timer timer;
+  job.out = job.fn();
+  if (job.out.seconds < 0) job.out.seconds = timer.seconds();
+}
+
+void Runner::run() {
+  if (ran_) throw std::logic_error("Runner::run: run() already happened");
+  ran_ = true;
+  if (threads_ <= 1 || jobs_.size() <= 1) {
+    effective_threads_ = 1;  // inline on the calling thread
+    for (Job& job : jobs_) execute(job);
+  } else {
+    effective_threads_ = std::min(threads_, jobs_.size());
+    util::ThreadPool pool(effective_threads_);
+    for (Job& job : jobs_) {
+      pool.submit([this, &job] { execute(job); });
+    }
+    pool.wait();
+  }
+  write_json();
+}
+
+const JobOutcome& Runner::outcome(std::size_t id) const {
+  if (!ran_) throw std::logic_error("Runner::outcome: call run() first");
+  return jobs_.at(id).out;
+}
+
+std::string Runner::json() const {
+  std::string out = "{\n  \"harness\": ";
+  append_json_string(out, harness_);
+  out += ",\n  \"threads\": " + std::to_string(effective_threads_);
+  out += ",\n  \"small_profile\": ";
+  out += small_run() ? "true" : "false";
+  out += ",\n  \"records\": [";
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    const Job& job = jobs_[i];
+    out += (i == 0) ? "\n" : ",\n";
+    out += "    {\"suite\": ";
+    append_json_string(out, job.meta.suite);
+    out += ", \"circuit\": ";
+    append_json_string(out, job.meta.circuit);
+    out += ", \"attack\": ";
+    append_json_string(out, job.meta.attack);
+    if (job.meta.k >= 0) out += ", \"k\": " + std::to_string(job.meta.k);
+    if (job.meta.ki >= 0) out += ", \"ki\": " + std::to_string(job.meta.ki);
+    out += ", \"outcome\": ";
+    append_json_string(out, job.out.outcome);
+    char seconds[32];
+    std::snprintf(seconds, sizeof seconds, "%.6f", job.out.seconds);
+    out += ", \"seconds\": ";
+    out += seconds;
+    out += ", \"iterations\": " + std::to_string(job.out.iterations);
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+std::string Runner::json_path() const {
+  if (!json_enabled()) return "";
+  return json_dir() + "/BENCH_" + harness_ + ".json";
+}
+
+void Runner::write_json() const {
+  const std::string path = json_path();
+  if (path.empty()) return;
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write bench baseline %s\n",
+                 path.c_str());
+    return;
+  }
+  out << json();
+}
+
+}  // namespace cl::bench

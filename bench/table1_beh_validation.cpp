@@ -5,72 +5,102 @@
 // simulation time step: the input word, the original output y, the locked
 // output under the correct key schedule (yck — must equal y), and the
 // locked output under wrong keys (ywk — diverges).
+//
+// A single Runner job: the validation is one indivisible trace, but running
+// it on the Runner still yields the BENCH_*.json baseline record.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "benchgen/fsm_suite.hpp"
 #include "core/cute_lock_beh.hpp"
 #include "fsm/synth.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Validation {
+  std::vector<std::uint32_t> inputs;
+  std::vector<fsm::Stg::StepResult> original, with_ck, with_wk;
+  std::size_t synth_gates = 0, synth_ffs = 0, synth_key_bits = 0;
+  bool ck_matches = true;
+  bool wk_diverges = false;
+};
+
+}  // namespace
 
 int main() {
   using namespace cl;
   std::printf("TABLE I: Cute-Lock-Beh validation (bcomp, k=6, ki=19)\n\n");
 
-  const benchgen::FsmSpec& spec = benchgen::find_fsm_spec("bcomp");
-  const fsm::Stg bcomp = benchgen::make_fsm(spec);
+  Validation v;
+  bench::Runner runner("table1_beh_validation");
+  runner.add({"synthezza", "bcomp", "validation", 6, 19}, [&v]() {
+    const benchgen::FsmSpec& spec = benchgen::find_fsm_spec("bcomp");
+    const fsm::Stg bcomp = benchgen::make_fsm(spec);
 
-  core::BehOptions options;
-  options.num_keys = 6;
-  options.key_bits = 19;
-  options.seed = 0xbc09;
-  const core::BehLock lock(bcomp, options);
+    core::BehOptions options;
+    options.num_keys = 6;
+    options.key_bits = 19;
+    options.seed = 0xbc09;
+    const core::BehLock lock(bcomp, options);
 
-  // Stimulus in the paper's style: alternating characteristic input words.
-  util::Rng rng(0x7ab1e1);
-  std::vector<std::uint32_t> inputs;
-  for (int t = 0; t < 16; ++t) {
-    inputs.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
-  }
-  std::vector<std::uint64_t> correct_keys, wrong_keys;
-  for (std::size_t t = 0; t < inputs.size(); ++t) {
-    correct_keys.push_back(lock.keys()[t % lock.num_keys()]);
-    // Wrong keys: correct value applied one slot late (right key, wrong
-    // time — the failure mode unique to time-based locking).
-    wrong_keys.push_back(lock.keys()[(t + 1) % lock.num_keys()]);
-  }
-  const auto original = bcomp.run(inputs);
-  const auto with_ck = lock.run(inputs, correct_keys);
-  const auto with_wk = lock.run(inputs, wrong_keys);
+    // Stimulus in the paper's style: alternating characteristic input words.
+    util::Rng rng(0x7ab1e1);
+    for (int t = 0; t < 16; ++t) {
+      v.inputs.push_back(static_cast<std::uint32_t>(rng.next_below(256)));
+    }
+    std::vector<std::uint64_t> correct_keys, wrong_keys;
+    for (std::size_t t = 0; t < v.inputs.size(); ++t) {
+      correct_keys.push_back(lock.keys()[t % lock.num_keys()]);
+      // Wrong keys: correct value applied one slot late (right key, wrong
+      // time — the failure mode unique to time-based locking).
+      wrong_keys.push_back(lock.keys()[(t + 1) % lock.num_keys()]);
+    }
+    v.original = bcomp.run(v.inputs);
+    v.with_ck = lock.run(v.inputs, correct_keys);
+    v.with_wk = lock.run(v.inputs, wrong_keys);
+    for (std::size_t t = 0; t < v.inputs.size(); ++t) {
+      v.ck_matches = v.ck_matches &&
+                     (v.with_ck[t].output == v.original[t].output);
+      v.wk_diverges = v.wk_diverges ||
+                      (v.with_wk[t].output != v.original[t].output);
+    }
+
+    // The gate-level synthesis of the same lock, as the paper implements it.
+    const auto locked = lock.synthesize(fsm::SynthStyle::DirectTransitions,
+                                        "bcomp_locked");
+    v.synth_gates = locked.locked.stats().gates;
+    v.synth_ffs = locked.locked.dffs().size();
+    v.synth_key_bits = locked.locked.key_inputs().size();
+    return bench::JobOutcome{
+        (v.ck_matches && v.wk_diverges) ? "PASS" : "FAIL", -1.0,
+        v.inputs.size()};
+  });
+  runner.run();
 
   util::Table table({"Time (ns)", "x[7:0]", "y[38:0]", "yck[38:0]", "ywk[38:0]"});
-  bool ck_matches = true;
-  bool wk_diverges = false;
-  for (std::size_t t = 0; t < inputs.size(); ++t) {
+  for (std::size_t t = 0; t < v.inputs.size(); ++t) {
     char xs[16], ys[24], cks[24], wks[24];
-    std::snprintf(xs, sizeof xs, "%02x", inputs[t]);
+    std::snprintf(xs, sizeof xs, "%02x", v.inputs[t]);
     std::snprintf(ys, sizeof ys, "%010llx",
-                  static_cast<unsigned long long>(original[t].output));
+                  static_cast<unsigned long long>(v.original[t].output));
     std::snprintf(cks, sizeof cks, "%010llx",
-                  static_cast<unsigned long long>(with_ck[t].output));
+                  static_cast<unsigned long long>(v.with_ck[t].output));
     std::snprintf(wks, sizeof wks, "%010llx",
-                  static_cast<unsigned long long>(with_wk[t].output));
+                  static_cast<unsigned long long>(v.with_wk[t].output));
     table.add_row({std::to_string(20 * (t + 1)), xs, ys, cks, wks});
-    ck_matches = ck_matches && (with_ck[t].output == original[t].output);
-    wk_diverges = wk_diverges || (with_wk[t].output != original[t].output);
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("correct keys:  %s\n",
-              ck_matches ? "yck == y on every cycle (PASS)"
-                         : "MISMATCH (FAIL)");
+              v.ck_matches ? "yck == y on every cycle (PASS)"
+                           : "MISMATCH (FAIL)");
   std::printf("wrong keys:    %s\n",
-              wk_diverges ? "ywk diverges from y (PASS)"
-                          : "no divergence observed (FAIL)");
-
-  // The gate-level synthesis of the same lock, as the paper implements it.
-  const auto locked = lock.synthesize(fsm::SynthStyle::DirectTransitions,
-                                      "bcomp_locked");
+              v.wk_diverges ? "ywk diverges from y (PASS)"
+                            : "no divergence observed (FAIL)");
   std::printf("\nsynthesized locked bcomp: %zu gates, %zu FFs, %zu key bits\n",
-              locked.locked.stats().gates, locked.locked.dffs().size(),
-              locked.locked.key_inputs().size());
-  return (ck_matches && wk_diverges) ? 0 : 1;
+              v.synth_gates, v.synth_ffs, v.synth_key_bits);
+  return (v.ck_matches && v.wk_diverges) ? 0 : 1;
 }

@@ -4,84 +4,113 @@
 // Flip-flops power up unknown, exactly as in the paper's table (the 'x'
 // row at time 0). G17ck must track the original G17; G17wk (a static key)
 // diverges.
+//
+// A single Runner job (the stimulus search is one sequential scan), run on
+// the Runner for the BENCH_*.json baseline record.
 #include <cstdio>
 
+#include "bench_common.hpp"
 #include "benchgen/s27.hpp"
 #include "core/cute_lock_str.hpp"
+#include "runner.hpp"
 #include "sim/sequence.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Validation {
+  std::size_t cycles = 15;
+  std::vector<sim::BitVec> stim;
+  std::vector<std::vector<sim::Trit>> y, yck, ywk;
+  bool ck_ok = true;
+  bool wk_diverged = false;
+};
+
+}  // namespace
 
 int main() {
   using namespace cl;
   std::printf("TABLE II: Cute-Lock-Str validation (s27, keys 1,3,2,0)\n\n");
 
-  netlist::Netlist s27 = benchgen::make_s27();
-  // Power-up-unknown flip-flops (the paper's waveform shows 'x' at t=0).
-  for (netlist::SignalId q : s27.dffs()) {
-    s27.set_dff_init(q, netlist::DffInit::X);
-  }
-  core::StrOptions options;
-  options.num_keys = 4;
-  options.key_bits = 2;
-  options.locked_ffs = 1;
-  options.explicit_keys = {1, 3, 2, 0};
-  const lock::LockResult locked = core::cute_lock_str(s27, options);
+  Validation v;
+  bench::Runner runner("table2_str_validation");
+  runner.add({"ISCAS'89", "s27", "validation", 4, 2}, [&v]() {
+    netlist::Netlist s27 = benchgen::make_s27();
+    // Power-up-unknown flip-flops (the paper's waveform shows 'x' at t=0).
+    for (netlist::SignalId q : s27.dffs()) {
+      s27.set_dff_init(q, netlist::DffInit::X);
+    }
+    core::StrOptions options;
+    options.num_keys = 4;
+    options.key_bits = 2;
+    options.locked_ffs = 1;
+    options.explicit_keys = {1, 3, 2, 0};
+    const lock::LockResult locked = core::cute_lock_str(s27, options);
 
-  // The paper's table uses a demonstrative stimulus where the wrong-key
-  // divergence is visible on G17 (s27's single output masks heavily);
-  // search the seed space for one deterministically.
-  const std::size_t cycles = 15;
-  std::vector<sim::BitVec> stim;
-  std::vector<std::vector<sim::Trit>> y, yck, ywk;
-  const auto correct_keys = locked.keys_for(cycles);
-  const std::vector<sim::BitVec> wrong_keys(cycles, sim::BitVec{1, 0});
-  for (std::uint64_t seed = 1; seed < 4000; ++seed) {
-    util::Rng rng(seed);
-    auto candidate = sim::random_stimulus(rng, cycles, s27.inputs().size());
-    auto ref = sim::run_sequence_x(s27, candidate);
-    auto wk = sim::run_sequence_x(locked.locked, candidate, wrong_keys);
-    int visible = 0;
-    for (std::size_t t = 0; t < cycles; ++t) {
-      if (ref[t][0] != sim::Trit::X && wk[t][0] != sim::Trit::X &&
-          ref[t][0] != wk[t][0]) {
-        ++visible;
+    // The paper's table uses a demonstrative stimulus where the wrong-key
+    // divergence is visible on G17 (s27's single output masks heavily);
+    // search the seed space for one deterministically.
+    const auto correct_keys = locked.keys_for(v.cycles);
+    const std::vector<sim::BitVec> wrong_keys(v.cycles, sim::BitVec{1, 0});
+    std::uint64_t seeds_scanned = 0;
+    for (std::uint64_t seed = 1; seed < 4000; ++seed) {
+      ++seeds_scanned;
+      util::Rng rng(seed);
+      auto candidate = sim::random_stimulus(rng, v.cycles, s27.inputs().size());
+      auto ref = sim::run_sequence_x(s27, candidate);
+      auto wk = sim::run_sequence_x(locked.locked, candidate, wrong_keys);
+      int visible = 0;
+      for (std::size_t t = 0; t < v.cycles; ++t) {
+        if (ref[t][0] != sim::Trit::X && wk[t][0] != sim::Trit::X &&
+            ref[t][0] != wk[t][0]) {
+          ++visible;
+        }
+      }
+      if (visible >= 2) {
+        v.stim = std::move(candidate);
+        v.y = std::move(ref);
+        v.ywk = std::move(wk);
+        v.yck = sim::run_sequence_x(locked.locked, v.stim, correct_keys);
+        break;
       }
     }
-    if (visible >= 2) {
-      stim = std::move(candidate);
-      y = std::move(ref);
-      ywk = std::move(wk);
-      yck = sim::run_sequence_x(locked.locked, stim, correct_keys);
-      break;
+    if (v.stim.empty()) {
+      return bench::JobOutcome{"FAIL", -1.0, seeds_scanned};
     }
-  }
-  if (stim.empty()) {
+    for (std::size_t t = 0; t < v.cycles; ++t) {
+      v.ck_ok = v.ck_ok && (v.yck[t][0] == v.y[t][0]);
+      v.wk_diverged = v.wk_diverged ||
+                      (v.ywk[t][0] != v.y[t][0] && v.y[t][0] != sim::Trit::X &&
+                       v.ywk[t][0] != sim::Trit::X);
+    }
+    return bench::JobOutcome{v.ck_ok ? "PASS" : "FAIL", -1.0, seeds_scanned};
+  });
+  runner.run();
+
+  if (v.stim.empty()) {
     std::printf("no demonstrative stimulus found (unexpected)\n");
     return 1;
   }
 
   util::Table table({"Time (ns)", "G0", "G1", "G2", "G3", "G17", "G17ck", "G17wk"});
-  bool ck_ok = true;
-  bool wk_diverged = false;
-  for (std::size_t t = 0; t < cycles; ++t) {
+  for (std::size_t t = 0; t < v.cycles; ++t) {
     table.add_row({std::to_string(20 * t),
-                   std::string(1, stim[t][0] ? '1' : '0'),
-                   std::string(1, stim[t][1] ? '1' : '0'),
-                   std::string(1, stim[t][2] ? '1' : '0'),
-                   std::string(1, stim[t][3] ? '1' : '0'),
-                   std::string(1, sim::trit_char(y[t][0])),
-                   std::string(1, sim::trit_char(yck[t][0])),
-                   std::string(1, sim::trit_char(ywk[t][0]))});
-    ck_ok = ck_ok && (yck[t][0] == y[t][0]);
-    wk_diverged = wk_diverged ||
-                  (ywk[t][0] != y[t][0] && y[t][0] != sim::Trit::X &&
-                   ywk[t][0] != sim::Trit::X);
+                   std::string(1, v.stim[t][0] ? '1' : '0'),
+                   std::string(1, v.stim[t][1] ? '1' : '0'),
+                   std::string(1, v.stim[t][2] ? '1' : '0'),
+                   std::string(1, v.stim[t][3] ? '1' : '0'),
+                   std::string(1, sim::trit_char(v.y[t][0])),
+                   std::string(1, sim::trit_char(v.yck[t][0])),
+                   std::string(1, sim::trit_char(v.ywk[t][0]))});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("correct keys: %s\n",
-              ck_ok ? "G17ck == G17 on every cycle (PASS)" : "MISMATCH (FAIL)");
+              v.ck_ok ? "G17ck == G17 on every cycle (PASS)"
+                      : "MISMATCH (FAIL)");
   std::printf("wrong key:    %s\n",
-              wk_diverged ? "G17wk diverges (PASS)"
-                          : "no observable divergence on this stimulus");
-  return ck_ok ? 0 : 1;
+              v.wk_diverged ? "G17wk diverges (PASS)"
+                            : "no observable divergence on this stimulus");
+  return v.ck_ok ? 0 : 1;
 }

@@ -4,14 +4,49 @@
 // per-circuit (k, ki), synthesized to a gate-level netlist, and attacked
 // with the oracle-guided suite (BBO / INT / KC2 — the NEOS modes). The
 // expected shape: no attack recovers a working key (CNS / x..x / N/A only).
+//
+// One Runner job per (FSM x attack); every job synthesizes its own lock and
+// oracle (deterministic), so results are independent of CUTELOCK_JOBS.
 #include <cstdio>
+#include <vector>
 
 #include "attack/bbo.hpp"
 #include "attack/seq_attack.hpp"
 #include "bench_common.hpp"
 #include "benchgen/fsm_suite.hpp"
 #include "core/cute_lock_beh.hpp"
+#include "fsm/synth.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Row {
+  benchgen::FsmSpec spec;
+  attack::AttackResult bbo, bmc, kc2;
+};
+
+struct LockedPair {
+  netlist::Netlist locked;
+  netlist::Netlist original;
+};
+
+LockedPair synthesize_pair(const benchgen::FsmSpec& spec) {
+  const fsm::Stg stg = benchgen::make_fsm(spec);
+  core::BehOptions options;
+  options.num_keys = spec.lock_keys;
+  options.key_bits = spec.lock_bits;
+  options.seed = 0xbe4 + spec.states;
+  const core::BehLock lock(stg, options);
+  return LockedPair{
+      lock.synthesize(fsm::SynthStyle::DirectTransitions, spec.name + "_l")
+          .locked,
+      fsm::synthesize(stg, fsm::SynthStyle::DirectTransitions, spec.name)};
+}
+
+}  // namespace
 
 int main() {
   using namespace cl;
@@ -19,38 +54,53 @@ int main() {
   std::printf("TABLE III: Cute-Lock-Beh vs oracle-guided attacks "
               "(per-attack budget %.1fs)\n\n", seconds);
 
+  std::vector<Row> rows;
+  for (const benchgen::FsmSpec& spec :
+       bench::selected_fsms(benchgen::synthezza_specs())) {
+    rows.push_back(Row{spec, {}, {}, {}});
+  }
+
+  bench::Runner runner("table3_beh_logic_attacks");
+  for (Row& row : rows) {
+    const benchgen::FsmSpec spec = row.spec;
+    const attack::AttackBudget budget = bench::table_budget(seconds);
+    const auto meta = [&](const char* attack_name) {
+      return bench::JobMeta{"synthezza", spec.name, attack_name,
+                            static_cast<int>(spec.lock_keys),
+                            static_cast<int>(spec.lock_bits)};
+    };
+    runner.add_attack(meta("BBO"), &row.bbo, [spec, budget]() {
+      const LockedPair pair = synthesize_pair(spec);
+      attack::SequentialOracle oracle(pair.original);
+      attack::BboOptions bbo_options;
+      bbo_options.budget = budget;
+      return attack::bbo_attack(pair.locked, oracle, bbo_options);
+    });
+    runner.add_attack(meta("INT"), &row.bmc, [spec, budget]() {
+      const LockedPair pair = synthesize_pair(spec);
+      attack::SequentialOracle oracle(pair.original);
+      return attack::bmc_attack(pair.locked, oracle, budget);
+    });
+    runner.add_attack(meta("KC2"), &row.kc2, [spec, budget]() {
+      const LockedPair pair = synthesize_pair(spec);
+      attack::SequentialOracle oracle(pair.original);
+      return attack::kc2_attack(pair.locked, oracle, budget);
+    });
+  }
+  runner.run();
+
   util::Table table({"tier", "circuit", "k", "ki", "BBO", "INT", "KC2"});
   std::size_t attacks_run = 0, defenses_held = 0;
-  for (const benchgen::FsmSpec& spec : benchgen::synthezza_specs()) {
-    if (bench::small_run() && std::string(spec.tier) != "small") continue;
-    const fsm::Stg stg = benchgen::make_fsm(spec);
-    core::BehOptions options;
-    options.num_keys = spec.lock_keys;
-    options.key_bits = spec.lock_bits;
-    options.seed = 0xbe4 + spec.states;
-    const core::BehLock lock(stg, options);
-    const auto locked =
-        lock.synthesize(fsm::SynthStyle::DirectTransitions, spec.name + "_l");
-    const auto original =
-        fsm::synthesize(stg, fsm::SynthStyle::DirectTransitions, spec.name);
-    attack::SequentialOracle oracle(original);
-
-    const attack::AttackBudget budget = bench::table_budget(seconds);
-    attack::BboOptions bbo_options;
-    bbo_options.budget = budget;
-    const attack::AttackResult bbo =
-        attack::bbo_attack(locked.locked, oracle, bbo_options);
-    const attack::AttackResult bmc =
-        attack::bmc_attack(locked.locked, oracle, budget);
-    const attack::AttackResult kc2 =
-        attack::kc2_attack(locked.locked, oracle, budget);
-    for (const auto* r : {&bbo, &bmc, &kc2}) {
+  for (const Row& row : rows) {
+    for (const auto* r : {&row.bbo, &row.bmc, &row.kc2}) {
       ++attacks_run;
       if (attack::defense_held(r->outcome)) ++defenses_held;
     }
-    table.add_row({spec.tier, spec.name, std::to_string(spec.lock_keys),
-                   std::to_string(spec.lock_bits), bench::attack_cell(bbo),
-                   bench::attack_cell(bmc), bench::attack_cell(kc2)});
+    table.add_row({row.spec.tier, row.spec.name,
+                   std::to_string(row.spec.lock_keys),
+                   std::to_string(row.spec.lock_bits),
+                   bench::attack_cell(row.bbo), bench::attack_cell(row.bmc),
+                   bench::attack_cell(row.kc2)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("defense held in %zu / %zu attack runs "

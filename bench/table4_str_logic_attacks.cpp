@@ -3,15 +3,44 @@
 // Every ISCAS'89 / ITC'99 circuit is locked with Cute-Lock-Str using the
 // paper's per-circuit (k, ki) and attacked with BBO / INT / KC2 / RANE.
 // Expected shape: no attack recovers a working key.
+//
+// Each (circuit x attack) pair is one independent Runner job: the job builds
+// its own circuit, lock and oracle (all deterministic), so the table is
+// byte-identical however many workers CUTELOCK_JOBS grants.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "attack/bbo.hpp"
 #include "attack/seq_attack.hpp"
 #include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Row {
+  const char* suite;
+  benchgen::CircuitSpec spec;
+  attack::AttackResult bbo, bmc, kc2, rane;
+};
+
+lock::LockResult lock_circuit(const benchgen::SyntheticCircuit& circuit,
+                              const benchgen::CircuitSpec& spec) {
+  core::StrOptions options;
+  options.num_keys = spec.lock_keys;
+  options.key_bits = spec.lock_bits;
+  options.locked_ffs =
+      std::min<std::size_t>(4, circuit.netlist.dffs().size());
+  options.seed = 0x57a + spec.gates;
+  return core::cute_lock_str(circuit.netlist, options);
+}
+
+}  // namespace
 
 int main() {
   using namespace cl;
@@ -19,49 +48,68 @@ int main() {
   std::printf("TABLE IV: Cute-Lock-Str vs oracle-guided attacks "
               "(per-attack budget %.1fs)\n\n", seconds);
 
-  util::Table table({"suite", "circuit", "k", "ki", "BBO", "INT", "KC2", "RANE"});
-  std::size_t attacks_run = 0, defenses_held = 0;
-
-  const auto run_suite = [&](const char* suite,
-                             const std::vector<benchgen::CircuitSpec>& specs) {
-    for (const benchgen::CircuitSpec& spec : specs) {
+  std::vector<Row> rows;
+  const auto collect = [&](const char* suite,
+                           const std::vector<benchgen::CircuitSpec>& specs) {
+    for (const benchgen::CircuitSpec& spec : bench::selected_circuits(specs)) {
       if (spec.name == "s27") continue;  // validation circuit (Table II)
-      if (bench::small_run() && spec.gates > 1200) continue;
-      const benchgen::SyntheticCircuit bench_circuit =
-          benchgen::make_circuit(spec);
-      core::StrOptions options;
-      options.num_keys = spec.lock_keys;
-      options.key_bits = spec.lock_bits;
-      options.locked_ffs =
-          std::min<std::size_t>(4, bench_circuit.netlist.dffs().size());
-      options.seed = 0x57a + spec.gates;
-      const lock::LockResult locked =
-          core::cute_lock_str(bench_circuit.netlist, options);
-      attack::SequentialOracle oracle(bench_circuit.netlist);
-
-      const attack::AttackBudget budget = bench::table_budget(seconds);
-      attack::BboOptions bbo_options;
-      bbo_options.budget = budget;
-      const attack::AttackResult bbo =
-          attack::bbo_attack(locked.locked, oracle, bbo_options);
-      const attack::AttackResult bmc =
-          attack::bmc_attack(locked.locked, oracle, budget);
-      const attack::AttackResult kc2 =
-          attack::kc2_attack(locked.locked, oracle, budget);
-      const attack::AttackResult rane =
-          attack::rane_attack(locked.locked, oracle, budget);
-      for (const auto* r : {&bbo, &bmc, &kc2, &rane}) {
-        ++attacks_run;
-        if (attack::defense_held(r->outcome)) ++defenses_held;
-      }
-      table.add_row({suite, spec.name, std::to_string(spec.lock_keys),
-                     std::to_string(spec.lock_bits), bench::attack_cell(bbo),
-                     bench::attack_cell(bmc), bench::attack_cell(kc2),
-                     bench::attack_cell(rane)});
+      rows.push_back(Row{suite, spec, {}, {}, {}, {}});
     }
   };
-  run_suite("ISCAS'89", benchgen::iscas89_specs());
-  run_suite("ITC'99", benchgen::itc99_specs());
+  collect("ISCAS'89", benchgen::iscas89_specs());
+  collect("ITC'99", benchgen::itc99_specs());
+
+  bench::Runner runner("table4_str_logic_attacks");
+  for (Row& row : rows) {
+    const benchgen::CircuitSpec spec = row.spec;
+    const attack::AttackBudget budget = bench::table_budget(seconds);
+    const auto meta = [&](const char* attack_name) {
+      return bench::JobMeta{row.suite, spec.name, attack_name,
+                            static_cast<int>(spec.lock_keys),
+                            static_cast<int>(spec.lock_bits)};
+    };
+    runner.add_attack(meta("BBO"), &row.bbo, [spec, budget]() {
+      const auto circuit = benchgen::make_circuit(spec);
+      const auto locked = lock_circuit(circuit, spec);
+      attack::SequentialOracle oracle(circuit.netlist);
+      attack::BboOptions bbo_options;
+      bbo_options.budget = budget;
+      return attack::bbo_attack(locked.locked, oracle, bbo_options);
+    });
+    runner.add_attack(meta("INT"), &row.bmc, [spec, budget]() {
+      const auto circuit = benchgen::make_circuit(spec);
+      const auto locked = lock_circuit(circuit, spec);
+      attack::SequentialOracle oracle(circuit.netlist);
+      return attack::bmc_attack(locked.locked, oracle, budget);
+    });
+    runner.add_attack(meta("KC2"), &row.kc2, [spec, budget]() {
+      const auto circuit = benchgen::make_circuit(spec);
+      const auto locked = lock_circuit(circuit, spec);
+      attack::SequentialOracle oracle(circuit.netlist);
+      return attack::kc2_attack(locked.locked, oracle, budget);
+    });
+    runner.add_attack(meta("RANE"), &row.rane, [spec, budget]() {
+      const auto circuit = benchgen::make_circuit(spec);
+      const auto locked = lock_circuit(circuit, spec);
+      attack::SequentialOracle oracle(circuit.netlist);
+      return attack::rane_attack(locked.locked, oracle, budget);
+    });
+  }
+  runner.run();
+
+  util::Table table({"suite", "circuit", "k", "ki", "BBO", "INT", "KC2", "RANE"});
+  std::size_t attacks_run = 0, defenses_held = 0;
+  for (const Row& row : rows) {
+    for (const auto* r : {&row.bbo, &row.bmc, &row.kc2, &row.rane}) {
+      ++attacks_run;
+      if (attack::defense_held(r->outcome)) ++defenses_held;
+    }
+    table.add_row({row.suite, row.spec.name,
+                   std::to_string(row.spec.lock_keys),
+                   std::to_string(row.spec.lock_bits),
+                   bench::attack_cell(row.bbo), bench::attack_cell(row.bmc),
+                   bench::attack_cell(row.kc2), bench::attack_cell(row.rane)});
+  }
 
   std::printf("%s\n", table.to_string().c_str());
   std::printf("defense held in %zu / %zu attack runs "

@@ -6,60 +6,106 @@
 // implementations genuinely work (they recover keys from reduced locks) and
 // the multi-key schedule is what provides the security (same circuits, same
 // parameters, keys varied per slot -> attacks fail).
+//
+// One Runner job per (circuit x mode x attack), each with its own circuit,
+// lock and oracle.
 #include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "attack/bbo.hpp"
 #include "attack/seq_attack.hpp"
 #include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
+#include "runner.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+using namespace cl;
+
+struct Row {
+  const char* name;
+  bool reduced;
+  attack::AttackResult bmc, kc2, bbo;
+};
+
+lock::LockResult lock_circuit(const benchgen::SyntheticCircuit& circuit,
+                              bool reduced) {
+  core::StrOptions options;
+  options.num_keys = 4;
+  options.key_bits = 3;
+  options.locked_ffs =
+      std::min<std::size_t>(2, circuit.netlist.dffs().size());
+  options.seed = 0x5111 + (reduced ? 1 : 0);
+  options.single_key_reduction = reduced;
+  return core::cute_lock_str(circuit.netlist, options);
+}
+
+}  // namespace
 
 int main() {
   using namespace cl;
   const double seconds = bench::attack_seconds(10.0);
   std::printf("VALIDATION: single-key reduction vs multi-key Cute-Lock-Str\n\n");
 
+  std::vector<Row> rows;
+  for (const char* name : {"s27", "s298", "b01", "b03", "b06"}) {
+    for (const bool reduced : {true, false}) {
+      rows.push_back(Row{name, reduced, {}, {}, {}});
+    }
+  }
+
+  bench::Runner runner("validation_singlekey");
+  for (Row& row : rows) {
+    const char* name = row.name;
+    const bool reduced = row.reduced;
+    const attack::AttackBudget budget = bench::table_budget(seconds);
+    const auto meta = [&](const char* attack_name) {
+      bench::JobMeta m{reduced ? "single-key" : "multi-key", name, attack_name,
+                       4, 3};
+      return m;
+    };
+    runner.add_attack(meta("INT"), &row.bmc, [name, reduced, budget]() {
+      const auto circuit = benchgen::make_circuit(name);
+      const auto locked = lock_circuit(circuit, reduced);
+      attack::SequentialOracle oracle(circuit.netlist);
+      return attack::bmc_attack(locked.locked, oracle, budget);
+    });
+    runner.add_attack(meta("KC2"), &row.kc2, [name, reduced, budget]() {
+      const auto circuit = benchgen::make_circuit(name);
+      const auto locked = lock_circuit(circuit, reduced);
+      attack::SequentialOracle oracle(circuit.netlist);
+      return attack::kc2_attack(locked.locked, oracle, budget);
+    });
+    runner.add_attack(meta("BBO"), &row.bbo, [name, reduced, budget]() {
+      const auto circuit = benchgen::make_circuit(name);
+      const auto locked = lock_circuit(circuit, reduced);
+      attack::SequentialOracle oracle(circuit.netlist);
+      attack::BboOptions bbo_options;
+      bbo_options.budget = budget;
+      return attack::bbo_attack(locked.locked, oracle, bbo_options);
+    });
+  }
+  runner.run();
+
   util::Table table({"circuit", "mode", "BMC", "KC2", "BBO"});
   std::size_t reduced_broken = 0, reduced_total = 0;
   std::size_t multi_held = 0, multi_total = 0;
-  for (const char* name : {"s27", "s298", "b01", "b03", "b06"}) {
-    const benchgen::SyntheticCircuit circuit = benchgen::make_circuit(name);
-    attack::SequentialOracle oracle(circuit.netlist);
-    const attack::AttackBudget budget = bench::table_budget(seconds);
-
-    for (const bool reduced : {true, false}) {
-      core::StrOptions options;
-      options.num_keys = 4;
-      options.key_bits = 3;
-      options.locked_ffs = std::min<std::size_t>(2, circuit.netlist.dffs().size());
-      options.seed = 0x5111 + (reduced ? 1 : 0);
-      options.single_key_reduction = reduced;
-      const lock::LockResult locked = core::cute_lock_str(circuit.netlist, options);
-
-      const attack::AttackResult bmc =
-          attack::bmc_attack(locked.locked, oracle, budget);
-      const attack::AttackResult kc2 =
-          attack::kc2_attack(locked.locked, oracle, budget);
-      attack::BboOptions bbo_options;
-      bbo_options.budget = budget;
-      const attack::AttackResult bbo =
-          attack::bbo_attack(locked.locked, oracle, bbo_options);
-
-      for (const auto* r : {&bmc, &kc2, &bbo}) {
-        if (reduced) {
-          ++reduced_total;
-          if (r->outcome == attack::Outcome::Equal) ++reduced_broken;
-        } else {
-          ++multi_total;
-          if (attack::defense_held(r->outcome)) ++multi_held;
-        }
+  for (const Row& row : rows) {
+    for (const auto* r : {&row.bmc, &row.kc2, &row.bbo}) {
+      if (row.reduced) {
+        ++reduced_total;
+        if (r->outcome == attack::Outcome::Equal) ++reduced_broken;
+      } else {
+        ++multi_total;
+        if (attack::defense_held(r->outcome)) ++multi_held;
       }
-      table.add_row({name, reduced ? "single-key (reduced)" : "multi-key",
-                     bench::attack_cell(bmc), bench::attack_cell(kc2),
-                     bench::attack_cell(bbo)});
     }
+    table.add_row({row.name, row.reduced ? "single-key (reduced)" : "multi-key",
+                   bench::attack_cell(row.bmc), bench::attack_cell(row.kc2),
+                   bench::attack_cell(row.bbo)});
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("single-key reductions broken: %zu / %zu (expected: all)\n",

@@ -59,7 +59,8 @@ AttackResult bbo_attack(const Netlist& locked, const SequentialOracle& oracle,
 
   const auto finish_with = [&](std::uint64_t key_value) -> AttackResult {
     const sim::BitVec key = sim::u64_to_bits(key_value, ki);
-    const VerifyResult v = verify_static_key(locked, key, oracle.reference());
+    const VerifyResult v = verify_static_key(
+        locked, key, oracle.reference(), verify_options_for(options.budget));
     result.key = key;
     result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
     result.seconds = timer.seconds();

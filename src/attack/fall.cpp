@@ -131,7 +131,8 @@ FallResult fall_attack(const Netlist& locked, const SequentialOracle& oracle,
     std::size_t j = 0;
     for (const auto& [input, polarity] : p) key[j++] = polarity ? 1 : 0;
     ++out.result.iterations;
-    const VerifyResult v = verify_static_key(locked, key, oracle.reference());
+    const VerifyResult v = verify_static_key(
+        locked, key, oracle.reference(), verify_options_for(options.budget));
     if (v.equivalent) {
       ++out.confirmed;
       out.result.outcome = Outcome::Equal;

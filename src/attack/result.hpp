@@ -39,6 +39,10 @@ struct AttackBudget {
   std::uint64_t max_iterations = 2000;
   std::size_t max_depth = 64;          // sequential unroll bound
   std::int64_t conflict_budget = 2'000'000;  // SAT conflicts per solve
+  /// Wall cap of each candidate-key verification an attack runs (the SAT
+  /// phase of verify_static_key). Kept separate from time_limit_s so bench
+  /// harnesses can trade wall deadlines for deterministic budgets.
+  double verify_time_limit_s = 5.0;
 };
 
 }  // namespace cl::attack

@@ -103,7 +103,8 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
       if (error_rate <= options.appsat_error_threshold) {
         // Settled: report the approximate key (verified below).
         const VerifyResult v =
-            verify_static_key(locked, candidate, oracle.reference());
+            verify_static_key(locked, candidate, oracle.reference(),
+                              verify_options_for(options.budget));
         result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
         result.key = candidate;
         result.seconds = timer.seconds();
@@ -128,7 +129,9 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
     return result;
   }
   result.key = miter.extract_key_a();
-  const VerifyResult v = verify_static_key(locked, result.key, oracle.reference());
+  const VerifyResult v =
+      verify_static_key(locked, result.key, oracle.reference(),
+                        verify_options_for(options.budget));
   result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
   result.seconds = timer.seconds();
   return result;

@@ -68,8 +68,8 @@ AttackResult seq_attack(const Netlist& locked, const SequentialOracle& oracle,
     return std::max(0.05, options.budget.time_limit_s - timer.seconds());
   };
   const auto verify_opts = [&]() {
-    VerifyOptions v;
-    v.time_limit_s = std::min(remaining_s(), 5.0);
+    VerifyOptions v = verify_options_for(options.budget);
+    v.time_limit_s = std::min(remaining_s(), v.time_limit_s);
     return v;
   };
   const auto add_io = [&](const std::vector<sim::BitVec>& inputs) {

@@ -8,6 +8,12 @@ namespace cl::attack {
 
 using netlist::Netlist;
 
+VerifyOptions verify_options_for(const AttackBudget& budget) {
+  VerifyOptions v;
+  v.time_limit_s = budget.verify_time_limit_s;
+  return v;
+}
+
 VerifyResult verify_static_key(const Netlist& locked, const sim::BitVec& key,
                                const Netlist& original,
                                const VerifyOptions& options) {

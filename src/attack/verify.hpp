@@ -30,6 +30,10 @@ struct VerifyResult {
   std::vector<sim::BitVec> counterexample;
 };
 
+/// VerifyOptions inheriting the budget's verification caps — the one place
+/// attack implementations derive verifier settings from an AttackBudget.
+VerifyOptions verify_options_for(const AttackBudget& budget);
+
 /// Is `locked` with the static `key` sequentially equivalent to `original`?
 /// Phase 1: randomized simulation (cheap, catches almost everything).
 /// Phase 2: SAT bounded-equivalence miter up to sat_depth frames.

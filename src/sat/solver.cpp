@@ -381,6 +381,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     ok_ = false;
     return Result::Unsat;
   }
+  // Honour an already-expired wall deadline before any search: conflicts are
+  // the only other place the clock is read, and an easy instance may never
+  // produce one.
+  if (time_budget_s_ >= 0 && std::chrono::steady_clock::now() > deadline_) {
+    return Result::Unknown;
+  }
 
   int restart_count = 0;
   std::int64_t conflicts_until_restart =
@@ -422,20 +428,20 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       int back_level = 0;
       analyze(conflict, learnt, back_level);
-      // Never backtrack into the assumption prefix: clamp and re-decide.
-      const int floor_level =
-          std::min<int>(static_cast<int>(assumptions.size()), back_level);
-      backtrack(std::max(back_level, 0) < floor_level ? floor_level : back_level);
       if (learnt.size() == 1) {
-        if (decision_level() == 0) {
-          enqueue(learnt[0], nullptr);
-        } else {
-          // Cannot assert a unit above level 0 while assumptions hold; store
-          // as a learnt unit by backtracking fully.
-          backtrack(0);
-          enqueue(learnt[0], nullptr);
-        }
+        // A unit learnt clause is implied by the clause database alone (not
+        // the assumptions), so assert it at the root; the decision loop
+        // re-places the assumptions afterwards.
+        backtrack(0);
+        enqueue(learnt[0], nullptr);
       } else {
+        // Never backtrack into the assumption prefix: clamp to the prefix
+        // boundary. The learnt clause still asserts there — every literal
+        // but learnt[0] is false at a level <= back_level <= floor_level.
+        // (decision_level() > assumptions.size() here; the prefix-conflict
+        // case above already returned.)
+        const int floor_level = static_cast<int>(assumptions.size());
+        backtrack(std::max(back_level, floor_level));
         Clause* c = new Clause{learnt, clause_inc_, 0, true};
         // LBD: number of distinct decision levels among literals.
         std::uint32_t seen_levels = 0;
@@ -543,6 +549,10 @@ void Solver::set_propagation_budget(std::int64_t max_propagations) {
 
 void Solver::set_time_budget(double seconds) {
   time_budget_s_ = seconds;
+  // Force a clock check at the next conflict: a reused solver re-armed with
+  // a shorter deadline must not coast on a countdown left over from the
+  // previous budget (up to 256 conflicts of over-run otherwise).
+  deadline_check_countdown_ = 0;
   if (seconds >= 0) {
     deadline_ = std::chrono::steady_clock::now() +
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(

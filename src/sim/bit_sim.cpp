@@ -115,8 +115,7 @@ void BitSim::step() {
   for (SignalId d : nl_.dffs()) values_[d] = next[i++];
 }
 
-std::vector<std::uint64_t> BitSim::outputs() {
-  eval();
+std::vector<std::uint64_t> BitSim::outputs() const {
   std::vector<std::uint64_t> out;
   out.reserve(nl_.outputs().size());
   for (SignalId o : nl_.outputs()) out.push_back(values_[o]);

@@ -35,8 +35,11 @@ class BitSim {
   /// Latch every DFF: Q <= D. Call after eval().
   void step();
 
-  /// eval() + collect outputs in declaration order.
-  std::vector<std::uint64_t> outputs();
+  /// Output words in declaration order, as of the last eval(). Does NOT
+  /// evaluate: callers own eval(), so hot attack loops that already
+  /// evaluated are not charged a second pass (and toggle bookkeeping is not
+  /// silently advanced).
+  std::vector<std::uint64_t> outputs() const;
 
   const netlist::Netlist& netlist() const { return nl_; }
 

@@ -122,8 +122,7 @@ void XSim::step() {
   for (SignalId d : nl_.dffs()) values_[d] = next[i++];
 }
 
-std::vector<Trit> XSim::outputs() {
-  eval();
+std::vector<Trit> XSim::outputs() const {
   std::vector<Trit> out;
   out.reserve(nl_.outputs().size());
   for (SignalId o : nl_.outputs()) out.push_back(values_[o]);

@@ -37,8 +37,9 @@ class XSim {
   void eval();
   void step();
 
-  /// eval() + outputs in declaration order.
-  std::vector<Trit> outputs();
+  /// Outputs in declaration order, as of the last eval(). Does NOT
+  /// evaluate: callers own eval() (same contract as BitSim::outputs()).
+  std::vector<Trit> outputs() const;
 
  private:
   const netlist::Netlist& nl_;

@@ -1,0 +1,54 @@
+// Fixed-size worker pool for the embarrassingly parallel bench/attack
+// sweeps. Tasks are plain std::function<void()>; submitters own their result
+// slots (each task writes only memory no other task touches). The pool
+// captures the first exception a task throws and rethrows it from wait().
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cl::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (clamped to >= 1).
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+
+  /// Drains the queue (every submitted task runs), then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task. Thread-safe; may be called from worker threads.
+  void submit(std::function<void()> task);
+
+  /// Block until every submitted task has finished, then rethrow the first
+  /// exception any task raised (if one did).
+  void wait();
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// hardware_concurrency(), clamped to >= 1.
+  static std::size_t default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // workers: a task or stop is available
+  std::condition_variable idle_cv_;  // wait(): queue drained, nothing running
+  std::size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace cl::util

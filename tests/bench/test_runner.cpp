@@ -1,0 +1,354 @@
+#include "runner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace cl::bench {
+namespace {
+
+/// Scoped environment override (restored on destruction).
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    if (value == nullptr) {
+      ::unsetenv(name);
+    } else {
+      ::setenv(name, value, 1);
+    }
+  }
+  ~ScopedEnv() {
+    if (had_old_) {
+      ::setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      ::unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_;
+  bool had_old_ = false;
+  std::string old_;
+};
+
+// ---- minimal JSON parser (validation only) ---------------------------------
+
+struct JsonCursor {
+  const std::string& text;
+  std::size_t pos = 0;
+
+  void skip_ws() {
+    while (pos < text.size() && (text[pos] == ' ' || text[pos] == '\n' ||
+                                 text[pos] == '\t' || text[pos] == '\r')) {
+      ++pos;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  bool parse_string() {
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '"') return false;
+    ++pos;
+    while (pos < text.size() && text[pos] != '"') {
+      if (text[pos] == '\\') ++pos;
+      ++pos;
+    }
+    return eat('"');
+  }
+  bool parse_number() {
+    skip_ws();
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      ++pos;
+    }
+    return pos > start;
+  }
+  bool parse_literal(const char* lit) {
+    skip_ws();
+    const std::size_t n = std::string(lit).size();
+    if (text.compare(pos, n, lit) == 0) {
+      pos += n;
+      return true;
+    }
+    return false;
+  }
+  bool parse_value() {
+    skip_ws();
+    if (pos >= text.size()) return false;
+    switch (text[pos]) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't': return parse_literal("true");
+      case 'f': return parse_literal("false");
+      case 'n': return parse_literal("null");
+      default: return parse_number();
+    }
+  }
+  bool parse_object() {
+    if (!eat('{')) return false;
+    skip_ws();
+    if (eat('}')) return true;
+    do {
+      if (!parse_string() || !eat(':') || !parse_value()) return false;
+    } while (eat(','));
+    return eat('}');
+  }
+  bool parse_array() {
+    if (!eat('[')) return false;
+    skip_ws();
+    if (eat(']')) return true;
+    do {
+      if (!parse_value()) return false;
+    } while (eat(','));
+    return eat(']');
+  }
+};
+
+bool valid_json_document(const std::string& text) {
+  JsonCursor c{text};
+  if (!c.parse_value()) return false;
+  c.skip_ws();
+  return c.pos == text.size();
+}
+
+// ---- Runner ----------------------------------------------------------------
+
+TEST(Runner, CollectsResultsInRegistrationOrder) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("order");
+  runner.set_threads(4);
+  std::vector<int> slots(32, -1);
+  for (int i = 0; i < 32; ++i) {
+    runner.add({"suite", "c" + std::to_string(i), "probe", -1, -1},
+               [&slots, i]() {
+                 slots[static_cast<std::size_t>(i)] = i * i;
+                 return JobOutcome{"ok", -1.0, static_cast<std::uint64_t>(i)};
+               });
+  }
+  runner.run();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(slots[static_cast<std::size_t>(i)], i * i);
+    EXPECT_EQ(runner.outcome(static_cast<std::size_t>(i)).iterations,
+              static_cast<std::uint64_t>(i));
+  }
+}
+
+TEST(Runner, SerialAndParallelProduceIdenticalResults) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  const auto run_with = [](std::size_t threads) {
+    Runner runner("det");
+    runner.set_threads(threads);
+    std::vector<std::uint64_t> values(40, 0);
+    for (std::size_t i = 0; i < values.size(); ++i) {
+      runner.add({"s", "c" + std::to_string(i), "a", 2, 3}, [&values, i]() {
+        // Deterministic per-job computation.
+        std::uint64_t v = i + 1;
+        for (int r = 0; r < 1000; ++r) v = v * 6364136223846793005ULL + 1442695040888963407ULL;
+        values[i] = v;
+        return JobOutcome{"ok", -1.0, v};
+      });
+    }
+    runner.run();
+    return values;
+  };
+  EXPECT_EQ(run_with(1), run_with(8));
+}
+
+TEST(Runner, AttackJobFillsCallerSlot) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("attack_slot");
+  runner.set_threads(2);
+  attack::AttackResult slot;
+  runner.add_attack({"ISCAS'89", "s27", "KC2", 4, 2}, &slot, []() {
+    attack::AttackResult r;
+    r.outcome = attack::Outcome::Cns;
+    r.seconds = 0.25;
+    r.iterations = 17;
+    return r;
+  });
+  runner.run();
+  EXPECT_EQ(slot.outcome, attack::Outcome::Cns);
+  EXPECT_EQ(runner.outcome(0).outcome, "CNS");
+  EXPECT_DOUBLE_EQ(runner.outcome(0).seconds, 0.25);
+  EXPECT_EQ(runner.outcome(0).iterations, 17u);
+}
+
+TEST(Runner, JobExceptionPropagatesFromRun) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("boom");
+  runner.set_threads(2);
+  runner.add({"s", "c", "a", -1, -1},
+             []() -> JobOutcome { throw std::runtime_error("job died"); });
+  EXPECT_THROW(runner.run(), std::runtime_error);
+}
+
+TEST(Runner, JsonDocumentIsValidAndCarriesTheSchema) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("schema_check");
+  runner.set_threads(1);
+  runner.add({"ITC'99", "b10\"quoted\"", "INT", 4, 11},
+             []() { return JobOutcome{"CNS", 1.5, 42}; });
+  runner.add({"-", "freeform", "overhead", -1, -1},
+             []() { return JobOutcome{"12.5", -1.0, 0}; });
+  runner.run();
+  const std::string doc = runner.json();
+  EXPECT_TRUE(valid_json_document(doc)) << doc;
+  EXPECT_NE(doc.find("\"harness\": \"schema_check\""), std::string::npos);
+  EXPECT_NE(doc.find("\"threads\": 1"), std::string::npos);
+  EXPECT_NE(doc.find("\"suite\": \"ITC'99\""), std::string::npos);
+  EXPECT_NE(doc.find("\"circuit\": \"b10\\\"quoted\\\"\""), std::string::npos);
+  EXPECT_NE(doc.find("\"k\": 4"), std::string::npos);
+  EXPECT_NE(doc.find("\"ki\": 11"), std::string::npos);
+  EXPECT_NE(doc.find("\"outcome\": \"CNS\""), std::string::npos);
+  EXPECT_NE(doc.find("\"iterations\": 42"), std::string::npos);
+  // k/ki omitted when not applicable.
+  EXPECT_EQ(doc.find("\"k\": -1"), std::string::npos);
+}
+
+TEST(Runner, WritesBaselineFileIntoConfiguredDirectory) {
+  const std::string dir = ::testing::TempDir();
+  ScopedEnv json_dir("CUTELOCK_BENCH_JSON_DIR", dir.c_str());
+  ScopedEnv json_on("CUTELOCK_BENCH_JSON", nullptr);
+  Runner runner("file_emit");
+  runner.set_threads(1);
+  runner.add({"s", "c", "a", 2, 2}, []() { return JobOutcome{"ok", -1.0, 1}; });
+  runner.run();
+  std::ifstream in(runner.json_path());
+  ASSERT_TRUE(in.good()) << runner.json_path();
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  EXPECT_TRUE(valid_json_document(buffer.str()));
+  EXPECT_EQ(buffer.str(), runner.json());
+}
+
+TEST(Runner, JsonDisabledByEnv) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("disabled");
+  EXPECT_TRUE(runner.json_path().empty());
+}
+
+TEST(Runner, RunIsSingleShot) {
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("once");
+  runner.set_threads(1);
+  runner.run();
+  EXPECT_THROW(runner.run(), std::logic_error);
+  EXPECT_THROW(runner.add({"s", "c", "a", -1, -1},
+                          []() { return JobOutcome{}; }),
+               std::logic_error);
+}
+
+// ---- env parsing ------------------------------------------------------------
+
+TEST(BenchEnv, AttackSecondsStrictParse) {
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "2.5");
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 2.5);
+  }
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "2s");  // atof would read 2
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "abc");
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "-3");
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+  {
+    // Non-finite budgets would overflow Solver::set_time_budget's
+    // duration_cast; rejected like any other invalid value.
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "inf");
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", "nan");
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+  {
+    ScopedEnv env("CUTELOCK_ATTACK_SECONDS", nullptr);
+    EXPECT_DOUBLE_EQ(attack_seconds(9.0), 9.0);
+  }
+}
+
+TEST(BenchEnv, JobsStrictParse) {
+  {
+    ScopedEnv env("CUTELOCK_JOBS", "3");
+    EXPECT_EQ(jobs_from_env(), 3u);
+  }
+  {
+    ScopedEnv env("CUTELOCK_JOBS", "4x");
+    EXPECT_GE(jobs_from_env(), 1u);  // falls back to hardware_concurrency
+  }
+  {
+    ScopedEnv env("CUTELOCK_JOBS", "0");
+    EXPECT_GE(jobs_from_env(), 1u);
+  }
+  {
+    ScopedEnv env("CUTELOCK_JOBS", "1");
+    Runner runner("env_threads");
+    EXPECT_EQ(runner.threads(), 1u);
+  }
+}
+
+TEST(BenchEnv, StableCellsDropDurations) {
+  attack::AttackResult r;
+  r.outcome = attack::Outcome::Cns;
+  r.seconds = 1.25;
+  {
+    ScopedEnv env("CUTELOCK_BENCH_STABLE", "1");
+    EXPECT_EQ(attack_cell(r), "CNS");
+    EXPECT_EQ(time_cell(3.0), "-");
+  }
+  {
+    ScopedEnv env("CUTELOCK_BENCH_STABLE", nullptr);
+    EXPECT_EQ(attack_cell(r), "CNS 1.250s");
+    EXPECT_EQ(time_cell(3.0), "3.000s");
+  }
+}
+
+TEST(BenchEnv, SmallProfileFiltersSuites) {
+  {
+    ScopedEnv env("CUTELOCK_BENCH_SMALL", "1");
+    for (const auto& spec : selected_circuits(benchgen::iscas89_specs())) {
+      EXPECT_LE(spec.gates, 1200u) << spec.name;
+    }
+    for (const auto& spec : selected_fsms(benchgen::synthezza_specs())) {
+      EXPECT_STREQ(spec.tier, "small") << spec.name;
+    }
+  }
+  {
+    ScopedEnv env("CUTELOCK_BENCH_SMALL", nullptr);
+    EXPECT_EQ(selected_circuits(benchgen::iscas89_specs()).size(),
+              benchgen::iscas89_specs().size());
+    EXPECT_EQ(selected_fsms(benchgen::synthezza_specs()).size(),
+              benchgen::synthezza_specs().size());
+  }
+}
+
+}  // namespace
+}  // namespace cl::bench

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <set>
+#include <thread>
+
 #include "util/rng.hpp"
 
 namespace cl::sat {
@@ -276,6 +280,213 @@ TEST(Solver, ManyVariablesLargeRandomSat) {
     s.add_clause(clause);
   }
   EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, ReusedSolverHonoursFreshlyShortenedTimeBudget) {
+  // Regression: set_time_budget() must reset the deadline-check countdown —
+  // a reused solver re-armed with a shorter deadline used to coast for up to
+  // 256 conflicts on the previous budget's countdown.
+  util::Rng rng(99);
+  Solver s;
+  const int nv = 120;
+  std::vector<Var> vars;
+  std::vector<bool> planted;
+  for (int i = 0; i < nv; ++i) {
+    vars.push_back(s.new_var());
+    planted.push_back(rng.chance(1, 2));
+  }
+  for (int c = 0; c < 4 * nv; ++c) {
+    std::vector<Lit> clause;
+    const std::size_t sat_pos = rng.next_below(3);
+    for (std::size_t l = 0; l < 3; ++l) {
+      const std::size_t v = static_cast<std::size_t>(rng.next_below(nv));
+      bool negate = rng.chance(1, 2);
+      if (l == sat_pos) negate = !planted[v];
+      clause.push_back(Lit(vars[v], negate));
+    }
+    s.add_clause(clause);
+  }
+  s.set_time_budget(60.0);
+  ASSERT_EQ(s.solve(), Result::Sat);  // consumes part of the 256-countdown
+  // Re-arm with an already-expired deadline: the very next solve must see it.
+  s.set_time_budget(0.0);
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  // Disabling the budget restores normal solving on the same instance.
+  s.set_time_budget(-1.0);
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(Solver, IncrementalAssumptionSolvesAgreeWithBruteForce) {
+  // Regression for the assumption-prefix backtracking clamp: randomized
+  // incremental solves under assumptions, cross-checked against brute force
+  // over the full truth table, with clauses added between solves.
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 25; ++trial) {
+    const int nv = 7;
+    std::vector<std::vector<int>> clauses;
+    const int nc = 6 + static_cast<int>(rng.next_below(20));
+    for (int c = 0; c < nc; ++c) {
+      std::vector<int> clause;
+      const int width = 2 + static_cast<int>(rng.next_below(2));
+      for (int l = 0; l < width; ++l) {
+        const int var = 1 + static_cast<int>(rng.next_below(nv));
+        clause.push_back(rng.chance(1, 2) ? var : -var);
+      }
+      clauses.push_back(clause);
+    }
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    const auto add = [&](const std::vector<int>& clause) {
+      std::vector<Lit> lits;
+      for (int l : clause) {
+        lits.push_back(Lit(vars[static_cast<std::size_t>(std::abs(l) - 1)], l < 0));
+      }
+      s.add_clause(lits);
+    };
+    for (const auto& clause : clauses) add(clause);
+
+    // 8 solve rounds per trial; a random extra clause lands between rounds.
+    for (int round = 0; round < 8; ++round) {
+      std::vector<int> assumptions;
+      const int na = 1 + static_cast<int>(rng.next_below(4));
+      for (int a = 0; a < na; ++a) {
+        const int var = 1 + static_cast<int>(rng.next_below(nv));
+        assumptions.push_back(rng.chance(1, 2) ? var : -var);
+      }
+      bool brute_sat = false;
+      for (std::uint32_t m = 0; m < (1u << nv) && !brute_sat; ++m) {
+        const auto holds = [&](int l) {
+          const bool val = (m >> (std::abs(l) - 1)) & 1u;
+          return (l > 0) == val;
+        };
+        bool all = true;
+        for (int l : assumptions) all = all && holds(l);
+        for (const auto& clause : clauses) {
+          if (!all) break;
+          bool any = false;
+          for (int l : clause) any = any || holds(l);
+          all = all && any;
+        }
+        brute_sat = all;
+      }
+      std::vector<Lit> assumption_lits;
+      for (int l : assumptions) {
+        assumption_lits.push_back(
+            Lit(vars[static_cast<std::size_t>(std::abs(l) - 1)], l < 0));
+      }
+      const Result r = s.solve(assumption_lits);
+      ASSERT_EQ(r == Result::Sat, brute_sat)
+          << "trial " << trial << " round " << round;
+      if (r == Result::Sat) {
+        // Model respects assumptions and clauses.
+        for (const Lit& a : assumption_lits) EXPECT_TRUE(s.model_value(a));
+        for (const auto& clause : clauses) {
+          bool any = false;
+          for (int l : clause) {
+            any = any ||
+                  s.model_value(vars[static_cast<std::size_t>(std::abs(l) - 1)]) ==
+                      (l > 0);
+          }
+          EXPECT_TRUE(any);
+        }
+      }
+      std::vector<int> extra;
+      const int width = 2 + static_cast<int>(rng.next_below(2));
+      for (int l = 0; l < width; ++l) {
+        const int var = 1 + static_cast<int>(rng.next_below(nv));
+        extra.push_back(rng.chance(1, 2) ? var : -var);
+      }
+      clauses.push_back(extra);
+      add(extra);
+    }
+  }
+}
+
+TEST(Solver, Kc2StyleKeyEnumerationUnderAssumptions) {
+  // The KC2 attack pattern: repeated solve({assumption}) with a blocking
+  // clause over the "key" variables added after every model. The number of
+  // distinct key projections found must match brute-force model counting.
+  util::Rng rng(777);
+  const int nv = 10;      // vars 0..5 are "key" bits, the rest internal
+  const int key_bits = 6;
+  Solver s;
+  std::vector<Var> vars;
+  for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+  std::vector<std::vector<int>> clauses;
+  for (int c = 0; c < 18; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      const int var = 1 + static_cast<int>(rng.next_below(nv));
+      clause.push_back(rng.chance(1, 2) ? var : -var);
+    }
+    clauses.push_back(clause);
+    std::vector<Lit> lits;
+    for (int l : clause) {
+      lits.push_back(Lit(vars[static_cast<std::size_t>(std::abs(l) - 1)], l < 0));
+    }
+    s.add_clause(lits);
+  }
+  const Lit assumption = pos(vars[static_cast<std::size_t>(nv - 1)]);
+
+  // Brute force: key projections that extend to a model with the assumption.
+  std::set<std::uint32_t> expected;
+  for (std::uint32_t m = 0; m < (1u << nv); ++m) {
+    if (((m >> (nv - 1)) & 1u) == 0) continue;  // assumption
+    bool all = true;
+    for (const auto& clause : clauses) {
+      bool any = false;
+      for (int l : clause) {
+        const bool val = (m >> (std::abs(l) - 1)) & 1u;
+        any = any || ((l > 0) == val);
+      }
+      all = all && any;
+    }
+    if (all) expected.insert(m & ((1u << key_bits) - 1));
+  }
+
+  std::set<std::uint32_t> found;
+  for (;;) {
+    const Result r = s.solve({assumption});
+    if (r != Result::Sat) {
+      EXPECT_EQ(r, Result::Unsat);
+      break;
+    }
+    std::uint32_t key = 0;
+    for (int b = 0; b < key_bits; ++b) {
+      if (s.model_value(vars[static_cast<std::size_t>(b)])) key |= 1u << b;
+    }
+    EXPECT_TRUE(found.insert(key).second) << "duplicate key " << key;
+    // Block this projection (legal at level 0, i.e. outside solve()).
+    std::vector<Lit> block;
+    for (int b = 0; b < key_bits; ++b) {
+      block.push_back(Lit(vars[static_cast<std::size_t>(b)], (key >> b) & 1u));
+    }
+    s.add_clause(block);
+    ASSERT_LE(found.size(), std::size_t{1} << key_bits);
+  }
+  EXPECT_EQ(found, expected);
+}
+
+TEST(Solver, UnsatAssumptionSubsetExcludesImpliedUnits) {
+  // After the clamp fix, literals implied inside the assumption prefix carry
+  // a real reason clause; unsat_assumptions() must report only genuine
+  // assumption decisions.
+  Solver s;
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  const Var c = s.new_var();
+  s.add_binary(neg(a), pos(b));   // a -> b
+  s.add_binary(neg(b), pos(c));   // b -> c
+  EXPECT_EQ(s.solve({pos(a), neg(c)}), Result::Unsat);
+  for (const Lit& l : s.unsat_assumptions()) {
+    EXPECT_TRUE(l == pos(a) || l == neg(c) || l == ~pos(a) || l == ~neg(c));
+  }
+  EXPECT_FALSE(s.unsat_assumptions().empty());
+  // Still reusable.
+  EXPECT_EQ(s.solve({pos(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(c));
 }
 
 }  // namespace

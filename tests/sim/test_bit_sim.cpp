@@ -144,6 +144,41 @@ TEST(BitSim, SetRejectsNonInputs) {
   EXPECT_THROW(sim.set(g, 1), std::invalid_argument);
 }
 
+TEST(BitSim, OutputsReadsLastEvalWithoutReEvaluating) {
+  // outputs() is a pure reader: callers own eval(). A stale input must not
+  // leak into outputs() until the caller evaluates.
+  Netlist nl("out");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  BitSim sim(nl);
+  sim.set(a, 0);
+  sim.eval();
+  EXPECT_EQ(sim.outputs()[0], ~0ULL);
+  sim.set(a, ~0ULL);  // no eval: outputs() must still report the old word
+  EXPECT_EQ(sim.outputs()[0], ~0ULL);
+  sim.eval();
+  EXPECT_EQ(sim.outputs()[0], 0ULL);
+}
+
+TEST(BitSim, OutputsDoesNotAdvanceToggleBookkeeping) {
+  Netlist nl("tglout");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  BitSim sim(nl);
+  sim.enable_toggle_counting(true);
+  sim.set(a, 0);
+  sim.eval();
+  sim.set(a, ~0ULL);
+  // Reading outputs repeatedly must not count the pending input flip.
+  (void)sim.outputs();
+  (void)sim.outputs();
+  EXPECT_EQ(sim.toggle_counts()[g], 0u);
+  sim.eval();
+  EXPECT_EQ(sim.toggle_counts()[g], 64u);
+}
+
 TEST(BitSim, ToggleCountingCountsTransitions) {
   Netlist nl("tgl");
   const SignalId a = nl.add_input("a");

@@ -69,6 +69,22 @@ TEST(XSim, ControllingValuesMaskX) {
   EXPECT_EQ(sim.get(h), Trit::One);   // 1 OR x = 1
 }
 
+TEST(XSim, OutputsReadsLastEvalWithoutReEvaluating) {
+  // Same contract as BitSim::outputs(): a pure reader, callers own eval().
+  Netlist nl("outx");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  XSim sim(nl);
+  sim.set(a, Trit::Zero);
+  sim.eval();
+  EXPECT_EQ(sim.outputs()[0], Trit::One);
+  sim.set(a, Trit::One);  // no eval: stale input must not leak through
+  EXPECT_EQ(sim.outputs()[0], Trit::One);
+  sim.eval();
+  EXPECT_EQ(sim.outputs()[0], Trit::Zero);
+}
+
 TEST(XSim, ResetRestoresInit) {
   Netlist nl("r");
   const SignalId a = nl.add_input("a");
