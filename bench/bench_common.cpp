@@ -1,84 +1,29 @@
 #include "bench_common.hpp"
 
-#include <cerrno>
-#include <cmath>
-#include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
 
-#include "util/thread_pool.hpp"
+#include "util/env.hpp"
 #include "util/timer.hpp"
 
 namespace cl::bench {
 
 namespace {
 
-/// Strict strtod: the whole string (modulo surrounding spaces the caller did
-/// not strip) must parse, otherwise report failure. atof would silently read
-/// "2s" as 2 and "abc" as 0.
-bool parse_double_strict(const char* text, double* out) {
-  if (text == nullptr || *text == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  const double v = std::strtod(text, &end);
-  // Reject "inf"/"nan" too: a non-finite budget fed into
-  // Solver::set_time_budget would overflow the duration_cast.
-  if (end == text || *end != '\0' || errno == ERANGE || !std::isfinite(v)) {
-    return false;
-  }
-  *out = v;
-  return true;
-}
-
-bool parse_size_strict(const char* text, std::size_t* out) {
-  if (text == nullptr || *text == '\0') return false;
-  errno = 0;
-  char* end = nullptr;
-  const long long v = std::strtoll(text, &end, 10);
-  if (end == text || *end != '\0' || errno == ERANGE || v < 0) return false;
-  *out = static_cast<std::size_t>(v);
-  return true;
-}
-
-bool env_flag(const char* name) {
-  const char* env = std::getenv(name);
-  return env != nullptr && env[0] == '1' && env[1] == '\0';
-}
+bool env_flag(const char* name) { return util::env_flag(name); }
 
 }  // namespace
 
 double attack_seconds(double fallback) {
-  const char* env = std::getenv("CUTELOCK_ATTACK_SECONDS");
-  if (env == nullptr) return fallback;
-  double v = 0.0;
-  if (!parse_double_strict(env, &v) || v <= 0) {
-    std::fprintf(stderr,
-                 "warning: ignoring invalid CUTELOCK_ATTACK_SECONDS=\"%s\" "
-                 "(want a positive number); using %.1fs\n",
-                 env, fallback);
-    return fallback;
-  }
-  return v;
+  return util::env_double_or("CUTELOCK_ATTACK_SECONDS", fallback);
 }
 
 bool small_run() { return env_flag("CUTELOCK_BENCH_SMALL"); }
 
 bool stable_cells() { return env_flag("CUTELOCK_BENCH_STABLE"); }
 
-std::size_t jobs_from_env() {
-  const char* env = std::getenv("CUTELOCK_JOBS");
-  if (env == nullptr) return util::ThreadPool::default_thread_count();
-  std::size_t v = 0;
-  if (!parse_size_strict(env, &v) || v == 0) {
-    std::fprintf(stderr,
-                 "warning: ignoring invalid CUTELOCK_JOBS=\"%s\" "
-                 "(want a positive integer); using %zu\n",
-                 env, util::ThreadPool::default_thread_count());
-    return util::ThreadPool::default_thread_count();
-  }
-  return v;
-}
+std::size_t jobs_from_env() { return util::jobs_from_env(); }
 
 bool json_enabled() {
   const char* env = std::getenv("CUTELOCK_BENCH_JSON");

@@ -15,8 +15,12 @@
 #include "logic/minimize.hpp"
 #include "sat/solver.hpp"
 #include "sim/bit_sim.hpp"
+#include "sim/compiled.hpp"
+#include "sim/reference_sim.hpp"
 #include "tech/mapper.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace {
 
@@ -64,6 +68,105 @@ void BM_BitSim64Lanes(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_BitSim64Lanes);
+
+// ---- Simulation throughput axis -------------------------------------------
+//
+// items == pattern·gates, so items_per_second in BENCH_micro_perf.json is
+// the sim-throughput trajectory (divide by 1e6 for million pattern·gates/s).
+// ReferenceSim is the frozen pre-compilation evaluator: the compiled
+// engine's speedup target (>= 5x single-thread on the largest catalog
+// circuit) is measured against BM_ReferenceSimEval on the same b19.
+
+constexpr const char* k_large_circuit = "b19";  // largest catalog circuit
+
+/// Generated once per process: b19 is 231k gates and several benchmarks
+/// share it.
+const benchgen::SyntheticCircuit& large_circuit() {
+  static const benchgen::SyntheticCircuit c =
+      benchgen::make_circuit(k_large_circuit);
+  return c;
+}
+
+void BM_ReferenceSimEval(benchmark::State& state) {
+  const auto& circuit = large_circuit();
+  const std::size_t gates = circuit.netlist.stats().gates;
+  sim::ReferenceSim simulator(circuit.netlist);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (auto i : circuit.netlist.inputs()) simulator.set(i, rng.next_u64());
+    simulator.eval();
+    simulator.step();
+    benchmark::DoNotOptimize(simulator.get(circuit.netlist.outputs()[0]));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(gates));
+}
+BENCHMARK(BM_ReferenceSimEval);
+
+void BM_CompiledSimWide(benchmark::State& state) {
+  const std::size_t lane_words = static_cast<std::size_t>(state.range(0));
+  const auto& circuit = large_circuit();
+  const std::size_t gates = circuit.netlist.stats().gates;
+  sim::SimConfig config;
+  config.lanes = lane_words;
+  config.jobs = 1;  // single-thread: the honest 5x comparison
+  sim::WideSim simulator(circuit.netlist, config);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (auto i : circuit.netlist.inputs()) {
+      for (std::size_t w = 0; w < lane_words; ++w) {
+        simulator.set_word(i, w, rng.next_u64());
+      }
+    }
+    simulator.eval();
+    simulator.step();
+    benchmark::DoNotOptimize(
+        simulator.get_word(circuit.netlist.outputs()[0], 0));
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(lane_words) *
+                          static_cast<std::int64_t>(gates));
+}
+BENCHMARK(BM_CompiledSimWide)->Arg(1)->Arg(4)->Arg(16);
+
+/// Generated + compiled once per process: Google Benchmark re-invokes the
+/// benchmark function while calibrating iteration counts, and regenerating
+/// a million-gate netlist per re-entry would swamp the run.
+const sim::CompiledNetlist& sharded_circuit() {
+  static const benchgen::SyntheticCircuit circuit =
+      benchgen::make_circuit(bench::small_run() ? "syn64k" : "syn1m");
+  static const sim::CompiledNetlist compiled(circuit.netlist);
+  return compiled;
+}
+
+void BM_CompiledSimSharded(benchmark::State& state) {
+  // The million-gate suite through the level-parallel path; worker count
+  // from CUTELOCK_JOBS.
+  const sim::CompiledNetlist& compiled = sharded_circuit();
+  const std::size_t gates = compiled.num_gates();
+  static util::ThreadPool pool(util::jobs_from_env());
+  constexpr std::size_t k_lanes = 4;
+  std::vector<std::uint64_t> values(compiled.buffer_words(k_lanes), 0);
+  std::vector<std::uint64_t> scratch;
+  compiled.reset_words(values.data(), k_lanes);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (auto i : compiled.inputs()) {
+      for (std::size_t w = 0; w < k_lanes; ++w) {
+        values[i * k_lanes + w] = rng.next_u64();
+      }
+    }
+    compiled.eval_sharded(values.data(), k_lanes, pool);
+    compiled.step_words(values.data(), k_lanes, scratch);
+    benchmark::DoNotOptimize(values[compiled.outputs()[0] * k_lanes]);
+  }
+  state.counters["jobs"] = static_cast<double>(pool.size());
+  state.SetItemsProcessed(state.iterations() * 64 * k_lanes *
+                          static_cast<std::int64_t>(gates));
+}
+// Wall time: the work happens on pool workers, so main-thread CPU time
+// would overstate throughput.
+BENCHMARK(BM_CompiledSimSharded)->UseRealTime();
 
 void BM_CuteLockStr(benchmark::State& state) {
   const auto circuit = benchgen::make_circuit("b12");

@@ -74,6 +74,9 @@ int main() {
       attack::SequentialOracle oracle(pair.original);
       attack::BboOptions bbo_options;
       bbo_options.budget = budget;
+      // The Runner already saturates cores across table cells; intra-attack
+      // screening threads would only multiply contention here.
+      bbo_options.jobs = 1;
       return attack::bbo_attack(pair.locked, oracle, bbo_options);
     });
     runner.add_attack(meta("INT"), &row.bmc, [spec, budget]() {

@@ -1,6 +1,11 @@
 #include "attack/bbo.hpp"
 
+#include <algorithm>
+#include <memory>
+
 #include "attack/verify.hpp"
+#include "util/env.hpp"
+#include "util/thread_pool.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -12,30 +17,40 @@ AttackResult bbo_attack(const Netlist& locked, const SequentialOracle& oracle,
   if (locked.key_inputs().empty()) {
     throw std::invalid_argument("bbo_attack: circuit has no key inputs");
   }
+  if (locked.key_inputs().size() > 64) {
+    // Candidate keys ride in 64-bit words throughout (key_words_for, the
+    // exhaustive-space mask); wider keys would shift by >= 64 (UB).
+    throw std::invalid_argument("bbo_attack: more than 64 key bits");
+  }
   util::Timer timer;
   util::Rng rng(options.seed);
   AttackResult result;
   const std::size_t ki = locked.key_inputs().size();
 
-  // Screening pool: fixed random sequences + their oracle responses.
+  // Screening pool: fixed random sequences + their oracle responses, fetched
+  // in one batched wide-lane query (accounting: one pattern per sequence).
   std::vector<std::vector<sim::BitVec>> stimuli;
-  std::vector<std::vector<sim::BitVec>> responses;
   for (std::size_t s = 0; s < options.screen_sequences; ++s) {
     stimuli.push_back(sim::random_stimulus(rng, options.screen_cycles,
                                            oracle.num_inputs()));
-    responses.push_back(oracle.query(stimuli.back()));
   }
+  const std::vector<std::vector<sim::BitVec>> responses =
+      oracle.query_batch(stimuli);
 
   const bool exhaustive = ki <= options.exhaustive_limit;
   const std::uint64_t space = exhaustive ? (1ULL << ki) : 0;
 
+  // The locked netlist compiles once; every screening task shares the
+  // instruction stream and owns only its value buffer.
+  const sim::CompiledNetlist compiled(locked);
+
   // Screen a batch of 64 candidate keys (lane j = candidate j); returns the
-  // lane mask of survivors.
+  // lane mask of survivors. Thread-safe: touches only shared-const state.
   const auto screen_batch = [&](const std::vector<std::uint64_t>& key_words)
       -> std::uint64_t {
     std::uint64_t alive = ~0ULL;
     for (std::size_t s = 0; s < stimuli.size() && alive != 0; ++s) {
-      const auto words = sim::run_sequence_keyed_lanes(locked, stimuli[s],
+      const auto words = sim::run_sequence_keyed_lanes(compiled, stimuli[s],
                                                        key_words);
       for (std::size_t c = 0; c < stimuli[s].size() && alive != 0; ++c) {
         for (std::size_t o = 0; o < responses[s][c].size(); ++o) {
@@ -67,8 +82,20 @@ AttackResult bbo_attack(const Netlist& locked, const SequentialOracle& oracle,
     return result;
   };
 
+  const std::size_t jobs =
+      options.jobs != 0 ? options.jobs : util::jobs_from_env();
+  // Created on first multi-batch round: tiny attacks (one screening batch,
+  // the common case on table-size circuits) never pay the thread spawn.
+  std::unique_ptr<util::ThreadPool> pool;
+
+  // Rounds of up to `jobs` batches: candidates are drawn serially from the
+  // RNG (the draw sequence is independent of the job count), screened in
+  // parallel, then examined strictly in draw order. `tried`/`iterations`
+  // advance only through the batch that decides the round, so the reported
+  // numbers match a serial run exactly.
   std::uint64_t tried = 0;
   std::uint64_t next = 0;
+  std::uint64_t batches_drawn = 0;
   while (true) {
     if (timer.seconds() > options.budget.time_limit_s) {
       result.outcome = Outcome::Timeout;
@@ -76,24 +103,45 @@ AttackResult bbo_attack(const Netlist& locked, const SequentialOracle& oracle,
       result.detail = "screened " + std::to_string(tried) + " keys";
       return result;
     }
-    std::vector<std::uint64_t> batch;
-    if (exhaustive) {
-      for (int j = 0; j < 64 && next < space; ++j) batch.push_back(next++);
-      if (batch.empty()) break;  // whole space screened
-    } else {
-      for (int j = 0; j < 64; ++j) {
-        batch.push_back(rng.next_u64() & ((ki == 64) ? ~0ULL : ((1ULL << ki) - 1)));
+    std::vector<std::vector<std::uint64_t>> round;
+    for (std::size_t r = 0; r < jobs; ++r) {
+      std::vector<std::uint64_t> batch;
+      if (exhaustive) {
+        for (int j = 0; j < 64 && next < space; ++j) batch.push_back(next++);
+        if (batch.empty()) break;  // whole space drawn
+      } else {
+        if (batches_drawn >= options.budget.max_iterations) break;
+        for (int j = 0; j < 64; ++j) {
+          batch.push_back(rng.next_u64() &
+                          ((ki == 64) ? ~0ULL : ((1ULL << ki) - 1)));
+        }
       }
-      if (tried >= options.budget.max_iterations * 64) break;
+      ++batches_drawn;
+      round.push_back(std::move(batch));
     }
-    const std::uint64_t alive = screen_batch(key_words_for(batch));
-    tried += batch.size();
-    ++result.iterations;
-    if (alive != 0) {
-      for (std::size_t lane = 0; lane < batch.size(); ++lane) {
-        if ((alive >> lane) & 1ULL) {
-          const AttackResult r = finish_with(batch[lane]);
-          if (r.outcome == Outcome::Equal) return r;
+    if (round.empty()) break;  // space or iteration budget exhausted
+
+    std::vector<std::uint64_t> alive(round.size(), 0);
+    if (jobs > 1 && round.size() > 1) {
+      if (pool == nullptr) pool = std::make_unique<util::ThreadPool>(jobs);
+      for (std::size_t r = 0; r < round.size(); ++r) {
+        pool->submit([&, r] { alive[r] = screen_batch(key_words_for(round[r])); });
+      }
+      pool->wait();
+    } else {
+      for (std::size_t r = 0; r < round.size(); ++r) {
+        alive[r] = screen_batch(key_words_for(round[r]));
+      }
+    }
+
+    for (std::size_t r = 0; r < round.size(); ++r) {
+      tried += round[r].size();
+      ++result.iterations;
+      if (alive[r] == 0) continue;
+      for (std::size_t lane = 0; lane < round[r].size(); ++lane) {
+        if ((alive[r] >> lane) & 1ULL) {
+          const AttackResult res = finish_with(round[r][lane]);
+          if (res.outcome == Outcome::Equal) return res;
           // Survivor of screening but not equivalent: keep searching.
         }
       }

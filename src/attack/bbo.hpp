@@ -4,6 +4,11 @@
 // responses on random input sequences; survivors are verified exactly.
 // Small key spaces are enumerated exhaustively — if the whole space dies,
 // the attack has *proved* no static key works (CNS).
+//
+// Screening parallelizes across `jobs` worker threads (the locked netlist
+// is compiled once and shared): candidate batches are drawn serially from
+// the RNG and examined in draw order, so the outcome, key, and iteration
+// counts are identical for any job count at a fixed seed.
 #pragma once
 
 #include "attack/oracle.hpp"
@@ -16,6 +21,7 @@ struct BboOptions {
   std::size_t screen_sequences = 8;   // random sequences per screening pool
   std::size_t screen_cycles = 32;     // cycles per sequence
   std::size_t exhaustive_limit = 22;  // enumerate up to 2^limit keys
+  std::size_t jobs = 0;               // screening threads; 0 = CUTELOCK_JOBS
   std::uint64_t seed = 0xbb0;
 };
 

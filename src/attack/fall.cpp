@@ -68,15 +68,18 @@ std::optional<InputPattern> flatten_comparator(
 /// sensitivity at all. Used as the functional-analysis pruning step and
 /// reported in the detail string.
 std::size_t count_sensitive_keys(const Netlist& locked, util::Rng& rng) {
+  // One compilation for the whole ki x trials sweep; per-call compilation
+  // would dominate on large netlists.
+  const sim::CompiledNetlist compiled(locked);
   std::size_t sensitive = 0;
   for (std::size_t k = 0; k < locked.key_inputs().size(); ++k) {
     bool found = false;
     for (int trial = 0; trial < 16 && !found; ++trial) {
       const auto stim = sim::random_stimulus(rng, 8, locked.inputs().size());
       sim::BitVec key = sim::random_bits(rng, locked.key_inputs().size());
-      const auto base = sim::run_sequence(locked, stim, {key});
+      const auto base = sim::run_sequence(compiled, stim, {key});
       key[k] ^= 1;
-      const auto flipped = sim::run_sequence(locked, stim, {key});
+      const auto flipped = sim::run_sequence(compiled, stim, {key});
       found = sim::first_divergence(base, flipped) != -1;
     }
     if (found) ++sensitive;

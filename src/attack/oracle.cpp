@@ -5,7 +5,7 @@
 namespace cl::attack {
 
 SequentialOracle::SequentialOracle(const netlist::Netlist& original)
-    : original_(original) {
+    : original_(original), compiled_(original) {
   if (!original.key_inputs().empty()) {
     throw std::invalid_argument(
         "SequentialOracle: the oracle is the unlocked circuit; it must not "
@@ -15,14 +15,20 @@ SequentialOracle::SequentialOracle(const netlist::Netlist& original)
 
 std::vector<sim::BitVec> SequentialOracle::query(
     const std::vector<sim::BitVec>& inputs) const {
-  ++queries_;
-  return sim::run_sequence(original_, inputs);
+  ++patterns_;
+  return sim::run_sequence(compiled_, inputs);
 }
 
 sim::BitVec SequentialOracle::query_comb(const sim::BitVec& inputs) const {
-  ++queries_;
-  const auto out = sim::run_sequence(original_, {inputs});
+  ++patterns_;
+  const auto out = sim::run_sequence(compiled_, {inputs});
   return out[0];
+}
+
+std::vector<std::vector<sim::BitVec>> SequentialOracle::query_batch(
+    const std::vector<std::vector<sim::BitVec>>& sequences) const {
+  patterns_ += sequences.size();
+  return sim::run_sequences_batched(compiled_, sequences);
 }
 
 }  // namespace cl::attack

@@ -2,12 +2,17 @@
 // the *original* (unlocked) circuit on attacker-chosen input sequences from
 // reset. The attacker never sees the key schedule or the internal state —
 // only input/output behaviour — matching the paper's threat model.
+//
+// The reference circuit is compiled once (sim::CompiledNetlist), so repeated
+// queries skip per-query levelization, and query_batch() evaluates many
+// sequences in one wide-lane pass.
 #pragma once
 
 #include <cstdint>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 #include "sim/sequence.hpp"
 
 namespace cl::attack {
@@ -23,14 +28,25 @@ class SequentialOracle {
   /// scan_expose()): single-cycle evaluation.
   sim::BitVec query_comb(const sim::BitVec& inputs) const;
 
-  std::uint64_t num_queries() const { return queries_; }
+  /// Batched query: `sequences.size()` independent input sequences (equal
+  /// length) evaluated in one wide-lane pass. Element j of the result equals
+  /// query(sequences[j]).
+  std::vector<std::vector<sim::BitVec>> query_batch(
+      const std::vector<std::vector<sim::BitVec>>& sequences) const;
+
+  /// Oracle budget accounting in *patterns*: every input sequence applied
+  /// from reset counts once, whether it arrived through query(),
+  /// query_comb(), or a lane of query_batch(). Counting lanes (not call
+  /// sites) keeps attack-budget comparisons honest as lane width grows.
+  std::uint64_t num_queries() const { return patterns_; }
   std::size_t num_inputs() const { return original_.inputs().size(); }
   std::size_t num_outputs() const { return original_.outputs().size(); }
   const netlist::Netlist& reference() const { return original_; }
 
  private:
   const netlist::Netlist& original_;
-  mutable std::uint64_t queries_ = 0;
+  sim::CompiledNetlist compiled_;
+  mutable std::uint64_t patterns_ = 0;
 };
 
 }  // namespace cl::attack

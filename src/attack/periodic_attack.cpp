@@ -4,6 +4,7 @@
 
 #include "cnf/encoder.hpp"
 #include "cnf/miter.hpp"
+#include "netlist/topo.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -25,6 +26,7 @@ void constrain_schedule(Solver& solver, const Netlist& nl,
                         const std::vector<sim::BitVec>& inputs,
                         const std::vector<sim::BitVec>& outputs) {
   std::vector<Var> state;
+  const std::vector<SignalId> order = netlist::topo_order(nl);
   for (std::size_t t = 0; t < inputs.size(); ++t) {
     cnf::FrameSources src;
     src.keys = slots[t % slots.size()];
@@ -38,7 +40,8 @@ void constrain_schedule(Solver& solver, const Netlist& nl,
       }
     }
     src.states = state;
-    const cnf::FrameVars fv = cnf::encode_frame(solver, nl, std::move(src));
+    const cnf::FrameVars fv =
+        cnf::encode_frame(solver, nl, std::move(src), order);
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
       solver.add_unit(Lit(fv.var[nl.inputs()[i]], inputs[t][i] == 0));
     }
@@ -52,12 +55,15 @@ void constrain_schedule(Solver& solver, const Netlist& nl,
   }
 }
 
-/// Heavy randomized validation of a recovered schedule.
-bool schedule_works(const Netlist& locked, const Netlist& original,
+/// Heavy randomized validation of a recovered schedule. Takes pre-compiled
+/// circuits: the caller tests many schedules against the same pair.
+bool schedule_works(const sim::CompiledNetlist& locked,
+                    const sim::CompiledNetlist& original,
                     const std::vector<sim::BitVec>& schedule, util::Rng& rng,
                     std::vector<sim::BitVec>* counterexample) {
   for (int trial = 0; trial < 48; ++trial) {
-    const auto stim = sim::random_stimulus(rng, 64, original.inputs().size());
+    const auto stim =
+        sim::random_stimulus(rng, 64, original.inputs().size());
     std::vector<sim::BitVec> keys;
     keys.reserve(stim.size());
     for (std::size_t t = 0; t < stim.size(); ++t) {
@@ -83,6 +89,8 @@ PeriodicAttackResult periodic_key_attack(const Netlist& locked,
   util::Timer timer;
   util::Rng rng(0x9e410d1c);
   const std::size_t ki = locked.key_inputs().size();
+  const sim::CompiledNetlist compiled_locked(locked);
+  const sim::CompiledNetlist compiled_reference(oracle.reference());
 
   // Shared pool of oracle responses, reused across period hypotheses.
   std::vector<std::pair<std::vector<sim::BitVec>, std::vector<sim::BitVec>>> io;
@@ -136,7 +144,7 @@ PeriodicAttackResult periodic_key_attack(const Netlist& locked,
         schedule.push_back(cnf::extract_bits(solver, slot));
       }
       std::vector<sim::BitVec> counterexample;
-      if (schedule_works(locked, oracle.reference(), schedule, rng,
+      if (schedule_works(compiled_locked, compiled_reference, schedule, rng,
                          &counterexample)) {
         out.result.outcome = Outcome::Equal;
         out.result.seconds = timer.seconds();

@@ -1,5 +1,6 @@
 #include "attack/sat_attack.hpp"
 
+#include <optional>
 #include <stdexcept>
 
 #include "attack/verify.hpp"
@@ -23,6 +24,12 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
   util::Timer timer;
   util::Rng rng(options.seed);
   AttackResult result;
+  // Compiled once for the AppSAT sampling loop (per-sample compilation
+  // would dominate on large netlists); other modes never simulate.
+  std::optional<sim::CompiledNetlist> compiled_locked;
+  if (options.mode == SatAttackOptions::Mode::AppSat) {
+    compiled_locked.emplace(locked);
+  }
 
   sat::Solver solver;
   solver.set_conflict_budget(options.budget.conflict_budget);
@@ -87,7 +94,8 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
       std::size_t errors = 0;
       for (std::size_t s = 0; s < options.appsat_samples; ++s) {
         const sim::BitVec x = sim::random_bits(rng, locked.inputs().size());
-        const auto got = sim::run_sequence(locked, {x}, {candidate})[0];
+        const auto got =
+            sim::run_sequence(*compiled_locked, {x}, {candidate})[0];
         const auto want = oracle.query_comb(x);
         if (got != want) {
           ++errors;

@@ -21,12 +21,15 @@ VerifyResult verify_static_key(const Netlist& locked, const sim::BitVec& key,
     throw std::invalid_argument("verify_static_key: key width mismatch");
   }
   util::Rng rng(options.seed);
-  // Phase 1: randomized simulation.
+  // Phase 1: randomized simulation. Both circuits compile once for all
+  // trials (the levelization is the expensive part on large netlists).
+  const sim::CompiledNetlist compiled_original(original);
+  const sim::CompiledNetlist compiled_locked(locked);
   for (std::size_t trial = 0; trial < options.random_sequences; ++trial) {
     const auto stim = sim::random_stimulus(rng, options.sequence_cycles,
                                            original.inputs().size());
-    const auto want = sim::run_sequence(original, stim);
-    const auto got = sim::run_sequence(locked, stim, {key});
+    const auto want = sim::run_sequence(compiled_original, stim);
+    const auto got = sim::run_sequence(compiled_locked, stim, {key});
     const int diverge = sim::first_divergence(want, got);
     if (diverge != -1) {
       VerifyResult r;

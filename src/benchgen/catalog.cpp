@@ -44,8 +44,9 @@ const std::vector<CircuitSpec>& iscas89_specs() {
 }
 
 const std::vector<CircuitSpec>& itc99_specs() {
-  // ITC'99 sizes (b18/b19 scaled down ~4x / ~8x in gate and FF count to
-  // keep the full-suite harness tractable; interfaces preserved).
+  // ITC'99 sizes, b18/b19 at full published gate and FF counts (the
+  // compiled simulation engine removed the need for the historical
+  // reduction).
   static const std::vector<CircuitSpec> specs = {
       //  name   PI   PO   DFF   gates     k   ki
       {"b01",    2,   2,    5,     49,     2,   2},
@@ -63,11 +64,24 @@ const std::vector<CircuitSpec>& itc99_specs() {
       {"b14",   32,  54,  245,  10098,     8,  32},
       {"b15",   36,  70,  449,   8922,    16,  36},
       {"b17",   37,  97, 1415,  32326,    16,  37},
-      {"b18",   36,  23,  830,  28655,    16,  36},   // scaled 1/4
-      {"b19",   24,  30,  830,  28915,     8,  24},   // scaled 1/8
+      {"b18",   36,  23, 3320, 114620,    16,  36},
+      {"b19",   24,  30, 6640, 231320,     8,  24},
       {"b20",   32,  22,  490,  20226,     8,  32},
       {"b21",   32,  22,  490,  20571,     8,  32},
       {"b22",   32,  22,  703,  29951,     8,  32},
+  };
+  return specs;
+}
+
+const std::vector<CircuitSpec>& mega_specs() {
+  // Synthetic scaling suite: word-structured datapaths like the rest of the
+  // catalog, sized so syn1m compiles to >= 10^6 combinational gates and
+  // evaluates through the sharded level-parallel path.
+  static const std::vector<CircuitSpec> specs = {
+      //  name      PI   PO    DFF     gates    k   ki
+      {"syn64k",    32,  32,  1024,    65536,   8,  32},
+      {"syn256k",   48,  48,  2048,   262144,   8,  48},
+      {"syn1m",     64,  64,  4096,  1100000,   8,  64},
   };
   return specs;
 }
@@ -77,6 +91,9 @@ const CircuitSpec& find_spec(const std::string& name) {
     if (s.name == name) return s;
   }
   for (const CircuitSpec& s : itc99_specs()) {
+    if (s.name == name) return s;
+  }
+  for (const CircuitSpec& s : mega_specs()) {
     if (s.name == name) return s;
   }
   throw std::invalid_argument("find_spec: unknown circuit " + name);

@@ -4,10 +4,11 @@
 // netlist; the rest are deterministic synthetic equivalents (see
 // synthetic.hpp and DESIGN.md §1 for why the substitution is faithful).
 //
-// The two largest ITC'99 circuits (b18, b19) are generated at reduced gate
-// count (factor noted in the spec table) to keep the full table harness
-// runnable on a laptop; their interface and FF counts are preserved at a
-// proportional scale.
+// b18 and b19 generate at full published scale (the historical 1/4 and 1/8
+// reduction was retired when simulation moved to the compiled engine); the
+// mega suite adds synthetic circuits up to the million-gate range that
+// exercise the sharded evaluation path. The small-profile bench filter
+// (CUTELOCK_BENCH_SMALL=1) keeps all of these out of smoke runs.
 #pragma once
 
 #include <cstdint>
@@ -32,7 +33,11 @@ struct CircuitSpec {
 const std::vector<CircuitSpec>& iscas89_specs();
 const std::vector<CircuitSpec>& itc99_specs();
 
-/// Find a spec by name across both suites; throws when unknown.
+/// Large synthetic circuits (up to >= 10^6 gates) for simulator/attack
+/// scaling studies; syn1m crosses the sharded-evaluation threshold.
+const std::vector<CircuitSpec>& mega_specs();
+
+/// Find a spec by name across all suites; throws when unknown.
 const CircuitSpec& find_spec(const std::string& name);
 
 /// Build the circuit (exact s27; synthetic otherwise). Deterministic: the

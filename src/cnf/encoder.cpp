@@ -60,7 +60,14 @@ void encode_const(Solver& s, Var y, bool value) {
   s.add_unit(Lit(y, !value));
 }
 
-FrameVars encode_frame(Solver& solver, const Netlist& nl, FrameSources sources) {
+FrameVars encode_frame(Solver& solver, const Netlist& nl,
+                       FrameSources sources) {
+  return encode_frame(solver, nl, std::move(sources),
+                      netlist::topo_order(nl));
+}
+
+FrameVars encode_frame(Solver& solver, const Netlist& nl, FrameSources sources,
+                       const std::vector<SignalId>& order) {
   // Allocate or validate source variables.
   const auto fill = [&solver](std::vector<Var>& vars, std::size_t need) {
     if (vars.empty()) {
@@ -86,7 +93,7 @@ FrameVars encode_frame(Solver& solver, const Netlist& nl, FrameSources sources) 
     frame.var[nl.dffs()[i]] = sources.states[i];
   }
 
-  for (SignalId id : netlist::topo_order(nl)) {
+  for (SignalId id : order) {
     const netlist::Node& n = nl.node(id);
     if (n.type == GateType::Input || n.type == GateType::KeyInput ||
         n.type == GateType::Dff) {

@@ -33,6 +33,14 @@ struct FrameSources {
 FrameVars encode_frame(sat::Solver& solver, const netlist::Netlist& nl,
                        FrameSources sources = {});
 
+/// Same, walking a caller-provided topological order (netlist::topo_order).
+/// Deep unrollings encode hundreds of frames of one netlist; levelizing once
+/// and passing the order here removes the per-frame recomputation. The order
+/// must cover every node of `nl` (netlist::topo is the single source).
+FrameVars encode_frame(sat::Solver& solver, const netlist::Netlist& nl,
+                       FrameSources sources,
+                       const std::vector<netlist::SignalId>& order);
+
 /// Clause helpers shared with the miter builders.
 void encode_and(sat::Solver& s, sat::Var y, const std::vector<sat::Var>& ins);
 void encode_or(sat::Solver& s, sat::Var y, const std::vector<sat::Var>& ins);

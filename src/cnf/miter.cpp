@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netlist/topo.hpp"
+
 namespace cl::cnf {
 
 using netlist::DffInit;
@@ -13,7 +15,10 @@ using sat::Var;
 
 SequentialMiter::SequentialMiter(Solver& solver, const Netlist& locked,
                                  bool symbolic_initial_state)
-    : solver_(solver), nl_(locked), symbolic_init_(symbolic_initial_state) {
+    : solver_(solver),
+      nl_(locked),
+      order_(netlist::topo_order(locked)),
+      symbolic_init_(symbolic_initial_state) {
   keys_a_.reserve(nl_.key_inputs().size());
   keys_b_.reserve(nl_.key_inputs().size());
   for (std::size_t i = 0; i < nl_.key_inputs().size(); ++i) {
@@ -63,7 +68,7 @@ void SequentialMiter::extend_to(std::size_t depth) {
           src.states.push_back(prev.var[nl_.dff_input(d)]);
         }
       }
-      frames.push_back(encode_frame(solver_, nl_, std::move(src)));
+      frames.push_back(encode_frame(solver_, nl_, std::move(src), order_));
     };
     make_frame(frames_a_, keys_a_);
     make_frame(frames_b_, keys_b_);
@@ -128,6 +133,7 @@ void constrain_key_on_sequence(Solver& solver, const Netlist& nl,
     throw std::invalid_argument("constrain_key_on_sequence: length mismatch");
   }
   std::vector<Var> state;
+  const std::vector<SignalId> order = netlist::topo_order(nl);
   for (std::size_t t = 0; t < inputs.size(); ++t) {
     FrameSources src;
     src.keys = key_vars;
@@ -149,7 +155,7 @@ void constrain_key_on_sequence(Solver& solver, const Netlist& nl,
       }
     }
     src.states = state;
-    const FrameVars fv = encode_frame(solver, nl, std::move(src));
+    const FrameVars fv = encode_frame(solver, nl, std::move(src), order);
     // Fix inputs.
     for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
       solver.add_unit(Lit(fv.var[nl.inputs()[i]], inputs[t][i] == 0));
@@ -168,7 +174,11 @@ void constrain_key_on_sequence(Solver& solver, const Netlist& nl,
 
 EquivalenceMiter::EquivalenceMiter(Solver& solver, const Netlist& a,
                                    const Netlist& b)
-    : solver_(solver), a_(a), b_(b) {
+    : solver_(solver),
+      a_(a),
+      b_(b),
+      order_a_(netlist::topo_order(a)),
+      order_b_(netlist::topo_order(b)) {
   if (a.inputs().size() != b.inputs().size() ||
       a.outputs().size() != b.outputs().size()) {
     throw std::invalid_argument("EquivalenceMiter: interface mismatch");
@@ -191,7 +201,9 @@ void EquivalenceMiter::extend_to(std::size_t depth) {
     }
     inputs_.push_back(ins);
 
-    const auto make_frame = [&](const Netlist& nl, std::vector<FrameVars>& frames,
+    const auto make_frame = [&](const Netlist& nl,
+                                const std::vector<netlist::SignalId>& order,
+                                std::vector<FrameVars>& frames,
                                 const std::vector<Var>& keys) {
       FrameSources src;
       src.inputs = ins;
@@ -211,10 +223,10 @@ void EquivalenceMiter::extend_to(std::size_t depth) {
           src.states.push_back(prev.var[nl.dff_input(d)]);
         }
       }
-      frames.push_back(encode_frame(solver_, nl, std::move(src)));
+      frames.push_back(encode_frame(solver_, nl, std::move(src), order));
     };
-    make_frame(a_, frames_a_, keys_a_);
-    make_frame(b_, frames_b_, {});
+    make_frame(a_, order_a_, frames_a_, keys_a_);
+    make_frame(b_, order_b_, frames_b_, {});
 
     std::vector<Var> xors;
     for (std::size_t o = 0; o < a_.outputs().size(); ++o) {

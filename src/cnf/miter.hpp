@@ -54,6 +54,7 @@ class SequentialMiter {
  private:
   sat::Solver& solver_;
   const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> order_;  // levelized once, reused per frame
   bool symbolic_init_;
   std::vector<sat::Var> keys_a_;
   std::vector<sat::Var> keys_b_;
@@ -89,6 +90,8 @@ class EquivalenceMiter {
   sat::Solver& solver_;
   const netlist::Netlist& a_;
   const netlist::Netlist& b_;
+  std::vector<netlist::SignalId> order_a_;  // levelized once per circuit
+  std::vector<netlist::SignalId> order_b_;
   std::vector<sat::Var> keys_a_;
   std::vector<std::vector<sat::Var>> inputs_;
   std::vector<FrameVars> frames_a_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "netlist/topo.hpp"
+
 namespace cl::cnf {
 
 using netlist::DffInit;
@@ -13,6 +15,7 @@ Unroller::Unroller(sat::Solver& solver, const Netlist& nl, KeyMode key_mode,
                    bool symbolic_initial_state)
     : solver_(solver),
       nl_(nl),
+      order_(netlist::topo_order(nl)),
       key_mode_(key_mode),
       symbolic_init_(symbolic_initial_state) {
   if (key_mode_ == KeyMode::Static) {
@@ -72,7 +75,7 @@ void Unroller::extend_to(std::size_t n) {
       sources.keys = std::move(keys);
     }
     // Inputs: fresh per frame.
-    FrameVars fv = encode_frame(solver_, nl_, std::move(sources));
+    FrameVars fv = encode_frame(solver_, nl_, std::move(sources), order_);
     std::vector<Var> ins;
     ins.reserve(nl_.inputs().size());
     for (SignalId i : nl_.inputs()) ins.push_back(fv.var[i]);

@@ -56,6 +56,7 @@ class Unroller {
  private:
   sat::Solver& solver_;
   const netlist::Netlist& nl_;
+  std::vector<netlist::SignalId> order_;  // levelized once, reused per frame
   KeyMode key_mode_;
   bool symbolic_init_;
   std::vector<sat::Var> static_keys_;

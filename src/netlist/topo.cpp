@@ -5,14 +5,17 @@
 
 namespace cl::netlist {
 
-std::vector<SignalId> topo_order(const Netlist& nl) {
+Levelization levelize(const Netlist& nl) {
   const std::size_t n = nl.size();
-  std::vector<SignalId> order;
-  order.reserve(n);
-  // Kahn's algorithm over combinational edges only.
+  Levelization out;
+  out.level.assign(n, 0);
+  // Kahn's algorithm over combinational edges only; levels fall out of the
+  // retirement order (a gate is 1 + max fanin level).
   std::vector<std::uint32_t> pending(n, 0);
+  std::size_t num_gates = 0;
   for (SignalId id = 0; id < n; ++id) {
     if (!is_comb_gate(nl.type(id))) continue;
+    ++num_gates;
     std::uint32_t deg = 0;
     for (SignalId f : nl.node(id).fanins) {
       if (is_comb_gate(nl.type(f))) ++deg;
@@ -22,38 +25,63 @@ std::vector<SignalId> topo_order(const Netlist& nl) {
   std::vector<std::vector<SignalId>> fo = fanouts(nl);
   std::vector<SignalId> ready;
   for (SignalId id = 0; id < n; ++id) {
-    if (!is_comb_gate(nl.type(id))) {
-      order.push_back(id);  // sources and DFFs first
-    } else if (pending[id] == 0) {
-      ready.push_back(id);
-    }
+    if (is_comb_gate(nl.type(id)) && pending[id] == 0) ready.push_back(id);
   }
   // Gates whose fanins are all sources/DFFs are immediately ready; release
   // the rest as their combinational fanins retire.
   std::size_t head = 0;
+  std::size_t retired = 0;
+  int max_level = 0;
   while (head < ready.size()) {
     const SignalId id = ready[head++];
-    order.push_back(id);
+    ++retired;
+    int best = 0;
+    for (SignalId f : nl.node(id).fanins) {
+      best = std::max(best, out.level[f]);
+    }
+    out.level[id] = best + 1;
+    max_level = std::max(max_level, best + 1);
     for (SignalId reader : fo[id]) {
       if (!is_comb_gate(nl.type(reader))) continue;
       if (--pending[reader] == 0) ready.push_back(reader);
     }
   }
-  if (order.size() != n) {
-    throw std::logic_error("topo_order: combinational cycle detected");
+  if (retired != num_gates) {
+    throw std::logic_error("levelize: combinational cycle detected");
   }
-  return order;
+  // Counting sort into level groups: sources (level 0) first, then gates by
+  // level, ascending SignalId within each level — a deterministic order the
+  // sharded evaluator can chunk without synchronization inside a level.
+  const std::size_t num_levels = static_cast<std::size_t>(max_level) + 1;
+  std::vector<std::size_t> count(num_levels, 0);
+  for (SignalId id = 0; id < n; ++id) {
+    if (is_comb_gate(nl.type(id))) {
+      ++count[static_cast<std::size_t>(out.level[id])];
+    } else {
+      ++count[0];
+    }
+  }
+  out.level_begin.assign(num_levels + 1, 0);
+  for (std::size_t l = 0; l < num_levels; ++l) {
+    out.level_begin[l + 1] = out.level_begin[l] + count[l];
+  }
+  out.order.assign(n, 0);
+  std::vector<std::size_t> cursor(out.level_begin.begin(),
+                                  out.level_begin.end() - 1);
+  for (SignalId id = 0; id < n; ++id) {
+    const std::size_t l =
+        is_comb_gate(nl.type(id)) ? static_cast<std::size_t>(out.level[id]) : 0;
+    out.order[cursor[l]++] = id;
+  }
+  return out;
+}
+
+std::vector<SignalId> topo_order(const Netlist& nl) {
+  return levelize(nl).order;
 }
 
 std::vector<int> logic_levels(const Netlist& nl) {
-  std::vector<int> level(nl.size(), 0);
-  for (SignalId id : topo_order(nl)) {
-    if (!is_comb_gate(nl.type(id))) continue;
-    int best = 0;
-    for (SignalId f : nl.node(id).fanins) best = std::max(best, level[f]);
-    level[id] = best + 1;
-  }
-  return level;
+  return levelize(nl).level;
 }
 
 std::vector<std::vector<SignalId>> fanouts(const Netlist& nl) {

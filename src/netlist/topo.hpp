@@ -8,13 +8,29 @@
 
 namespace cl::netlist {
 
+/// Level-sorted topological view of the combinational core — the single
+/// levelization point every evaluator (compiled simulator, CNF encoder,
+/// structural analyses) builds on. `order` lists sources and DFF Qs first
+/// (level 0), then combinational gates grouped by logic level in ascending
+/// SignalId order within each level; `level_begin[l] .. level_begin[l+1]`
+/// delimits level l inside `order` (level 0 = the sources).
+struct Levelization {
+  std::vector<SignalId> order;
+  std::vector<int> level;                 // per SignalId
+  std::vector<std::size_t> level_begin;   // size num_levels + 1
+  std::size_t num_levels() const { return level_begin.size() - 1; }
+};
+
+/// Compute the levelization. Throws on combinational cycles.
+Levelization levelize(const Netlist& nl);
+
 /// Topological order of all nodes such that every combinational gate appears
 /// after its fanins. Sources and DFFs (whose Q is a sequential source) come
-/// first. Throws on combinational cycles.
+/// first. Throws on combinational cycles. (Convenience view of levelize().)
 std::vector<SignalId> topo_order(const Netlist& nl);
 
 /// Logic level per node: sources/DFF-Q are level 0; a gate is 1 + max fanin
-/// level. Indexed by SignalId.
+/// level. Indexed by SignalId. (Convenience view of levelize().)
 std::vector<int> logic_levels(const Netlist& nl);
 
 /// Fanout adjacency: for each signal, the list of nodes reading it (gate

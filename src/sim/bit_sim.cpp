@@ -1,101 +1,46 @@
 #include "sim/bit_sim.hpp"
 
 #include <bit>
-
-#include "netlist/topo.hpp"
+#include <stdexcept>
 
 namespace cl::sim {
 
-using netlist::GateType;
 using netlist::Netlist;
 using netlist::SignalId;
 
-BitSim::BitSim(const Netlist& nl)
-    : nl_(nl),
-      order_(netlist::topo_order(nl)),
-      values_(nl.size(), 0),
-      prev_values_(nl.size(), 0),
-      toggles_(nl.size(), 0) {
+BitSim::BitSim(const Netlist& nl) : BitSim(nl, sim_config_from_env()) {}
+
+BitSim::BitSim(const Netlist& nl, const SimConfig& config)
+    : BitSim(std::make_shared<const CompiledNetlist>(nl), config) {}
+
+BitSim::BitSim(std::shared_ptr<const CompiledNetlist> compiled,
+               SimConfig config)
+    : compiled_(std::move(compiled)),
+      config_(config),
+      values_(compiled_->num_signals(), 0),
+      prev_values_(compiled_->num_signals(), 0),
+      toggles_(compiled_->num_signals(), 0) {
   reset();
 }
 
 void BitSim::reset() {
-  for (SignalId s = 0; s < nl_.size(); ++s) values_[s] = 0;
-  for (SignalId d : nl_.dffs()) {
-    values_[d] = (nl_.dff_init(d) == netlist::DffInit::One) ? ~0ULL : 0ULL;
-  }
+  compiled_->reset_words(values_.data(), 1);
   have_prev_ = false;
 }
 
 void BitSim::set(SignalId s, std::uint64_t word) {
-  const GateType t = nl_.type(s);
-  if (t != GateType::Input && t != GateType::KeyInput) {
+  if (!compiled_->settable(s)) {
     throw std::invalid_argument("BitSim::set: not an input: " +
-                                nl_.signal_name(s));
+                                compiled_->source().signal_name(s));
   }
   values_[s] = word;
 }
 
 void BitSim::eval() {
-  for (SignalId s : order_) {
-    const netlist::Node& n = nl_.node(s);
-    switch (n.type) {
-      case GateType::Input:
-      case GateType::KeyInput:
-      case GateType::Dff:
-        break;  // sources: already set
-      case GateType::Const0: values_[s] = 0; break;
-      case GateType::Const1: values_[s] = ~0ULL; break;
-      case GateType::Buf: values_[s] = values_[n.fanins[0]]; break;
-      case GateType::Not: values_[s] = ~values_[n.fanins[0]]; break;
-      case GateType::And: {
-        std::uint64_t v = ~0ULL;
-        for (SignalId f : n.fanins) v &= values_[f];
-        values_[s] = v;
-        break;
-      }
-      case GateType::Nand: {
-        std::uint64_t v = ~0ULL;
-        for (SignalId f : n.fanins) v &= values_[f];
-        values_[s] = ~v;
-        break;
-      }
-      case GateType::Or: {
-        std::uint64_t v = 0;
-        for (SignalId f : n.fanins) v |= values_[f];
-        values_[s] = v;
-        break;
-      }
-      case GateType::Nor: {
-        std::uint64_t v = 0;
-        for (SignalId f : n.fanins) v |= values_[f];
-        values_[s] = ~v;
-        break;
-      }
-      case GateType::Xor: {
-        std::uint64_t v = 0;
-        for (SignalId f : n.fanins) v ^= values_[f];
-        values_[s] = v;
-        break;
-      }
-      case GateType::Xnor: {
-        std::uint64_t v = 0;
-        for (SignalId f : n.fanins) v ^= values_[f];
-        values_[s] = ~v;
-        break;
-      }
-      case GateType::Mux: {
-        const std::uint64_t sel = values_[n.fanins[0]];
-        const std::uint64_t a = values_[n.fanins[1]];
-        const std::uint64_t b = values_[n.fanins[2]];
-        values_[s] = (sel & b) | (~sel & a);
-        break;
-      }
-    }
-  }
+  compiled_->eval_auto(values_.data(), 1, config_);
   if (count_toggles_) {
     if (have_prev_) {
-      for (SignalId s = 0; s < nl_.size(); ++s) {
+      for (std::size_t s = 0; s < values_.size(); ++s) {
         toggles_[s] += static_cast<std::uint64_t>(
             std::popcount(values_[s] ^ prev_values_[s]));
       }
@@ -106,24 +51,18 @@ void BitSim::eval() {
 }
 
 void BitSim::step() {
-  // Latch all D values computed by the last eval(); two-phase to honour
-  // register-to-register paths.
-  std::vector<std::uint64_t> next;
-  next.reserve(nl_.dffs().size());
-  for (SignalId d : nl_.dffs()) next.push_back(values_[nl_.dff_input(d)]);
-  std::size_t i = 0;
-  for (SignalId d : nl_.dffs()) values_[d] = next[i++];
+  compiled_->step_words(values_.data(), 1, dff_scratch_);
 }
 
 std::vector<std::uint64_t> BitSim::outputs() const {
   std::vector<std::uint64_t> out;
-  out.reserve(nl_.outputs().size());
-  for (SignalId o : nl_.outputs()) out.push_back(values_[o]);
+  out.reserve(compiled_->outputs().size());
+  for (SignalId o : compiled_->outputs()) out.push_back(values_[o]);
   return out;
 }
 
 void BitSim::clear_toggles() {
-  toggles_.assign(nl_.size(), 0);
+  toggles_.assign(values_.size(), 0);
   have_prev_ = false;
 }
 

@@ -5,18 +5,33 @@
 // circuits are advanced with step(), which latches each DFF's D word into its
 // Q word. DFFs with X power-up are treated as 0 here (use XSim for faithful
 // three-valued power-up behaviour).
+//
+// Since the compiled-engine refactor this class is a thin adapter over
+// sim::CompiledNetlist (W = 1): construction compiles the netlist once into
+// the levelized flat instruction stream, eval() runs the compiled kernels,
+// and netlists above the sharding threshold evaluate level-parallel on the
+// shared shard pool. The public contract is unchanged. For more than 64
+// patterns per pass, use sim::WideSim.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 
 namespace cl::sim {
 
 class BitSim {
  public:
   explicit BitSim(const netlist::Netlist& nl);
+  /// Explicit engine knobs (tests use this to pin the sharding threshold).
+  BitSim(const netlist::Netlist& nl, const SimConfig& config);
+  /// Share a compilation across several simulators (e.g. parallel screening
+  /// tasks over one locked netlist).
+  explicit BitSim(std::shared_ptr<const CompiledNetlist> compiled,
+                  SimConfig config = sim_config_from_env());
 
   /// Reset all DFFs to their power-up values (X treated as 0) and clear
   /// input/key words.
@@ -41,7 +56,8 @@ class BitSim {
   /// silently advanced).
   std::vector<std::uint64_t> outputs() const;
 
-  const netlist::Netlist& netlist() const { return nl_; }
+  const netlist::Netlist& netlist() const { return compiled_->source(); }
+  const CompiledNetlist& compiled() const { return *compiled_; }
 
   /// Number of 0->1 / 1->0 transitions observed per signal across step()
   /// boundaries in lane 0..63 combined (used for switching activity). The
@@ -54,11 +70,12 @@ class BitSim {
   void enable_toggle_counting(bool on) { count_toggles_ = on; }
 
  private:
-  const netlist::Netlist& nl_;
-  std::vector<netlist::SignalId> order_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
+  SimConfig config_;
   std::vector<std::uint64_t> values_;
   std::vector<std::uint64_t> prev_values_;
   std::vector<std::uint64_t> toggles_;
+  std::vector<std::uint64_t> dff_scratch_;
   bool count_toggles_ = false;
   bool have_prev_ = false;
 };

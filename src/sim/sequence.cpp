@@ -1,5 +1,6 @@
 #include "sim/sequence.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace cl::sim {
@@ -9,15 +10,16 @@ using netlist::SignalId;
 
 namespace {
 
-void check_widths(const Netlist& nl, const std::vector<BitVec>& inputs,
+void check_widths(std::size_t num_inputs, std::size_t num_keys,
+                  const std::vector<BitVec>& inputs,
                   const std::vector<BitVec>& keys) {
   for (const BitVec& v : inputs) {
-    if (v.size() != nl.inputs().size()) {
+    if (v.size() != num_inputs) {
       throw std::invalid_argument("run_sequence: input width mismatch");
     }
   }
   for (const BitVec& v : keys) {
-    if (v.size() != nl.key_inputs().size()) {
+    if (v.size() != num_keys) {
       throw std::invalid_argument("run_sequence: key width mismatch");
     }
   }
@@ -25,7 +27,7 @@ void check_widths(const Netlist& nl, const std::vector<BitVec>& inputs,
     throw std::invalid_argument(
         "run_sequence: keys must be empty, size 1 (static) or per-cycle");
   }
-  if (keys.empty() && !nl.key_inputs().empty()) {
+  if (keys.empty() && num_keys != 0) {
     throw std::invalid_argument(
         "run_sequence: circuit has key inputs but no key values given");
   }
@@ -40,27 +42,89 @@ const BitVec& key_for_cycle(const std::vector<BitVec>& keys, std::size_t c) {
 std::vector<BitVec> run_sequence(const Netlist& nl,
                                  const std::vector<BitVec>& inputs,
                                  const std::vector<BitVec>& keys) {
-  check_widths(nl, inputs, keys);
-  BitSim sim(nl);
+  return run_sequence(CompiledNetlist(nl), inputs, keys);
+}
+
+std::vector<BitVec> run_sequence(const CompiledNetlist& compiled,
+                                 const std::vector<BitVec>& inputs,
+                                 const std::vector<BitVec>& keys) {
+  check_widths(compiled.inputs().size(), compiled.key_inputs().size(), inputs,
+               keys);
+  const SimConfig config = sim_config_from_env();
+  std::vector<std::uint64_t> v(compiled.buffer_words(1), 0);
+  std::vector<std::uint64_t> scratch;
+  compiled.reset_words(v.data(), 1);
   std::vector<BitVec> out;
   out.reserve(inputs.size());
   for (std::size_t c = 0; c < inputs.size(); ++c) {
-    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-      sim.set(nl.inputs()[i], inputs[c][i] ? ~0ULL : 0ULL);
+    for (std::size_t i = 0; i < compiled.inputs().size(); ++i) {
+      v[compiled.inputs()[i]] = inputs[c][i] ? ~0ULL : 0ULL;
     }
     if (!keys.empty()) {
       const BitVec& kv = key_for_cycle(keys, c);
-      for (std::size_t k = 0; k < nl.key_inputs().size(); ++k) {
-        sim.set(nl.key_inputs()[k], kv[k] ? ~0ULL : 0ULL);
+      for (std::size_t k = 0; k < compiled.key_inputs().size(); ++k) {
+        v[compiled.key_inputs()[k]] = kv[k] ? ~0ULL : 0ULL;
       }
     }
-    sim.eval();
-    BitVec cycle_out(nl.outputs().size());
-    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-      cycle_out[o] = (sim.get(nl.outputs()[o]) & 1ULL) ? 1 : 0;
+    compiled.eval_auto(v.data(), 1, config);
+    BitVec cycle_out(compiled.outputs().size());
+    for (std::size_t o = 0; o < compiled.outputs().size(); ++o) {
+      cycle_out[o] = (v[compiled.outputs()[o]] & 1ULL) ? 1 : 0;
     }
     out.push_back(std::move(cycle_out));
-    sim.step();
+    compiled.step_words(v.data(), 1, scratch);
+  }
+  return out;
+}
+
+std::vector<std::vector<BitVec>> run_sequences_batched(
+    const CompiledNetlist& compiled,
+    const std::vector<std::vector<BitVec>>& sequences) {
+  if (!compiled.key_inputs().empty()) {
+    throw std::invalid_argument(
+        "run_sequences_batched: circuit must be key-free (batch lanes carry "
+        "input sequences, not key candidates)");
+  }
+  if (sequences.empty()) return {};
+  const std::size_t cycles = sequences[0].size();
+  for (const auto& seq : sequences) {
+    if (seq.size() != cycles) {
+      throw std::invalid_argument(
+          "run_sequences_batched: sequences must have equal length");
+    }
+    for (const BitVec& v : seq) {
+      if (v.size() != compiled.inputs().size()) {
+        throw std::invalid_argument(
+            "run_sequences_batched: input width mismatch");
+      }
+    }
+  }
+  const std::size_t lanes = (sequences.size() + 63) / 64;  // W words
+  SimConfig config = sim_config_from_env();
+  std::vector<std::uint64_t> v(compiled.buffer_words(lanes), 0);
+  std::vector<std::uint64_t> scratch;
+  compiled.reset_words(v.data(), lanes);
+  std::vector<std::vector<BitVec>> out(
+      sequences.size(), std::vector<BitVec>(cycles));
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (std::size_t i = 0; i < compiled.inputs().size(); ++i) {
+      std::uint64_t* words = v.data() + compiled.inputs()[i] * lanes;
+      std::fill(words, words + lanes, 0ULL);
+      for (std::size_t j = 0; j < sequences.size(); ++j) {
+        if (sequences[j][c][i]) words[j / 64] |= 1ULL << (j % 64);
+      }
+    }
+    compiled.eval_auto(v.data(), lanes, config);
+    for (std::size_t j = 0; j < sequences.size(); ++j) {
+      BitVec& cycle_out = out[j][c];
+      cycle_out.resize(compiled.outputs().size());
+      for (std::size_t o = 0; o < compiled.outputs().size(); ++o) {
+        const std::uint64_t word =
+            v[compiled.outputs()[o] * lanes + j / 64];
+        cycle_out[o] = (word >> (j % 64)) & 1ULL ? 1 : 0;
+      }
+    }
+    compiled.step_words(v.data(), lanes, scratch);
   }
   return out;
 }
@@ -68,7 +132,7 @@ std::vector<BitVec> run_sequence(const Netlist& nl,
 std::vector<std::vector<Trit>> run_sequence_x(const Netlist& nl,
                                               const std::vector<BitVec>& inputs,
                                               const std::vector<BitVec>& keys) {
-  check_widths(nl, inputs, keys);
+  check_widths(nl.inputs().size(), nl.key_inputs().size(), inputs, keys);
   XSim sim(nl);
   std::vector<std::vector<Trit>> out;
   out.reserve(inputs.size());
@@ -96,29 +160,38 @@ std::vector<std::vector<Trit>> run_sequence_x(const Netlist& nl,
 std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
     const Netlist& nl, const std::vector<BitVec>& inputs,
     const std::vector<std::uint64_t>& key_words) {
-  if (key_words.size() != nl.key_inputs().size()) {
+  return run_sequence_keyed_lanes(CompiledNetlist(nl), inputs, key_words);
+}
+
+std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
+    const CompiledNetlist& compiled, const std::vector<BitVec>& inputs,
+    const std::vector<std::uint64_t>& key_words) {
+  if (key_words.size() != compiled.key_inputs().size()) {
     throw std::invalid_argument("run_sequence_keyed_lanes: key width mismatch");
   }
-  BitSim sim(nl);
+  const SimConfig config = sim_config_from_env();
+  std::vector<std::uint64_t> v(compiled.buffer_words(1), 0);
+  std::vector<std::uint64_t> scratch;
+  compiled.reset_words(v.data(), 1);
   std::vector<std::vector<std::uint64_t>> out;
   out.reserve(inputs.size());
   for (std::size_t c = 0; c < inputs.size(); ++c) {
-    if (inputs[c].size() != nl.inputs().size()) {
+    if (inputs[c].size() != compiled.inputs().size()) {
       throw std::invalid_argument("run_sequence_keyed_lanes: input width mismatch");
     }
-    for (std::size_t i = 0; i < nl.inputs().size(); ++i) {
-      sim.set(nl.inputs()[i], inputs[c][i] ? ~0ULL : 0ULL);
+    for (std::size_t i = 0; i < compiled.inputs().size(); ++i) {
+      v[compiled.inputs()[i]] = inputs[c][i] ? ~0ULL : 0ULL;
     }
     for (std::size_t k = 0; k < key_words.size(); ++k) {
-      sim.set(nl.key_inputs()[k], key_words[k]);
+      v[compiled.key_inputs()[k]] = key_words[k];
     }
-    sim.eval();
-    std::vector<std::uint64_t> cycle_out(nl.outputs().size());
-    for (std::size_t o = 0; o < nl.outputs().size(); ++o) {
-      cycle_out[o] = sim.get(nl.outputs()[o]);
+    compiled.eval_auto(v.data(), 1, config);
+    std::vector<std::uint64_t> cycle_out(compiled.outputs().size());
+    for (std::size_t o = 0; o < compiled.outputs().size(); ++o) {
+      cycle_out[o] = v[compiled.outputs()[o]];
     }
     out.push_back(std::move(cycle_out));
-    sim.step();
+    compiled.step_words(v.data(), 1, scratch);
   }
   return out;
 }

@@ -28,6 +28,21 @@ std::vector<BitVec> run_sequence(const netlist::Netlist& nl,
                                  const std::vector<BitVec>& inputs,
                                  const std::vector<BitVec>& keys = {});
 
+/// Same, over a pre-compiled netlist — the hot-path variant: callers that
+/// run many sequences on one circuit (oracles, verifiers, screening loops)
+/// compile once and skip the per-call levelization.
+std::vector<BitVec> run_sequence(const CompiledNetlist& compiled,
+                                 const std::vector<BitVec>& inputs,
+                                 const std::vector<BitVec>& keys = {});
+
+/// Batched sequence evaluation with wide lanes: run `sequences.size()`
+/// independent input sequences (all of equal length and width) in one
+/// multi-word pass — sequence j rides pattern lane j. Returns per-sequence
+/// output traces, element-for-element equal to running run_sequence on each.
+std::vector<std::vector<BitVec>> run_sequences_batched(
+    const CompiledNetlist& compiled,
+    const std::vector<std::vector<BitVec>>& sequences);
+
 /// Three-valued variant (power-up X preserved). Returns trits per cycle.
 std::vector<std::vector<Trit>> run_sequence_x(const netlist::Netlist& nl,
                                               const std::vector<BitVec>& inputs,
@@ -39,6 +54,12 @@ std::vector<std::vector<Trit>> run_sequence_x(const netlist::Netlist& nl,
 /// the 64-lane word of output o on cycle c).
 std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
     const netlist::Netlist& nl, const std::vector<BitVec>& inputs,
+    const std::vector<std::uint64_t>& key_words);
+
+/// Pre-compiled variant of run_sequence_keyed_lanes (used by the parallel
+/// BBO screening loop: one compilation, many concurrent screeners).
+std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
+    const CompiledNetlist& compiled, const std::vector<BitVec>& inputs,
     const std::vector<std::uint64_t>& key_words);
 
 /// Uniform random bit-vector of width n.

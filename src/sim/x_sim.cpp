@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "netlist/topo.hpp"
-
 namespace cl::sim {
 
 using netlist::GateType;
@@ -49,83 +47,104 @@ Trit trit_mux(Trit sel, Trit a, Trit b) {
 }
 
 XSim::XSim(const Netlist& nl)
-    : nl_(nl), order_(netlist::topo_order(nl)), values_(nl.size(), Trit::X) {
+    : XSim(std::make_shared<const CompiledNetlist>(nl)) {}
+
+XSim::XSim(std::shared_ptr<const CompiledNetlist> compiled)
+    : compiled_(std::move(compiled)),
+      values_(compiled_->num_signals(), Trit::X) {
   reset();
 }
 
 void XSim::reset() {
-  for (SignalId s = 0; s < nl_.size(); ++s) values_[s] = Trit::X;
-  for (SignalId d : nl_.dffs()) {
-    switch (nl_.dff_init(d)) {
-      case netlist::DffInit::Zero: values_[d] = Trit::Zero; break;
-      case netlist::DffInit::One: values_[d] = Trit::One; break;
-      case netlist::DffInit::X: values_[d] = Trit::X; break;
+  for (Trit& v : values_) v = Trit::X;
+  const auto& qs = compiled_->dff_qs();
+  const auto& inits = compiled_->dff_inits();
+  for (std::size_t i = 0; i < qs.size(); ++i) {
+    switch (inits[i]) {
+      case netlist::DffInit::Zero: values_[qs[i]] = Trit::Zero; break;
+      case netlist::DffInit::One: values_[qs[i]] = Trit::One; break;
+      case netlist::DffInit::X: values_[qs[i]] = Trit::X; break;
     }
   }
+  for (SignalId s : compiled_->const_zeros()) values_[s] = Trit::Zero;
+  for (SignalId s : compiled_->const_ones()) values_[s] = Trit::One;
 }
 
 void XSim::set(SignalId s, Trit value) {
-  const GateType t = nl_.type(s);
-  if (t != GateType::Input && t != GateType::KeyInput) {
+  if (!compiled_->settable(s)) {
     throw std::invalid_argument("XSim::set: not an input: " +
-                                nl_.signal_name(s));
+                                compiled_->source().signal_name(s));
   }
   values_[s] = value;
 }
 
 void XSim::eval() {
-  for (SignalId s : order_) {
-    const netlist::Node& n = nl_.node(s);
-    switch (n.type) {
-      case GateType::Input:
-      case GateType::KeyInput:
-      case GateType::Dff:
+  const SignalId* pool = compiled_->fanin_pool().data();
+  for (const Instr& in : compiled_->instructions()) {
+    Trit v = Trit::X;
+    switch (in.op) {
+      case Op::Buf: v = values_[in.a]; break;
+      case Op::Not: v = trit_not(values_[in.a]); break;
+      case Op::And2: v = trit_and(values_[in.a], values_[in.b]); break;
+      case Op::Nand2:
+        v = trit_not(trit_and(values_[in.a], values_[in.b]));
         break;
-      case GateType::Const0: values_[s] = Trit::Zero; break;
-      case GateType::Const1: values_[s] = Trit::One; break;
-      case GateType::Buf: values_[s] = values_[n.fanins[0]]; break;
-      case GateType::Not: values_[s] = trit_not(values_[n.fanins[0]]); break;
-      case GateType::And:
-      case GateType::Nand: {
-        Trit v = Trit::One;
-        for (SignalId f : n.fanins) v = trit_and(v, values_[f]);
-        values_[s] = (n.type == GateType::Nand) ? trit_not(v) : v;
+      case Op::Or2: v = trit_or(values_[in.a], values_[in.b]); break;
+      case Op::Nor2:
+        v = trit_not(trit_or(values_[in.a], values_[in.b]));
         break;
-      }
-      case GateType::Or:
-      case GateType::Nor: {
-        Trit v = Trit::Zero;
-        for (SignalId f : n.fanins) v = trit_or(v, values_[f]);
-        values_[s] = (n.type == GateType::Nor) ? trit_not(v) : v;
+      case Op::Xor2: v = trit_xor(values_[in.a], values_[in.b]); break;
+      case Op::Xnor2:
+        v = trit_not(trit_xor(values_[in.a], values_[in.b]));
         break;
-      }
-      case GateType::Xor:
-      case GateType::Xnor: {
-        Trit v = Trit::Zero;
-        for (SignalId f : n.fanins) v = trit_xor(v, values_[f]);
-        values_[s] = (n.type == GateType::Xnor) ? trit_not(v) : v;
+      case Op::Mux:
+        v = trit_mux(values_[in.a], values_[in.b], values_[in.c]);
+        break;
+      case Op::AndN:
+      case Op::NandN: {
+        v = Trit::One;
+        for (std::uint32_t f = 0; f < in.b; ++f) {
+          v = trit_and(v, values_[pool[in.a + f]]);
+        }
+        if (in.op == Op::NandN) v = trit_not(v);
         break;
       }
-      case GateType::Mux:
-        values_[s] = trit_mux(values_[n.fanins[0]], values_[n.fanins[1]],
-                              values_[n.fanins[2]]);
+      case Op::OrN:
+      case Op::NorN: {
+        v = Trit::Zero;
+        for (std::uint32_t f = 0; f < in.b; ++f) {
+          v = trit_or(v, values_[pool[in.a + f]]);
+        }
+        if (in.op == Op::NorN) v = trit_not(v);
         break;
+      }
+      case Op::XorN:
+      case Op::XnorN: {
+        v = Trit::Zero;
+        for (std::uint32_t f = 0; f < in.b; ++f) {
+          v = trit_xor(v, values_[pool[in.a + f]]);
+        }
+        if (in.op == Op::XnorN) v = trit_not(v);
+        break;
+      }
     }
+    values_[in.out] = v;
   }
 }
 
 void XSim::step() {
+  const auto& qs = compiled_->dff_qs();
+  const auto& ds = compiled_->dff_ds();
   std::vector<Trit> next;
-  next.reserve(nl_.dffs().size());
-  for (SignalId d : nl_.dffs()) next.push_back(values_[nl_.dff_input(d)]);
-  std::size_t i = 0;
-  for (SignalId d : nl_.dffs()) values_[d] = next[i++];
+  next.reserve(qs.size());
+  for (SignalId d : ds) next.push_back(values_[d]);
+  for (std::size_t i = 0; i < qs.size(); ++i) values_[qs[i]] = next[i];
 }
 
 std::vector<Trit> XSim::outputs() const {
   std::vector<Trit> out;
-  out.reserve(nl_.outputs().size());
-  for (SignalId o : nl_.outputs()) out.push_back(values_[o]);
+  out.reserve(compiled_->outputs().size());
+  for (SignalId o : compiled_->outputs()) out.push_back(values_[o]);
   return out;
 }
 

@@ -1,14 +1,18 @@
 // Three-valued (0/1/X) scalar simulator with pessimistic X propagation.
 // Faithful to power-up-unknown flip-flops; used by the validation tables
 // (Table II prints 'x' before the first clock edge) and by FALL's controlled
-// X-analysis.
+// X-analysis. Evaluation walks the CompiledNetlist instruction stream
+// (levelized, contiguous fanins) with Kleene-logic kernels instead of the
+// node graph.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "sim/compiled.hpp"
 
 namespace cl::sim {
 
@@ -27,6 +31,8 @@ Trit trit_mux(Trit sel, Trit a, Trit b);
 class XSim {
  public:
   explicit XSim(const netlist::Netlist& nl);
+  /// Share a compilation with other evaluators of the same netlist.
+  explicit XSim(std::shared_ptr<const CompiledNetlist> compiled);
 
   /// Reset DFFs to their power-up values (X init stays X); inputs become X.
   void reset();
@@ -42,8 +48,7 @@ class XSim {
   std::vector<Trit> outputs() const;
 
  private:
-  const netlist::Netlist& nl_;
-  std::vector<netlist::SignalId> order_;
+  std::shared_ptr<const CompiledNetlist> compiled_;
   std::vector<Trit> values_;
 };
 

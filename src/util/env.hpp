@@ -1,0 +1,33 @@
+// Strict environment-variable parsing shared by the bench harnesses and the
+// simulation engine. All parsers reject trailing junk (atof would silently
+// read "2s" as 2) and warn on stderr when an invalid value is ignored.
+#pragma once
+
+#include <cstddef>
+
+namespace cl::util {
+
+/// Parse the whole string as a finite double. Returns false on junk,
+/// trailing characters, range errors, or inf/nan.
+bool parse_double_strict(const char* text, double* out);
+
+/// Parse the whole string as a non-negative integer.
+bool parse_size_strict(const char* text, std::size_t* out);
+
+/// True iff the variable is set to exactly "1".
+bool env_flag(const char* name);
+
+/// Value of `name` as a positive double, or `fallback` when unset. Invalid
+/// values (junk, <= 0) warn on stderr and fall back.
+double env_double_or(const char* name, double fallback);
+
+/// Value of `name` as a positive integer, or `fallback` when unset. Invalid
+/// values (junk, 0) warn on stderr and fall back.
+std::size_t env_size_or(const char* name, std::size_t fallback);
+
+/// Worker-thread count: CUTELOCK_JOBS, or hardware_concurrency when unset.
+/// Always >= 1. Shared by bench::Runner, the sharded simulator pool, and
+/// intra-attack parallelism (BBO screening).
+std::size_t jobs_from_env();
+
+}  // namespace cl::util

@@ -51,4 +51,38 @@ class ThreadPool {
   std::exception_ptr first_error_;
 };
 
+/// Scoped join/error domain over a shared ThreadPool. Unlike
+/// ThreadPool::wait() — which blocks until the *whole* pool is quiescent and
+/// rethrows any client's error — a TaskGroup waits only for tasks submitted
+/// through it and rethrows only its own first exception, so independent
+/// clients sharing one pool (e.g. two sharded netlist evals) neither convoy
+/// on each other's barriers nor steal each other's errors.
+///
+/// Never call wait() from a worker thread of the same pool: the waiting
+/// thread would occupy the very slot its tasks need. The destructor joins
+/// outstanding tasks (swallowing errors not collected via wait()).
+class TaskGroup {
+ public:
+  explicit TaskGroup(ThreadPool& pool) : pool_(pool) {}
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Enqueue a task onto the underlying pool, tracked by this group.
+  void submit(std::function<void()> task);
+
+  /// Block until every task submitted through this group has finished, then
+  /// rethrow the group's first exception (if any). The group is reusable
+  /// afterwards.
+  void wait();
+
+ private:
+  ThreadPool& pool_;
+  std::mutex mutex_;
+  std::condition_variable done_cv_;
+  std::size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
 }  // namespace cl::util

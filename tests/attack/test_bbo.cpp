@@ -75,6 +75,35 @@ TEST(Bbo, SingleKeyReductionRecovered) {
   EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
 }
 
+TEST(Bbo, ParallelScreeningIsDeterministicAcrossJobCounts) {
+  // The pool inside the attack must not change anything observable: outcome,
+  // key, iteration accounting, and oracle pattern count are fixed by the
+  // seed alone, for any job count.
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 3;
+  opt.locked_ffs = 2;
+  opt.seed = 5;
+  const auto lr = core::cute_lock_str(nl, opt);
+  std::vector<AttackResult> results;
+  std::vector<std::uint64_t> oracle_patterns;
+  for (const std::size_t jobs : {std::size_t{1}, std::size_t{3}}) {
+    SequentialOracle oracle(nl);
+    BboOptions opts;
+    opts.screen_cycles = 24;
+    opts.screen_sequences = 6;
+    opts.jobs = jobs;
+    results.push_back(bbo_attack(lr.locked, oracle, opts));
+    oracle_patterns.push_back(oracle.num_queries());
+  }
+  EXPECT_EQ(results[0].outcome, results[1].outcome);
+  EXPECT_EQ(results[0].key, results[1].key);
+  EXPECT_EQ(results[0].iterations, results[1].iterations);
+  EXPECT_EQ(results[0].detail, results[1].detail);
+  EXPECT_EQ(oracle_patterns[0], oracle_patterns[1]);
+}
+
 TEST(Bbo, TimeBudgetRespected) {
   const Netlist nl = netlist::read_bench_string(k_s27, "s27");
   util::Rng rng(7);

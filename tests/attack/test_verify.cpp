@@ -101,5 +101,25 @@ TEST(Oracle, CountsQueriesAndRejectsKeyedReference) {
   EXPECT_THROW(SequentialOracle{lr.locked}, std::invalid_argument);
 }
 
+TEST(Oracle, BatchedQueryCountsPatternsAndMatchesScalarQueries) {
+  // num_queries() counts patterns (lanes actually used), not call sites: a
+  // 70-sequence batch costs 70, exactly what 70 scalar queries would.
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  SequentialOracle oracle(nl);
+  util::Rng rng(9);
+  std::vector<std::vector<sim::BitVec>> seqs;
+  for (int j = 0; j < 70; ++j) {
+    seqs.push_back(sim::random_stimulus(rng, 6, oracle.num_inputs()));
+  }
+  const auto batched = oracle.query_batch(seqs);
+  EXPECT_EQ(oracle.num_queries(), 70u);
+  ASSERT_EQ(batched.size(), seqs.size());
+  SequentialOracle scalar(nl);
+  for (std::size_t j = 0; j < seqs.size(); ++j) {
+    EXPECT_EQ(batched[j], scalar.query(seqs[j])) << "sequence " << j;
+  }
+  EXPECT_EQ(scalar.num_queries(), 70u);
+}
+
 }  // namespace
 }  // namespace cl::attack

@@ -86,6 +86,46 @@ TEST(ThreadPool, DefaultThreadCountIsPositive) {
   EXPECT_GE(ThreadPool::default_thread_count(), 1u);
 }
 
+TEST(TaskGroup, WaitScopesToOwnTasksOnly) {
+  // Group A's wait() must not block on group B's still-running task (which
+  // ThreadPool::wait() would) nor steal B's exception.
+  ThreadPool pool(2);
+  std::atomic<bool> release_b{false};
+  std::atomic<bool> b_ran{false};
+  TaskGroup b(pool);
+  b.submit([&] {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (!release_b.load() &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::yield();
+    }
+    b_ran.store(true);
+    throw std::runtime_error("belongs to B");
+  });
+  TaskGroup a(pool);
+  std::atomic<int> a_done{0};
+  for (int i = 0; i < 4; ++i) {
+    a.submit([&a_done] { a_done.fetch_add(1); });
+  }
+  a.wait();  // returns while B's task is still parked
+  EXPECT_EQ(a_done.load(), 4);
+  EXPECT_FALSE(b_ran.load());
+  release_b.store(true);
+  EXPECT_THROW(b.wait(), std::runtime_error);  // B's error stays with B
+}
+
+TEST(TaskGroup, ReusableAfterWait) {
+  ThreadPool pool(2);
+  TaskGroup group(pool);
+  std::atomic<int> count{0};
+  group.submit([&] { count.fetch_add(1); });
+  group.wait();
+  group.submit([&] { count.fetch_add(1); });
+  group.wait();
+  EXPECT_EQ(count.load(), 2);
+}
+
 TEST(ThreadPool, ActuallyRunsConcurrently) {
   // Two tasks that each wait for the other can only finish with >= 2 workers.
   ThreadPool pool(2);
