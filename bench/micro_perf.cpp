@@ -13,6 +13,7 @@
 #include "core/cute_lock_str.hpp"
 #include "fsm/synth.hpp"
 #include "logic/minimize.hpp"
+#include "sat/portfolio.hpp"
 #include "sat/solver.hpp"
 #include "sim/bit_sim.hpp"
 #include "sim/compiled.hpp"
@@ -26,8 +27,83 @@ namespace {
 
 using namespace cl;
 
+// ---- SAT solver axis -------------------------------------------------------
+//
+// Fixed CNF families; every benchmark exports the sat::Solver::Stats
+// counters (conflicts/s, propagations/s, restarts, learnts deleted) into
+// BENCH_micro_perf.json so solver PRs have a reference axis next to the
+// sim-throughput one. items == conflicts, so items_per_second is the
+// conflict throughput and real_time is the time-to-solve trajectory.
+
+/// Accumulator for per-iteration solver stats; report once after the loop
+/// (assigning counters inside the loop would clobber their rate flags).
+void accumulate_stats(sat::Solver::Stats& into, const sat::Solver::Stats& s) {
+  into.conflicts += s.conflicts;
+  into.propagations += s.propagations;
+  into.restarts += s.restarts;
+  into.learnts_deleted += s.learnts_deleted;
+  into.minimized_literals += s.minimized_literals;
+}
+
+void report_solver_stats(benchmark::State& state,
+                         const sat::Solver::Stats& total) {
+  using benchmark::Counter;
+  state.counters["conflicts_per_s"] =
+      Counter(static_cast<double>(total.conflicts), Counter::kIsRate);
+  state.counters["propagations_per_s"] =
+      Counter(static_cast<double>(total.propagations), Counter::kIsRate);
+  state.counters["restarts"] =
+      Counter(static_cast<double>(total.restarts), Counter::kAvgIterations);
+  state.counters["learnts_deleted"] = Counter(
+      static_cast<double>(total.learnts_deleted), Counter::kAvgIterations);
+  state.counters["minimized_lits"] = Counter(
+      static_cast<double>(total.minimized_literals), Counter::kAvgIterations);
+  state.SetItemsProcessed(static_cast<std::int64_t>(total.conflicts));
+}
+
+void add_pigeon_hole(sat::Solver& solver, int n) {
+  std::vector<std::vector<sat::Var>> p(
+      static_cast<std::size_t>(n),
+      std::vector<sat::Var>(static_cast<std::size_t>(n - 1)));
+  for (auto& row : p) {
+    for (sat::Var& v : row) v = solver.new_var();
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<sat::Lit> clause;
+    for (int j = 0; j < n - 1; ++j) {
+      clause.push_back(sat::pos(p[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]));
+    }
+    solver.add_clause(clause);
+  }
+  for (int j = 0; j < n - 1; ++j) {
+    for (int i1 = 0; i1 < n; ++i1) {
+      for (int i2 = i1 + 1; i2 < n; ++i2) {
+        solver.add_binary(
+            sat::neg(p[static_cast<std::size_t>(i1)][static_cast<std::size_t>(j)]),
+            sat::neg(p[static_cast<std::size_t>(i2)][static_cast<std::size_t>(j)]));
+      }
+    }
+  }
+}
+
+std::vector<sat::Var> add_random_3sat(sat::Solver& solver, util::Rng& rng,
+                                      int nv, int nc) {
+  std::vector<sat::Var> vars;
+  for (int i = 0; i < nv; ++i) vars.push_back(solver.new_var());
+  for (int c = 0; c < nc; ++c) {
+    std::vector<sat::Lit> clause;
+    for (int l = 0; l < 3; ++l) {
+      const std::size_t v = rng.next_below(static_cast<std::uint64_t>(nv));
+      clause.push_back(sat::Lit(vars[v], rng.chance(1, 2)));
+    }
+    solver.add_clause(clause);
+  }
+  return vars;
+}
+
 void BM_SolverPlantedSat(benchmark::State& state) {
   const int nv = static_cast<int>(state.range(0));
+  sat::Solver::Stats total;
   for (auto _ : state) {
     util::Rng rng(42);
     sat::Solver solver;
@@ -49,10 +125,91 @@ void BM_SolverPlantedSat(benchmark::State& state) {
       solver.add_clause(clause);
     }
     benchmark::DoNotOptimize(solver.solve());
+    accumulate_stats(total, solver.stats());
   }
-  state.SetItemsProcessed(state.iterations() * nv);
+  report_solver_stats(state, total);
 }
 BENCHMARK(BM_SolverPlantedSat)->Arg(200)->Arg(800);
+
+void BM_SolverHardUnsatPigeonHole(benchmark::State& state) {
+  // PHP(n, n-1): exponentially hard UNSAT for resolution — the
+  // learnt-clause machinery (reduction, restarts, minimization) dominates.
+  const int n = static_cast<int>(state.range(0));
+  sat::Solver::Stats total;
+  for (auto _ : state) {
+    sat::Solver solver;
+    add_pigeon_hole(solver, n);
+    benchmark::DoNotOptimize(solver.solve());
+    accumulate_stats(total, solver.stats());
+  }
+  report_solver_stats(state, total);
+}
+BENCHMARK(BM_SolverHardUnsatPigeonHole)->Arg(8);
+
+void BM_SolverRandom3SatPhaseTransition(benchmark::State& state) {
+  // A fixed mix of 6 seeds at the SAT/UNSAT phase transition (ratio 4.26).
+  const int nv = static_cast<int>(state.range(0));
+  const int nc = static_cast<int>(nv * 4.26);
+  sat::Solver::Stats total;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      util::Rng rng(seed);
+      sat::Solver solver;
+      add_random_3sat(solver, rng, nv, nc);
+      benchmark::DoNotOptimize(solver.solve());
+      accumulate_stats(total, solver.stats());
+    }
+  }
+  report_solver_stats(state, total);
+}
+BENCHMARK(BM_SolverRandom3SatPhaseTransition)->Arg(150);
+
+void BM_SolverIncrementalAssumptions(benchmark::State& state) {
+  // The KC2/sat_attack pattern: one growing clause database, repeated
+  // solve({assumption}) calls with blocking clauses added between calls.
+  const int nv = 120;
+  sat::Solver::Stats total;
+  for (auto _ : state) {
+    util::Rng rng(2026);
+    sat::Solver solver;
+    const auto vars = add_random_3sat(solver, rng, nv, 4 * nv);
+    const sat::Lit assumption = sat::pos(vars[0]);
+    for (int round = 0; round < 24; ++round) {
+      if (solver.solve({assumption}) != sat::Result::Sat) break;
+      std::vector<sat::Lit> block;
+      for (int b = 1; b <= 12; ++b) {
+        const sat::Var v = vars[static_cast<std::size_t>(b)];
+        block.push_back(sat::Lit(v, solver.model_value(v)));
+      }
+      solver.add_clause(block);
+    }
+    accumulate_stats(total, solver.stats());
+  }
+  report_solver_stats(state, total);
+}
+BENCHMARK(BM_SolverIncrementalAssumptions);
+
+void BM_SolverPortfolioRace(benchmark::State& state) {
+  // N diversified workers racing the phase-transition mix; first winner
+  // cancels the rest. Wall time (UseRealTime) is the honest comparison
+  // against the single-solver BM_SolverRandom3SatPhaseTransition above.
+  const std::size_t workers = static_cast<std::size_t>(state.range(0));
+  const int nv = 150;
+  const int nc = static_cast<int>(nv * 4.26);
+  sat::Solver::Stats total;
+  for (auto _ : state) {
+    for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+      util::Rng rng(seed);
+      sat::PortfolioSolver solver(workers);
+      add_random_3sat(solver, rng, nv, nc);
+      benchmark::DoNotOptimize(solver.solve());
+      accumulate_stats(total, solver.stats());
+    }
+  }
+  report_solver_stats(state, total);
+  state.counters["workers"] = static_cast<double>(workers);
+}
+BENCHMARK(BM_SolverPortfolioRace)->Arg(4)->UseRealTime();
 
 void BM_BitSim64Lanes(benchmark::State& state) {
   const auto circuit = benchgen::make_circuit("b14");

@@ -5,6 +5,7 @@
 #include "cnf/encoder.hpp"
 #include "cnf/miter.hpp"
 #include "netlist/topo.hpp"
+#include "sat/portfolio.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -105,7 +106,7 @@ PeriodicAttackResult periodic_key_attack(const Netlist& locked,
   }
 
   for (std::size_t period = 1; period <= options.max_period; ++period) {
-    Solver solver;
+    sat::PortfolioSolver solver(options.budget.sat_workers);
     solver.set_conflict_budget(options.budget.conflict_budget);
     std::vector<std::vector<Var>> slots(period);
     for (auto& slot : slots) {

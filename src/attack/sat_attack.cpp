@@ -5,6 +5,7 @@
 
 #include "attack/verify.hpp"
 #include "cnf/miter.hpp"
+#include "sat/portfolio.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -31,7 +32,7 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
     compiled_locked.emplace(locked);
   }
 
-  sat::Solver solver;
+  sat::PortfolioSolver solver(options.budget.sat_workers);
   solver.set_conflict_budget(options.budget.conflict_budget);
   cnf::SequentialMiter miter(solver, locked);
   miter.extend_to(1);

@@ -6,6 +6,7 @@
 
 #include "attack/verify.hpp"
 #include "cnf/miter.hpp"
+#include "sat/portfolio.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -28,7 +29,7 @@ struct Engine {
 
 void rebuild(Engine& e, const Netlist& locked, const SeqAttackOptions& options,
              const std::vector<IoConstraint>& io, std::size_t depth) {
-  e.solver = std::make_unique<sat::Solver>();
+  e.solver = std::make_unique<sat::PortfolioSolver>(options.budget.sat_workers);
   e.solver->set_conflict_budget(options.budget.conflict_budget);
   e.miter = std::make_unique<cnf::SequentialMiter>(*e.solver, locked,
                                                    options.symbolic_init);

@@ -1,0 +1,44 @@
+// Portfolio CDCL solving behind the sat::Solver interface.
+//
+// A PortfolioSolver is a Solver: clauses, variables, budgets and models go
+// through the inherited interface, so cnf::SequentialMiter and the attacks
+// use it unchanged. solve() is overridden: with N > 1 workers it clones the
+// problem (including everything learnt so far) into N fresh solvers with
+// diversified configurations — different seeds, initial polarities, restart
+// pacing and random-decision rates — and races them on a shared
+// util::ThreadPool. The first worker to return Sat/Unsat raises the
+// interrupt flag of the others (first-winner cancellation); the winner's
+// model / failed-assumption set / statistics are folded back into this
+// solver, and its low-LBD learnt clauses are imported so the next race (and
+// the incremental attack loop around it) keeps the derived knowledge.
+//
+// Portfolio answers are deterministic in *verdict* (Sat/Unsat agree with the
+// single solver) but not in *model* or timing — bench harnesses therefore
+// force workers = 1 under CUTELOCK_BENCH_STABLE=1 (see bench_common).
+#pragma once
+
+#include <cstddef>
+
+#include "sat/solver.hpp"
+
+namespace cl::sat {
+
+class PortfolioSolver : public Solver {
+ public:
+  /// `workers` <= 1 degrades to the plain (deterministic) Solver.
+  explicit PortfolioSolver(std::size_t workers = 1);
+
+  Result solve(const std::vector<Lit>& assumptions = {}) override;
+
+  std::size_t workers() const { return workers_; }
+
+  /// The diversified configuration handed to worker `index` (worker 0 runs
+  /// the reference config). Exposed for tests and docs.
+  static Config worker_config(std::size_t index);
+
+ private:
+  std::size_t workers_;
+  std::size_t imported_learnts_ = 0;  // lifetime import budget consumed
+};
+
+}  // namespace cl::sat

@@ -6,33 +6,80 @@
 
 namespace cl::sat {
 
-struct Solver::Clause {
-  std::vector<Lit> lits;
-  double activity = 0.0;
-  int lbd = 0;
-  bool learnt = false;
-};
-
-Solver::Solver() = default;
+Solver::Solver() {
+  level_stamp_.push_back(0);  // slot for decision level 0
+}
 
 Solver::~Solver() {
   for (Clause* c : clauses_) delete c;
   for (Clause* c : learnts_) delete c;
 }
 
+std::uint64_t Solver::next_rand() {
+  // xorshift64*: deterministic per Config::seed, cheap enough for the
+  // decision loop.
+  rng_state_ ^= rng_state_ >> 12;
+  rng_state_ ^= rng_state_ << 25;
+  rng_state_ ^= rng_state_ >> 27;
+  return rng_state_ * 0x2545F4914F6CDD1DULL;
+}
+
 Var Solver::new_var() {
   const Var v = static_cast<Var>(activity_.size());
   activity_.push_back(0.0);
   assigns_.push_back(LBool::Undef);
-  phase_.push_back(false);
+  bool initial_phase = config_.default_phase;
+  if (config_.random_initial_phase) initial_phase = (next_rand() & 1) != 0;
+  phase_.push_back(initial_phase);
+  best_phase_.push_back(initial_phase);
   reason_.push_back(nullptr);
   level_.push_back(0);
   seen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
+  bin_watches_.emplace_back();
+  bin_watches_.emplace_back();
+  level_stamp_.push_back(0);
   heap_pos_.push_back(-1);
   heap_insert(v);
   return v;
+}
+
+void Solver::set_config(const Config& config) {
+  if (decision_level() != 0) {
+    throw std::logic_error("set_config: only legal at decision level 0");
+  }
+  config_ = config;
+  max_learnts_ = config.max_learnts;
+  rng_state_ = config.seed * 0x9E3779B97F4A7C15ULL + 0x853c49e6748fea9bULL;
+  if (rng_state_ == 0) rng_state_ = 0x853c49e6748fea9bULL;
+  for (Var v = 0; v < num_vars(); ++v) {
+    if (assigns_[v] != LBool::Undef) continue;  // keep root-implied values
+    bool initial_phase = config_.default_phase;
+    if (config_.random_initial_phase) initial_phase = (next_rand() & 1) != 0;
+    phase_[v] = initial_phase;
+  }
+  best_phase_ = phase_;
+  best_trail_size_ = 0;
+}
+
+void Solver::copy_problem_into(Solver& dst) const {
+  if (decision_level() != 0) {
+    throw std::logic_error("copy_problem_into: only legal at decision level 0");
+  }
+  if (dst.num_vars() > num_vars()) {
+    throw std::invalid_argument("copy_problem_into: destination has extra variables");
+  }
+  while (dst.num_vars() < num_vars()) dst.new_var();
+  if (!ok_) {
+    dst.ok_ = false;
+    return;
+  }
+  for (const Lit& l : trail_) dst.add_clause({l});  // root-level units
+  for (const Clause* c : clauses_) dst.add_clause(c->lits);
+  // Learnts are implied by the problem clauses, so replaying them seeds the
+  // clone with everything this solver has derived so far.
+  for (const Clause* c : learnts_) dst.add_clause(c->lits);
 }
 
 LBool Solver::lit_value(Lit l) const {
@@ -80,11 +127,29 @@ bool Solver::add_clause(std::vector<Lit> lits) {
 }
 
 void Solver::attach(Clause* c) {
+  if (c->lits.size() == 2) {
+    bin_watches_[(~c->lits[0]).code()].push_back({c->lits[1], c});
+    bin_watches_[(~c->lits[1]).code()].push_back({c->lits[0], c});
+    return;
+  }
   watches_[(~c->lits[0]).code()].push_back({c, c->lits[1]});
   watches_[(~c->lits[1]).code()].push_back({c, c->lits[0]});
 }
 
 void Solver::detach(Clause* c) {
+  if (c->lits.size() == 2) {
+    for (int i = 0; i < 2; ++i) {
+      auto& ws = bin_watches_[(~c->lits[i]).code()];
+      for (std::size_t j = 0; j < ws.size(); ++j) {
+        if (ws[j].clause == c) {
+          ws[j] = ws.back();
+          ws.pop_back();
+          break;
+        }
+      }
+    }
+    return;
+  }
   for (int i = 0; i < 2; ++i) {
     auto& ws = watches_[(~c->lits[i]).code()];
     for (std::size_t j = 0; j < ws.size(); ++j) {
@@ -108,7 +173,21 @@ void Solver::enqueue(Lit l, Clause* reason) {
 Solver::Clause* Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
-    ++stats_propagations_;
+    ++stats_.propagations;
+    // Binary watchers first: the implied literal is read straight from the
+    // watcher, so the common two-literal case never touches clause memory.
+    for (const BinWatcher& bw : bin_watches_[p.code()]) {
+      const LBool v = lit_value(bw.other);
+      if (v == LBool::True) continue;
+      Clause* c = bw.clause;
+      if (v == LBool::False) {
+        propagate_head_ = trail_.size();
+        return c;
+      }
+      // analyze() expects the implied literal at position 0 of its reason.
+      if (c->lits[0] != bw.other) std::swap(c->lits[0], c->lits[1]);
+      enqueue(bw.other, c);
+    }
     auto& ws = watches_[p.code()];
     std::size_t i = 0, j = 0;
     while (i < ws.size()) {
@@ -175,6 +254,28 @@ void Solver::bump_clause(Clause* c) {
   }
 }
 
+int Solver::clause_lbd(const std::vector<Lit>& lits) {
+  // Exact glue: number of distinct decision levels > 0 among the literals,
+  // via a stamped per-level scratch array (no hashing collisions). Dummy
+  // decision levels (assumptions already satisfied when placed, e.g.
+  // duplicated assumption literals) can push decision levels past
+  // num_vars, so the scratch array grows on demand.
+  if (level_stamp_.size() <= static_cast<std::size_t>(decision_level())) {
+    level_stamp_.resize(static_cast<std::size_t>(decision_level()) + 1, 0);
+  }
+  ++lbd_stamp_;
+  int lbd = 0;
+  for (const Lit& l : lits) {
+    const int lev = level_[l.var()];
+    if (lev <= 0) continue;
+    if (level_stamp_[static_cast<std::size_t>(lev)] != lbd_stamp_) {
+      level_stamp_[static_cast<std::size_t>(lev)] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
 void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
                      int& backtrack_level) {
   learnt.clear();
@@ -186,6 +287,12 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
 
   do {
     bump_clause(reason);
+    // Update-on-use: a learnt clause re-derived during analysis may now sit
+    // at a lower glue level; keeping the minimum protects it from reduction.
+    if (reason->learnt && reason->lits.size() > 2) {
+      const int glue = clause_lbd(reason->lits);
+      if (glue < reason->lbd) reason->lbd = glue;
+    }
     // Start at 1 when `reason` is the reason of p (lits[0] == p).
     const std::size_t start = (p.code() >= 0) ? 1 : 0;
     for (std::size_t k = start; k < reason->lits.size(); ++k) {
@@ -220,6 +327,7 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     abstract_levels |= 1u << (level_[learnt[i].var()] & 31);
   }
+  const std::size_t before_minimize = learnt.size();
   std::size_t out = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
     if (reason_[learnt[i].var()] == nullptr ||
@@ -228,6 +336,7 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
     }
   }
   learnt.resize(out);
+  stats_.minimized_literals += before_minimize - out;
 
   for (const Lit& l : analyze_clear_) {
     if (l.code() >= 0) seen_[l.var()] = false;
@@ -297,10 +406,23 @@ void Solver::backtrack(int target_level) {
 }
 
 Lit Solver::pick_branch() {
+  if (config_.random_decision_freq > 0.0 && !heap_.empty()) {
+    // Occasional random decision (portfolio diversification). The variable
+    // stays in the heap; the VSIDS pop below skips assigned entries anyway.
+    const double roll = static_cast<double>(next_rand() >> 11) * 0x1.0p-53;
+    if (roll < config_.random_decision_freq) {
+      const Var v = heap_[static_cast<std::size_t>(next_rand() % heap_.size())];
+      if (assigns_[v] == LBool::Undef) {
+        ++stats_.decisions;
+        ++stats_.random_decisions;
+        return Lit(v, !phase_[v]);
+      }
+    }
+  }
   while (!heap_empty()) {
     const Var v = heap_pop();
     if (assigns_[v] == LBool::Undef) {
-      ++stats_decisions_;
+      ++stats_.decisions;
       return Lit(v, !phase_[v]);
     }
   }
@@ -309,6 +431,7 @@ Lit Solver::pick_branch() {
 
 void Solver::reduce_db() {
   // Keep clauses with low LBD or high activity; delete the bottom half.
+  // Glue clauses (LBD <= 2) and binaries are never deleted.
   std::sort(learnts_.begin(), learnts_.end(), [](Clause* a, Clause* b) {
     if (a->lbd != b->lbd) return a->lbd > b->lbd;
     return a->activity < b->activity;
@@ -324,11 +447,16 @@ void Solver::reduce_db() {
     if (lit_value(first) == LBool::True && reason_[first.var()] == c) {
       locked = true;
     }
-    if (removed < target && !locked && c->lbd > 2 && c->lits.size() > 2) {
+    const bool glue = c->lbd <= 2 || c->lits.size() <= 2;
+    if (removed < target && !locked && !glue) {
       detach(c);
       delete c;
       ++removed;
+      ++stats_.learnts_deleted;
     } else {
+      // Still inside the deletion quota but spared: record when the glue
+      // policy (not a lock) is what saved the clause.
+      if (removed < target && !locked && glue) ++stats_.glue_protected;
       kept.push_back(c);
     }
   }
@@ -381,22 +509,30 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
     ok_ = false;
     return Result::Unsat;
   }
-  // Honour an already-expired wall deadline before any search: conflicts are
-  // the only other place the clock is read, and an easy instance may never
-  // produce one.
+  // Honour an already-expired wall deadline (or a fired interrupt) before
+  // any search: conflicts are the only other place these are read, and an
+  // easy instance may never produce one.
   if (time_budget_s_ >= 0 && std::chrono::steady_clock::now() > deadline_) {
     return Result::Unknown;
   }
+  if (interrupted()) return Result::Unknown;
 
   int restart_count = 0;
-  std::int64_t conflicts_until_restart =
-      static_cast<std::int64_t>(luby(2.0, restart_count) * 64);
+  std::int64_t conflicts_until_restart = static_cast<std::int64_t>(
+      luby(2.0, restart_count) * config_.restart_unit);
+  best_trail_size_ = 0;  // best-phase tracking is per solve call
 
   std::vector<Lit> learnt;
   for (;;) {
     Clause* conflict = propagate();
     if (conflict != nullptr) {
-      ++stats_conflicts_;
+      ++stats_.conflicts;
+      // Best-phase caching: snapshot the polarities of the deepest trail
+      // seen this call; restarts can re-target it.
+      if (trail_.size() > best_trail_size_) {
+        best_trail_size_ = trail_.size();
+        best_phase_ = phase_;
+      }
       if (decision_level() == 0) {
         ok_ = false;
         return Result::Unsat;
@@ -428,6 +564,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       int back_level = 0;
       analyze(conflict, learnt, back_level);
+      // Exact LBD of the freshly learnt clause, while levels are live.
+      const int learnt_lbd = clause_lbd(learnt);
       if (learnt.size() == 1) {
         // A unit learnt clause is implied by the clause database alone (not
         // the assumptions), so assert it at the root; the decision loop
@@ -442,20 +580,9 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         // case above already returned.)
         const int floor_level = static_cast<int>(assumptions.size());
         backtrack(std::max(back_level, floor_level));
-        Clause* c = new Clause{learnt, clause_inc_, 0, true};
-        // LBD: number of distinct decision levels among literals.
-        std::uint32_t seen_levels = 0;
-        int lbd = 0;
-        for (const Lit& l : learnt) {
-          const std::uint32_t bit = 1u << (level_[l.var()] & 31);
-          if ((seen_levels & bit) == 0) {
-            seen_levels |= bit;
-            ++lbd;
-          }
-        }
-        c->lbd = lbd;
+        Clause* c = new Clause{learnt, clause_inc_, learnt_lbd, true};
         learnts_.push_back(c);
-        ++stats_learned_;
+        ++stats_.learned;
         attach(c);
         enqueue(learnt[0], c);
       }
@@ -463,7 +590,11 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       clause_inc_ /= 0.999;
 
       if (conflict_budget_ >= 0 &&
-          stats_conflicts_ >= static_cast<std::uint64_t>(conflict_budget_)) {
+          stats_.conflicts >= static_cast<std::uint64_t>(conflict_budget_)) {
+        backtrack(0);
+        return Result::Unknown;
+      }
+      if (interrupted()) {
         backtrack(0);
         return Result::Unknown;
       }
@@ -476,8 +607,12 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
       if (--conflicts_until_restart <= 0) {
         ++restart_count;
-        conflicts_until_restart =
-            static_cast<std::int64_t>(luby(2.0, restart_count) * 64);
+        ++stats_.restarts;
+        conflicts_until_restart = static_cast<std::int64_t>(
+            luby(2.0, restart_count) * config_.restart_unit);
+        if (config_.use_best_phase && best_trail_size_ > 0) {
+          phase_ = best_phase_;
+        }
         backtrack(static_cast<int>(assumptions.size()) <= decision_level()
                       ? static_cast<int>(assumptions.size())
                       : 0);
@@ -488,7 +623,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       }
     } else {
       if (propagation_budget_ >= 0 &&
-          stats_propagations_ >= static_cast<std::uint64_t>(propagation_budget_)) {
+          stats_.propagations >= static_cast<std::uint64_t>(propagation_budget_)) {
         backtrack(0);
         return Result::Unknown;
       }
@@ -537,14 +672,14 @@ bool Solver::model_value(Lit l) const {
 void Solver::set_conflict_budget(std::int64_t max_conflicts) {
   conflict_budget_ =
       max_conflicts < 0 ? -1
-                        : static_cast<std::int64_t>(stats_conflicts_) + max_conflicts;
+                        : static_cast<std::int64_t>(stats_.conflicts) + max_conflicts;
 }
 
 void Solver::set_propagation_budget(std::int64_t max_propagations) {
   propagation_budget_ =
       max_propagations < 0
           ? -1
-          : static_cast<std::int64_t>(stats_propagations_) + max_propagations;
+          : static_cast<std::int64_t>(stats_.propagations) + max_propagations;
 }
 
 void Solver::set_time_budget(double seconds) {

@@ -1,12 +1,17 @@
 // Self-contained CDCL SAT solver.
 //
-// Features: two-watched-literal propagation with blockers, VSIDS decision
-// heuristic with phase saving, first-UIP conflict analysis with recursive
-// clause minimization, LBD-aware learned-clause reduction, Luby restarts, and
-// incremental solving under assumptions (required by the KC2 attack). No
+// Features: two-watched-literal propagation with blockers and a dedicated
+// binary-clause watch scheme, VSIDS decision heuristic with phase saving and
+// best-phase caching, first-UIP conflict analysis with recursive clause
+// minimization, exact LBD (glue) computation with update-on-use and
+// LBD/activity-driven learned-clause reduction, Luby restarts, incremental
+// solving under assumptions (required by the KC2 attack), per-instance
+// diversification via Config (seeds, polarities, restart pacing) and an
+// external interrupt flag (first-winner cancellation in the portfolio). No
 // external dependencies.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <vector>
@@ -50,8 +55,39 @@ enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
 
 class Solver {
  public:
+  /// Search-strategy knobs. The defaults are the tuned single-solver
+  /// configuration; PortfolioSolver hands each worker a diversified variant.
+  /// Apply with set_config() before the first solve() — it reseeds the
+  /// decision RNG and re-derives the initial polarity of every unassigned
+  /// variable, discarding saved phases.
+  struct Config {
+    std::uint64_t seed = 0;            ///< decision/polarity RNG seed
+    bool default_phase = false;        ///< initial saved polarity
+    bool random_initial_phase = false; ///< scramble initial polarities (seed)
+    double random_decision_freq = 0.0; ///< fraction of random decisions
+    int restart_unit = 64;             ///< Luby base interval, in conflicts
+    bool use_best_phase = true;        ///< restore best-trail phases on restart
+    std::size_t max_learnts = 4000;    ///< learnt-DB reduction threshold
+  };
+
+  /// Counters over the solver's lifetime (cumulative across solve() calls).
+  /// After a portfolio race, the winner's counters are folded in — stats
+  /// measure the critical path, not the aggregate of cancelled workers.
+  struct Stats {
+    std::uint64_t conflicts = 0;
+    std::uint64_t decisions = 0;
+    std::uint64_t random_decisions = 0;
+    std::uint64_t propagations = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t learned = 0;
+    std::uint64_t learnts_deleted = 0;  ///< learnt clauses dropped by reduce
+    std::uint64_t glue_protected = 0;   ///< clauses the reduce sweep spared
+                                        ///< only because LBD <= 2 (or binary)
+    std::uint64_t minimized_literals = 0;  ///< literals removed from learnts
+  };
+
   Solver();
-  ~Solver();
+  virtual ~Solver();
   Solver(const Solver&) = delete;
   Solver& operator=(const Solver&) = delete;
 
@@ -67,8 +103,9 @@ class Solver {
   bool add_ternary(Lit a, Lit b, Lit c) { return add_clause({a, b, c}); }
 
   /// Solve under the given assumptions. Returns Unknown when a budget set via
-  /// set_conflict_budget / set_propagation_budget is exhausted.
-  Result solve(const std::vector<Lit>& assumptions = {});
+  /// set_conflict_budget / set_propagation_budget is exhausted, the deadline
+  /// passes, or the interrupt flag fires.
+  virtual Result solve(const std::vector<Lit>& assumptions = {});
 
   /// Model access after Result::Sat.
   bool model_value(Var v) const;
@@ -88,18 +125,52 @@ class Solver {
   /// Negative disables. solve() returns Unknown when exceeded.
   void set_time_budget(double seconds);
 
-  // Statistics.
-  std::uint64_t num_conflicts() const { return stats_conflicts_; }
-  std::uint64_t num_decisions() const { return stats_decisions_; }
-  std::uint64_t num_propagations() const { return stats_propagations_; }
-  std::uint64_t num_learned() const { return stats_learned_; }
-  std::size_t num_clauses() const { return clauses_.size(); }
+  /// External cancellation: solve() polls `flag` once per conflict (and at
+  /// entry) and returns Unknown when it reads true. The pointed-to flag must
+  /// outlive the solve call; nullptr disables. This is the portfolio's
+  /// first-winner cancellation hook.
+  void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
 
- private:
-  struct Clause;
+  /// Replace the search configuration (see Config). Only legal at decision
+  /// level 0, i.e. outside solve().
+  void set_config(const Config& config);
+  const Config& config() const { return config_; }
+
+  /// Replay this solver's problem — variables, root-level units, problem
+  /// clauses, and current learnts (they are implied, so sharing them seeds
+  /// the clone with everything learned so far) — into `dst`, which must not
+  /// have more variables than this solver. Only legal at decision level 0.
+  void copy_problem_into(Solver& dst) const;
+
+  // Statistics.
+  const Stats& stats() const { return stats_; }
+  std::uint64_t num_conflicts() const { return stats_.conflicts; }
+  std::uint64_t num_decisions() const { return stats_.decisions; }
+  std::uint64_t num_propagations() const { return stats_.propagations; }
+  std::uint64_t num_learned() const { return stats_.learned; }
+  std::size_t num_clauses() const { return clauses_.size(); }
+  std::size_t num_learnts() const { return learnts_.size(); }
+
+ protected:
+  friend class PortfolioSolver;
+
+  struct Clause {
+    std::vector<Lit> lits;
+    double activity = 0.0;
+    int lbd = 0;
+    bool learnt = false;
+  };
   struct Watcher {
     Clause* clause;
     Lit blocker;
+  };
+  /// Binary clauses get their own watch lists: the implied literal is read
+  /// straight from the watcher, so propagation over binaries never touches
+  /// clause memory. The Clause* survives only to serve as a reason /
+  /// conflict object for analyze().
+  struct BinWatcher {
+    Lit other;
+    Clause* clause;
   };
 
   LBool lit_value(Lit l) const;
@@ -116,8 +187,13 @@ class Solver {
   void bump_var(Var v);
   void decay_var_activity() { var_inc_ /= 0.95; }
   void bump_clause(Clause* c);
+  int clause_lbd(const std::vector<Lit>& lits);
   void reduce_db();
   void analyze_final(Lit p);
+  bool interrupted() const {
+    return interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed);
+  }
+  std::uint64_t next_rand();
   static double luby(double y, int i);
 
   // Heap of variables ordered by activity.
@@ -130,9 +206,12 @@ class Solver {
 
   std::vector<Clause*> clauses_;
   std::vector<Clause*> learnts_;
-  std::vector<std::vector<Watcher>> watches_;  // indexed by lit code
+  std::vector<std::vector<Watcher>> watches_;       // indexed by lit code
+  std::vector<std::vector<BinWatcher>> bin_watches_;  // indexed by lit code
   std::vector<LBool> assigns_;
   std::vector<bool> phase_;
+  std::vector<bool> best_phase_;      // phases at the deepest trail seen
+  std::size_t best_trail_size_ = 0;
   std::vector<Clause*> reason_;
   std::vector<int> level_;
   std::vector<Lit> trail_;
@@ -148,21 +227,24 @@ class Solver {
   std::vector<bool> seen_;
   std::vector<Lit> analyze_stack_;
   std::vector<Lit> analyze_clear_;
+  std::vector<std::uint64_t> level_stamp_;  // exact-LBD scratch, per level
+  std::uint64_t lbd_stamp_ = 0;
 
   std::vector<Lit> conflict_assumptions_;
   std::vector<LBool> model_;
   bool ok_ = true;
+
+  Config config_;
+  std::uint64_t rng_state_ = 0x853c49e6748fea9bULL;
 
   std::int64_t conflict_budget_ = -1;
   std::int64_t propagation_budget_ = -1;
   double time_budget_s_ = -1.0;
   std::int64_t deadline_check_countdown_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
+  const std::atomic<bool>* interrupt_ = nullptr;
 
-  std::uint64_t stats_conflicts_ = 0;
-  std::uint64_t stats_decisions_ = 0;
-  std::uint64_t stats_propagations_ = 0;
-  std::uint64_t stats_learned_ = 0;
+  Stats stats_;
   std::size_t max_learnts_ = 4000;
 };
 

@@ -70,4 +70,8 @@ std::size_t jobs_from_env() {
   return env_size_or("CUTELOCK_JOBS", ThreadPool::default_thread_count());
 }
 
+std::size_t sat_portfolio_from_env() {
+  return env_size_or("CUTELOCK_SAT_PORTFOLIO", 1);
+}
+
 }  // namespace cl::util

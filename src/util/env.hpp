@@ -30,4 +30,9 @@ std::size_t env_size_or(const char* name, std::size_t fallback);
 /// intra-attack parallelism (BBO screening).
 std::size_t jobs_from_env();
 
+/// Diversified CDCL workers racing each solver call: CUTELOCK_SAT_PORTFOLIO,
+/// default 1 (portfolio off). Seeds AttackBudget::sat_workers; bench
+/// harnesses force 1 under CUTELOCK_BENCH_STABLE=1.
+std::size_t sat_portfolio_from_env();
+
 }  // namespace cl::util

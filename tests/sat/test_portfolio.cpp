@@ -1,0 +1,210 @@
+#include "sat/portfolio.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "cnf_test_util.hpp"
+#include "util/rng.hpp"
+
+namespace cl::sat {
+namespace {
+
+using test_util::add_pigeon_hole;
+using test_util::brute_force_sat;
+using test_util::load_cnf;
+using test_util::random_cnf;
+
+TEST(PortfolioSolver, SingleWorkerIsPlainSolver) {
+  PortfolioSolver s(1);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  s.add_binary(neg(a), pos(b));
+  EXPECT_EQ(s.solve({pos(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  EXPECT_EQ(s.solve({pos(a), neg(b)}), Result::Unsat);
+}
+
+TEST(PortfolioSolver, ZeroWorkersClampedToOne) {
+  PortfolioSolver s(0);
+  EXPECT_EQ(s.workers(), 1u);
+  const Var a = s.new_var();
+  s.add_unit(pos(a));
+  EXPECT_EQ(s.solve(), Result::Sat);
+}
+
+TEST(PortfolioSolver, RandomCrossCheckAgainstBruteForce) {
+  util::Rng rng(8080);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nv = 8;
+    const auto clauses = random_cnf(rng, nv, 10 + static_cast<int>(rng.next_below(28)));
+    const bool expected = brute_force_sat(clauses, nv);
+    PortfolioSolver s(4);
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    load_cnf(s, clauses, vars);
+    const Result r = s.solve();
+    ASSERT_EQ(r == Result::Sat, expected) << "trial " << trial;
+    if (r == Result::Sat) {
+      // Whatever worker won, its model must satisfy every clause.
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (int l : clause) {
+          any = any || s.model_value(vars[static_cast<std::size_t>(
+                           std::abs(l) - 1)]) == (l > 0);
+        }
+        EXPECT_TRUE(any) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(PortfolioSolver, AssumptionVerdictsMatchSingleWorker) {
+  util::Rng rng(5151);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int nv = 7;
+    const auto clauses = random_cnf(rng, nv, 8 + static_cast<int>(rng.next_below(20)));
+    std::vector<int> assumptions;
+    const int na = 1 + static_cast<int>(rng.next_below(3));
+    for (int a = 0; a < na; ++a) {
+      const int var = 1 + static_cast<int>(rng.next_below(nv));
+      assumptions.push_back(rng.chance(1, 2) ? var : -var);
+    }
+    const bool expected = brute_force_sat(clauses, nv, assumptions);
+
+    PortfolioSolver s(3);
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    load_cnf(s, clauses, vars);
+    std::vector<Lit> assumption_lits;
+    for (int l : assumptions) {
+      assumption_lits.push_back(
+          Lit(vars[static_cast<std::size_t>(std::abs(l) - 1)], l < 0));
+    }
+    const Result r = s.solve(assumption_lits);
+    ASSERT_EQ(r == Result::Sat, expected) << "trial " << trial;
+    if (r == Result::Sat) {
+      for (const Lit& a : assumption_lits) EXPECT_TRUE(s.model_value(a));
+    } else {
+      // The failed-assumption subset only mentions assumption literals.
+      EXPECT_FALSE(s.unsat_assumptions().empty());
+      for (const Lit& l : s.unsat_assumptions()) {
+        bool known = false;
+        for (const Lit& a : assumption_lits) known = known || l == a || l == ~a;
+        EXPECT_TRUE(known) << "trial " << trial;
+      }
+    }
+  }
+}
+
+TEST(PortfolioSolver, Kc2StyleKeyEnumerationMatchesSingleWorker) {
+  // The KC2 regression CNF pattern: repeated solve({assumption}) with a
+  // blocking clause over the key projection added after every model. The
+  // portfolio must enumerate exactly the same key set as a single worker —
+  // answer equivalence, not model equivalence (models may differ per race).
+  util::Rng rng(777);
+  const int nv = 10;
+  const int key_bits = 6;
+  std::vector<std::vector<int>> clauses;
+  for (int c = 0; c < 18; ++c) {
+    std::vector<int> clause;
+    for (int l = 0; l < 3; ++l) {
+      const int var = 1 + static_cast<int>(rng.next_below(nv));
+      clause.push_back(rng.chance(1, 2) ? var : -var);
+    }
+    clauses.push_back(clause);
+  }
+
+  const auto enumerate = [&](Solver& s, const std::vector<Var>& vars) {
+    const Lit assumption = pos(vars[static_cast<std::size_t>(nv - 1)]);
+    std::set<std::uint32_t> found;
+    for (;;) {
+      const Result r = s.solve({assumption});
+      if (r != Result::Sat) {
+        EXPECT_EQ(r, Result::Unsat);
+        break;
+      }
+      std::uint32_t key = 0;
+      for (int b = 0; b < key_bits; ++b) {
+        if (s.model_value(vars[static_cast<std::size_t>(b)])) key |= 1u << b;
+      }
+      EXPECT_TRUE(found.insert(key).second) << "duplicate key " << key;
+      std::vector<Lit> block;
+      for (int b = 0; b < key_bits; ++b) {
+        block.push_back(Lit(vars[static_cast<std::size_t>(b)], (key >> b) & 1u));
+      }
+      s.add_clause(block);
+      if (found.size() > (std::size_t{1} << key_bits)) break;  // safety net
+    }
+    return found;
+  };
+
+  Solver single;
+  std::vector<Var> single_vars;
+  for (int i = 0; i < nv; ++i) single_vars.push_back(single.new_var());
+  load_cnf(single, clauses, single_vars);
+  const std::set<std::uint32_t> expected = enumerate(single, single_vars);
+
+  PortfolioSolver portfolio(4);
+  std::vector<Var> portfolio_vars;
+  for (int i = 0; i < nv; ++i) portfolio_vars.push_back(portfolio.new_var());
+  load_cnf(portfolio, clauses, portfolio_vars);
+  const std::set<std::uint32_t> got = enumerate(portfolio, portfolio_vars);
+
+  EXPECT_EQ(got, expected);
+}
+
+TEST(PortfolioSolver, IncrementalClauseAdditionBetweenRaces) {
+  PortfolioSolver s(3);
+  const Var a = s.new_var();
+  const Var b = s.new_var();
+  EXPECT_EQ(s.solve(), Result::Sat);
+  s.add_binary(pos(a), pos(b));
+  EXPECT_EQ(s.solve({neg(a)}), Result::Sat);
+  EXPECT_TRUE(s.model_value(b));
+  s.add_unit(neg(b));
+  EXPECT_EQ(s.solve({neg(a)}), Result::Unsat);
+  EXPECT_EQ(s.solve(), Result::Sat);
+  EXPECT_TRUE(s.model_value(a));
+  s.add_unit(neg(a));
+  EXPECT_EQ(s.solve(), Result::Unsat);  // root-level unsat sticks
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(PortfolioSolver, ConflictBudgetReturnsUnknownAcrossRace) {
+  // PHP(7,6): hard enough that 5 conflicts per worker cannot settle it.
+  PortfolioSolver s(3);
+  add_pigeon_hole(s, 7);
+  s.set_conflict_budget(5);
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  s.set_conflict_budget(-1);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+}
+
+TEST(PortfolioSolver, WorkerConfigsAreDiversified) {
+  // The first four workers must differ somewhere that matters: seeds or
+  // polarity/restart/randomization settings.
+  const Solver::Config c0 = PortfolioSolver::worker_config(0);
+  const Solver::Config c1 = PortfolioSolver::worker_config(1);
+  const Solver::Config c2 = PortfolioSolver::worker_config(2);
+  const Solver::Config c3 = PortfolioSolver::worker_config(3);
+  EXPECT_TRUE(c1.default_phase);
+  EXPECT_FALSE(c0.default_phase);
+  EXPECT_TRUE(c2.random_initial_phase);
+  EXPECT_GT(c2.random_decision_freq, 0.0);
+  EXPECT_FALSE(c3.use_best_phase);
+  EXPECT_NE(c0.seed, c2.seed);
+  EXPECT_NE(c0.restart_unit, c1.restart_unit);
+  // Workers past the first cycle must not repeat a deterministic config
+  // verbatim: seeded randomness is forced in, so distinct seeds matter.
+  for (std::size_t i = 4; i < 10; ++i) {
+    const Solver::Config c = PortfolioSolver::worker_config(i);
+    EXPECT_TRUE(c.random_initial_phase) << "worker " << i;
+    EXPECT_NE(c.seed, PortfolioSolver::worker_config(i % 4).seed) << "worker " << i;
+  }
+}
+
+}  // namespace
+}  // namespace cl::sat

@@ -2,10 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <set>
 #include <thread>
 
+#include "cnf_test_util.hpp"
 #include "util/rng.hpp"
 
 namespace cl::sat {
@@ -467,6 +469,207 @@ TEST(Solver, Kc2StyleKeyEnumerationUnderAssumptions) {
     ASSERT_LE(found.size(), std::size_t{1} << key_bits);
   }
   EXPECT_EQ(found, expected);
+}
+
+using test_util::add_pigeon_hole;
+using test_util::brute_force_sat;
+using test_util::load_cnf;
+using test_util::random_cnf;
+
+TEST(Solver, StatsStructTracksSearchWork) {
+  Solver s;
+  add_pigeon_hole(s, 6);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  const Solver::Stats& st = s.stats();
+  EXPECT_GT(st.conflicts, 0u);
+  EXPECT_GT(st.decisions, 0u);
+  EXPECT_GT(st.propagations, 0u);
+  EXPECT_GT(st.learned, 0u);
+  // The legacy accessors are views of the same struct.
+  EXPECT_EQ(st.conflicts, s.num_conflicts());
+  EXPECT_EQ(st.decisions, s.num_decisions());
+  EXPECT_EQ(st.propagations, s.num_propagations());
+  EXPECT_EQ(st.learned, s.num_learned());
+}
+
+TEST(Solver, ReductionDeletesLearntsButProtectsGlue) {
+  // A tiny learnt-DB cap forces many reduce_db sweeps on a hard instance.
+  // The sweep must delete clauses (learnts_deleted advances) while the glue
+  // policy keeps every LBD<=2 clause (glue_protected counts the saves).
+  Solver s;
+  Solver::Config config;
+  config.max_learnts = 12;  // small enough that glue clauses fill the quota
+  s.set_config(config);
+  add_pigeon_hole(s, 7);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().learnts_deleted, 0u);
+  EXPECT_GT(s.stats().glue_protected, 0u);
+}
+
+TEST(Solver, ClauseMinimizationShrinksLearnts) {
+  Solver s;
+  add_pigeon_hole(s, 7);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().minimized_literals, 0u);
+}
+
+TEST(Solver, LubyRestartsHappen) {
+  Solver s;
+  add_pigeon_hole(s, 7);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.stats().restarts, 0u);
+}
+
+TEST(Solver, PhaseSavingDeterministicAtFixedSeed) {
+  // Two solvers with the identical (randomized) configuration must walk the
+  // identical search tree: same verdict, same model, same counters.
+  util::Rng rng(31337);
+  const int nv = 60;
+  const auto clauses = random_cnf(rng, nv, 4 * nv);
+  Solver::Config config;
+  config.seed = 7;
+  config.random_initial_phase = true;
+  config.random_decision_freq = 0.05;
+
+  std::vector<Result> results;
+  std::vector<std::vector<bool>> models;
+  std::vector<std::uint64_t> conflict_counts;
+  for (int run = 0; run < 2; ++run) {
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    s.set_config(config);
+    load_cnf(s, clauses, vars);
+    const Result r = s.solve();
+    results.push_back(r);
+    conflict_counts.push_back(s.stats().conflicts);
+    std::vector<bool> model;
+    if (r == Result::Sat) {
+      for (Var v : vars) model.push_back(s.model_value(v));
+    }
+    models.push_back(model);
+  }
+  EXPECT_EQ(results[0], results[1]);
+  EXPECT_EQ(models[0], models[1]);
+  EXPECT_EQ(conflict_counts[0], conflict_counts[1]);
+}
+
+TEST(Solver, DiversifiedConfigsAgreeWithBruteForce) {
+  // Cross-check: every diversification axis (polarity defaults, random
+  // phases, random decisions, best-phase off, restart pacing) must preserve
+  // the verdict of the reference behavior on randomized instances.
+  std::vector<Solver::Config> configs(5);
+  configs[1].default_phase = true;
+  configs[1].restart_unit = 32;
+  configs[2].seed = 11;
+  configs[2].random_initial_phase = true;
+  configs[2].random_decision_freq = 0.05;
+  configs[3].use_best_phase = false;
+  configs[3].restart_unit = 256;
+  configs[4].seed = 99;
+  configs[4].random_initial_phase = true;
+  configs[4].max_learnts = 16;
+
+  util::Rng rng(909);
+  for (int trial = 0; trial < 12; ++trial) {
+    const int nv = 8;
+    const auto clauses = random_cnf(rng, nv, 8 + static_cast<int>(rng.next_below(30)));
+    const bool expected = brute_force_sat(clauses, nv);
+    for (std::size_t ci = 0; ci < configs.size(); ++ci) {
+      Solver s;
+      std::vector<Var> vars;
+      for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+      s.set_config(configs[ci]);
+      load_cnf(s, clauses, vars);
+      const Result r = s.solve();
+      EXPECT_EQ(r == Result::Sat, expected)
+          << "trial " << trial << " config " << ci;
+      if (r == Result::Sat) {
+        for (const auto& clause : clauses) {
+          bool any = false;
+          for (int l : clause) {
+            any = any || s.model_value(vars[static_cast<std::size_t>(
+                             std::abs(l) - 1)]) == (l > 0);
+          }
+          EXPECT_TRUE(any) << "trial " << trial << " config " << ci;
+        }
+      }
+    }
+  }
+}
+
+TEST(Solver, InterruptFlagStopsSolve) {
+  Solver s;
+  add_pigeon_hole(s, 8);  // hard enough that it cannot finish instantly
+  std::atomic<bool> stop{true};
+  s.set_interrupt(&stop);
+  EXPECT_EQ(s.solve(), Result::Unknown);  // pre-fired flag: no search at all
+  // Clearing the flag resumes normal solving on the same instance.
+  stop.store(false);
+  s.set_conflict_budget(50);
+  EXPECT_EQ(s.solve(), Result::Unknown);  // still hard: budget trips instead
+  s.set_conflict_budget(-1);
+  s.set_interrupt(nullptr);
+  Solver easy;
+  const Var a = easy.new_var();
+  easy.add_unit(pos(a));
+  EXPECT_EQ(easy.solve(), Result::Sat);
+}
+
+TEST(Solver, InterruptFiredFromAnotherThread) {
+  Solver s;
+  add_pigeon_hole(s, 9);  // far beyond what solves in the sleep window
+  std::atomic<bool> stop{false};
+  s.set_interrupt(&stop);
+  std::thread killer([&stop] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stop.store(true);
+  });
+  EXPECT_EQ(s.solve(), Result::Unknown);
+  killer.join();
+}
+
+TEST(Solver, DuplicatedAssumptionsPushLevelsPastVarCount) {
+  // Regression: an assumption literal that is already true when placed gets
+  // a dummy decision level, so heavy duplication pushes decision levels
+  // past num_vars. The exact-LBD scratch array must grow on demand instead
+  // of indexing out of bounds (caught under ASan before the fix).
+  util::Rng rng(1212);
+  for (int trial = 0; trial < 20; ++trial) {
+    const int nv = 6;
+    const auto clauses = random_cnf(rng, nv, 14 + static_cast<int>(rng.next_below(12)));
+    Solver s;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(s.new_var());
+    load_cnf(s, clauses, vars);
+    std::vector<Lit> assumptions(static_cast<std::size_t>(4 * nv), pos(vars[0]));
+    const bool expected = brute_force_sat(clauses, nv, {1});
+    EXPECT_EQ(s.solve(assumptions) == Result::Sat, expected) << "trial " << trial;
+  }
+}
+
+TEST(Solver, CopyProblemIntoPreservesProblem) {
+  util::Rng rng(606);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nv = 7;
+    const auto clauses = random_cnf(rng, nv, 10 + static_cast<int>(rng.next_below(20)));
+    Solver original;
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(original.new_var());
+    load_cnf(original, clauses, vars);
+    // Solve once so the original carries learnts + root units to replay.
+    const Result first = original.solve();
+
+    Solver clone;
+    original.copy_problem_into(clone);
+    EXPECT_EQ(clone.num_vars(), original.num_vars());
+    const Result r = clone.solve();
+    EXPECT_EQ(r, first) << "trial " << trial;
+    EXPECT_EQ(r == Result::Sat, brute_force_sat(clauses, nv)) << "trial " << trial;
+    // Assumption solving agrees too.
+    const Lit a = pos(vars[0]);
+    EXPECT_EQ(clone.solve({a}), original.solve({a})) << "trial " << trial;
+  }
 }
 
 TEST(Solver, UnsatAssumptionSubsetExcludesImpliedUnits) {

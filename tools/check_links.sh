@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Verify that every relative markdown link in the repo's *.md files resolves
+# to an existing file or directory. External links (http/https/mailto) and
+# pure in-page anchors (#...) are skipped; "path#anchor" checks the path
+# part. Run from anywhere: paths are resolved against the repo root.
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+failures=0
+checked=0
+
+# All tracked-ish markdown files, excluding build trees.
+while IFS= read -r md; do
+  dir="$(dirname "$md")"
+  # Extract the (target) part of every [text](target) link. Inline code and
+  # bare URLs are not matched; multi-line links are rare enough to ignore.
+  while IFS= read -r target; do
+    [ -n "$target" ] || continue
+    case "$target" in
+      http://*|https://*|mailto:*) continue ;;
+      '#'*) continue ;;                       # in-page anchor
+    esac
+    path="${target%%#*}"                      # strip a trailing #anchor
+    path="${path%% *}"                        # strip '"title"' suffixes
+    [ -n "$path" ] || continue
+    if [[ "$path" = /* ]]; then
+      resolved="$root$path"                   # repo-absolute
+    else
+      resolved="$dir/$path"
+    fi
+    checked=$((checked + 1))
+    if [ ! -e "$resolved" ]; then
+      echo "BROKEN: $md -> $target" >&2
+      failures=$((failures + 1))
+    fi
+  done < <(grep -oE '\]\([^)]+\)' "$md" | sed -E 's/^\]\(//; s/\)$//')
+done < <(find "$root" -name '*.md' -not -path '*/build*/*' -not -path '*/.git/*')
+
+echo "checked $checked relative links"
+if [ "$failures" -gt 0 ]; then
+  echo "$failures broken link(s)" >&2
+  exit 1
+fi

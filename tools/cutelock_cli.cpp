@@ -26,6 +26,7 @@
 #include "netlist/bench_io.hpp"
 #include "sim/vcd.hpp"
 #include "tech/overhead.hpp"
+#include "util/env.hpp"
 #include "util/strings.hpp"
 
 namespace {
@@ -115,6 +116,7 @@ int cmd_attack(const Args& args) {
   attack::SequentialOracle oracle(original);
   attack::AttackBudget budget;
   budget.time_limit_s = static_cast<double>(args.get_u64("seconds", 10));
+  budget.sat_workers = util::sat_portfolio_from_env();
 
   const std::string mode = args.get("attack", "bmc");
   attack::AttackResult result;
