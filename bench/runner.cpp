@@ -53,7 +53,8 @@ std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
   return add(std::move(meta), [slot, fn = std::move(fn)]() {
     *slot = fn();
     return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
-                      slot->iterations};
+                      slot->iterations, slot->replayed_queries,
+                      slot->fresh_queries};
   });
 }
 
@@ -115,6 +116,8 @@ std::string Runner::json() const {
     out += ", \"seconds\": ";
     out += seconds;
     out += ", \"iterations\": " + std::to_string(job.out.iterations);
+    out += ", \"replayed_queries\": " + std::to_string(job.out.replayed_queries);
+    out += ", \"fresh_queries\": " + std::to_string(job.out.fresh_queries);
     out += "}";
   }
   out += "\n  ]\n}\n";

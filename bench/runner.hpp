@@ -34,6 +34,10 @@ struct JobOutcome {
   std::string outcome;
   double seconds = -1.0;
   std::uint64_t iterations = 0;
+  /// Oracle-query split for engine-based attacks (see attack::AttackResult):
+  /// ObservationBank replays vs genuine oracle queries. Zero outside attacks.
+  std::uint64_t replayed_queries = 0;
+  std::uint64_t fresh_queries = 0;
 };
 
 class Runner {

@@ -1,0 +1,117 @@
+#include "attack/observation_bank.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "util/env.hpp"
+#include "util/fnv.hpp"
+
+namespace cl::attack {
+
+namespace {
+
+std::uint64_t hash_sequence(const std::vector<sim::BitVec>& inputs) {
+  std::uint64_t h = util::k_fnv_offset;
+  util::fnv1a_mix(h, inputs.size());
+  for (const sim::BitVec& frame : inputs) {
+    util::fnv1a_mix(h, frame.size());
+    for (const auto bit : frame) util::fnv1a_mix(h, bit != 0 ? 1 : 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+void ObservationBank::record(const std::vector<sim::BitVec>& inputs,
+                             const std::vector<sim::BitVec>& outputs) {
+  if (inputs.empty()) return;
+  const std::uint64_t h = hash_sequence(inputs);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (observations_.size() >= k_max_observations) return;
+  auto it = std::lower_bound(
+      seen_.begin(), seen_.end(), h,
+      [](const Entry& e, std::uint64_t v) { return e.hash < v; });
+  for (; it != seen_.end() && it->hash == h; ++it) {
+    if (observations_[it->index].inputs == inputs) return;  // duplicate fact
+  }
+  seen_.insert(it, Entry{h, observations_.size()});
+  observations_.push_back(Observation{inputs, outputs});
+}
+
+std::optional<std::vector<sim::BitVec>> ObservationBank::lookup(
+    const std::vector<sim::BitVec>& inputs) const {
+  if (inputs.empty()) return std::nullopt;
+  const std::uint64_t h = hash_sequence(inputs);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = std::lower_bound(
+           seen_.begin(), seen_.end(), h,
+           [](const Entry& e, std::uint64_t v) { return e.hash < v; });
+       it != seen_.end() && it->hash == h; ++it) {
+    const Observation& obs = observations_[it->index];
+    if (obs.inputs == inputs) return obs.outputs;  // hash-collision safe
+  }
+  return std::nullopt;
+}
+
+std::vector<Observation> ObservationBank::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_;
+}
+
+std::size_t ObservationBank::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return observations_.size();
+}
+
+std::uint64_t lock_instance_key(const netlist::Netlist& nl) {
+  std::uint64_t h = util::k_fnv_offset;
+  util::fnv1a_mix_bytes(h, nl.name().data(), nl.name().size());
+  util::fnv1a_mix(h, nl.size());
+  for (netlist::SignalId s = 0; s < nl.size(); ++s) {
+    const netlist::Node& node = nl.node(s);
+    util::fnv1a_mix(h, static_cast<std::uint64_t>(node.type));
+    util::fnv1a_mix(h, static_cast<std::uint64_t>(node.init));
+    util::fnv1a_mix_bytes(h, node.name.data(), node.name.size());
+    util::fnv1a_mix(h, node.fanins.size());
+    for (const netlist::SignalId f : node.fanins) util::fnv1a_mix(h, f);
+  }
+  util::fnv1a_mix(h, nl.outputs().size());
+  for (const netlist::SignalId o : nl.outputs()) util::fnv1a_mix(h, o);
+  return h;
+}
+
+std::uint64_t bank_key(const netlist::Netlist& locked,
+                       const netlist::Netlist& reference) {
+  std::uint64_t h = lock_instance_key(locked);
+  util::fnv1a_mix(h, lock_instance_key(reference));
+  return h;
+}
+
+namespace {
+
+struct Registry {
+  std::mutex mu;
+  // std::map: node-stable, so returned bank references never move.
+  std::map<std::uint64_t, ObservationBank> banks;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry;  // leaked: banks outlive static teardown
+  return *r;
+}
+
+}  // namespace
+
+ObservationBank& observation_bank_for_key(std::uint64_t key) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  return r.banks[key];
+}
+
+ObservationBank* observation_bank_for(const netlist::Netlist& locked,
+                                      const netlist::Netlist& reference) {
+  if (!util::obs_bank_from_env()) return nullptr;
+  return &observation_bank_for_key(bank_key(locked, reference));
+}
+
+}  // namespace cl::attack

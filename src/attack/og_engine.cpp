@@ -1,0 +1,270 @@
+#include "attack/og_engine.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cl::attack {
+
+using netlist::Netlist;
+using sat::Result;
+
+OgEngine::OgEngine(const Netlist& locked, const SequentialOracle& oracle,
+                   const AttackBudget& budget, ObservationBank* bank)
+    : locked_(locked), oracle_(oracle), budget_(budget), bank_(bank),
+      rng_(0) {}
+
+AttackResult OgEngine::run(DipStrategy& strategy) {
+  spec_ = strategy.spec();
+  if (spec_.combinational && !locked_.dffs().empty()) {
+    throw std::invalid_argument(
+        std::string(spec_.caller) +
+        ": expects a combinational (scan-exposed) circuit");
+  }
+  if (locked_.key_inputs().empty()) {
+    throw std::invalid_argument(std::string(spec_.caller) +
+                                ": circuit has no key inputs");
+  }
+  rng_ = util::Rng(spec_.seed);
+  result_ = AttackResult{};
+  candidate_.clear();
+  io_.clear();
+  miter_.reset();  // references the solver: destroy before it
+  solver_.reset();
+  timer_.reset();
+  strategy.on_start(*this);
+  return strategy.attack(*this);
+}
+
+bool OgEngine::out_of_budget() const {
+  return timer_.seconds() > budget_.time_limit_s ||
+         result_.iterations >= budget_.max_iterations;
+}
+
+double OgEngine::elapsed_s() const { return timer_.seconds(); }
+
+double OgEngine::remaining_s() const {
+  return std::max(0.0, budget_.time_limit_s - timer_.seconds());
+}
+
+void OgEngine::arm_deadline() { arm_deadline(*solver_); }
+
+void OgEngine::arm_deadline(sat::Solver& solver) const {
+  solver.set_time_budget(remaining_s());
+}
+
+VerifyOptions OgEngine::verify_options(bool clamp_to_remaining) const {
+  VerifyOptions v = verify_options_for(budget_);
+  if (clamp_to_remaining) {
+    v.time_limit_s = std::min(remaining_s(), v.time_limit_s);
+  }
+  return v;
+}
+
+std::vector<sim::BitVec> OgEngine::query_oracle(
+    const std::vector<sim::BitVec>& inputs) {
+  if (bank_ != nullptr) {
+    // Exact repeats of a banked sequence (shared warmup traces, recurring
+    // counterexamples) are answered from the bank, not the oracle.
+    if (auto banked = bank_->lookup(inputs)) {
+      ++result_.replayed_queries;
+      return *std::move(banked);
+    }
+  }
+  ++result_.fresh_queries;
+  std::vector<sim::BitVec> outputs = oracle_.query(inputs);
+  if (bank_ != nullptr) bank_->record(inputs, outputs);
+  return outputs;
+}
+
+void OgEngine::constrain_both_keys(const std::vector<sim::BitVec>& inputs,
+                                   const std::vector<sim::BitVec>& outputs) {
+  const std::vector<sat::Var>* init =
+      spec_.symbolic_init ? &miter_->initial_state_vars() : nullptr;
+  cnf::constrain_key_on_sequence(*solver_, locked_, miter_->keys_a(), inputs,
+                                 outputs, init);
+  cnf::constrain_key_on_sequence(*solver_, locked_, miter_->keys_b(), inputs,
+                                 outputs, init);
+}
+
+void OgEngine::add_io(const std::vector<sim::BitVec>& inputs) {
+  IoFact fact{inputs, query_oracle(inputs)};
+  constrain_both_keys(fact.inputs, fact.outputs);
+  io_.push_back(std::move(fact));
+  ++result_.iterations;
+}
+
+std::unique_ptr<sat::PortfolioSolver> OgEngine::make_solver() const {
+  auto solver = std::make_unique<sat::PortfolioSolver>(budget_.sat_workers);
+  solver->set_conflict_budget(budget_.conflict_budget);
+  return solver;
+}
+
+void OgEngine::rebuild(std::size_t depth) {
+  solver_ = make_solver();
+  miter_ = std::make_unique<cnf::SequentialMiter>(*solver_, locked_,
+                                                  spec_.symbolic_init);
+  miter_->extend_to(depth);
+  for (const IoFact& fact : io_) {
+    constrain_both_keys(fact.inputs, fact.outputs);
+  }
+}
+
+void OgEngine::extend_to(std::size_t depth) { miter_->extend_to(depth); }
+
+std::vector<Observation> OgEngine::banked_observations() {
+  std::vector<Observation> out;
+  if (bank_ == nullptr) return out;
+  for (Observation& obs : bank_->snapshot()) {
+    // Facts from a different interface cannot appear in this bank (the
+    // registry keys on the locked/reference pair), but guard anyway.
+    if (obs.inputs.empty() ||
+        obs.inputs[0].size() != oracle_.num_inputs()) {
+      continue;
+    }
+    out.push_back(std::move(obs));
+    ++result_.replayed_queries;
+  }
+  return out;
+}
+
+void OgEngine::replay_bank() {
+  for (const Observation& obs : banked_observations()) {
+    constrain_both_keys(obs.inputs, obs.outputs);
+    io_.push_back(IoFact{obs.inputs, obs.outputs});
+  }
+}
+
+AttackResult OgEngine::finish(Outcome outcome, std::string detail) {
+  result_.outcome = outcome;
+  result_.seconds = timer_.seconds();
+  result_.detail = std::move(detail);
+  return result_;
+}
+
+AttackResult OgEngine::finish_timeout(std::string detail) {
+  result_.key = candidate_;
+  return finish(Outcome::Timeout, std::move(detail));
+}
+
+AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
+  rebuild(spec_.start_depth);
+  replay_bank();
+  for (std::size_t w = 0; w < spec_.warmup_sequences; ++w) {
+    // Simulation-guided warmup: random traces prune the hypothesis space
+    // before the (expensive) discriminating-sequence search starts.
+    add_io(sim::random_stimulus(rng_, spec_.warmup_cycles,
+                                oracle_.num_inputs()));
+  }
+
+  std::size_t depth = spec_.start_depth;
+  std::size_t dip_rounds = 0;
+  while (spec_.combinational || depth <= budget_.max_depth) {
+    // DIS search at the current depth.
+    bool dis_exhausted = false;
+    while (!dis_exhausted) {
+      if (out_of_budget()) {
+        return finish_timeout(
+            spec_.combinational
+                ? "budget exhausted after " + std::to_string(dip_rounds) +
+                      " DIP rounds"
+                : "budget exhausted at depth " + std::to_string(depth));
+      }
+      arm_deadline();
+      const Result r = solver_->solve({miter_->diff_within(depth)});
+      if (r == Result::Unknown) {
+        return finish_timeout(
+            spec_.combinational
+                ? "solver conflict budget exhausted"
+                : "solver budget exhausted at depth " + std::to_string(depth));
+      }
+      if (r == Result::Unsat) break;  // no DIP/DIS remains at this depth
+
+      for (std::size_t d = 0; d < spec_.dips_per_round; ++d) {
+        const Result rr =
+            d == 0 ? r : solver_->solve({miter_->diff_within(depth)});
+        if (rr != Result::Sat) break;
+        add_io(miter_->extract_inputs(depth));
+      }
+      ++dip_rounds;
+
+      AttackResult done;
+      switch (strategy.after_round(*this, dip_rounds, &done)) {
+        case DipStrategy::RoundAction::kContinue:
+          break;
+        case DipStrategy::RoundAction::kBreakDis:
+          dis_exhausted = true;
+          break;
+        case DipStrategy::RoundAction::kDone:
+          return done;
+      }
+    }
+
+    // Keys are indistinguishable within `depth` under all recorded
+    // responses: any consistent key is the attack's current answer.
+    arm_deadline();
+    const Result consistent = solver_->solve();
+    if (consistent == Result::Unknown) {
+      return finish_timeout(spec_.combinational
+                                ? "consistency check exceeded solver budget"
+                                : "consistency check exceeded budget");
+    }
+    if (consistent == Result::Unsat) {
+      return finish(
+          Outcome::Cns,
+          spec_.combinational
+              ? "no static key is consistent with the oracle responses"
+              : "key space empty after " + std::to_string(io_.size()) +
+                    " oracle sequences (depth " + std::to_string(depth) + ")");
+    }
+    const sim::BitVec key = miter_->extract_key_a();
+    set_candidate(key);
+    const VerifyResult v =
+        verify_static_key(locked_, key, oracle_.reference(),
+                          verify_options(!spec_.combinational));
+    if (spec_.combinational) {
+      // Scan-model attacks conclude here, right or wrong: with no DIP left
+      // there is nothing more the oracle can discriminate.
+      result_.key = key;
+      return finish(v.equivalent ? Outcome::Equal : Outcome::WrongKey, "");
+    }
+    if (v.equivalent) {
+      result_.key = key;
+      return finish(Outcome::Equal, "verified at depth " + std::to_string(depth));
+    }
+    if (!v.counterexample.empty()) {
+      // The candidate fails on a real sequence: feed it back as an oracle
+      // constraint (this is what drives multi-key locks to CNS).
+      add_io(v.counterexample);
+      strategy.on_refuted(*this, key);
+      continue;  // retry at the same depth with the new constraint
+    }
+    // No counterexample reconstructed: deepen the search.
+    depth += spec_.depth_step;
+    if (depth > budget_.max_depth) break;
+    if (spec_.incremental) {
+      extend_to(depth);
+    } else {
+      rebuild(depth);
+    }
+  }
+
+
+  result_.key = candidate_;
+  return finish(candidate_.empty() ? Outcome::Fail : Outcome::WrongKey,
+                "max depth reached without a verified key");
+}
+
+AttackResult DipStrategy::attack(OgEngine& engine) {
+  return engine.run_dip_loop(*this);
+}
+
+void DipStrategy::on_start(OgEngine&) {}
+
+DipStrategy::RoundAction DipStrategy::after_round(OgEngine&, std::size_t,
+                                                  AttackResult*) {
+  return RoundAction::kContinue;
+}
+
+void DipStrategy::on_refuted(OgEngine&, const sim::BitVec&) {}
+
+}  // namespace cl::attack

@@ -1,11 +1,12 @@
 #include "attack/periodic_attack.hpp"
 
 #include <algorithm>
+#include <utility>
 
+#include "attack/og_engine.hpp"
 #include "cnf/encoder.hpp"
 #include "cnf/miter.hpp"
 #include "netlist/topo.hpp"
-#include "sat/portfolio.hpp"
 #include "util/timer.hpp"
 
 namespace cl::attack {
@@ -81,91 +82,118 @@ bool schedule_works(const sim::CompiledNetlist& locked,
   return true;
 }
 
+/// Adaptive periodic-key attacker: the one strategy whose hypothesis is not
+/// a static key but a schedule K[t mod p], swept over periods p. It replaces
+/// the engine's shared DIP loop wholesale and uses the engine services —
+/// budget/deadline arming, bank-aware oracle queries, iteration accounting,
+/// solver factory — directly.
+class PeriodicScheduleStrategy : public DipStrategy {
+ public:
+  explicit PeriodicScheduleStrategy(const PeriodicAttackOptions& options)
+      : options_(options) {}
+
+  const char* name() const override { return "periodic"; }
+
+  Spec spec() const override {
+    Spec s;
+    s.seed = 0x9e410d1c;  // schedule-validation RNG (historical constant)
+    s.caller = "periodic_key_attack";
+    return s;
+  }
+
+  AttackResult attack(OgEngine& engine) override {
+    const Netlist& locked = engine.locked();
+    const std::size_t ki = locked.key_inputs().size();
+    const sim::CompiledNetlist compiled_locked(locked);
+    const sim::CompiledNetlist compiled_reference(engine.oracle().reference());
+
+    // Shared pool of oracle responses, reused across period hypotheses.
+    // Banked facts from earlier attacks on this instance join it for free.
+    std::vector<std::pair<std::vector<sim::BitVec>, std::vector<sim::BitVec>>>
+        io;
+    for (Observation& obs : engine.banked_observations()) {
+      io.emplace_back(std::move(obs.inputs), std::move(obs.outputs));
+    }
+    const auto add_io = [&](const std::vector<sim::BitVec>& inputs) {
+      io.emplace_back(inputs, engine.query_oracle(inputs));
+      ++engine.result().iterations;
+    };
+    // Seed with a few random traces long enough to cover every hypothesis.
+    for (int i = 0; i < 4; ++i) {
+      add_io(sim::random_stimulus(engine.rng(), 2 * options_.max_period + 6,
+                                  engine.oracle().num_inputs()));
+    }
+
+    for (std::size_t period = 1; period <= options_.max_period; ++period) {
+      const auto solver = engine.make_solver();
+      std::vector<std::vector<Var>> slots(period);
+      for (auto& slot : slots) {
+        for (std::size_t b = 0; b < ki; ++b) slot.push_back(solver->new_var());
+      }
+      std::size_t constrained = 0;
+      const auto sync = [&]() {
+        while (constrained < io.size()) {
+          constrain_schedule(*solver, locked, slots, io[constrained].first,
+                             io[constrained].second);
+          ++constrained;
+        }
+      };
+      for (;;) {
+        if (engine.out_of_budget()) {
+          return engine.finish_timeout("budget exhausted at period " +
+                                       std::to_string(period));
+        }
+        sync();
+        engine.arm_deadline(*solver);
+        const Result r = solver->solve();
+        if (r == Result::Unknown) {
+          return engine.finish_timeout("");
+        }
+        if (r == Result::Unsat) break;  // period hypothesis refuted
+
+        std::vector<sim::BitVec> schedule;
+        for (const auto& slot : slots) {
+          schedule.push_back(cnf::extract_bits(*solver, slot));
+        }
+        std::vector<sim::BitVec> counterexample;
+        if (schedule_works(compiled_locked, compiled_reference, schedule,
+                           engine.rng(), &counterexample)) {
+          recovered_period = period;
+          recovered_schedule = std::move(schedule);
+          if (!recovered_schedule.empty()) {
+            engine.result().key = recovered_schedule[0];
+          }
+          return engine.finish(Outcome::Equal, "schedule recovered at period " +
+                                                   std::to_string(period));
+        }
+        add_io(counterexample);
+      }
+    }
+    return engine.finish(Outcome::Cns,
+                         "no periodic schedule up to period " +
+                             std::to_string(options_.max_period) +
+                             " is consistent with the oracle");
+  }
+
+  std::size_t recovered_period = 0;
+  std::vector<sim::BitVec> recovered_schedule;
+
+ private:
+  PeriodicAttackOptions options_;
+};
+
 }  // namespace
 
 PeriodicAttackResult periodic_key_attack(const Netlist& locked,
                                          const SequentialOracle& oracle,
                                          const PeriodicAttackOptions& options) {
   PeriodicAttackResult out;
-  util::Timer timer;
-  util::Rng rng(0x9e410d1c);
-  const std::size_t ki = locked.key_inputs().size();
-  const sim::CompiledNetlist compiled_locked(locked);
-  const sim::CompiledNetlist compiled_reference(oracle.reference());
-
-  // Shared pool of oracle responses, reused across period hypotheses.
-  std::vector<std::pair<std::vector<sim::BitVec>, std::vector<sim::BitVec>>> io;
-  const auto add_io = [&](const std::vector<sim::BitVec>& inputs) {
-    io.emplace_back(inputs, oracle.query(inputs));
-    ++out.result.iterations;
-  };
-  // Seed with a few random traces long enough to cover every hypothesis.
-  for (int i = 0; i < 4; ++i) {
-    add_io(sim::random_stimulus(rng, 2 * options.max_period + 6,
-                                oracle.num_inputs()));
-  }
-
-  for (std::size_t period = 1; period <= options.max_period; ++period) {
-    sat::PortfolioSolver solver(options.budget.sat_workers);
-    solver.set_conflict_budget(options.budget.conflict_budget);
-    std::vector<std::vector<Var>> slots(period);
-    for (auto& slot : slots) {
-      for (std::size_t b = 0; b < ki; ++b) slot.push_back(solver.new_var());
-    }
-    std::size_t constrained = 0;
-    const auto sync = [&]() {
-      while (constrained < io.size()) {
-        constrain_schedule(solver, locked, slots, io[constrained].first,
-                           io[constrained].second);
-        ++constrained;
-      }
-    };
-    for (;;) {
-      if (timer.seconds() > options.budget.time_limit_s ||
-          out.result.iterations >= options.budget.max_iterations) {
-        out.result.outcome = Outcome::Timeout;
-        out.result.seconds = timer.seconds();
-        out.result.detail =
-            "budget exhausted at period " + std::to_string(period);
-        return out;
-      }
-      sync();
-      solver.set_time_budget(
-          std::max(0.05, options.budget.time_limit_s - timer.seconds()));
-      const Result r = solver.solve();
-      if (r == Result::Unknown) {
-        out.result.outcome = Outcome::Timeout;
-        out.result.seconds = timer.seconds();
-        return out;
-      }
-      if (r == Result::Unsat) break;  // period hypothesis refuted
-
-      std::vector<sim::BitVec> schedule;
-      for (const auto& slot : slots) {
-        schedule.push_back(cnf::extract_bits(solver, slot));
-      }
-      std::vector<sim::BitVec> counterexample;
-      if (schedule_works(compiled_locked, compiled_reference, schedule, rng,
-                         &counterexample)) {
-        out.result.outcome = Outcome::Equal;
-        out.result.seconds = timer.seconds();
-        out.result.detail = "schedule recovered at period " +
-                            std::to_string(period);
-        out.recovered_period = period;
-        out.recovered_schedule = std::move(schedule);
-        if (!out.recovered_schedule.empty()) {
-          out.result.key = out.recovered_schedule[0];
-        }
-        return out;
-      }
-      add_io(counterexample);
-    }
-  }
-  out.result.outcome = Outcome::Cns;
-  out.result.seconds = timer.seconds();
-  out.result.detail = "no periodic schedule up to period " +
-                      std::to_string(options.max_period) +
-                      " is consistent with the oracle";
+  OgEngine engine(locked, oracle, options.budget,
+                  observation_bank_for(locked, oracle.reference()));
+  PeriodicScheduleStrategy strategy(options);
+  out.result = engine.run(strategy);
+  out.recovered_period = strategy.recovered_period;
+  out.recovered_schedule = std::move(strategy.recovered_schedule);
   return out;
 }
 

@@ -28,6 +28,12 @@ struct AttackResult {
   sim::BitVec key;             // reported key, when any
   double seconds = 0.0;        // wall-clock attack time
   std::uint64_t iterations = 0;  // DIPs / oracle queries / candidates
+  /// Oracle-query accounting for engine-based attacks (attack::OgEngine):
+  /// constraints replayed from the cross-attack ObservationBank vs input
+  /// sequences actually sent to the oracle. Both zero for attacks that do
+  /// not run on the engine (BBO, FALL, DANA). Surfaced in BENCH_*.json.
+  std::uint64_t replayed_queries = 0;
+  std::uint64_t fresh_queries = 0;
   std::string detail;          // free-form diagnostics
 
   std::string summary() const;

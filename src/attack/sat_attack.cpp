@@ -1,149 +1,112 @@
 #include "attack/sat_attack.hpp"
 
 #include <optional>
-#include <stdexcept>
+#include <string>
 
-#include "attack/verify.hpp"
-#include "cnf/miter.hpp"
-#include "sat/portfolio.hpp"
-#include "util/timer.hpp"
+#include "attack/og_engine.hpp"
 
 namespace cl::attack {
 
 using netlist::Netlist;
 using sat::Result;
 
+namespace {
+
+/// Classic one-DIP-per-round scan-model SAT attack; Double-DIP is the same
+/// strategy with two DIPs extracted per Sat round.
+class CombDipStrategy : public DipStrategy {
+ public:
+  explicit CombDipStrategy(const SatAttackOptions& options)
+      : options_(options) {}
+
+  const char* name() const override {
+    return options_.mode == SatAttackOptions::Mode::DoubleDip ? "double-dip"
+                                                              : "sat";
+  }
+
+  Spec spec() const override {
+    Spec s;
+    s.combinational = true;
+    s.start_depth = 1;
+    s.dips_per_round =
+        options_.mode == SatAttackOptions::Mode::DoubleDip ? 2 : 1;
+    s.seed = options_.seed;
+    s.caller = "sat_attack";
+    return s;
+  }
+
+ protected:
+  SatAttackOptions options_;
+};
+
+/// AppSAT (Shamsi et al., HOST'17): the classic loop plus periodic random
+/// sampling; settle on the candidate once its observed error rate is low.
+class AppSatStrategy : public CombDipStrategy {
+ public:
+  using CombDipStrategy::CombDipStrategy;
+
+  const char* name() const override { return "appsat"; }
+
+  void on_start(OgEngine& engine) override {
+    // Compiled once for the sampling loop (per-sample compilation would
+    // dominate on large netlists); the other modes never simulate.
+    compiled_.emplace(engine.locked());
+  }
+
+  RoundAction after_round(OgEngine& engine, std::size_t dip_rounds,
+                          AttackResult* done) override {
+    if (dip_rounds % options_.appsat_sample_every != 0) {
+      return RoundAction::kContinue;
+    }
+    if (engine.solver().solve() != Result::Sat) {
+      return RoundAction::kBreakDis;  // key space empty
+    }
+    engine.set_candidate(engine.miter().extract_key_a());
+    std::size_t errors = 0;
+    for (std::size_t s = 0; s < options_.appsat_samples; ++s) {
+      const sim::BitVec x =
+          sim::random_bits(engine.rng(), engine.locked().inputs().size());
+      const auto got =
+          sim::run_sequence(*compiled_, {x}, {engine.candidate()})[0];
+      const auto want = engine.query_oracle({x})[0];
+      if (got != want) {
+        ++errors;
+        // AppSAT reinforces with failing samples as additional constraints.
+        engine.constrain_both_keys({x}, {want});
+      }
+    }
+    const double error_rate = static_cast<double>(errors) /
+                              static_cast<double>(options_.appsat_samples);
+    if (error_rate <= options_.appsat_error_threshold) {
+      // Settled: report the approximate key (verified exactly).
+      const VerifyResult v = verify_static_key(
+          engine.locked(), engine.candidate(), engine.oracle().reference(),
+          engine.verify_options(false));
+      engine.result().key = engine.candidate();
+      *done = engine.finish(v.equivalent ? Outcome::Equal : Outcome::WrongKey,
+                            "appsat settled, error rate " +
+                                std::to_string(error_rate));
+      return RoundAction::kDone;
+    }
+    return RoundAction::kContinue;
+  }
+
+ private:
+  std::optional<sim::CompiledNetlist> compiled_;
+};
+
+}  // namespace
+
 AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
                         const SatAttackOptions& options) {
-  if (!locked.dffs().empty()) {
-    throw std::invalid_argument(
-        "sat_attack: expects a combinational (scan-exposed) circuit");
-  }
-  if (locked.key_inputs().empty()) {
-    throw std::invalid_argument("sat_attack: circuit has no key inputs");
-  }
-  util::Timer timer;
-  util::Rng rng(options.seed);
-  AttackResult result;
-  // Compiled once for the AppSAT sampling loop (per-sample compilation
-  // would dominate on large netlists); other modes never simulate.
-  std::optional<sim::CompiledNetlist> compiled_locked;
+  OgEngine engine(locked, oracle, options.budget,
+                  observation_bank_for(locked, oracle.reference()));
   if (options.mode == SatAttackOptions::Mode::AppSat) {
-    compiled_locked.emplace(locked);
+    AppSatStrategy strategy(options);
+    return engine.run(strategy);
   }
-
-  sat::PortfolioSolver solver(options.budget.sat_workers);
-  solver.set_conflict_budget(options.budget.conflict_budget);
-  cnf::SequentialMiter miter(solver, locked);
-  miter.extend_to(1);
-
-  const auto out_of_budget = [&]() {
-    return timer.seconds() > options.budget.time_limit_s ||
-           result.iterations >= options.budget.max_iterations;
-  };
-  const auto arm_deadline = [&]() {
-    solver.set_time_budget(
-        std::max(0.05, options.budget.time_limit_s - timer.seconds()));
-  };
-
-  // Current best candidate (for AppSAT settling and timeout reporting).
-  sim::BitVec candidate;
-  const auto refresh_candidate = [&]() -> bool {
-    if (solver.solve() != Result::Sat) return false;
-    candidate = miter.extract_key_a();
-    return true;
-  };
-
-  std::size_t dip_rounds = 0;
-  for (;;) {
-    if (out_of_budget()) {
-      result.outcome = Outcome::Timeout;
-      result.key = candidate;
-      result.seconds = timer.seconds();
-      result.detail = "budget exhausted after " +
-                      std::to_string(dip_rounds) + " DIP rounds";
-      return result;
-    }
-    arm_deadline();
-    const Result r = solver.solve({miter.diff_within(1)});
-    if (r == Result::Unknown) {
-      result.outcome = Outcome::Timeout;
-      result.seconds = timer.seconds();
-      result.detail = "solver conflict budget exhausted";
-      return result;
-    }
-    if (r == Result::Unsat) break;  // no DIP remains
-
-    const std::size_t dips_this_round =
-        options.mode == SatAttackOptions::Mode::DoubleDip ? 2 : 1;
-    for (std::size_t d = 0; d < dips_this_round; ++d) {
-      const Result rr = (d == 0) ? r : solver.solve({miter.diff_within(1)});
-      if (rr != Result::Sat) break;
-      const sim::BitVec dip = miter.extract_inputs(1)[0];
-      const sim::BitVec response = oracle.query_comb(dip);
-      cnf::constrain_key_on_sequence(solver, locked, miter.keys_a(), {dip},
-                                     {response});
-      cnf::constrain_key_on_sequence(solver, locked, miter.keys_b(), {dip},
-                                     {response});
-      ++result.iterations;
-    }
-    ++dip_rounds;
-
-    if (options.mode == SatAttackOptions::Mode::AppSat &&
-        dip_rounds % options.appsat_sample_every == 0) {
-      if (!refresh_candidate()) break;  // key space empty
-      std::size_t errors = 0;
-      for (std::size_t s = 0; s < options.appsat_samples; ++s) {
-        const sim::BitVec x = sim::random_bits(rng, locked.inputs().size());
-        const auto got =
-            sim::run_sequence(*compiled_locked, {x}, {candidate})[0];
-        const auto want = oracle.query_comb(x);
-        if (got != want) {
-          ++errors;
-          // AppSAT reinforces with failing samples as additional constraints.
-          cnf::constrain_key_on_sequence(solver, locked, miter.keys_a(), {x},
-                                         {want});
-          cnf::constrain_key_on_sequence(solver, locked, miter.keys_b(), {x},
-                                         {want});
-        }
-      }
-      const double error_rate =
-          static_cast<double>(errors) / static_cast<double>(options.appsat_samples);
-      if (error_rate <= options.appsat_error_threshold) {
-        // Settled: report the approximate key (verified below).
-        const VerifyResult v =
-            verify_static_key(locked, candidate, oracle.reference(),
-                              verify_options_for(options.budget));
-        result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
-        result.key = candidate;
-        result.seconds = timer.seconds();
-        result.detail = "appsat settled, error rate " + std::to_string(error_rate);
-        return result;
-      }
-    }
-  }
-
-  // No DIP remains: any consistent key is the attack's answer.
-  arm_deadline();
-  const Result consistent = solver.solve();
-  result.seconds = timer.seconds();
-  if (consistent == Result::Unknown) {
-    result.outcome = Outcome::Timeout;
-    result.detail = "consistency check exceeded solver budget";
-    return result;
-  }
-  if (consistent == Result::Unsat) {
-    result.outcome = Outcome::Cns;
-    result.detail = "no static key is consistent with the oracle responses";
-    return result;
-  }
-  result.key = miter.extract_key_a();
-  const VerifyResult v =
-      verify_static_key(locked, result.key, oracle.reference(),
-                        verify_options_for(options.budget));
-  result.outcome = v.equivalent ? Outcome::Equal : Outcome::WrongKey;
-  result.seconds = timer.seconds();
-  return result;
+  CombDipStrategy strategy(options);
+  return engine.run(strategy);
 }
 
 }  // namespace cl::attack

@@ -1,174 +1,61 @@
 #include "attack/seq_attack.hpp"
 
-#include <algorithm>
-#include <memory>
-#include <stdexcept>
-
-#include "attack/verify.hpp"
-#include "cnf/miter.hpp"
-#include "sat/portfolio.hpp"
-#include "util/timer.hpp"
+#include "attack/og_engine.hpp"
 
 namespace cl::attack {
 
 using netlist::Netlist;
-using sat::Result;
 
 namespace {
 
-/// One oracle-constrained IO pair, replayed when the solver is rebuilt.
-struct IoConstraint {
-  std::vector<sim::BitVec> inputs;
-  std::vector<sim::BitVec> outputs;
-};
+/// BMC / KC2 / RANE: the sequential DIS loop. The three differ only in
+/// Spec flags (incremental solver, symbolic reset state, warmup volume) and
+/// in KC2's wrong-candidate blocking clause.
+class SeqDipStrategy : public DipStrategy {
+ public:
+  explicit SeqDipStrategy(const SeqAttackOptions& options)
+      : options_(options) {}
 
-struct Engine {
-  std::unique_ptr<sat::Solver> solver;
-  std::unique_ptr<cnf::SequentialMiter> miter;
-};
-
-void rebuild(Engine& e, const Netlist& locked, const SeqAttackOptions& options,
-             const std::vector<IoConstraint>& io, std::size_t depth) {
-  e.solver = std::make_unique<sat::PortfolioSolver>(options.budget.sat_workers);
-  e.solver->set_conflict_budget(options.budget.conflict_budget);
-  e.miter = std::make_unique<cnf::SequentialMiter>(*e.solver, locked,
-                                                   options.symbolic_init);
-  e.miter->extend_to(depth);
-  const std::vector<sat::Var>* init =
-      options.symbolic_init ? &e.miter->initial_state_vars() : nullptr;
-  for (const IoConstraint& c : io) {
-    cnf::constrain_key_on_sequence(*e.solver, locked, e.miter->keys_a(),
-                                   c.inputs, c.outputs, init);
-    cnf::constrain_key_on_sequence(*e.solver, locked, e.miter->keys_b(),
-                                   c.inputs, c.outputs, init);
+  const char* name() const override {
+    if (options_.symbolic_init) return "rane";
+    return options_.incremental ? "kc2" : "bmc";
   }
-}
+
+  Spec spec() const override {
+    Spec s;
+    s.symbolic_init = options_.symbolic_init;
+    s.incremental = options_.incremental;
+    s.start_depth = options_.start_depth;
+    s.depth_step = options_.depth_step;
+    s.warmup_sequences = options_.warmup_sequences;
+    s.warmup_cycles = options_.warmup_cycles;
+    s.seed = options_.seed;
+    s.caller = "seq_attack";
+    return s;
+  }
+
+  void on_refuted(OgEngine& engine, const sim::BitVec& key) override {
+    if (!options_.incremental) return;
+    // KC2-style: additionally block this exact wrong key.
+    std::vector<sat::Lit> block;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      block.push_back(sat::Lit(engine.miter().keys_a()[i], key[i] != 0));
+    }
+    engine.solver().add_clause(block);
+  }
+
+ private:
+  SeqAttackOptions options_;
+};
 
 }  // namespace
 
 AttackResult seq_attack(const Netlist& locked, const SequentialOracle& oracle,
                         const SeqAttackOptions& options) {
-  if (locked.key_inputs().empty()) {
-    throw std::invalid_argument("seq_attack: circuit has no key inputs");
-  }
-  util::Timer timer;
-  AttackResult result;
-  std::vector<IoConstraint> io;
-  sim::BitVec last_candidate;
-
-  Engine e;
-  rebuild(e, locked, options, io, options.start_depth);
-  std::size_t depth = options.start_depth;
-  util::Rng rng(options.seed);
-
-  const auto out_of_time = [&]() {
-    return timer.seconds() > options.budget.time_limit_s ||
-           result.iterations >= options.budget.max_iterations;
-  };
-  const auto remaining_s = [&]() {
-    return std::max(0.05, options.budget.time_limit_s - timer.seconds());
-  };
-  const auto verify_opts = [&]() {
-    VerifyOptions v = verify_options_for(options.budget);
-    v.time_limit_s = std::min(remaining_s(), v.time_limit_s);
-    return v;
-  };
-  const auto add_io = [&](const std::vector<sim::BitVec>& inputs) {
-    IoConstraint c{inputs, oracle.query(inputs)};
-    const std::vector<sat::Var>* init =
-        options.symbolic_init ? &e.miter->initial_state_vars() : nullptr;
-    cnf::constrain_key_on_sequence(*e.solver, locked, e.miter->keys_a(),
-                                   c.inputs, c.outputs, init);
-    cnf::constrain_key_on_sequence(*e.solver, locked, e.miter->keys_b(),
-                                   c.inputs, c.outputs, init);
-    io.push_back(std::move(c));
-    ++result.iterations;
-  };
-
-  // Simulation-guided warmup: random traces prune the hypothesis space
-  // before the (expensive) discriminating-sequence search starts.
-  for (std::size_t w = 0; w < options.warmup_sequences; ++w) {
-    add_io(sim::random_stimulus(rng, options.warmup_cycles,
-                                oracle.num_inputs()));
-  }
-
-  while (depth <= options.budget.max_depth) {
-    // DIS loop at the current depth.
-    for (;;) {
-      if (out_of_time()) {
-        result.outcome = Outcome::Timeout;
-        result.key = last_candidate;
-        result.seconds = timer.seconds();
-        result.detail = "budget exhausted at depth " + std::to_string(depth);
-        return result;
-      }
-      e.solver->set_time_budget(remaining_s());
-      const Result r = e.solver->solve({e.miter->diff_within(depth)});
-      if (r == Result::Unknown) {
-        result.outcome = Outcome::Timeout;
-        result.seconds = timer.seconds();
-        result.detail = "solver budget exhausted at depth " + std::to_string(depth);
-        return result;
-      }
-      if (r == Result::Unsat) break;
-      add_io(e.miter->extract_inputs(depth));
-    }
-
-    // Keys are indistinguishable up to `depth` under all recorded responses.
-    e.solver->set_time_budget(remaining_s());
-    const Result consistent = e.solver->solve();
-    if (consistent == Result::Unknown) {
-      result.outcome = Outcome::Timeout;
-      result.seconds = timer.seconds();
-      result.detail = "consistency check exceeded budget";
-      return result;
-    }
-    if (consistent == Result::Unsat) {
-      result.outcome = Outcome::Cns;
-      result.seconds = timer.seconds();
-      result.detail = "key space empty after " + std::to_string(io.size()) +
-                      " oracle sequences (depth " + std::to_string(depth) + ")";
-      return result;
-    }
-    const sim::BitVec key = e.miter->extract_key_a();
-    last_candidate = key;
-    const VerifyResult v =
-        verify_static_key(locked, key, oracle.reference(), verify_opts());
-    if (v.equivalent) {
-      result.outcome = Outcome::Equal;
-      result.key = key;
-      result.seconds = timer.seconds();
-      result.detail = "verified at depth " + std::to_string(depth);
-      return result;
-    }
-    if (!v.counterexample.empty()) {
-      // The candidate fails on a real sequence: feed it back as an oracle
-      // constraint (this is what drives multi-key locks to CNS).
-      add_io(v.counterexample);
-      if (options.incremental) {
-        // KC2-style: additionally block this exact wrong key.
-        std::vector<sat::Lit> block;
-        for (std::size_t i = 0; i < key.size(); ++i) {
-          block.push_back(sat::Lit(e.miter->keys_a()[i], key[i] != 0));
-        }
-        e.solver->add_clause(block);
-      }
-      continue;  // retry at the same depth with the new constraint
-    }
-    // No counterexample reconstructed: deepen the search.
-    depth += options.depth_step;
-    if (options.incremental) {
-      e.miter->extend_to(depth);
-    } else {
-      rebuild(e, locked, options, io, depth);
-    }
-  }
-
-  result.outcome = last_candidate.empty() ? Outcome::Fail : Outcome::WrongKey;
-  result.key = last_candidate;
-  result.seconds = timer.seconds();
-  result.detail = "max depth reached without a verified key";
-  return result;
+  OgEngine engine(locked, oracle, options.budget,
+                  observation_bank_for(locked, oracle.reference()));
+  SeqDipStrategy strategy(options);
+  return engine.run(strategy);
 }
 
 AttackResult bmc_attack(const Netlist& locked, const SequentialOracle& oracle,

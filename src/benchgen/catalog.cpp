@@ -3,19 +3,13 @@
 #include <stdexcept>
 
 #include "benchgen/s27.hpp"
+#include "util/fnv.hpp"
 
 namespace cl::benchgen {
 
 namespace {
 
-std::uint64_t name_seed(const std::string& name) {
-  std::uint64_t h = 0xcbf29ce484222325ULL;
-  for (char c : name) {
-    h ^= static_cast<std::uint64_t>(static_cast<unsigned char>(c));
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
+std::uint64_t name_seed(const std::string& name) { return util::fnv1a(name); }
 
 }  // namespace
 

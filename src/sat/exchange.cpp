@@ -1,0 +1,37 @@
+#include "sat/exchange.hpp"
+
+#include <algorithm>
+
+namespace cl::sat {
+
+ClauseExchange::ClauseExchange(std::size_t capacity)
+    : slots_(std::max<std::size_t>(64, capacity)) {}
+
+bool ClauseExchange::publish(std::size_t source, const Lit* lits,
+                             std::size_t n) {
+  if (n == 0 || n > k_max_lits) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  const std::uint64_t idx = head_.fetch_add(1, std::memory_order_acq_rel);
+  Slot& slot = slots_[idx % slots_.size()];
+  std::uint64_t s = slot.seq.load(std::memory_order_relaxed);
+  // Claim the slot by bumping the seqlock to odd; losing the claim (another
+  // writer lapped us onto the same slot) just drops the clause.
+  if ((s & 1) != 0 ||
+      !slot.seq.compare_exchange_strong(s, s + 1, std::memory_order_acq_rel)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slot.source.store(static_cast<std::uint32_t>(source),
+                    std::memory_order_relaxed);
+  slot.size.store(static_cast<std::uint32_t>(n), std::memory_order_relaxed);
+  for (std::size_t i = 0; i < n; ++i) {
+    slot.lits[i].store(lits[i].code(), std::memory_order_relaxed);
+  }
+  slot.seq.store(s + 2, std::memory_order_release);
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+}  // namespace cl::sat

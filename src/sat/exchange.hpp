@@ -1,0 +1,106 @@
+// Live clause sharing for portfolio races.
+//
+// A ClauseExchange is a bounded, lock-free broadcast buffer that diversified
+// CDCL workers racing the same problem use to trade derived knowledge
+// *during* the race (not just when the winner folds back): every worker
+// publishes its root-level units and glue learnts (LBD <= 2) as it learns
+// them, and imports what the others published at its restart boundaries.
+// Sharing learnt clauses between the workers is sound because every worker
+// solves the same clause database (assumptions are decisions, so CDCL
+// learnts are consequences of the database alone).
+//
+// The buffer is best-effort by design — publishing never blocks and never
+// waits for readers:
+//   * bounded: a fixed ring of fixed-width slots; clauses wider than
+//     kMaxLits are not shared (glue learnts are short in practice),
+//   * lossy: a publisher that collides with a concurrent writer on the same
+//     slot drops its clause, and a reader that falls a full ring behind
+//     skips ahead,
+//   * duplicate-tolerant: slot reuse can hand a reader the same clause
+//     twice; importers dedup on their side (Solver keeps a hash set of
+//     imported clauses).
+// Torn reads are impossible: each slot carries a seqlock counter (odd while
+// a writer is inside) and the payload is relaxed atomics, so a reader whose
+// before/after counters disagree discards the slot.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sat/solver.hpp"
+
+namespace cl::sat {
+
+class ClauseExchange {
+ public:
+  /// Widest clause the exchange carries. Root units and LBD<=2 learnts are
+  /// almost always this short; longer ones are simply not shared.
+  static constexpr std::size_t k_max_lits = 8;
+
+  /// `capacity` is rounded up to at least 64 slots.
+  explicit ClauseExchange(std::size_t capacity = 1024);
+
+  /// Publish `lits[0..n)` from worker `source`. Best-effort: drops
+  /// oversized clauses and writer/writer collisions. Returns whether the
+  /// clause was actually published. Thread-safe.
+  bool publish(std::size_t source, const Lit* lits, std::size_t n);
+
+  /// A reader's position in the stream. One per importing worker.
+  struct Cursor {
+    std::uint64_t next = 0;
+  };
+
+  /// Invoke `fn(lits, n)` for every clause published since `cursor` by a
+  /// worker other than `self`, then advance the cursor. Lossy when the
+  /// reader lags more than a full ring behind. Thread-safe.
+  template <typename Fn>
+  void collect(Cursor& cursor, std::size_t self, Fn&& fn) const {
+    const std::uint64_t head = head_.load(std::memory_order_acquire);
+    if (cursor.next >= head) return;
+    // Skip ahead if the ring already lapped the cursor: those slots have
+    // been (or are being) overwritten.
+    const std::uint64_t n = slots_.size();
+    if (head - cursor.next > n) cursor.next = head - n;
+    Lit buf[k_max_lits];
+    for (; cursor.next < head; ++cursor.next) {
+      const Slot& slot = slots_[cursor.next % n];
+      const std::uint64_t s1 = slot.seq.load(std::memory_order_acquire);
+      if (s1 & 1) continue;  // writer inside
+      const std::uint32_t source = slot.source.load(std::memory_order_relaxed);
+      const std::uint32_t size = slot.size.load(std::memory_order_relaxed);
+      if (size == 0 || size > k_max_lits) continue;  // never written / torn
+      for (std::uint32_t i = 0; i < size; ++i) {
+        buf[i] = Lit::from_code(slot.lits[i].load(std::memory_order_relaxed));
+      }
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+      if (source == self) continue;
+      fn(buf, static_cast<std::size_t>(size));
+    }
+  }
+
+  /// Clauses successfully published / dropped on contention or width.
+  std::uint64_t published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};  // seqlock: odd while being written
+    std::atomic<std::uint32_t> source{0};
+    std::atomic<std::uint32_t> size{0};
+    std::atomic<std::int32_t> lits[k_max_lits];
+  };
+
+  std::vector<Slot> slots_;
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+}  // namespace cl::sat

@@ -4,8 +4,10 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <optional>
 #include <vector>
 
+#include "sat/exchange.hpp"
 #include "util/env.hpp"
 #include "util/thread_pool.hpp"
 
@@ -36,7 +38,8 @@ constexpr std::size_t k_max_imported_learnts_total = 20000;
 }  // namespace
 
 PortfolioSolver::PortfolioSolver(std::size_t workers)
-    : workers_(workers == 0 ? 1 : workers) {}
+    : workers_(workers == 0 ? 1 : workers),
+      share_(util::sat_share_from_env()) {}
 
 Solver::Config PortfolioSolver::worker_config(std::size_t index) {
   Config c;
@@ -108,6 +111,10 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
   std::atomic<bool> cancel{false};
   std::atomic<int> winner{-1};
   std::vector<Result> results(workers_, Result::Unknown);
+  // Per-race exchange (only when sharing): lives on this frame until
+  // group.wait() returns, so worker pointers into it never dangle.
+  std::optional<ClauseExchange> exchange;
+  if (share_) exchange.emplace();
   for (std::size_t i = 0; i < workers_; ++i) {
     auto w = std::make_unique<Solver>();
     copy_problem_into(*w);
@@ -116,6 +123,7 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
     w->set_propagation_budget(propagations_left);
     w->set_time_budget(seconds_left);
     w->set_interrupt(&cancel);
+    if (share_) w->set_exchange(&*exchange, i);
     workers.push_back(std::move(w));
   }
 
@@ -151,6 +159,12 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
   stats_.learnts_deleted += w.stats_.learnts_deleted;
   stats_.glue_protected += w.stats_.glue_protected;
   stats_.minimized_literals += w.stats_.minimized_literals;
+  stats_.shared_exported += w.stats_.shared_exported;
+  stats_.shared_imported += w.stats_.shared_imported;
+  if (exchange) {
+    shared_published_ += exchange->published();
+    shared_dropped_ += exchange->dropped();
+  }
 
   // Keep the winner's derived knowledge: root-level units and low-LBD
   // learnts are implied by the shared problem clauses, so replaying them

@@ -12,6 +12,14 @@
 // solver, and its low-LBD learnt clauses are imported so the next race (and
 // the incremental attack loop around it) keeps the derived knowledge.
 //
+// While the race runs, workers additionally trade root units and glue
+// learnts (LBD <= 2) through a lock-free bounded ClauseExchange: each worker
+// publishes as it learns and imports the others' clauses at its restart
+// boundaries, so a hard instance is attacked with the union of everyone's
+// derived knowledge instead of N isolated searches. Sharing defaults on and
+// is controlled by CUTELOCK_SAT_SHARE (0 disables); it is trivially off
+// under CUTELOCK_BENCH_STABLE=1 because stable mode forces workers = 1.
+//
 // Portfolio answers are deterministic in *verdict* (Sat/Unsat agree with the
 // single solver) but not in *model* or timing — bench harnesses therefore
 // force workers = 1 under CUTELOCK_BENCH_STABLE=1 (see bench_common).
@@ -25,12 +33,23 @@ namespace cl::sat {
 
 class PortfolioSolver : public Solver {
  public:
-  /// `workers` <= 1 degrades to the plain (deterministic) Solver.
+  /// `workers` <= 1 degrades to the plain (deterministic) Solver. Live
+  /// clause sharing between the racing workers starts from CUTELOCK_SAT_SHARE
+  /// (default on); override with set_share().
   explicit PortfolioSolver(std::size_t workers = 1);
 
   Result solve(const std::vector<Lit>& assumptions = {}) override;
 
   std::size_t workers() const { return workers_; }
+
+  /// Live clause sharing during races (tests override the env default).
+  void set_share(bool share) { share_ = share; }
+  bool share() const { return share_; }
+
+  /// Clauses traded through the exchange over this solver's lifetime
+  /// (published by any worker / adopted by another worker).
+  std::uint64_t shared_published() const { return shared_published_; }
+  std::uint64_t shared_dropped() const { return shared_dropped_; }
 
   /// The diversified configuration handed to worker `index` (worker 0 runs
   /// the reference config). Exposed for tests and docs.
@@ -38,7 +57,10 @@ class PortfolioSolver : public Solver {
 
  private:
   std::size_t workers_;
+  bool share_;
   std::size_t imported_learnts_ = 0;  // lifetime import budget consumed
+  std::uint64_t shared_published_ = 0;
+  std::uint64_t shared_dropped_ = 0;
 };
 
 }  // namespace cl::sat

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "sat/exchange.hpp"
+#include "util/fnv.hpp"
+
 namespace cl::sat {
 
 Solver::Solver() {
@@ -487,6 +490,58 @@ void Solver::analyze_final(Lit p) {
   seen_[p.var()] = false;
 }
 
+void Solver::set_exchange(ClauseExchange* exchange, std::size_t source) {
+  exchange_ = exchange;
+  exchange_source_ = source;
+  exchange_cursor_ = 0;
+  imported_hashes_.clear();
+}
+
+namespace {
+
+/// Order-independent clause identity for reader-side dedup: FNV-1a over the
+/// sorted literal codes.
+std::uint64_t clause_hash(const Lit* lits, std::size_t n) {
+  std::int32_t codes[ClauseExchange::k_max_lits];
+  for (std::size_t i = 0; i < n; ++i) codes[i] = lits[i].code();
+  std::sort(codes, codes + n);
+  std::uint64_t h = util::k_fnv_offset;
+  for (std::size_t i = 0; i < n; ++i) {
+    util::fnv1a_mix(h, static_cast<std::uint32_t>(codes[i]));
+  }
+  return h;
+}
+
+}  // namespace
+
+void Solver::export_learnt(const std::vector<Lit>& learnt, int lbd) {
+  if (learnt.size() > ClauseExchange::k_max_lits) return;
+  if (learnt.size() > 1 && lbd > 2) return;  // units and glue only
+  if (exchange_->publish(exchange_source_, learnt.data(), learnt.size())) {
+    ++stats_.shared_exported;
+  }
+}
+
+void Solver::import_shared() {
+  // Caller backtracked to level 0 (import happens at restart boundaries), so
+  // add_clause is legal; imported clauses are implied by the shared problem
+  // database, so a root conflict here is a genuine Unsat verdict (ok_ flips
+  // and solve() reports it).
+  ClauseExchange::Cursor cursor{exchange_cursor_};
+  exchange_->collect(cursor, exchange_source_, [&](const Lit* lits,
+                                                   std::size_t n) {
+    if (!ok_) return;
+    const std::uint64_t h = clause_hash(lits, n);
+    const auto it =
+        std::lower_bound(imported_hashes_.begin(), imported_hashes_.end(), h);
+    if (it != imported_hashes_.end() && *it == h) return;  // already adopted
+    imported_hashes_.insert(it, h);
+    add_clause(std::vector<Lit>(lits, lits + n));
+    ++stats_.shared_imported;
+  });
+  exchange_cursor_ = cursor.next;
+}
+
 double Solver::luby(double y, int i) {
   int size = 1, seq = 0;
   while (size < i + 1) {
@@ -566,6 +621,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
       analyze(conflict, learnt, back_level);
       // Exact LBD of the freshly learnt clause, while levels are live.
       const int learnt_lbd = clause_lbd(learnt);
+      if (exchange_ != nullptr) export_learnt(learnt, learnt_lbd);
       if (learnt.size() == 1) {
         // A unit learnt clause is implied by the clause database alone (not
         // the assumptions), so assert it at the root; the decision loop
@@ -613,9 +669,18 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         if (config_.use_best_phase && best_trail_size_ > 0) {
           phase_ = best_phase_;
         }
-        backtrack(static_cast<int>(assumptions.size()) <= decision_level()
-                      ? static_cast<int>(assumptions.size())
-                      : 0);
+        if (exchange_ != nullptr) {
+          // Restart boundary: adopt what the other workers published. Import
+          // needs level 0 (full restart instead of the assumption-prefix
+          // one); the decision loop re-places the assumptions afterwards.
+          backtrack(0);
+          import_shared();
+          if (!ok_) return Result::Unsat;
+        } else {
+          backtrack(static_cast<int>(assumptions.size()) <= decision_level()
+                        ? static_cast<int>(assumptions.size())
+                        : 0);
+        }
       }
       if (learnts_.size() > max_learnts_) {
         reduce_db();

@@ -18,6 +18,8 @@
 
 namespace cl::sat {
 
+class ClauseExchange;
+
 /// 0-based variable index.
 using Var = std::int32_t;
 
@@ -84,6 +86,8 @@ class Solver {
     std::uint64_t glue_protected = 0;   ///< clauses the reduce sweep spared
                                         ///< only because LBD <= 2 (or binary)
     std::uint64_t minimized_literals = 0;  ///< literals removed from learnts
+    std::uint64_t shared_exported = 0;  ///< clauses published to the exchange
+    std::uint64_t shared_imported = 0;  ///< clauses adopted from the exchange
   };
 
   Solver();
@@ -130,6 +134,14 @@ class Solver {
   /// outlive the solve call; nullptr disables. This is the portfolio's
   /// first-winner cancellation hook.
   void set_interrupt(const std::atomic<bool>* flag) { interrupt_ = flag; }
+
+  /// Live clause sharing (portfolio races): publish root units and glue
+  /// learnts (LBD <= 2) to `exchange` as they are learned, and import what
+  /// other workers published at every restart boundary. `source` identifies
+  /// this solver so it skips its own clauses. The exchange must outlive the
+  /// solve call; nullptr disables (the default — a lone solver stays exactly
+  /// deterministic).
+  void set_exchange(ClauseExchange* exchange, std::size_t source);
 
   /// Replace the search configuration (see Config). Only legal at decision
   /// level 0, i.e. outside solve().
@@ -193,6 +205,8 @@ class Solver {
   bool interrupted() const {
     return interrupt_ != nullptr && interrupt_->load(std::memory_order_relaxed);
   }
+  void export_learnt(const std::vector<Lit>& learnt, int lbd);
+  void import_shared();
   std::uint64_t next_rand();
   static double luby(double y, int i);
 
@@ -236,6 +250,11 @@ class Solver {
 
   Config config_;
   std::uint64_t rng_state_ = 0x853c49e6748fea9bULL;
+
+  ClauseExchange* exchange_ = nullptr;
+  std::size_t exchange_source_ = 0;
+  std::uint64_t exchange_cursor_ = 0;
+  std::vector<std::uint64_t> imported_hashes_;  // sorted; reader-side dedup
 
   std::int64_t conflict_budget_ = -1;
   std::int64_t propagation_budget_ = -1;

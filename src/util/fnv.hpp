@@ -1,0 +1,38 @@
+// FNV-1a hashing, shared by every module that needs a cheap deterministic
+// content hash (benchgen name seeds, SAT clause dedup, observation-bank
+// identities). One copy of the offset/prime constants and mix loop.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace cl::util {
+
+inline constexpr std::uint64_t k_fnv_offset = 0xcbf29ce484222325ULL;
+inline constexpr std::uint64_t k_fnv_prime = 0x100000001b3ULL;
+
+/// Mix one 64-bit value into `h` (whole-word FNV-1a step).
+inline void fnv1a_mix(std::uint64_t& h, std::uint64_t v) {
+  h ^= v;
+  h *= k_fnv_prime;
+}
+
+/// Mix `n` raw bytes into `h`.
+inline void fnv1a_mix_bytes(std::uint64_t& h, const void* data,
+                            std::size_t n) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= k_fnv_prime;
+  }
+}
+
+/// One-shot hash of a byte string.
+inline std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = k_fnv_offset;
+  fnv1a_mix_bytes(h, s.data(), s.size());
+  return h;
+}
+
+}  // namespace cl::util

@@ -1,0 +1,174 @@
+#include "attack/observation_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "attack/seq_attack.hpp"
+#include "core/cute_lock_str.hpp"
+#include "lock/comb_locks.hpp"
+#include "netlist/bench_io.hpp"
+
+namespace cl::attack {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+Netlist s27() { return netlist::read_bench_string(k_s27, "s27"); }
+
+TEST(ObservationBank, RecordsDedupsAndSnapshots) {
+  ObservationBank bank;
+  const std::vector<sim::BitVec> in1 = {{1, 0}, {0, 1}};
+  const std::vector<sim::BitVec> out1 = {{1}, {0}};
+  const std::vector<sim::BitVec> in2 = {{0, 0}};
+  const std::vector<sim::BitVec> out2 = {{0}};
+  bank.record(in1, out1);
+  bank.record(in2, out2);
+  bank.record(in1, out1);  // exact duplicate: dropped
+  EXPECT_EQ(bank.size(), 2u);
+  const auto snap = bank.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].inputs, in1);
+  EXPECT_EQ(snap[0].outputs, out1);
+  EXPECT_EQ(snap[1].inputs, in2);
+  bank.record({}, {});  // empty sequences are not facts
+  EXPECT_EQ(bank.size(), 2u);
+}
+
+TEST(ObservationBank, LockInstanceKeySeparatesInstances) {
+  const Netlist nl = s27();
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 2;
+  opt.locked_ffs = 2;
+  opt.seed = 1;
+  const auto a = core::cute_lock_str(nl, opt);
+  opt.seed = 2;
+  const auto b = core::cute_lock_str(nl, opt);
+  // Same circuit, same parameters, different lock seed: different banks.
+  EXPECT_NE(lock_instance_key(a.locked), lock_instance_key(b.locked));
+  EXPECT_NE(lock_instance_key(a.locked), lock_instance_key(nl));
+  // Independently rebuilt identical instances: the same bank.
+  opt.seed = 1;
+  const auto a_again = core::cute_lock_str(nl, opt);
+  EXPECT_EQ(lock_instance_key(a.locked), lock_instance_key(a_again.locked));
+  // Bank identity covers the oracle too: the same locked structure queried
+  // against a different reference chip must never share facts.
+  EXPECT_EQ(bank_key(a.locked, nl), bank_key(a_again.locked, nl));
+  EXPECT_NE(bank_key(a.locked, nl), bank_key(a.locked, b.locked));
+}
+
+TEST(ObservationBank, RegistryIsKeyedAndStable) {
+  ObservationBank& b1 = observation_bank_for_key(0x1234);
+  ObservationBank& b2 = observation_bank_for_key(0x5678);
+  EXPECT_NE(&b1, &b2);
+  EXPECT_EQ(&b1, &observation_bank_for_key(0x1234));
+}
+
+TEST(ObservationBank, DisabledWithoutEnvFlag) {
+  ASSERT_EQ(getenv("CUTELOCK_OBS_BANK"), nullptr)
+      << "test environment must not pre-set CUTELOCK_OBS_BANK";
+  const Netlist nl = s27();
+  EXPECT_EQ(observation_bank_for(nl, nl), nullptr);
+}
+
+TEST(ObservationBank, ReplaySavesFreshQueriesAndKeepsTheVerdict) {
+  // The acceptance shape: attack the same locked instance twice. The second
+  // run replays the first run's oracle facts as constraints and must reach
+  // the same verdict with fewer fresh oracle queries.
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  const std::uint64_t key = bank_key(lr.locked, nl);
+
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  budget.max_iterations = 200;
+  budget.max_depth = 16;
+
+  SequentialOracle oracle(nl);
+  SeqAttackOptions options;
+  options.budget = budget;
+
+  ObservationBank& bank = observation_bank_for_key(key);
+  ASSERT_EQ(bank.size(), 0u);
+
+  // Baseline: bank disabled, count the fresh queries the attack needs.
+  const AttackResult cold = seq_attack(lr.locked, oracle, options);
+  EXPECT_EQ(cold.outcome, Outcome::Equal) << cold.summary();
+  EXPECT_EQ(cold.replayed_queries, 0u);
+  EXPECT_GT(cold.fresh_queries, 0u);
+
+  // Bank enabled: one run populates the bank, the next replays from it.
+  {
+    setenv("CUTELOCK_OBS_BANK", "1", 1);
+    const AttackResult warmup = seq_attack(lr.locked, oracle, options);
+    EXPECT_EQ(warmup.outcome, Outcome::Equal) << warmup.summary();
+    EXPECT_GT(bank.size(), 0u);
+
+    const AttackResult warm = seq_attack(lr.locked, oracle, options);
+    unsetenv("CUTELOCK_OBS_BANK");
+    EXPECT_EQ(warm.outcome, Outcome::Equal) << warm.summary();
+    EXPECT_EQ(warm.key, cold.key);
+    EXPECT_GT(warm.replayed_queries, 0u);
+    EXPECT_LT(warm.fresh_queries, cold.fresh_queries) << warm.summary();
+  }
+}
+
+TEST(ObservationBank, CrossAttackReplayDrivesMultiKeyLockToCnsCheaper) {
+  // Table-harness shape: INT then KC2 on the same Cute-Lock-Str instance.
+  // KC2 must still conclude CNS, now partly from INT's banked facts.
+  const Netlist nl = s27();
+  core::StrOptions opt;
+  opt.num_keys = 4;
+  opt.key_bits = 2;
+  opt.locked_ffs = 2;
+  opt.seed = 0xba44;
+  const auto lr = core::cute_lock_str(nl, opt);
+
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  budget.max_iterations = 200;
+  budget.max_depth = 16;
+  SequentialOracle oracle(nl);
+
+  const AttackResult kc2_cold = kc2_attack(lr.locked, oracle, budget);
+  ASSERT_TRUE(defense_held(kc2_cold.outcome)) << kc2_cold.summary();
+
+  setenv("CUTELOCK_OBS_BANK", "1", 1);
+  const AttackResult bmc = bmc_attack(lr.locked, oracle, budget);
+  const AttackResult kc2_warm = kc2_attack(lr.locked, oracle, budget);
+  unsetenv("CUTELOCK_OBS_BANK");
+
+  EXPECT_TRUE(defense_held(bmc.outcome)) << bmc.summary();
+  EXPECT_TRUE(defense_held(kc2_warm.outcome)) << kc2_warm.summary();
+  EXPECT_EQ(kc2_warm.outcome, kc2_cold.outcome);
+  EXPECT_GT(kc2_warm.replayed_queries, 0u);
+  EXPECT_LT(kc2_warm.fresh_queries, kc2_cold.fresh_queries)
+      << "replay should substitute for fresh oracle queries: "
+      << kc2_warm.summary();
+}
+
+}  // namespace
+}  // namespace cl::attack

@@ -1,0 +1,189 @@
+#include "attack/og_engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include "attack/sat_attack.hpp"
+#include "attack/seq_attack.hpp"
+#include "lock/comb_locks.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+
+namespace cl::attack {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+Netlist s27() { return netlist::read_bench_string(k_s27, "s27"); }
+
+/// Strategy that plants a candidate, then starves the solver so the next
+/// diff solve returns Unknown — the path that historically (sat_attack.cpp's
+/// conflict-budget branch) dropped the candidate from the Timeout report.
+class StarveAfterCandidateStrategy : public DipStrategy {
+ public:
+  const char* name() const override { return "starve"; }
+  Spec spec() const override {
+    Spec s;
+    s.start_depth = 2;
+    s.caller = "starve";
+    return s;
+  }
+  RoundAction after_round(OgEngine& engine, std::size_t, AttackResult*) override {
+    engine.set_candidate({1, 0, 1});
+    // A zero propagation budget trips on the very next solve, regardless of
+    // how easy the instance is (conflict budgets only trip on conflicts).
+    engine.solver().set_propagation_budget(0);
+    return RoundAction::kContinue;
+  }
+};
+
+TEST(OgEngine, SolverBudgetTimeoutReportsTheCandidate) {
+  // The historical sat_attack bug: the budget-exhausted *solver* path
+  // (Result::Unknown) returned Timeout without the current best candidate,
+  // unlike the wall-clock path. The engine reports it on every Timeout path.
+  const Netlist nl = s27();
+  util::Rng rng(3);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  SequentialOracle oracle(nl);
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  OgEngine engine(lr.locked, oracle, budget);
+  StarveAfterCandidateStrategy strategy;
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Timeout) << r.summary();
+  EXPECT_EQ(r.key, sim::BitVec({1, 0, 1})) << "the candidate must survive "
+                                              "into the Timeout report";
+  EXPECT_NE(r.detail.find("solver budget exhausted"), std::string::npos)
+      << r.detail;
+}
+
+TEST(OgEngine, SeqTimeoutWithNoCandidateReportsEmptyKey) {
+  // The complementary case to the starvation test above: when the budget
+  // trips before any consistency solve produced a candidate, the Timeout
+  // report carries an empty key rather than an invented one.
+  const Netlist nl = s27();
+  util::Rng rng(11);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  AttackBudget b;
+  b.time_limit_s = 30.0;
+  b.max_iterations = 0;  // warmupless instant trip
+  SeqAttackOptions o;
+  o.budget = b;
+  o.warmup_sequences = 0;
+  const AttackResult r = seq_attack(lr.locked, oracle, o);
+  EXPECT_EQ(r.outcome, Outcome::Timeout);
+  EXPECT_TRUE(r.key.empty());  // no candidate existed yet: reported as-is
+}
+
+TEST(OgEngine, EngineAttacksMatchTheirLegacyContracts) {
+  // The engine-based entry points keep their observable behaviour: classic
+  // SAT recovers XOR-lock keys, Double-DIP agrees, BMC/KC2 break the
+  // sequential lock and report identical keys for identical budgets.
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+
+  const AttackResult classic = sat_attack(locked_scan, oracle);
+  EXPECT_EQ(classic.outcome, Outcome::Equal) << classic.summary();
+  EXPECT_EQ(classic.key, lr.correct_key);
+  EXPECT_EQ(classic.fresh_queries, classic.iterations);
+
+  SatAttackOptions dd;
+  dd.mode = SatAttackOptions::Mode::DoubleDip;
+  const AttackResult doubled = sat_attack(locked_scan, oracle, dd);
+  EXPECT_EQ(doubled.outcome, Outcome::Equal) << doubled.summary();
+  EXPECT_EQ(doubled.key, lr.correct_key);
+}
+
+TEST(OgEngine, ValidationErrorsKeepTheirCallers) {
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  SequentialOracle oracle(nl);
+  // Sequential circuit into the scan-model attack: rejected.
+  EXPECT_THROW(sat_attack(lr.locked, oracle), std::invalid_argument);
+  // Key-less circuit into the sequential attack: rejected.
+  EXPECT_THROW(bmc_attack(nl, oracle), std::invalid_argument);
+}
+
+/// A minimal custom strategy: proves the DipStrategy contract is genuinely
+/// pluggable from outside the built-in attacks. It runs the shared loop as a
+/// plain BMC but gives up (kDone) after the first round.
+class OneRoundStrategy : public DipStrategy {
+ public:
+  const char* name() const override { return "one-round"; }
+  Spec spec() const override {
+    Spec s;
+    s.start_depth = 2;
+    s.caller = "one_round";
+    return s;
+  }
+  RoundAction after_round(OgEngine& engine, std::size_t rounds,
+                          AttackResult* done) override {
+    rounds_seen = rounds;
+    *done = engine.finish(Outcome::Fail, "gave up after one round");
+    return RoundAction::kDone;
+  }
+  std::size_t rounds_seen = 0;
+};
+
+TEST(OgEngine, CustomStrategiesPlugIn) {
+  const Netlist nl = s27();
+  util::Rng rng(2);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  OgEngine engine(lr.locked, oracle, budget);
+  OneRoundStrategy strategy;
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(strategy.rounds_seen, 1u);
+  EXPECT_EQ(r.outcome, Outcome::Fail);
+  EXPECT_EQ(r.detail, "gave up after one round");
+  EXPECT_EQ(r.iterations, 1u);  // exactly one DIS was extracted and queried
+}
+
+TEST(OgEngine, BudgetHelperIsFloorFree) {
+  // The historical per-attack lambdas armed a 0.05 s deadline even after the
+  // budget was exhausted; the engine's helper reports zero instead.
+  const Netlist nl = s27();
+  util::Rng rng(2);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  SequentialOracle oracle(nl);
+  AttackBudget budget;
+  budget.time_limit_s = 0.0;  // exhausted on arrival
+  OgEngine engine(lr.locked, oracle, budget);
+  EXPECT_EQ(engine.remaining_s(), 0.0);
+  EXPECT_TRUE(engine.out_of_budget());
+  // And the attack as a whole reports Timeout rather than hanging on a
+  // grace-period deadline.
+  const AttackResult r = bmc_attack(lr.locked, oracle, budget);
+  EXPECT_EQ(r.outcome, Outcome::Timeout);
+}
+
+}  // namespace
+}  // namespace cl::attack

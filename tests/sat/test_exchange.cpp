@@ -1,0 +1,164 @@
+#include "sat/exchange.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cnf_test_util.hpp"
+#include "sat/portfolio.hpp"
+#include "util/rng.hpp"
+
+namespace cl::sat {
+namespace {
+
+using test_util::brute_force_sat;
+using test_util::load_cnf;
+using test_util::random_cnf;
+
+std::vector<Lit> make_clause(std::initializer_list<int> codes) {
+  std::vector<Lit> lits;
+  for (int c : codes) lits.push_back(Lit::from_code(c));
+  return lits;
+}
+
+std::vector<std::vector<Lit>> drain(const ClauseExchange& x,
+                                    ClauseExchange::Cursor& cursor,
+                                    std::size_t self) {
+  std::vector<std::vector<Lit>> out;
+  x.collect(cursor, self, [&](const Lit* lits, std::size_t n) {
+    out.emplace_back(lits, lits + n);
+  });
+  return out;
+}
+
+TEST(ClauseExchange, PublishAndCollect) {
+  ClauseExchange x;
+  const auto c1 = make_clause({0, 3});
+  const auto c2 = make_clause({5});
+  x.publish(0, c1.data(), c1.size());
+  x.publish(0, c2.data(), c2.size());
+  EXPECT_EQ(x.published(), 2u);
+
+  ClauseExchange::Cursor reader;
+  const auto got = drain(x, reader, 1);
+  ASSERT_EQ(got.size(), 2u);
+  EXPECT_EQ(got[0], c1);
+  EXPECT_EQ(got[1], c2);
+  // The cursor advanced: nothing new to collect.
+  EXPECT_TRUE(drain(x, reader, 1).empty());
+}
+
+TEST(ClauseExchange, ReaderSkipsItsOwnClauses) {
+  ClauseExchange x;
+  const auto mine = make_clause({2});
+  const auto theirs = make_clause({4});
+  x.publish(7, mine.data(), mine.size());
+  x.publish(3, theirs.data(), theirs.size());
+  ClauseExchange::Cursor reader;
+  const auto got = drain(x, reader, 7);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], theirs);
+}
+
+TEST(ClauseExchange, OversizedClausesAreDropped) {
+  ClauseExchange x;
+  std::vector<Lit> wide;
+  for (int i = 0; i <= static_cast<int>(ClauseExchange::k_max_lits); ++i) {
+    wide.push_back(Lit::from_code(2 * i));
+  }
+  x.publish(0, wide.data(), wide.size());
+  EXPECT_EQ(x.published(), 0u);
+  EXPECT_EQ(x.dropped(), 1u);
+  ClauseExchange::Cursor reader;
+  EXPECT_TRUE(drain(x, reader, 1).empty());
+}
+
+TEST(ClauseExchange, LaggingReaderSkipsAheadInsteadOfTearing) {
+  ClauseExchange x(64);  // minimum ring
+  const auto unit = make_clause({8});
+  for (int i = 0; i < 200; ++i) x.publish(0, unit.data(), unit.size());
+  ClauseExchange::Cursor reader;  // 200 - 0 > 64: must clamp to the last ring
+  const auto got = drain(x, reader, 1);
+  EXPECT_LE(got.size(), 64u);
+  for (const auto& c : got) EXPECT_EQ(c, unit);
+}
+
+TEST(ClauseExchange, ConcurrentHammerDeliversOnlyIntactClauses) {
+  // W writers publish distinct self-describing clauses while a reader
+  // drains; every delivered clause must be one that some writer published
+  // (no torn or invented payloads).
+  ClauseExchange x(128);
+  constexpr int k_writers = 4;
+  constexpr int k_per_writer = 3000;
+  std::atomic<int> running{k_writers};
+  std::vector<std::thread> writers;
+  for (int w = 0; w < k_writers; ++w) {
+    writers.emplace_back([&x, &running, w] {
+      for (int i = 0; i < k_per_writer; ++i) {
+        // Clause encodes its writer in every literal: [b+2, b+20, b+40].
+        const Lit lits[3] = {Lit::from_code(100 * w + 2),
+                             Lit::from_code(100 * w + 20),
+                             Lit::from_code(100 * w + 40)};
+        x.publish(static_cast<std::size_t>(w), lits, 3);
+      }
+      running.fetch_sub(1);
+    });
+  }
+  std::size_t delivered = 0, corrupt = 0;
+  ClauseExchange::Cursor cursor;
+  const auto check = [&](const Lit* lits, std::size_t n) {
+    ++delivered;
+    if (n != 3) {
+      ++corrupt;
+      return;
+    }
+    const int base = lits[0].code() - 2;
+    if (base < 0 || base % 100 != 0 || lits[1].code() != base + 20 ||
+        lits[2].code() != base + 40) {
+      ++corrupt;
+    }
+  };
+  while (running.load() > 0) x.collect(cursor, k_writers, check);
+  for (auto& t : writers) t.join();
+  x.collect(cursor, k_writers, check);  // final drain
+  EXPECT_EQ(corrupt, 0u);
+  EXPECT_GT(delivered, 0u);
+  EXPECT_EQ(x.published() + x.dropped(),
+            static_cast<std::uint64_t>(k_writers) * k_per_writer);
+}
+
+TEST(ClauseExchange, SharingRaceMatchesSingleWorkerVerdicts) {
+  // The satellite cross-check: randomized SAT/UNSAT instances solved by a
+  // sharing portfolio race must agree with a single deterministic worker.
+  util::Rng rng(0x5a7e);
+  for (int trial = 0; trial < 30; ++trial) {
+    const int nv = 9;
+    const auto clauses =
+        random_cnf(rng, nv, 18 + static_cast<int>(rng.next_below(26)));
+    const bool expected = brute_force_sat(clauses, nv);
+
+    PortfolioSolver shared(4);
+    shared.set_share(true);
+    std::vector<Var> vars;
+    for (int i = 0; i < nv; ++i) vars.push_back(shared.new_var());
+    load_cnf(shared, clauses, vars);
+    const Result r = shared.solve();
+    ASSERT_EQ(r == Result::Sat, expected) << "trial " << trial;
+    if (r == Result::Sat) {
+      for (const auto& clause : clauses) {
+        bool any = false;
+        for (int l : clause) {
+          any = any || shared.model_value(vars[static_cast<std::size_t>(
+                           std::abs(l) - 1)]) == (l > 0);
+        }
+        EXPECT_TRUE(any) << "trial " << trial;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace cl::sat

@@ -206,5 +206,72 @@ TEST(PortfolioSolver, WorkerConfigsAreDiversified) {
   }
 }
 
+TEST(PortfolioSolver, SharingRaceProvesPigeonHole) {
+  // PHP(8,7) UNSAT with live clause sharing on: same verdict as the
+  // single-solver baseline, and the race actually traded clauses (workers
+  // restart often enough on PHP that imports are guaranteed).
+  PortfolioSolver s(4);
+  s.set_share(true);
+  add_pigeon_hole(s, 8);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_GT(s.shared_published(), 0u);
+}
+
+TEST(PortfolioSolver, SharingOffLeavesExchangeUntouched) {
+  PortfolioSolver s(3);
+  s.set_share(false);
+  add_pigeon_hole(s, 7);
+  EXPECT_EQ(s.solve(), Result::Unsat);
+  EXPECT_EQ(s.shared_published(), 0u);
+  EXPECT_EQ(s.stats().shared_exported, 0u);
+  EXPECT_EQ(s.stats().shared_imported, 0u);
+}
+
+TEST(PortfolioSolver, SharingKc2EnumerationMatchesSingleWorker) {
+  // The incremental attack-loop shape under sharing: blocking clauses added
+  // between races must compose with imported learnts (both are implied, so
+  // the enumerated answer set cannot change).
+  util::Rng rng(424242);
+  for (int trial = 0; trial < 10; ++trial) {
+    const int nv = 8;
+    const auto clauses =
+        random_cnf(rng, nv, 14 + static_cast<int>(rng.next_below(16)));
+
+    const auto count_models_over = [&](Solver& s, const std::vector<Var>& vars,
+                                       int bits) {
+      std::set<std::uint32_t> found;
+      while (s.solve() == Result::Sat) {
+        std::uint32_t key = 0;
+        for (int b = 0; b < bits; ++b) {
+          if (s.model_value(vars[static_cast<std::size_t>(b)])) key |= 1u << b;
+        }
+        EXPECT_TRUE(found.insert(key).second);
+        std::vector<Lit> block;
+        for (int b = 0; b < bits; ++b) {
+          block.push_back(Lit(vars[static_cast<std::size_t>(b)], (key >> b) & 1u));
+        }
+        s.add_clause(block);
+        if (found.size() > 16u) break;  // safety net
+      }
+      return found;
+    };
+
+    Solver single;
+    std::vector<Var> sv;
+    for (int i = 0; i < nv; ++i) sv.push_back(single.new_var());
+    load_cnf(single, clauses, sv);
+    const auto expected = count_models_over(single, sv, 4);
+
+    PortfolioSolver shared(4);
+    shared.set_share(true);
+    std::vector<Var> pv;
+    for (int i = 0; i < nv; ++i) pv.push_back(shared.new_var());
+    load_cnf(shared, clauses, pv);
+    const auto got = count_models_over(shared, pv, 4);
+
+    EXPECT_EQ(got, expected) << "trial " << trial;
+  }
+}
+
 }  // namespace
 }  // namespace cl::sat

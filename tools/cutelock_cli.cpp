@@ -4,7 +4,10 @@
 //   cutelock lock <circuit.bench> -o <locked.bench> [--k 4] [--ki 4]
 //            [--ffs 2] [--seed 1] [--single-key] [--keys 1,3,2,0]
 //   cutelock attack <locked.bench> --oracle <original.bench>
-//            [--attack bmc|kc2|rane|bbo|fall|dana|periodic] [--seconds 10]
+//            [--attack bmc|kc2|rane|sat|appsat|double-dip|bbo|fall|dana|
+//             periodic] [--seconds 10]
+//            (sat/appsat/double-dip run the scan-access model: both circuits
+//             are scan-exposed first)
 //   cutelock overhead <circuit.bench> [--baseline <original.bench>]
 //   cutelock vcd <circuit.bench> -o <out.vcd> [--cycles 32] [--seed 1]
 //
@@ -21,8 +24,10 @@
 #include "attack/dana.hpp"
 #include "attack/fall.hpp"
 #include "attack/periodic_attack.hpp"
+#include "attack/sat_attack.hpp"
 #include "attack/seq_attack.hpp"
 #include "core/cute_lock_str.hpp"
+#include "netlist/transform.hpp"
 #include "netlist/bench_io.hpp"
 #include "sim/vcd.hpp"
 #include "tech/overhead.hpp"
@@ -123,6 +128,30 @@ int cmd_attack(const Args& args) {
   if (mode == "bmc") result = attack::bmc_attack(locked, oracle, budget);
   else if (mode == "kc2") result = attack::kc2_attack(locked, oracle, budget);
   else if (mode == "rane") result = attack::rane_attack(locked, oracle, budget);
+  else if (mode == "sat" || mode == "appsat" || mode == "double-dip") {
+    // Scan-access threat model: full scan-chain access turns both circuits
+    // combinational, then the classic HOST'15 loop (or a descendant) runs.
+    const auto locked_scan = netlist::scan_expose(locked);
+    const auto original_scan = netlist::scan_expose(original);
+    if (locked_scan.inputs().size() != original_scan.inputs().size() ||
+        locked_scan.outputs().size() != original_scan.outputs().size()) {
+      std::fprintf(stderr,
+                   "cutelock: scan interfaces differ (%zu vs %zu inputs, "
+                   "%zu vs %zu outputs): the lock adds state elements, so "
+                   "the scan-model attacks do not apply; use bmc/kc2/rane "
+                   "instead\n",
+                   locked_scan.inputs().size(), original_scan.inputs().size(),
+                   locked_scan.outputs().size(),
+                   original_scan.outputs().size());
+      return 65;
+    }
+    attack::SequentialOracle scan_oracle(original_scan);
+    attack::SatAttackOptions o;
+    o.budget = budget;
+    if (mode == "appsat") o.mode = attack::SatAttackOptions::Mode::AppSat;
+    if (mode == "double-dip") o.mode = attack::SatAttackOptions::Mode::DoubleDip;
+    result = attack::sat_attack(locked_scan, scan_oracle, o);
+  }
   else if (mode == "bbo") {
     attack::BboOptions o;
     o.budget = budget;
@@ -160,6 +189,12 @@ int cmd_attack(const Args& args) {
   }
   std::printf("%s attack: %s (%.3fs)\n", mode.c_str(), result.summary().c_str(),
               result.seconds);
+  if (result.replayed_queries != 0) {
+    std::printf("oracle queries: %llu fresh, %llu replayed from the "
+                "observation bank\n",
+                static_cast<unsigned long long>(result.fresh_queries),
+                static_cast<unsigned long long>(result.replayed_queries));
+  }
   return result.outcome == attack::Outcome::Equal ? 2 : 0;
 }
 
