@@ -1,6 +1,7 @@
 #include "runner.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
@@ -54,7 +55,7 @@ std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
     *slot = fn();
     return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
                       slot->iterations, slot->replayed_queries,
-                      slot->fresh_queries};
+                      slot->fresh_queries, slot->preloaded_facts};
   });
 }
 
@@ -111,13 +112,25 @@ std::string Runner::json() const {
     if (job.meta.ki >= 0) out += ", \"ki\": " + std::to_string(job.meta.ki);
     out += ", \"outcome\": ";
     append_json_string(out, job.out.outcome);
+    double duration = job.out.seconds;
+    if (!std::isfinite(duration)) {
+      // %.6f would emit "nan"/"inf" — invalid JSON that poisons every
+      // downstream baseline differ.
+      std::fprintf(stderr,
+                   "warning: %s/%s/%s reported a non-finite duration; "
+                   "writing 0.0 to the JSON baseline\n",
+                   job.meta.suite.c_str(), job.meta.circuit.c_str(),
+                   job.meta.attack.c_str());
+      duration = 0.0;
+    }
     char seconds[32];
-    std::snprintf(seconds, sizeof seconds, "%.6f", job.out.seconds);
+    std::snprintf(seconds, sizeof seconds, "%.6f", duration);
     out += ", \"seconds\": ";
     out += seconds;
     out += ", \"iterations\": " + std::to_string(job.out.iterations);
     out += ", \"replayed_queries\": " + std::to_string(job.out.replayed_queries);
     out += ", \"fresh_queries\": " + std::to_string(job.out.fresh_queries);
+    out += ", \"preloaded_facts\": " + std::to_string(job.out.preloaded_facts);
     out += "}";
   }
   out += "\n  ]\n}\n";

@@ -35,9 +35,11 @@ struct JobOutcome {
   double seconds = -1.0;
   std::uint64_t iterations = 0;
   /// Oracle-query split for engine-based attacks (see attack::AttackResult):
-  /// ObservationBank replays vs genuine oracle queries. Zero outside attacks.
+  /// ObservationBank replays vs genuine oracle queries, plus banked facts
+  /// installed as startup constraints. Zero outside attacks.
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
+  std::uint64_t preloaded_facts = 0;
 };
 
 class Runner {

@@ -1,7 +1,12 @@
 #include "attack/observation_bank.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <fstream>
+#include <istream>
 #include <map>
+#include <ostream>
 
 #include "util/env.hpp"
 #include "util/fnv.hpp"
@@ -9,6 +14,67 @@
 namespace cl::attack {
 
 namespace {
+
+// Persistence format (docs/service.md): a fixed magic naming the version,
+// then little-endian u64 counts/lengths throughout. Bumping the layout means
+// bumping the magic — old daemons reject new files instead of misreading
+// them, and vice versa.
+constexpr char k_bank_magic[8] = {'C', 'L', 'O', 'B', 'A', 'N', 'K', '1'};
+
+// Caps a well-formed file can never exceed (serialize only writes banks that
+// respect k_max_observations and real circuit interfaces). A length beyond
+// them means corruption — reject instead of attempting a huge allocation.
+constexpr std::uint64_t k_max_frames_per_fact = 1u << 16;
+constexpr std::uint64_t k_max_bits_per_frame = 1u << 20;
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  char bytes[8];
+  for (int i = 0; i < 8; ++i) bytes[i] = static_cast<char>(v >> (8 * i));
+  out.write(bytes, 8);
+}
+
+bool read_u64(std::istream& in, std::uint64_t* v) {
+  char bytes[8];
+  if (!in.read(bytes, 8)) return false;
+  *v = 0;
+  for (int i = 0; i < 8; ++i) {
+    *v |= static_cast<std::uint64_t>(static_cast<unsigned char>(bytes[i]))
+          << (8 * i);
+  }
+  return true;
+}
+
+void write_frames(std::ostream& out, const std::vector<sim::BitVec>& frames) {
+  write_u64(out, frames.size());
+  for (const sim::BitVec& frame : frames) {
+    write_u64(out, frame.size());
+    for (const std::uint8_t bit : frame) {
+      out.put(bit != 0 ? '\1' : '\0');
+    }
+  }
+}
+
+bool read_frames(std::istream& in, std::vector<sim::BitVec>* frames) {
+  std::uint64_t count = 0;
+  if (!read_u64(in, &count) || count > k_max_frames_per_fact) return false;
+  frames->clear();
+  frames->reserve(count);
+  for (std::uint64_t f = 0; f < count; ++f) {
+    std::uint64_t bits = 0;
+    if (!read_u64(in, &bits) || bits > k_max_bits_per_frame) return false;
+    sim::BitVec frame(bits);
+    if (bits != 0 &&
+        !in.read(reinterpret_cast<char*>(frame.data()),
+                 static_cast<std::streamsize>(bits))) {
+      return false;
+    }
+    for (const std::uint8_t bit : frame) {
+      if (bit > 1) return false;  // facts are bits; anything else is damage
+    }
+    frames->push_back(std::move(frame));
+  }
+  return true;
+}
 
 std::uint64_t hash_sequence(const std::vector<sim::BitVec>& inputs) {
   std::uint64_t h = util::k_fnv_offset;
@@ -63,9 +129,34 @@ std::size_t ObservationBank::size() const {
   return observations_.size();
 }
 
+void ObservationBank::serialize(std::ostream& out) const {
+  const std::vector<Observation> facts = snapshot();
+  write_u64(out, facts.size());
+  for (const Observation& obs : facts) {
+    write_frames(out, obs.inputs);
+    write_frames(out, obs.outputs);
+  }
+}
+
+bool ObservationBank::deserialize(std::istream& in) {
+  std::uint64_t count = 0;
+  if (!read_u64(in, &count) || count > k_max_observations) return false;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Observation obs;
+    if (!read_frames(in, &obs.inputs) || !read_frames(in, &obs.outputs)) {
+      return false;
+    }
+    record(obs.inputs, obs.outputs);  // dedup + cap, same as a live fact
+  }
+  return true;
+}
+
 std::uint64_t lock_instance_key(const netlist::Netlist& nl) {
+  // Purely structural: the top-level netlist name is presentation metadata
+  // (a file stem here, a request field in the daemon) and must not split
+  // banks for the same circuit. Node names *are* hashed — they come from
+  // the bench text itself and renaming signals genuinely changes identity.
   std::uint64_t h = util::k_fnv_offset;
-  util::fnv1a_mix_bytes(h, nl.name().data(), nl.name().size());
   util::fnv1a_mix(h, nl.size());
   for (netlist::SignalId s = 0; s < nl.size(); ++s) {
     const netlist::Node& node = nl.node(s);
@@ -100,6 +191,8 @@ Registry& registry() {
   return *r;
 }
 
+std::atomic<bool> g_bank_forced{false};
+
 }  // namespace
 
 ObservationBank& observation_bank_for_key(std::uint64_t key) {
@@ -108,10 +201,89 @@ ObservationBank& observation_bank_for_key(std::uint64_t key) {
   return r.banks[key];
 }
 
+void set_observation_bank_forced(bool on) {
+  g_bank_forced.store(on, std::memory_order_relaxed);
+}
+
 ObservationBank* observation_bank_for(const netlist::Netlist& locked,
                                       const netlist::Netlist& reference) {
-  if (!util::obs_bank_from_env()) return nullptr;
+  if (!g_bank_forced.load(std::memory_order_relaxed) &&
+      !util::obs_bank_from_env()) {
+    return nullptr;
+  }
   return &observation_bank_for_key(bank_key(locked, reference));
+}
+
+std::vector<std::uint64_t> observation_bank_keys() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(r.banks.size());
+  for (const auto& [key, bank] : r.banks) keys.push_back(key);
+  return keys;  // std::map iteration: already sorted
+}
+
+bool save_observation_banks(const std::string& path, std::string* error) {
+  const std::vector<std::uint64_t> keys = observation_bank_keys();
+  // Write-then-rename: a daemon crashing mid-save (or two processes saving
+  // the same file) never leaves a reader a torn bank.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) {
+      if (error != nullptr) *error = "cannot write " + tmp;
+      return false;
+    }
+    out.write(k_bank_magic, sizeof k_bank_magic);
+    write_u64(out, keys.size());
+    for (const std::uint64_t key : keys) {
+      write_u64(out, key);
+      observation_bank_for_key(key).serialize(out);
+    }
+    if (!out) {
+      if (error != nullptr) *error = "short write to " + tmp;
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (error != nullptr) *error = "cannot rename " + tmp + " to " + path;
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+bool load_observation_banks(const std::string& path, std::string* error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open " + path;
+    return false;
+  }
+  char magic[sizeof k_bank_magic];
+  if (!in.read(magic, sizeof magic) ||
+      !std::equal(magic, magic + sizeof magic, k_bank_magic)) {
+    if (error != nullptr) {
+      *error = path + ": not an observation-bank file (bad magic/version)";
+    }
+    return false;
+  }
+  std::uint64_t bank_count = 0;
+  if (!read_u64(in, &bank_count)) {
+    if (error != nullptr) *error = path + ": truncated bank count";
+    return false;
+  }
+  for (std::uint64_t b = 0; b < bank_count; ++b) {
+    std::uint64_t key = 0;
+    if (!read_u64(in, &key) ||
+        !observation_bank_for_key(key).deserialize(in)) {
+      if (error != nullptr) {
+        *error = path + ": corrupt or truncated bank record " +
+                 std::to_string(b);
+      }
+      return false;
+    }
+  }
+  return true;
 }
 
 }  // namespace cl::attack

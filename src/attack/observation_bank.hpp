@@ -27,8 +27,10 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "netlist/netlist.hpp"
@@ -61,6 +63,16 @@ class ObservationBank {
       const std::vector<sim::BitVec>& inputs) const;
 
   std::size_t size() const;
+
+  /// Append this bank's facts to `out` in the versioned binary persistence
+  /// format (see docs/service.md). Thread-safe.
+  void serialize(std::ostream& out) const;
+
+  /// Merge facts from a stream previously written by serialize() into this
+  /// bank (dedup and the per-bank cap apply, exactly like record()). Returns
+  /// false — leaving the bank with whatever facts were merged before the
+  /// damage — on truncated or corrupt input. Thread-safe.
+  bool deserialize(std::istream& in);
 
   /// Observations a single bank retains at most.
   static constexpr std::size_t k_max_observations = 4096;
@@ -95,5 +107,24 @@ ObservationBank* observation_bank_for(const netlist::Netlist& locked,
 
 /// Registry lookup bypassing the env gate (tests and explicit wiring).
 ObservationBank& observation_bank_for_key(std::uint64_t key);
+
+/// Force the registry on for this process regardless of CUTELOCK_OBS_BANK —
+/// the serve daemon's switch (cross-run caching is its whole point; it must
+/// not depend on the client's environment).
+void set_observation_bank_forced(bool on);
+
+/// Keys of every bank currently in the registry (facts or not), sorted.
+std::vector<std::uint64_t> observation_bank_keys();
+
+/// Persist every registry bank to `path` (versioned binary, written to a
+/// temp file and renamed so readers never see a half-written bank). Returns
+/// false with a diagnostic in *error on I/O failure.
+bool save_observation_banks(const std::string& path, std::string* error = nullptr);
+
+/// Merge banks from a file written by save_observation_banks into the
+/// registry, creating banks as needed. Corrupt or truncated files are
+/// rejected (false + *error) without clearing facts already loaded; a
+/// mid-file failure keeps the banks merged before the damage.
+bool load_observation_banks(const std::string& path, std::string* error = nullptr);
 
 }  // namespace cl::attack

@@ -36,8 +36,13 @@ AttackResult OgEngine::run(DipStrategy& strategy) {
 }
 
 bool OgEngine::out_of_budget() const {
-  return timer_.seconds() > budget_.time_limit_s ||
+  return cancelled() || timer_.seconds() > budget_.time_limit_s ||
          result_.iterations >= budget_.max_iterations;
+}
+
+bool OgEngine::cancelled() const {
+  return budget_.cancel != nullptr &&
+         budget_.cancel->load(std::memory_order_relaxed);
 }
 
 double OgEngine::elapsed_s() const { return timer_.seconds(); }
@@ -96,6 +101,10 @@ void OgEngine::add_io(const std::vector<sim::BitVec>& inputs) {
 std::unique_ptr<sat::PortfolioSolver> OgEngine::make_solver() const {
   auto solver = std::make_unique<sat::PortfolioSolver>(budget_.sat_workers);
   solver->set_conflict_budget(budget_.conflict_budget);
+  // A cancelled job must not sit out a long solve: the budget's cancel flag
+  // doubles as the solver's interrupt hook (solve returns Unknown, which the
+  // loop routes to finish_timeout).
+  if (budget_.cancel != nullptr) solver->set_interrupt(budget_.cancel);
   return solver;
 }
 
@@ -122,7 +131,10 @@ std::vector<Observation> OgEngine::banked_observations() {
       continue;
     }
     out.push_back(std::move(obs));
-    ++result_.replayed_queries;
+    // Startup constraints are prior knowledge, not avoided oracle calls:
+    // counting them as replayed_queries would inflate the "queries answered
+    // from the bank" statistic BENCH JSON defines as avoided oracle queries.
+    ++result_.preloaded_facts;
   }
   return out;
 }
@@ -151,7 +163,10 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
   replay_bank();
   for (std::size_t w = 0; w < spec_.warmup_sequences; ++w) {
     // Simulation-guided warmup: random traces prune the hypothesis space
-    // before the (expensive) discriminating-sequence search starts.
+    // before the (expensive) discriminating-sequence search starts. Warmup
+    // queries are real oracle queries, so they honour the budget too — a
+    // job cancelled before its first solve must not pay any.
+    if (out_of_budget()) break;
     add_io(sim::random_stimulus(rng_, spec_.warmup_cycles,
                                 oracle_.num_inputs()));
   }
@@ -180,9 +195,33 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
       if (r == Result::Unsat) break;  // no DIP/DIS remains at this depth
 
       for (std::size_t d = 0; d < spec_.dips_per_round; ++d) {
-        const Result rr =
-            d == 0 ? r : solver_->solve({miter_->diff_within(depth)});
-        if (rr != Result::Sat) break;
+        Result rr = r;
+        if (d != 0) {
+          // Every extra DIP of a multi-DIP round is a full solve: it gets
+          // the same budget check and deadline re-arm as the first, or a
+          // round with a large dips_per_round blows far past
+          // time_limit_s/max_iterations.
+          if (out_of_budget()) {
+            return finish_timeout(
+                spec_.combinational
+                    ? "budget exhausted after " + std::to_string(dip_rounds) +
+                          " DIP rounds"
+                    : "budget exhausted at depth " + std::to_string(depth));
+          }
+          arm_deadline();
+          rr = solver_->solve({miter_->diff_within(depth)});
+        }
+        if (rr == Result::Unknown) {
+          // Solver budget death mid-round is a timeout, not "no DIP remains"
+          // — conflating the two let a starved round fall through to the
+          // consistency phase and report a verdict it never earned.
+          return finish_timeout(
+              spec_.combinational
+                  ? "solver conflict budget exhausted"
+                  : "solver budget exhausted at depth " +
+                        std::to_string(depth));
+        }
+        if (rr == Result::Unsat) break;
         add_io(miter_->extract_inputs(depth));
       }
       ++dip_rounds;

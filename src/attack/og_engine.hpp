@@ -15,10 +15,12 @@
 // static-key hypothesis with a periodic schedule sweep (periodic).
 //
 // The engine is also where the cross-attack ObservationBank plugs in: when a
-// bank is attached, recorded oracle facts are replayed as constraints before
-// the first solve (counted as `replayed_queries`), and every fresh query is
-// recorded for the attacks that follow (`fresh_queries`). Both counters land
-// in AttackResult and, via bench::Runner, in BENCH_*.json.
+// bank is attached, recorded oracle facts are installed as constraints
+// before the first solve (counted as `preloaded_facts`), exact repeats of a
+// banked input sequence are answered from the bank instead of the oracle
+// (`replayed_queries`), and every genuine query is recorded for the attacks
+// that follow (`fresh_queries`). All three counters land in AttackResult
+// and, via bench::Runner, in BENCH_*.json.
 //
 // The public attack entry points (sat_attack, bmc_attack, kc2_attack,
 // rane_attack, periodic_key_attack) are thin wrappers that pick a strategy
@@ -84,6 +86,9 @@ class OgEngine {
 
   // The one copy of the formerly per-attack budget lambdas.
   bool out_of_budget() const;
+  /// True when the budget's cooperative-cancel flag (AttackBudget::cancel)
+  /// is armed and set; folded into out_of_budget().
+  bool cancelled() const;
   double elapsed_s() const;
   /// Wall budget left: max(0, limit - elapsed). Deliberately floor-free — an
   /// exhausted budget arms a zero deadline (solve returns Unknown at entry)
@@ -100,7 +105,7 @@ class OgEngine {
   std::vector<sim::BitVec> query_oracle(const std::vector<sim::BitVec>& inputs);
 
   /// Guarded snapshot of the attached bank: every fact whose interface
-  /// matches this oracle, each counted as one replayed query. Empty without
+  /// matches this oracle, each counted as one preloaded fact. Empty without
   /// a bank. The one place the replay guard/accounting lives — both the
   /// shared loop's constraint replay and custom strategies (periodic) pull
   /// their banked facts through here.

@@ -15,19 +15,19 @@ SequentialOracle::SequentialOracle(const netlist::Netlist& original)
 
 std::vector<sim::BitVec> SequentialOracle::query(
     const std::vector<sim::BitVec>& inputs) const {
-  ++patterns_;
+  patterns_.fetch_add(1, std::memory_order_relaxed);
   return sim::run_sequence(compiled_, inputs);
 }
 
 sim::BitVec SequentialOracle::query_comb(const sim::BitVec& inputs) const {
-  ++patterns_;
+  patterns_.fetch_add(1, std::memory_order_relaxed);
   const auto out = sim::run_sequence(compiled_, {inputs});
   return out[0];
 }
 
 std::vector<std::vector<sim::BitVec>> SequentialOracle::query_batch(
     const std::vector<std::vector<sim::BitVec>>& sequences) const {
-  patterns_ += sequences.size();
+  patterns_.fetch_add(sequences.size(), std::memory_order_relaxed);
   return sim::run_sequences_batched(compiled_, sequences);
 }
 

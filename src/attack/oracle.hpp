@@ -8,6 +8,7 @@
 // sequences in one wide-lane pass.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -38,7 +39,12 @@ class SequentialOracle {
   /// from reset counts once, whether it arrived through query(),
   /// query_comb(), or a lane of query_batch(). Counting lanes (not call
   /// sites) keeps attack-budget comparisons honest as lane width grows.
-  std::uint64_t num_queries() const { return patterns_; }
+  /// Atomic because the service's circuit cache shares one oracle across
+  /// concurrent jobs (the compiled netlist itself is immutable after
+  /// construction, so const queries are otherwise race-free).
+  std::uint64_t num_queries() const {
+    return patterns_.load(std::memory_order_relaxed);
+  }
   std::size_t num_inputs() const { return original_.inputs().size(); }
   std::size_t num_outputs() const { return original_.outputs().size(); }
   const netlist::Netlist& reference() const { return original_; }
@@ -46,7 +52,7 @@ class SequentialOracle {
  private:
   const netlist::Netlist& original_;
   sim::CompiledNetlist compiled_;
-  mutable std::uint64_t patterns_ = 0;
+  mutable std::atomic<std::uint64_t> patterns_{0};
 };
 
 }  // namespace cl::attack

@@ -20,8 +20,9 @@ std::string AttackResult::summary() const {
   out << outcome_label(outcome);
   if (!key.empty()) out << " key=" << sim::bits_to_string(key);
   out << " iters=" << iterations;
-  if (fresh_queries != 0 || replayed_queries != 0) {
+  if (fresh_queries != 0 || replayed_queries != 0 || preloaded_facts != 0) {
     out << " queries=" << fresh_queries << "f/" << replayed_queries << "r";
+    if (preloaded_facts != 0) out << "/" << preloaded_facts << "p";
   }
   if (!detail.empty()) out << " (" << detail << ")";
   return out.str();

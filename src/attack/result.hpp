@@ -7,6 +7,7 @@
 //   Timeout  (yellow)      — budget exhausted with no verdict ("N/A")
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 
@@ -29,11 +30,17 @@ struct AttackResult {
   double seconds = 0.0;        // wall-clock attack time
   std::uint64_t iterations = 0;  // DIPs / oracle queries / candidates
   /// Oracle-query accounting for engine-based attacks (attack::OgEngine):
-  /// constraints replayed from the cross-attack ObservationBank vs input
-  /// sequences actually sent to the oracle. Both zero for attacks that do
-  /// not run on the engine (BBO, FALL, DANA). Surfaced in BENCH_*.json.
+  /// `replayed_queries` counts queries the attack was about to pay that were
+  /// answered from the cross-attack ObservationBank instead (genuinely
+  /// avoided oracle calls); `fresh_queries` counts input sequences actually
+  /// sent to the oracle; `preloaded_facts` counts banked facts installed as
+  /// startup constraints before the first solve (prior knowledge, not
+  /// avoided queries — the attack never asked for them). All zero for
+  /// attacks that do not run on the engine (BBO, FALL, DANA). Surfaced in
+  /// BENCH_*.json.
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
+  std::uint64_t preloaded_facts = 0;
   std::string detail;          // free-form diagnostics
 
   std::string summary() const;
@@ -55,6 +62,12 @@ struct AttackBudget {
   /// to 1 under CUTELOCK_BENCH_STABLE=1 (a race winner's model is not
   /// deterministic).
   std::size_t sat_workers = 1;
+  /// Cooperative cancellation (the attack-service's per-job kill switch).
+  /// When non-null, the engine checks the flag alongside its wall/iteration
+  /// budgets and arms it as the solver's interrupt hook, so a set flag
+  /// unwinds the attack with Timeout at the next budget check or solver
+  /// step. The pointee must outlive the attack. Null = never cancelled.
+  const std::atomic<bool>* cancel = nullptr;
 };
 
 }  // namespace cl::attack

@@ -1,0 +1,100 @@
+#include "service/cache.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "attack/observation_bank.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/fnv.hpp"
+
+namespace cl::service {
+
+const attack::SequentialOracle& CachedCircuit::oracle() const {
+  std::lock_guard<std::mutex> lock(oracle_mu_);
+  if (oracle_ == nullptr) {
+    oracle_ = std::make_unique<attack::SequentialOracle>(netlist_);
+  }
+  return *oracle_;
+}
+
+std::shared_ptr<const CachedCircuit> CircuitCache::get_or_parse(
+    const std::string& bench_text, const std::string& name, bool* hit,
+    std::string* error) {
+  const std::uint64_t text_key = util::fnv1a(bench_text);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto t = text_to_structure_.find(text_key);
+    if (t != text_to_structure_.end()) {
+      const auto s = by_structure_.find(t->second);
+      if (s != by_structure_.end()) {
+        ++hits_;
+        if (hit != nullptr) *hit = true;
+        return s->second;
+      }
+    }
+  }
+  netlist::Netlist nl;
+  try {
+    nl = netlist::read_bench_string(bench_text, name);
+  } catch (const std::exception& e) {
+    if (error != nullptr) *error = e.what();
+    return nullptr;
+  }
+  const std::uint64_t structural_key = attack::lock_instance_key(nl);
+  std::lock_guard<std::mutex> lock(mu_);
+  text_to_structure_[text_key] = structural_key;
+  const auto it = by_structure_.find(structural_key);
+  if (it != by_structure_.end()) {
+    ++hits_;
+    if (hit != nullptr) *hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+  return insert_locked(structural_key,
+                       std::make_shared<const CachedCircuit>(std::move(nl)));
+}
+
+std::shared_ptr<const CachedCircuit> CircuitCache::get_or_add(
+    netlist::Netlist&& nl, bool* hit) {
+  const std::uint64_t structural_key = attack::lock_instance_key(nl);
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = by_structure_.find(structural_key);
+  if (it != by_structure_.end()) {
+    ++hits_;
+    if (hit != nullptr) *hit = true;
+    return it->second;
+  }
+  ++misses_;
+  if (hit != nullptr) *hit = false;
+  return insert_locked(structural_key,
+                       std::make_shared<const CachedCircuit>(std::move(nl)));
+}
+
+std::shared_ptr<const CachedCircuit> CircuitCache::insert_locked(
+    std::uint64_t structural_key, std::shared_ptr<const CachedCircuit> entry) {
+  by_structure_[structural_key] = entry;
+  insertion_order_.push_back(structural_key);
+  while (insertion_order_.size() > k_max_entries) {
+    by_structure_.erase(insertion_order_.front());
+    insertion_order_.pop_front();
+  }
+  return entry;
+}
+
+std::size_t CircuitCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return by_structure_.size();
+}
+
+std::uint64_t CircuitCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+std::uint64_t CircuitCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+}  // namespace cl::service

@@ -1,0 +1,86 @@
+// Persistent compiled-circuit cache for the attack service.
+//
+// Every one-shot CLI/bench invocation re-parses its netlists and re-compiles
+// the oracle's simulation kernel from scratch; a daemon serving many jobs
+// against the same (netlist, oracle) pair should pay those costs once. The
+// cache keys entries by the same structural content hash the observation
+// bank uses (attack::lock_instance_key), so textually different but
+// structurally identical submissions — re-synthesized copies, reformatted
+// files — share one entry, while different circuits never collide. A
+// text-hash front map additionally short-circuits re-parsing byte-identical
+// submissions (the common case: a client resubmitting the same file).
+//
+// Entries are immutable after construction: the netlist never changes and
+// SequentialOracle's compiled kernel is const-thread-safe (its query counter
+// is atomic), so one entry can serve any number of concurrent jobs. Eviction
+// is FIFO past k_max_entries; shared_ptr keeps an evicted entry alive for
+// jobs still holding it.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "attack/oracle.hpp"
+#include "netlist/netlist.hpp"
+
+namespace cl::service {
+
+/// One parsed netlist plus, lazily, a compiled oracle over it. Address-
+/// stable (held by shared_ptr) so the oracle's internal reference to the
+/// netlist never dangles.
+class CachedCircuit {
+ public:
+  explicit CachedCircuit(netlist::Netlist nl) : netlist_(std::move(nl)) {}
+
+  const netlist::Netlist& netlist() const { return netlist_; }
+
+  /// The compiled oracle, built on first use (locked netlists are cached
+  /// too and never queried as oracles; compiling them eagerly would double
+  /// the cache's compile cost for nothing). Throws std::invalid_argument if
+  /// the circuit has key inputs. Thread-safe.
+  const attack::SequentialOracle& oracle() const;
+
+ private:
+  netlist::Netlist netlist_;
+  mutable std::mutex oracle_mu_;
+  mutable std::unique_ptr<attack::SequentialOracle> oracle_;
+};
+
+class CircuitCache {
+ public:
+  /// Look up (or parse, insert, and return) the circuit for one bench-format
+  /// submission. Returns nullptr with a diagnostic in *error when the text
+  /// does not parse. *hit reports whether a cached entry was reused.
+  std::shared_ptr<const CachedCircuit> get_or_parse(const std::string& bench_text,
+                                                    const std::string& name,
+                                                    bool* hit,
+                                                    std::string* error);
+
+  /// Same, for an already-built netlist (derived views like scan_expose()).
+  std::shared_ptr<const CachedCircuit> get_or_add(netlist::Netlist&& nl,
+                                                  bool* hit);
+
+  std::size_t size() const;
+  std::uint64_t hits() const;
+  std::uint64_t misses() const;
+
+  /// Entries retained at most; the oldest is evicted past this.
+  static constexpr std::size_t k_max_entries = 64;
+
+ private:
+  std::shared_ptr<const CachedCircuit> insert_locked(
+      std::uint64_t structural_key, std::shared_ptr<const CachedCircuit> entry);
+
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::shared_ptr<const CachedCircuit>> by_structure_;
+  std::map<std::uint64_t, std::uint64_t> text_to_structure_;
+  std::deque<std::uint64_t> insertion_order_;  // structural keys, oldest first
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace cl::service

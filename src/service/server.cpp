@@ -1,0 +1,676 @@
+#include "service/server.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "attack/observation_bank.hpp"
+#include "attack/periodic_attack.hpp"
+#include "attack/sat_attack.hpp"
+#include "attack/seq_attack.hpp"
+#include "attack/verify.hpp"
+#include "core/cute_lock_str.hpp"
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+#include "sim/sequence.hpp"
+#include "util/env.hpp"
+#include "util/timer.hpp"
+
+namespace cl::service {
+namespace {
+
+Json error_reply(const std::string& message) {
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(false));
+  reply.set("error", Json::string(message));
+  return reply;
+}
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool bits_from_string(const std::string& text, sim::BitVec* out) {
+  out->clear();
+  out->reserve(text.size());
+  for (char c : text) {
+    if (c != '0' && c != '1') return false;
+    out->push_back(c == '1' ? 1 : 0);
+  }
+  return true;
+}
+
+Json schedule_to_json(const std::vector<sim::BitVec>& schedule) {
+  Json arr = Json::array();
+  for (const auto& kv : schedule) arr.push_back(Json::string(sim::bits_to_string(kv)));
+  return arr;
+}
+
+/// Write the whole buffer; MSG_NOSIGNAL so a client that hung up mid-reply
+/// costs us an EPIPE, not a SIGPIPE.
+bool send_all(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n =
+        ::send(fd, data.data() + off, data.size() - off, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) return false;
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {
+  if (options_.obs_bank_path.empty()) {
+    options_.obs_bank_path = util::obs_bank_path_from_env();
+  }
+}
+
+Server::~Server() { stop(); }
+
+const char* Server::state_label(Job::State s) {
+  switch (s) {
+    case Job::State::Queued: return "queued";
+    case Job::State::Running: return "running";
+    case Job::State::Done: return "done";
+    case Job::State::Cancelled: return "cancelled";
+    case Job::State::Error: return "error";
+  }
+  return "?";
+}
+
+bool Server::bind_listener(std::string* error) {
+  if (!options_.unix_socket.empty()) {
+    sockaddr_un addr{};
+    if (options_.unix_socket.size() >= sizeof(addr.sun_path)) {
+      if (error != nullptr) *error = "socket path too long: " + options_.unix_socket;
+      return false;
+    }
+    listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, options_.unix_socket.c_str(),
+                options_.unix_socket.size() + 1);
+    // A leftover socket file from a dead daemon would make bind fail forever.
+    ::unlink(options_.unix_socket.c_str());
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      if (error != nullptr) {
+        *error = "bind " + options_.unix_socket + ": " + std::strerror(errno);
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+  } else {
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+      if (error != nullptr) *error = std::string("socket: ") + std::strerror(errno);
+      return false;
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(options_.tcp_port));
+    if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+               sizeof addr) < 0) {
+      if (error != nullptr) {
+        *error = "bind 127.0.0.1:" + std::to_string(options_.tcp_port) + ": " +
+                 std::strerror(errno);
+      }
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+      return false;
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof bound;
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+  }
+  if (::listen(listen_fd_, 16) < 0) {
+    if (error != nullptr) *error = std::string("listen: ") + std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  return true;
+}
+
+bool Server::start(std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (started_ || stopping_) {
+      if (error != nullptr) *error = "server already started (one start per instance)";
+      return false;
+    }
+  }
+  if (!bind_listener(error)) return false;
+  if (options_.use_observation_bank) {
+    attack::set_observation_bank_forced(true);
+  }
+  if (!options_.obs_bank_path.empty()) {
+    // A missing file is a cold start, not an error; a corrupt file is
+    // rejected loudly but must not keep the daemon from serving.
+    std::ifstream probe(options_.obs_bank_path, std::ios::binary);
+    if (probe) {
+      probe.close();
+      std::string load_error;
+      if (!attack::load_observation_banks(options_.obs_bank_path, &load_error)) {
+        std::fprintf(stderr,
+                     "cutelock serve: warning: ignoring observation-bank file: "
+                     "%s\n",
+                     load_error.c_str());
+      }
+    }
+  }
+  pool_ = std::make_unique<util::ThreadPool>(
+      options_.workers == 0 ? util::jobs_from_env() : options_.workers);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    started_ = true;
+  }
+  accept_thread_ = std::thread(&Server::accept_loop, this);
+  return true;
+}
+
+void Server::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!started_ || stopping_) return;
+    stopping_ = true;
+    shutdown_requested_ = true;
+    shutdown_cv_.notify_all();
+    for (auto& [id, job] : jobs_) {
+      job->cancel.store(true, std::memory_order_relaxed);
+    }
+  }
+  // Unblock accept() and stop taking connections.
+  ::shutdown(listen_fd_, SHUT_RDWR);
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Drain the pool: running jobs see their cancel flag through the solver
+  // interrupt and unwind with Timeout; queued jobs run, observe the flag
+  // immediately, and go terminal as Cancelled. Every job reaching a terminal
+  // state notifies job_cv_, so connection threads blocked in `wait` answer
+  // their clients before we cut the sockets.
+  pool_.reset();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int fd : connection_fds_) {
+      if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+    }
+  }
+  for (std::thread& t : connection_threads_) {
+    if (t.joinable()) t.join();
+  }
+  connection_threads_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  if (!options_.obs_bank_path.empty()) {
+    std::string save_error;
+    if (!attack::save_observation_banks(options_.obs_bank_path, &save_error)) {
+      std::fprintf(stderr,
+                   "cutelock serve: warning: could not save observation banks: "
+                   "%s\n",
+                   save_error.c_str());
+    }
+  }
+  // The socket file disappears last: scripts that poll for it to vanish may
+  // immediately start a successor daemon, which must find the bank on disk.
+  if (!options_.unix_socket.empty()) ::unlink(options_.unix_socket.c_str());
+  if (options_.use_observation_bank) {
+    attack::set_observation_bank_forced(false);
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  started_ = false;
+}
+
+void Server::serve_forever() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    shutdown_cv_.wait(lock, [&] { return shutdown_requested_; });
+  }
+  stop();
+}
+
+bool Server::running() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return started_ && !stopping_;
+}
+
+int Server::port() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bound_port_;
+}
+
+void Server::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener shut down by stop()
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      ::close(fd);
+      return;
+    }
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back(&Server::handle_connection, this, fd);
+  }
+}
+
+void Server::handle_connection(int fd) {
+  std::string buffer;
+  char chunk[4096];
+  bool open = true;
+  while (open) {
+    const ssize_t n = ::recv(fd, chunk, sizeof chunk, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t eol;
+    while (open && (eol = buffer.find('\n')) != std::string::npos) {
+      std::string line = buffer.substr(0, eol);
+      buffer.erase(0, eol + 1);
+      if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+      Json request;
+      std::string parse_error;
+      Json response;
+      bool defer_shutdown = false;
+      if (!Json::parse(line, &request, &parse_error)) {
+        response = error_reply("bad request: " + parse_error);
+      } else if (!request.is_object()) {
+        response = error_reply("bad request: expected a JSON object");
+      } else {
+        response = handle_request(request, &defer_shutdown);
+      }
+      if (!send_all(fd, response.dump() + "\n")) open = false;
+      // Only signal once the client has its acknowledgement: stop() tears
+      // down this very connection.
+      if (defer_shutdown) request_shutdown();
+    }
+  }
+  // The thread owns the close; stop() only ever shutdown()s a still-listed
+  // fd, so marking the slot under the lock keeps the two from racing.
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int& slot : connection_fds_) {
+    if (slot == fd) {
+      ::close(fd);
+      slot = -1;
+      break;
+    }
+  }
+}
+
+void Server::request_shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_requested_ = true;
+  shutdown_cv_.notify_all();
+}
+
+Json Server::handle_request(const Json& request) {
+  bool defer_shutdown = false;
+  Json response = handle_request(request, &defer_shutdown);
+  if (defer_shutdown) request_shutdown();
+  return response;
+}
+
+Json Server::handle_request(const Json& request, bool* defer_shutdown) {
+  const std::string op = request.str_or("op", "");
+  if (op == "ping") {
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("op", Json::string("ping"));
+    return reply;
+  }
+  if (op == "submit") return submit_job(request);
+  if (op == "status" || op == "wait") {
+    const std::uint64_t id = request.u64_or("id", 0);
+    if (id == 0) return error_reply(op + ": missing job \"id\"");
+    return job_status(id, op == "wait");
+  }
+  if (op == "cancel") {
+    const std::uint64_t id = request.u64_or("id", 0);
+    if (id == 0) return error_reply("cancel: missing job \"id\"");
+    return cancel_job(id);
+  }
+  if (op == "stats") return stats();
+  if (op == "shutdown") {
+    *defer_shutdown = true;
+    Json reply = Json::object();
+    reply.set("ok", Json::boolean(true));
+    reply.set("op", Json::string("shutdown"));
+    return reply;
+  }
+  return error_reply("unknown op \"" + op +
+                     "\" (want ping/submit/status/wait/cancel/stats/shutdown)");
+}
+
+Json Server::submit_job(const Json& request) {
+  const std::string kind = request.str_or("job", "attack");
+  if (kind != "attack" && kind != "verify" && kind != "lock") {
+    return error_reply("unknown job kind \"" + kind +
+                       "\" (want attack/verify/lock)");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!started_ || stopping_) return error_reply("server is shutting down");
+  const std::uint64_t id = next_id_++;
+  auto job = std::make_unique<Job>();
+  job->id = id;
+  job->kind = kind;
+  job->request = request;
+  Job* raw = job.get();
+  jobs_[id] = std::move(job);
+  // Submitting under mu_ is what makes shutdown sound: stop() flips
+  // stopping_ under the same lock before draining the pool, so no task can
+  // slip into a pool that is being destroyed.
+  pool_->submit([this, raw] { run_job(*raw); });
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(true));
+  reply.set("id", Json::number(id));
+  reply.set("status", Json::string(state_label(Job::State::Queued)));
+  return reply;
+}
+
+Json Server::job_status(std::uint64_t id, bool wait) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return error_reply("no such job id " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  if (wait) {
+    job_cv_.wait(lock, [&] {
+      return job.state != Job::State::Queued && job.state != Job::State::Running;
+    });
+  }
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(true));
+  reply.set("id", Json::number(id));
+  reply.set("status", Json::string(state_label(job.state)));
+  if (job.state == Job::State::Done) reply.set("result", job.result);
+  if (job.state == Job::State::Error) reply.set("error", Json::string(job.error));
+  return reply;
+}
+
+Json Server::cancel_job(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(id);
+  if (it == jobs_.end()) {
+    return error_reply("no such job id " + std::to_string(id));
+  }
+  Job& job = *it->second;
+  const bool terminal = job.state == Job::State::Done ||
+                        job.state == Job::State::Cancelled ||
+                        job.state == Job::State::Error;
+  if (!terminal) job.cancel.store(true, std::memory_order_relaxed);
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(true));
+  reply.set("id", Json::number(id));
+  reply.set("status", Json::string(state_label(job.state)));
+  reply.set("cancelled", Json::boolean(!terminal));
+  return reply;
+}
+
+Json Server::stats() const {
+  Json jobs = Json::object();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::uint64_t queued = 0, running = 0, done = 0, cancelled = 0, errors = 0;
+    for (const auto& [id, job] : jobs_) {
+      switch (job->state) {
+        case Job::State::Queued: ++queued; break;
+        case Job::State::Running: ++running; break;
+        case Job::State::Done: ++done; break;
+        case Job::State::Cancelled: ++cancelled; break;
+        case Job::State::Error: ++errors; break;
+      }
+    }
+    jobs.set("submitted", Json::number(static_cast<std::uint64_t>(jobs_.size())));
+    jobs.set("queued", Json::number(queued));
+    jobs.set("running", Json::number(running));
+    jobs.set("done", Json::number(done));
+    jobs.set("cancelled", Json::number(cancelled));
+    jobs.set("errors", Json::number(errors));
+  }
+  Json cache = Json::object();
+  cache.set("entries", Json::number(static_cast<std::uint64_t>(cache_.size())));
+  cache.set("hits", Json::number(cache_.hits()));
+  cache.set("misses", Json::number(cache_.misses()));
+  Json bank = Json::object();
+  std::uint64_t facts = 0;
+  const auto keys = attack::observation_bank_keys();
+  for (std::uint64_t key : keys) {
+    facts += attack::observation_bank_for_key(key).size();
+  }
+  bank.set("banks", Json::number(static_cast<std::uint64_t>(keys.size())));
+  bank.set("facts", Json::number(facts));
+  Json reply = Json::object();
+  reply.set("ok", Json::boolean(true));
+  reply.set("jobs", std::move(jobs));
+  reply.set("circuit_cache", std::move(cache));
+  reply.set("observation_bank", std::move(bank));
+  return reply;
+}
+
+void Server::run_job(Job& job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (job.cancel.load(std::memory_order_relaxed)) {
+      job.state = Job::State::Cancelled;
+      job_cv_.notify_all();
+      return;
+    }
+    job.state = Job::State::Running;
+  }
+  Json result = Json::object();
+  std::string error;
+  try {
+    if (job.kind == "attack") {
+      run_attack_job(job, &result);
+    } else if (job.kind == "verify") {
+      run_verify_job(job, &result);
+    } else {
+      run_lock_job(job, &result);
+    }
+  } catch (const std::exception& e) {
+    error = e.what();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (job.cancel.load(std::memory_order_relaxed)) {
+    job.state = Job::State::Cancelled;
+  } else if (!error.empty()) {
+    job.state = Job::State::Error;
+    job.error = error;
+  } else {
+    job.state = Job::State::Done;
+    job.result = std::move(result);
+  }
+  job_cv_.notify_all();
+}
+
+std::shared_ptr<const CachedCircuit> Server::circuit_from(
+    const Json& request, const std::string& field, std::size_t* cache_hits,
+    std::string* error) {
+  std::string text = request.str_or(field, "");
+  std::string name = field;
+  if (text.empty()) {
+    const std::string path = request.str_or(field + "_file", "");
+    if (path.empty()) {
+      *error = "missing \"" + field + "\" (inline bench text) or \"" + field +
+               "_file\" (server-side path)";
+      return nullptr;
+    }
+    if (!read_text_file(path, &text)) {
+      *error = "cannot read " + path;
+      return nullptr;
+    }
+    name = path;
+  }
+  bool hit = false;
+  auto circuit = cache_.get_or_parse(text, name, &hit, error);
+  if (circuit != nullptr && hit && cache_hits != nullptr) ++*cache_hits;
+  return circuit;
+}
+
+void Server::run_attack_job(Job& job, Json* result) {
+  std::string error;
+  std::size_t cache_hits = 0;
+  const auto locked = circuit_from(job.request, "locked", &cache_hits, &error);
+  if (locked == nullptr) throw std::runtime_error("attack: " + error);
+  const auto reference = circuit_from(job.request, "oracle", &cache_hits, &error);
+  if (reference == nullptr) throw std::runtime_error("attack: " + error);
+
+  attack::AttackBudget budget;
+  budget.time_limit_s = job.request.num_or("seconds", 10.0);
+  budget.max_iterations = job.request.u64_or("max_iterations", budget.max_iterations);
+  budget.max_depth = static_cast<std::size_t>(
+      job.request.u64_or("max_depth", budget.max_depth));
+  budget.sat_workers = util::sat_portfolio_from_env();
+  budget.cancel = &job.cancel;
+
+  const std::string mode = job.request.str_or("attack", "bmc");
+  attack::AttackResult r;
+  std::size_t recovered_period = 0;
+  std::vector<sim::BitVec> recovered_schedule;
+  if (mode == "bmc") {
+    r = attack::bmc_attack(locked->netlist(), reference->oracle(), budget);
+  } else if (mode == "kc2") {
+    r = attack::kc2_attack(locked->netlist(), reference->oracle(), budget);
+  } else if (mode == "rane") {
+    r = attack::rane_attack(locked->netlist(), reference->oracle(), budget);
+  } else if (mode == "sat" || mode == "appsat" || mode == "double-dip") {
+    // Scan-access threat model, like the CLI: both circuits are scan-exposed
+    // first. The derived views are cached under their own structural keys,
+    // so a resubmission skips the transform's compile cost too.
+    bool hit = false;
+    const auto locked_scan =
+        cache_.get_or_add(netlist::scan_expose(locked->netlist()), &hit);
+    if (hit) ++cache_hits;
+    const auto reference_scan =
+        cache_.get_or_add(netlist::scan_expose(reference->netlist()), &hit);
+    if (hit) ++cache_hits;
+    const auto& ls = locked_scan->netlist();
+    const auto& rs = reference_scan->netlist();
+    if (ls.inputs().size() != rs.inputs().size() ||
+        ls.outputs().size() != rs.outputs().size()) {
+      throw std::runtime_error(
+          "attack: scan interfaces differ (" + std::to_string(ls.inputs().size()) +
+          " vs " + std::to_string(rs.inputs().size()) + " inputs, " +
+          std::to_string(ls.outputs().size()) + " vs " +
+          std::to_string(rs.outputs().size()) +
+          " outputs): the lock adds state elements, so the scan-model attacks "
+          "do not apply; use bmc/kc2/rane instead");
+    }
+    attack::SatAttackOptions o;
+    o.budget = budget;
+    if (mode == "appsat") o.mode = attack::SatAttackOptions::Mode::AppSat;
+    if (mode == "double-dip") o.mode = attack::SatAttackOptions::Mode::DoubleDip;
+    r = attack::sat_attack(ls, reference_scan->oracle(), o);
+  } else if (mode == "periodic") {
+    attack::PeriodicAttackOptions o;
+    o.budget = budget;
+    o.max_period =
+        static_cast<std::size_t>(job.request.u64_or("max_period", o.max_period));
+    const attack::PeriodicAttackResult pr =
+        attack::periodic_key_attack(locked->netlist(), reference->oracle(), o);
+    r = pr.result;
+    recovered_period = pr.recovered_period;
+    recovered_schedule = pr.recovered_schedule;
+  } else {
+    throw std::runtime_error(
+        "attack: unknown mode \"" + mode +
+        "\" (want bmc/kc2/rane/sat/appsat/double-dip/periodic)");
+  }
+
+  Json& out = *result;
+  out.set("attack", Json::string(mode));
+  out.set("outcome", Json::string(attack::outcome_label(r.outcome)));
+  out.set("summary", Json::string(r.summary()));
+  if (!r.key.empty()) out.set("key", Json::string(sim::bits_to_string(r.key)));
+  out.set("seconds", Json::number(r.seconds));
+  out.set("iterations", Json::number(r.iterations));
+  out.set("fresh_queries", Json::number(r.fresh_queries));
+  out.set("replayed_queries", Json::number(r.replayed_queries));
+  out.set("preloaded_facts", Json::number(r.preloaded_facts));
+  if (!r.detail.empty()) out.set("detail", Json::string(r.detail));
+  out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
+  if (recovered_period != 0) {
+    out.set("period", Json::number(static_cast<std::uint64_t>(recovered_period)));
+    out.set("schedule", schedule_to_json(recovered_schedule));
+  }
+}
+
+void Server::run_verify_job(Job& job, Json* result) {
+  std::string error;
+  std::size_t cache_hits = 0;
+  const auto locked = circuit_from(job.request, "locked", &cache_hits, &error);
+  if (locked == nullptr) throw std::runtime_error("verify: " + error);
+  const auto reference = circuit_from(job.request, "oracle", &cache_hits, &error);
+  if (reference == nullptr) throw std::runtime_error("verify: " + error);
+  const std::string key_text = job.request.str_or("key", "");
+  sim::BitVec key;
+  if (key_text.empty() || !bits_from_string(key_text, &key)) {
+    throw std::runtime_error("verify: \"key\" must be a non-empty 0/1 string");
+  }
+  if (key.size() != locked->netlist().key_inputs().size()) {
+    throw std::runtime_error(
+        "verify: key has " + std::to_string(key.size()) + " bits but the " +
+        "locked circuit has " +
+        std::to_string(locked->netlist().key_inputs().size()) + " key inputs");
+  }
+  attack::VerifyOptions options;
+  options.time_limit_s = job.request.num_or("seconds", options.time_limit_s);
+  util::Timer timer;
+  const attack::VerifyResult vr = attack::verify_static_key(
+      locked->netlist(), key, reference->netlist(), options);
+  Json& out = *result;
+  out.set("equivalent", Json::boolean(vr.equivalent));
+  out.set("counterexample_cycles",
+          Json::number(static_cast<std::uint64_t>(vr.counterexample.size())));
+  out.set("seconds", Json::number(timer.seconds()));
+  out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
+}
+
+void Server::run_lock_job(Job& job, Json* result) {
+  std::string error;
+  std::size_t cache_hits = 0;
+  const auto circuit = circuit_from(job.request, "circuit", &cache_hits, &error);
+  if (circuit == nullptr) throw std::runtime_error("lock: " + error);
+  core::StrOptions options;
+  options.num_keys = job.request.u64_or("k", 4);
+  options.key_bits = job.request.u64_or("ki", 4);
+  options.locked_ffs = job.request.u64_or("ffs", 1);
+  options.seed = job.request.u64_or("seed", 1);
+  options.single_key_reduction = job.request.bool_or("single_key", false);
+  const lock::LockResult lr = core::cute_lock_str(circuit->netlist(), options);
+  Json& out = *result;
+  out.set("locked", Json::string(netlist::write_bench_string(lr.locked)));
+  out.set("scheme", Json::string(lr.scheme));
+  out.set("key_schedule", schedule_to_json(lr.key_schedule));
+  out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
+}
+
+}  // namespace cl::service

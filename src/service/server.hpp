@@ -1,0 +1,156 @@
+// Attack-as-a-service daemon.
+//
+// `cutelock serve` turns the one-shot CLI/bench world into a long-running
+// service: clients submit lock/attack/verify jobs as newline-delimited JSON
+// over a TCP or Unix socket (service/protocol.hpp), the server schedules
+// them asynchronously on a util::ThreadPool with a per-job AttackBudget and
+// a cooperative cancel flag (plumbed through the SAT solver's atomic
+// interrupt hook via AttackBudget::cancel), and clients poll (`status`),
+// block (`wait`), or abort (`cancel`) by job id.
+//
+// What makes the daemon worth running instead of the CLI is what persists
+// between jobs:
+//   * a CircuitCache keyed by structural content hash — repeated
+//     submissions of the same netlist/oracle skip parsing and simulation-
+//     kernel compilation (service/cache.hpp);
+//   * the process-wide attack::ObservationBank registry, forced on for the
+//     daemon's lifetime, so every attack's oracle facts prime the next
+//     attack on the same (locked, oracle) pair — a repeated job replays
+//     from the bank and reports strictly fewer fresh_queries;
+//   * optional disk persistence for the banks (ServerOptions::obs_bank_path,
+//     default CUTELOCK_OBS_BANK_PATH): loaded on start, saved on shutdown,
+//     so oracle knowledge survives restarts and can be shipped between
+//     machines.
+//
+// Protocol schema, job lifecycle, and the persistence format: docs/service.md.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "service/cache.hpp"
+#include "service/protocol.hpp"
+#include "util/thread_pool.hpp"
+
+namespace cl::service {
+
+struct ServerOptions {
+  /// Non-empty: listen on this Unix-domain socket path (a stale file from a
+  /// dead daemon is replaced). Takes precedence over tcp_port.
+  std::string unix_socket;
+  /// When unix_socket is empty: listen on 127.0.0.1:tcp_port (0 picks an
+  /// ephemeral port; read it back with port()).
+  int tcp_port = 0;
+  /// Attack workers (concurrent jobs); 0 = CUTELOCK_JOBS / hardware.
+  std::size_t workers = 0;
+  /// Observation-bank persistence file: loaded on start (missing file is
+  /// fine, corrupt is rejected with a warning), saved on stop. Empty = no
+  /// persistence.
+  std::string obs_bank_path;
+  /// Force the cross-run observation bank on for the daemon's lifetime —
+  /// cross-job caching is the service's point, so it must not depend on the
+  /// client's CUTELOCK_OBS_BANK environment.
+  bool use_observation_bank = true;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind, load persisted banks, start the accept loop. False + *error on
+  /// bind/listen failure.
+  bool start(std::string* error);
+
+  /// Graceful shutdown: stop accepting, cancel queued and running jobs,
+  /// drain the pool, answer blocked waiters, save banks, join every thread.
+  /// Idempotent.
+  void stop();
+
+  /// Block until a client's `shutdown` request (or stop()), then shut down.
+  void serve_forever();
+
+  bool running() const;
+  /// The bound TCP port (after start(); 0 when serving a Unix socket).
+  int port() const;
+  const std::string& socket_path() const { return options_.unix_socket; }
+
+  /// One request against this server's job table (the same dispatcher the
+  /// socket connections use; `wait` blocks). Exposed for in-process tests.
+  Json handle_request(const Json& request);
+
+ private:
+  /// The socket path defers acting on a `shutdown` op until the reply line
+  /// is on the wire — signalling from inside the dispatcher would let stop()
+  /// cut the connection before the client hears its acknowledgement.
+  Json handle_request(const Json& request, bool* defer_shutdown);
+  void request_shutdown();
+
+ public:
+
+ private:
+  struct Job {
+    std::uint64_t id = 0;
+    std::string kind;  // "attack" | "verify" | "lock"
+    enum class State { Queued, Running, Done, Cancelled, Error };
+    State state = State::Queued;
+    std::atomic<bool> cancel{false};
+    Json request;
+    Json result;        // payload, valid when state == Done
+    std::string error;  // diagnostic, valid when state == Error
+  };
+
+  static const char* state_label(Job::State s);
+
+  bool bind_listener(std::string* error);
+  void accept_loop();
+  void handle_connection(int fd);
+
+  Json submit_job(const Json& request);
+  Json job_status(std::uint64_t id, bool wait);
+  Json cancel_job(std::uint64_t id);
+  Json stats() const;
+  void run_job(Job& job);
+  void run_attack_job(Job& job, Json* result);
+  void run_verify_job(Job& job, Json* result);
+  void run_lock_job(Job& job, Json* result);
+
+  /// Netlist source for a job: inline bench text under `field`, or a
+  /// server-side path under `field` + "_file". Null + *error when absent or
+  /// unparsable; *cache_hits advances when the cache already had it.
+  std::shared_ptr<const CachedCircuit> circuit_from(const Json& request,
+                                                    const std::string& field,
+                                                    std::size_t* cache_hits,
+                                                    std::string* error);
+
+  ServerOptions options_;
+  CircuitCache cache_;
+
+  mutable std::mutex mu_;
+  std::condition_variable job_cv_;       // a job reached a terminal state
+  std::condition_variable shutdown_cv_;  // a client requested shutdown
+  std::map<std::uint64_t, std::unique_ptr<Job>> jobs_;
+  std::uint64_t next_id_ = 1;
+  bool started_ = false;
+  bool stopping_ = false;
+  bool shutdown_requested_ = false;
+
+  std::unique_ptr<util::ThreadPool> pool_;
+  int listen_fd_ = -1;
+  int bound_port_ = 0;
+  std::thread accept_thread_;
+  std::vector<std::thread> connection_threads_;
+  std::vector<int> connection_fds_;
+};
+
+}  // namespace cl::service

@@ -35,7 +35,18 @@ bool parse_size_strict(const char* text, std::size_t* out) {
 
 bool env_flag(const char* name) {
   const char* env = std::getenv(name);
-  return env != nullptr && env[0] == '1' && env[1] == '\0';
+  if (env == nullptr) return false;
+  if (env[0] != '\0' && env[1] == '\0') {
+    if (env[0] == '1') return true;
+    if (env[0] == '0') return false;
+  }
+  // Like every other CUTELOCK_* parser: "true", "yes", trailing junk etc.
+  // warn instead of silently meaning "off".
+  std::fprintf(stderr,
+               "warning: ignoring invalid %s=\"%s\" (want 0 or 1); "
+               "treating as off\n",
+               name, env);
+  return false;
 }
 
 double env_double_or(const char* name, double fallback) {
@@ -89,5 +100,10 @@ bool sat_share_from_env() {
 }
 
 bool obs_bank_from_env() { return env_flag("CUTELOCK_OBS_BANK"); }
+
+std::string obs_bank_path_from_env() {
+  const char* env = std::getenv("CUTELOCK_OBS_BANK_PATH");
+  return env == nullptr ? std::string() : std::string(env);
+}
 
 }  // namespace cl::util

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
 
 namespace cl::util {
 
@@ -14,7 +15,9 @@ bool parse_double_strict(const char* text, double* out);
 /// Parse the whole string as a non-negative integer.
 bool parse_size_strict(const char* text, std::size_t* out);
 
-/// True iff the variable is set to exactly "1".
+/// True iff the variable is set to exactly "1"; "0" and unset are false.
+/// Anything else ("true", "yes", trailing junk) warns on stderr and is
+/// treated as off.
 bool env_flag(const char* name);
 
 /// Value of `name` as a positive double, or `fallback` when unset. Invalid
@@ -45,5 +48,11 @@ bool sat_share_from_env();
 /// default off. Deterministic output requires CUTELOCK_JOBS=1 (the bank's
 /// content at each attack's start depends on job completion order).
 bool obs_bank_from_env();
+
+/// Observation-bank persistence file: CUTELOCK_OBS_BANK_PATH, empty when
+/// unset. The serve daemon (and the CLI attack mode, when the bank is on)
+/// loads banked oracle facts from this file at start and saves them back on
+/// shutdown, so facts survive restarts and can be shipped between machines.
+std::string obs_bank_path_from_env();
 
 }  // namespace cl::util

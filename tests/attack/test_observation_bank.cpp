@@ -79,6 +79,16 @@ TEST(ObservationBank, LockInstanceKeySeparatesInstances) {
   EXPECT_NE(bank_key(a.locked, nl), bank_key(a.locked, b.locked));
 }
 
+TEST(ObservationBank, LockInstanceKeyIgnoresTheTopLevelName) {
+  // The daemon names circuits by request field ("locked"), the one-shot CLI
+  // by file stem — the same structure must map to the same bank either way,
+  // or facts saved by one front-end never replay in the other.
+  const Netlist by_stem = netlist::read_bench_string(k_s27, "s27");
+  const Netlist by_field = netlist::read_bench_string(k_s27, "locked");
+  EXPECT_EQ(lock_instance_key(by_stem), lock_instance_key(by_field));
+  EXPECT_EQ(bank_key(by_stem, by_field), bank_key(by_field, by_stem));
+}
+
 TEST(ObservationBank, RegistryIsKeyedAndStable) {
   ObservationBank& b1 = observation_bank_for_key(0x1234);
   ObservationBank& b2 = observation_bank_for_key(0x5678);
@@ -132,6 +142,11 @@ TEST(ObservationBank, ReplaySavesFreshQueriesAndKeepsTheVerdict) {
     EXPECT_EQ(warm.outcome, Outcome::Equal) << warm.summary();
     EXPECT_EQ(warm.key, cold.key);
     EXPECT_GT(warm.replayed_queries, 0u);
+    // Banked facts installed as startup constraints count separately from
+    // replayed (avoided) queries: they are prior knowledge the attack never
+    // asked for, and must not inflate the avoided-oracle-calls statistic.
+    EXPECT_GT(warm.preloaded_facts, 0u);
+    EXPECT_EQ(cold.preloaded_facts, 0u);
     EXPECT_LT(warm.fresh_queries, cold.fresh_queries) << warm.summary();
   }
 }

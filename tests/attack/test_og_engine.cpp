@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+
 #include "attack/sat_attack.hpp"
 #include "attack/seq_attack.hpp"
 #include "lock/comb_locks.hpp"
@@ -183,6 +185,140 @@ TEST(OgEngine, BudgetHelperIsFloorFree) {
   // grace-period deadline.
   const AttackResult r = bmc_attack(lr.locked, oracle, budget);
   EXPECT_EQ(r.outcome, Outcome::Timeout);
+}
+
+/// Shared-loop strategy with a configurable multi-DIP round width — the
+/// Double-DIP shape taken to an extreme, so the inner loop's budget
+/// behaviour becomes observable.
+class WideRoundStrategy : public DipStrategy {
+ public:
+  explicit WideRoundStrategy(std::size_t dips) : dips_(dips) {}
+  const char* name() const override { return "wide"; }
+  Spec spec() const override {
+    Spec s;
+    s.combinational = true;
+    s.dips_per_round = dips_;
+    s.caller = "wide";
+    return s;
+  }
+
+ private:
+  std::size_t dips_;
+};
+
+TEST(OgEngine, MultiDipInnerLoopHonoursIterationBudget) {
+  // Regression: the multi-DIP inner loop issued its extra solves without
+  // re-checking the budget or re-arming the deadline, so one wide round
+  // (dips_per_round >> 1) could run arbitrarily far past max_iterations
+  // before the next round's check noticed.
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 8, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  budget.max_iterations = 3;
+  OgEngine engine(locked_scan, oracle, budget);
+  WideRoundStrategy strategy(1000);
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Timeout) << r.summary();
+  EXPECT_EQ(r.iterations, 3u)
+      << "the inner loop must stop exactly at the iteration budget";
+}
+
+/// Strategy that starves the solver after the first round of a multi-DIP
+/// attack: the next round's diff solve returns Unknown *inside a
+/// dips_per_round > 1 spec*, the path that historically read as "no DIP
+/// remains" and fell through to the consistency phase.
+class StarveSecondRoundStrategy : public DipStrategy {
+ public:
+  const char* name() const override { return "starve2"; }
+  Spec spec() const override {
+    Spec s;
+    s.combinational = true;
+    s.dips_per_round = 2;
+    s.caller = "starve2";
+    return s;
+  }
+  RoundAction after_round(OgEngine& engine, std::size_t, AttackResult*) override {
+    engine.solver().set_propagation_budget(0);
+    return RoundAction::kContinue;
+  }
+};
+
+TEST(OgEngine, StarvedMultiDipRoundReportsTimeoutNotAVerdict) {
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 8, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  OgEngine engine(locked_scan, oracle, budget);
+  StarveSecondRoundStrategy strategy;
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Timeout) << r.summary();
+  EXPECT_NE(r.detail.find("solver conflict budget exhausted"),
+            std::string::npos)
+      << r.detail;
+}
+
+TEST(OgEngine, PreSetCancelFlagAbortsBeforeAnyOracleQuery) {
+  // The service's per-job kill switch: a budget whose cancel flag is already
+  // set unwinds with Timeout before the attack pays a single oracle query.
+  const Netlist nl = s27();
+  util::Rng rng(3);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  SequentialOracle oracle(nl);
+  std::atomic<bool> cancel{true};
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  budget.cancel = &cancel;
+  const AttackResult r = bmc_attack(lr.locked, oracle, budget);
+  EXPECT_EQ(r.outcome, Outcome::Timeout) << r.summary();
+  EXPECT_EQ(r.fresh_queries, 0u);
+  EXPECT_EQ(oracle.num_queries(), 0u);
+}
+
+/// Cooperative cancellation mid-attack: the flag flips after the first
+/// round, as a service connection thread would flip it from outside.
+class CancelAfterFirstRoundStrategy : public DipStrategy {
+ public:
+  explicit CancelAfterFirstRoundStrategy(std::atomic<bool>* flag)
+      : flag_(flag) {}
+  const char* name() const override { return "cancel"; }
+  Spec spec() const override {
+    Spec s;
+    s.start_depth = 2;
+    s.caller = "cancel";
+    return s;
+  }
+  RoundAction after_round(OgEngine&, std::size_t, AttackResult*) override {
+    flag_->store(true, std::memory_order_relaxed);
+    return RoundAction::kContinue;
+  }
+
+ private:
+  std::atomic<bool>* flag_;
+};
+
+TEST(OgEngine, CancelFlagSetMidRunUnwindsWithTimeout) {
+  const Netlist nl = s27();
+  util::Rng rng(3);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  SequentialOracle oracle(nl);
+  std::atomic<bool> cancel{false};
+  AttackBudget budget;
+  budget.time_limit_s = 30.0;
+  budget.cancel = &cancel;
+  OgEngine engine(lr.locked, oracle, budget);
+  CancelAfterFirstRoundStrategy strategy(&cancel);
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Timeout) << r.summary();
+  EXPECT_NE(r.detail.find("budget exhausted"), std::string::npos) << r.detail;
 }
 
 }  // namespace

@@ -227,6 +227,24 @@ TEST(Runner, JsonDocumentIsValidAndCarriesTheSchema) {
   EXPECT_EQ(doc.find("\"k\": -1"), std::string::npos);
 }
 
+TEST(Runner, NonFiniteSecondsAreSanitizedInJson) {
+  // nan/inf are not JSON; a single crashed timer must not poison the whole
+  // baseline document for every downstream consumer.
+  ScopedEnv no_json("CUTELOCK_BENCH_JSON", "0");
+  Runner runner("nonfinite");
+  runner.set_threads(1);
+  runner.add({"s", "bad_timer_a", "x", -1, -1},
+             []() { return JobOutcome{"ok", 0.0 / 0.0, 3}; });
+  runner.add({"s", "bad_timer_b", "x", -1, -1},
+             []() { return JobOutcome{"ok", 1.0 / 0.0, 4}; });
+  runner.run();
+  const std::string doc = runner.json();
+  EXPECT_TRUE(valid_json_document(doc)) << doc;
+  EXPECT_EQ(doc.find("nan"), std::string::npos) << doc;
+  EXPECT_EQ(doc.find("inf"), std::string::npos) << doc;
+  EXPECT_NE(doc.find("\"seconds\": 0"), std::string::npos) << doc;
+}
+
 TEST(Runner, WritesBaselineFileIntoConfiguredDirectory) {
   const std::string dir = ::testing::TempDir();
   ScopedEnv json_dir("CUTELOCK_BENCH_JSON_DIR", dir.c_str());

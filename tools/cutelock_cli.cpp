@@ -10,6 +10,19 @@
 //             are scan-exposed first)
 //   cutelock overhead <circuit.bench> [--baseline <original.bench>]
 //   cutelock vcd <circuit.bench> -o <out.vcd> [--cycles 32] [--seed 1]
+//   cutelock gen <s27|s1423|b14|...> -o <circuit.bench>   (catalog circuits)
+//   cutelock serve [--socket <path> | --port 0] [--workers N]
+//            [--bank <obs-bank file>]
+//   cutelock submit <locked.bench> --oracle <original.bench>
+//            (--socket <path> | --port <p>) [--attack bmc] [--seconds 10]
+//   cutelock submit --op <ping|stats|shutdown|status|wait|cancel> [--id N]
+//            (--socket <path> | --port <p>)
+//
+// serve runs the attack service (docs/service.md): jobs over newline-
+// delimited JSON, scheduled on a thread pool, with the observation bank
+// forced on so repeated jobs replay oracle facts instead of re-querying.
+// submit is the matching client; its attack output and exit codes mirror
+// `cutelock attack` so scripts can treat the two interchangeably.
 //
 // Exit code 0 on success; attacks return 0 when the defense held and 2 when
 // a key was recovered (so scripts can assert either way).
@@ -17,18 +30,23 @@
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "attack/bbo.hpp"
 #include "attack/dana.hpp"
+#include "benchgen/catalog.hpp"
 #include "attack/fall.hpp"
+#include "attack/observation_bank.hpp"
 #include "attack/periodic_attack.hpp"
 #include "attack/sat_attack.hpp"
 #include "attack/seq_attack.hpp"
 #include "core/cute_lock_str.hpp"
 #include "netlist/transform.hpp"
 #include "netlist/bench_io.hpp"
+#include "service/client.hpp"
+#include "service/server.hpp"
 #include "sim/vcd.hpp"
 #include "tech/overhead.hpp"
 #include "util/env.hpp"
@@ -73,9 +91,47 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cutelock <info|lock|attack|overhead|vcd> <file> "
-               "[options]\n  see the header of tools/cutelock_cli.cpp\n");
+               "usage: cutelock <info|lock|attack|overhead|vcd|serve|submit> "
+               "<file> [options]\n  see the header of tools/cutelock_cli.cpp\n");
   return 64;
+}
+
+bool read_text_file(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+/// Observation-bank persistence for one-shot attack runs: with the bank on
+/// and CUTELOCK_OBS_BANK_PATH set, facts from earlier processes prime this
+/// attack, and this attack's facts are saved back for the next one.
+void maybe_load_bank_file() {
+  if (!util::obs_bank_from_env()) return;
+  const std::string path = util::obs_bank_path_from_env();
+  if (path.empty()) return;
+  std::ifstream probe(path, std::ios::binary);
+  if (!probe) return;  // cold start: nothing persisted yet
+  probe.close();
+  std::string error;
+  if (!attack::load_observation_banks(path, &error)) {
+    std::fprintf(stderr, "cutelock: warning: ignoring observation-bank file: %s\n",
+                 error.c_str());
+  }
+}
+
+void maybe_save_bank_file() {
+  if (!util::obs_bank_from_env()) return;
+  const std::string path = util::obs_bank_path_from_env();
+  if (path.empty()) return;
+  std::string error;
+  if (!attack::save_observation_banks(path, &error)) {
+    std::fprintf(stderr,
+                 "cutelock: warning: could not save observation banks: %s\n",
+                 error.c_str());
+  }
 }
 
 int cmd_info(const Args& args) {
@@ -116,6 +172,7 @@ int cmd_lock(const Args& args) {
 
 int cmd_attack(const Args& args) {
   if (args.positional.empty() || !args.flag("oracle")) return usage();
+  maybe_load_bank_file();
   const auto locked = netlist::read_bench_file(args.positional[0]);
   const auto original = netlist::read_bench_file(args.get("oracle", ""));
   attack::SequentialOracle oracle(original);
@@ -183,18 +240,21 @@ int cmd_attack(const Args& args) {
       }
     }
     std::printf("\n");
+    maybe_save_bank_file();
     return pr.result.outcome == attack::Outcome::Equal ? 2 : 0;
   } else {
     return usage();
   }
   std::printf("%s attack: %s (%.3fs)\n", mode.c_str(), result.summary().c_str(),
               result.seconds);
-  if (result.replayed_queries != 0) {
+  if (result.replayed_queries != 0 || result.preloaded_facts != 0) {
     std::printf("oracle queries: %llu fresh, %llu replayed from the "
-                "observation bank\n",
+                "observation bank, %llu preloaded facts\n",
                 static_cast<unsigned long long>(result.fresh_queries),
-                static_cast<unsigned long long>(result.replayed_queries));
+                static_cast<unsigned long long>(result.replayed_queries),
+                static_cast<unsigned long long>(result.preloaded_facts));
   }
+  maybe_save_bank_file();
   return result.outcome == attack::Outcome::Equal ? 2 : 0;
 }
 
@@ -214,6 +274,156 @@ int cmd_overhead(const Args& args) {
                 r.ios_overhead_pct(base));
   }
   return 0;
+}
+
+int cmd_gen(const Args& args) {
+  if (args.positional.empty() || !args.flag("out")) return usage();
+  const auto circuit = benchgen::make_circuit(args.positional[0]);
+  netlist::write_bench_file(args.get("out", ""), circuit.netlist);
+  const auto st = circuit.netlist.stats();
+  std::printf("wrote %s: %zu inputs, %zu outputs, %zu FFs, %zu gates\n",
+              args.get("out", "").c_str(), st.inputs, st.outputs, st.dffs,
+              st.gates);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  service::ServerOptions options;
+  options.unix_socket = args.get("socket", "");
+  options.tcp_port = static_cast<int>(args.get_u64("port", 0));
+  options.workers = args.get_u64("workers", 0);
+  options.obs_bank_path = args.get("bank", "");
+  service::Server server(std::move(options));
+  std::string error;
+  if (!server.start(&error)) {
+    std::fprintf(stderr, "cutelock serve: %s\n", error.c_str());
+    return 69;
+  }
+  if (!server.socket_path().empty()) {
+    std::printf("cutelock serve: listening on %s\n", server.socket_path().c_str());
+  } else {
+    std::printf("cutelock serve: listening on 127.0.0.1:%d\n", server.port());
+  }
+  std::fflush(stdout);  // scripts poll this line for the bound address
+  server.serve_forever();
+  std::printf("cutelock serve: shut down\n");
+  return 0;
+}
+
+/// 0 = connected, 64 = neither --socket nor --port given (usage), 69 =
+/// connect failed (transport).
+int connect_client(const Args& args, service::Client* client) {
+  std::string error;
+  const std::string socket_path = args.get("socket", "");
+  if (!socket_path.empty()) {
+    if (client->connect_unix(socket_path, &error)) return 0;
+  } else {
+    const int port = static_cast<int>(args.get_u64("port", 0));
+    if (port == 0) {
+      std::fprintf(stderr,
+                   "cutelock submit: need --socket <path> or --port <port>\n");
+      return 64;
+    }
+    if (client->connect_tcp(port, &error)) return 0;
+  }
+  std::fprintf(stderr, "cutelock submit: %s\n", error.c_str());
+  return 69;
+}
+
+int cmd_submit(const Args& args) {
+  service::Client client;
+  if (const int rc = connect_client(args, &client); rc != 0) return rc;
+  std::string error;
+
+  // Raw-op mode: one protocol request, response echoed as JSON.
+  const std::string op = args.get("op", "");
+  if (!op.empty()) {
+    service::Json request = service::Json::object();
+    request.set("op", service::Json::string(op));
+    if (args.flag("id")) {
+      request.set("id", service::Json::number(args.get_u64("id", 0)));
+    }
+    service::Json response;
+    if (!client.request(request, &response, &error)) {
+      std::fprintf(stderr, "cutelock submit: %s\n", error.c_str());
+      return 69;
+    }
+    std::printf("%s\n", response.dump().c_str());
+    return response.bool_or("ok", false) ? 0 : 65;
+  }
+
+  // Attack mode: submit, wait, print like `cutelock attack` (same output
+  // shape and exit codes, so scripts can diff the two).
+  if (args.positional.empty() || !args.flag("oracle")) return usage();
+  std::string locked_text, oracle_text;
+  if (!read_text_file(args.positional[0], &locked_text)) {
+    std::fprintf(stderr, "cutelock submit: cannot read %s\n",
+                 args.positional[0].c_str());
+    return 66;
+  }
+  if (!read_text_file(args.get("oracle", ""), &oracle_text)) {
+    std::fprintf(stderr, "cutelock submit: cannot read %s\n",
+                 args.get("oracle", "").c_str());
+    return 66;
+  }
+  service::Json request = service::Json::object();
+  request.set("op", service::Json::string("submit"));
+  request.set("job", service::Json::string("attack"));
+  request.set("locked", service::Json::string(locked_text));
+  request.set("oracle", service::Json::string(oracle_text));
+  request.set("attack", service::Json::string(args.get("attack", "bmc")));
+  request.set("seconds", service::Json::number(
+                             static_cast<double>(args.get_u64("seconds", 10))));
+  if (args.flag("max-iterations")) {
+    request.set("max_iterations",
+                service::Json::number(args.get_u64("max-iterations", 0)));
+  }
+  if (args.flag("max-period")) {
+    request.set("max_period",
+                service::Json::number(args.get_u64("max-period", 8)));
+  }
+  service::Json submitted;
+  if (!client.request(request, &submitted, &error)) {
+    std::fprintf(stderr, "cutelock submit: %s\n", error.c_str());
+    return 69;
+  }
+  if (!submitted.bool_or("ok", false)) {
+    std::fprintf(stderr, "cutelock submit: %s\n",
+                 submitted.str_or("error", "submit rejected").c_str());
+    return 65;
+  }
+  service::Json wait_request = service::Json::object();
+  wait_request.set("op", service::Json::string("wait"));
+  wait_request.set("id", service::Json::number(submitted.u64_or("id", 0)));
+  service::Json reply;
+  if (!client.request(wait_request, &reply, &error)) {
+    std::fprintf(stderr, "cutelock submit: %s\n", error.c_str());
+    return 69;
+  }
+  const std::string status = reply.str_or("status", "?");
+  if (status != "done") {
+    std::fprintf(stderr, "cutelock submit: job %s: %s\n", status.c_str(),
+                 reply.str_or("error", "no result").c_str());
+    return 65;
+  }
+  const service::Json* result = reply.find("result");
+  if (result == nullptr) {
+    std::fprintf(stderr, "cutelock submit: malformed response (no result)\n");
+    return 65;
+  }
+  std::printf("%s attack: %s (%.3fs)\n", result->str_or("attack", "?").c_str(),
+              result->str_or("summary", "?").c_str(),
+              result->num_or("seconds", 0.0));
+  const std::uint64_t replayed = result->u64_or("replayed_queries", 0);
+  const std::uint64_t preloaded = result->u64_or("preloaded_facts", 0);
+  if (replayed != 0 || preloaded != 0) {
+    std::printf("oracle queries: %llu fresh, %llu replayed from the "
+                "observation bank, %llu preloaded facts\n",
+                static_cast<unsigned long long>(result->u64_or("fresh_queries", 0)),
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(preloaded));
+  }
+  return result->str_or("outcome", "") == "Equal" ? 2 : 0;
 }
 
 int cmd_vcd(const Args& args) {
@@ -248,6 +458,9 @@ int main(int argc, char** argv) {
     if (command == "attack") return cmd_attack(args);
     if (command == "overhead") return cmd_overhead(args);
     if (command == "vcd") return cmd_vcd(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "submit") return cmd_submit(args);
+    if (command == "gen") return cmd_gen(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "cutelock: %s\n", e.what());
     return 65;
