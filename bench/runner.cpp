@@ -55,7 +55,8 @@ std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
     *slot = fn();
     return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
                       slot->iterations, slot->replayed_queries,
-                      slot->fresh_queries, slot->preloaded_facts};
+                      slot->fresh_queries, slot->preloaded_facts,
+                      slot->hinted_bits, slot->hint_accuracy};
   });
 }
 
@@ -131,6 +132,17 @@ std::string Runner::json() const {
     out += ", \"replayed_queries\": " + std::to_string(job.out.replayed_queries);
     out += ", \"fresh_queries\": " + std::to_string(job.out.fresh_queries);
     out += ", \"preloaded_facts\": " + std::to_string(job.out.preloaded_facts);
+    if (job.out.hinted_bits > 0) {
+      // Only hinted jobs carry the fields: hint-free baselines stay
+      // byte-identical to those written before hints existed.
+      out += ", \"hinted_bits\": " + std::to_string(job.out.hinted_bits);
+      if (job.out.hint_accuracy >= 0) {
+        char acc[32];
+        std::snprintf(acc, sizeof acc, "%.4f", job.out.hint_accuracy);
+        out += ", \"hint_accuracy\": ";
+        out += acc;
+      }
+    }
     out += "}";
   }
   out += "\n  ]\n}\n";

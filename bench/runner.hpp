@@ -40,6 +40,13 @@ struct JobOutcome {
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
   std::uint64_t preloaded_facts = 0;
+  /// Structural key hints seeded into the attack (CUTELOCK_KEY_HINTS=1 or
+  /// attack::scope_attack) and, once a key verified, the fraction of them
+  /// that were right. Emitted into the JSON record only when hints were
+  /// actually installed, so hint-free (and stable-mode) baselines are
+  /// byte-identical to pre-hint ones.
+  std::uint64_t hinted_bits = 0;
+  double hint_accuracy = -1.0;
 };
 
 class Runner {

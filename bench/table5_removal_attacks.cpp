@@ -7,15 +7,19 @@
 //    sharply (the Cute-Lock paper reports 0.00-0.99, average 0.41).
 //  * FALL — structural/functional key extraction. Expected: 0 candidates,
 //    0 confirmed keys on every locked circuit.
+//  * SCOPE — oracle-free synthesis-differential key inference. Expected:
+//    0 bits decided (every Cute-Lock-Str bit reads as Complex and stays
+//    Unknown — honest, rather than wrong).
 //
-// Three Runner jobs per circuit (DANA original / DANA locked / FALL), each
-// rebuilding its own circuit and lock deterministically.
+// Four Runner jobs per circuit (DANA original / DANA locked / FALL / SCOPE),
+// each rebuilding its own circuit and lock deterministically.
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "attack/dana.hpp"
 #include "attack/fall.hpp"
+#include "attack/scope.hpp"
 #include "bench_common.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
@@ -32,6 +36,7 @@ struct Row {
   double nmi_orig = 0.0;
   double nmi_locked = 0.0;
   attack::FallResult fall;
+  attack::ScopeResult scope;
 };
 
 lock::LockResult lock_circuit(const benchgen::SyntheticCircuit& circuit,
@@ -57,7 +62,7 @@ int main() {
   std::vector<Row> rows;
   for (const benchgen::CircuitSpec& spec :
        bench::selected_circuits(benchgen::itc99_specs())) {
-    rows.push_back(Row{spec, 0.0, 0.0, {}});
+    rows.push_back(Row{spec, 0.0, 0.0, {}, {}});
   }
 
   bench::Runner runner("table5_removal_attacks");
@@ -96,13 +101,24 @@ int main() {
                                row.fall.result.seconds,
                                row.fall.result.iterations};
     });
+    runner.add(meta("SCOPE"), [&row, spec, fall_seconds]() {
+      const auto circuit = benchgen::make_circuit(spec);
+      const auto locked = lock_circuit(circuit, spec);
+      // Oracle-free: SCOPE only sees the locked netlist.
+      attack::ScopeOptions scope_options;
+      scope_options.budget = bench::table_budget(fall_seconds);
+      row.scope = attack::scope_attack(locked.locked, nullptr, scope_options);
+      return bench::JobOutcome{attack::outcome_label(row.scope.result.outcome),
+                               row.scope.result.seconds,
+                               row.scope.result.iterations};
+    });
   }
   runner.run();
 
   util::Table table({"circuit", "NMI orig", "NMI locked", "FALL cand",
-                     "FALL keys", "FALL time"});
+                     "FALL keys", "FALL time", "SCOPE dec", "SCOPE time"});
   double nmi_orig_sum = 0, nmi_locked_sum = 0;
-  std::size_t fall_keys_total = 0;
+  std::size_t fall_keys_total = 0, scope_decided_total = 0;
   for (const Row& row : rows) {
     char orig_s[16], locked_s[16];
     std::snprintf(orig_s, sizeof orig_s, "%.2f", row.nmi_orig);
@@ -110,10 +126,14 @@ int main() {
     table.add_row({row.spec.name, orig_s, locked_s,
                    std::to_string(row.fall.candidates),
                    std::to_string(row.fall.confirmed),
-                   bench::time_cell(row.fall.result.seconds)});
+                   bench::time_cell(row.fall.result.seconds),
+                   std::to_string(row.scope.decided) + "/" +
+                       std::to_string(row.scope.report.key_bits),
+                   bench::time_cell(row.scope.result.seconds)});
     nmi_orig_sum += row.nmi_orig;
     nmi_locked_sum += row.nmi_locked;
     fall_keys_total += row.fall.confirmed;
+    scope_decided_total += row.scope.decided;
   }
   std::printf("%s\n", table.to_string().c_str());
   std::printf("DANA NMI average: %.2f original -> %.2f locked "
@@ -121,7 +141,9 @@ int main() {
               nmi_orig_sum / static_cast<double>(rows.size()),
               nmi_locked_sum / static_cast<double>(rows.size()));
   std::printf("FALL confirmed keys: %zu (paper: 0)\n", fall_keys_total);
-  const bool shape_holds =
-      nmi_locked_sum < nmi_orig_sum && fall_keys_total == 0;
+  std::printf("SCOPE decided bits: %zu (expected: 0 — every bit Unknown)\n",
+              scope_decided_total);
+  const bool shape_holds = nmi_locked_sum < nmi_orig_sum &&
+                           fall_keys_total == 0 && scope_decided_total == 0;
   return shape_holds ? 0 : 1;
 }

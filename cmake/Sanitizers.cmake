@@ -1,6 +1,21 @@
-# ASan + UBSan toggle, applied globally so the static library and every
-# binary linked against it agree on the runtime.
+# Sanitizer toggles, applied globally so the static library and every
+# binary linked against it agree on the runtime. ASan and TSan cannot be
+# combined in one build.
+if(CUTELOCK_SANITIZE AND CUTELOCK_TSAN)
+  message(FATAL_ERROR "CUTELOCK_SANITIZE and CUTELOCK_TSAN are mutually exclusive")
+endif()
 if(CUTELOCK_SANITIZE)
   add_compile_options(-fsanitize=address,undefined -fno-omit-frame-pointer)
   add_link_options(-fsanitize=address,undefined)
+endif()
+if(CUTELOCK_TSAN)
+  add_compile_options(-fsanitize=thread -fno-omit-frame-pointer)
+  add_link_options(-fsanitize=thread)
+  if(CMAKE_CXX_COMPILER_ID STREQUAL "GNU")
+    # GCC warns (-Wtsan) that TSan does not instrument std::atomic_thread_fence
+    # (the clause exchange's seqlock publish/collect fences). The warning is
+    # real but not actionable here — the fences are correct, TSan just models
+    # them conservatively — so keep it visible without failing the build.
+    add_compile_options(-Wno-error=tsan)
+  endif()
 endif()

@@ -1,0 +1,85 @@
+#include "analysis/const_prop.hpp"
+
+#include "netlist/topo.hpp"
+
+namespace cl::analysis {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+using sim::Trit;
+
+namespace {
+
+Trit eval_gate(const Netlist& nl, SignalId id, const std::vector<Trit>& v) {
+  const netlist::Node& n = nl.node(id);
+  switch (n.type) {
+    case GateType::Buf:
+      return v[n.fanins[0]];
+    case GateType::Not:
+      return sim::trit_not(v[n.fanins[0]]);
+    case GateType::And:
+    case GateType::Nand: {
+      Trit acc = Trit::One;
+      for (SignalId f : n.fanins) acc = sim::trit_and(acc, v[f]);
+      return n.type == GateType::Nand ? sim::trit_not(acc) : acc;
+    }
+    case GateType::Or:
+    case GateType::Nor: {
+      Trit acc = Trit::Zero;
+      for (SignalId f : n.fanins) acc = sim::trit_or(acc, v[f]);
+      return n.type == GateType::Nor ? sim::trit_not(acc) : acc;
+    }
+    case GateType::Xor:
+    case GateType::Xnor: {
+      Trit acc = Trit::Zero;
+      for (SignalId f : n.fanins) acc = sim::trit_xor(acc, v[f]);
+      return n.type == GateType::Xnor ? sim::trit_not(acc) : acc;
+    }
+    case GateType::Mux:
+      return sim::trit_mux(v[n.fanins[0]], v[n.fanins[1]], v[n.fanins[2]]);
+    default:
+      return Trit::X;
+  }
+}
+
+}  // namespace
+
+ConstPropResult const_prop(const Netlist& nl, const std::vector<Pin>& pins) {
+  ConstPropResult out;
+  out.values.assign(nl.size(), Trit::X);
+  std::vector<bool> pinned(nl.size(), false);
+  for (const Pin& p : pins) {
+    pinned[p.signal] = true;
+    out.values[p.signal] = p.value;
+  }
+
+  for (SignalId id : netlist::topo_order(nl)) {
+    if (pinned[id]) continue;
+    const GateType t = nl.type(id);
+    if (t == GateType::Const0) out.values[id] = Trit::Zero;
+    else if (t == GateType::Const1) out.values[id] = Trit::One;
+    else if (netlist::is_comb_gate(t)) out.values[id] = eval_gate(nl, id, out.values);
+    // Inputs, key inputs, and DFF Qs stay X.
+  }
+
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    if (netlist::is_comb_gate(nl.type(id)) && out.values[id] != Trit::X) {
+      ++out.determined;
+    }
+  }
+  for (SignalId o : nl.outputs()) {
+    if (out.values[o] != Trit::X) ++out.determined_outputs;
+  }
+  return out;
+}
+
+PinProfile pin_profile(const Netlist& nl, SignalId key_bit) {
+  PinProfile p;
+  p.baseline = const_prop(nl).determined;
+  p.zero = const_prop(nl, {{key_bit, Trit::Zero}}).determined;
+  p.one = const_prop(nl, {{key_bit, Trit::One}}).determined;
+  return p;
+}
+
+}  // namespace cl::analysis

@@ -1,0 +1,48 @@
+// Ternary 0/1/X constant propagation over the combinational core: pin a few
+// sources to known values, push Kleene logic through the gate graph in one
+// topological pass, and count how much of the circuit the pins decide. This
+// is the measurement half of the SCOPE-style key inference (key_infer.hpp):
+// a key bit whose wrong polarity collapses a cone leaves a structural trace.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "sim/x_sim.hpp"
+
+namespace cl::analysis {
+
+/// One (source signal, value) assignment applied before propagation.
+struct Pin {
+  netlist::SignalId signal = netlist::k_no_signal;
+  sim::Trit value = sim::Trit::X;
+};
+
+struct ConstPropResult {
+  /// Propagated value per SignalId. Sources (inputs, key inputs, DFF Qs)
+  /// are X unless pinned; constants are themselves.
+  std::vector<sim::Trit> values;
+  /// Combinational gates whose output propagated to a definite 0/1.
+  std::size_t determined = 0;
+  /// Primary outputs with a definite value.
+  std::size_t determined_outputs = 0;
+};
+
+/// Propagate constants with the given pins. A pinned signal takes its pin
+/// value regardless of its own function (gates may be pinned too, which cuts
+/// the cone at that point). Throws on combinational cycles (via topo_order).
+ConstPropResult const_prop(const netlist::Netlist& nl,
+                           const std::vector<Pin>& pins = {});
+
+/// Cone-collapse profile of one key bit: determined-signal counts with the
+/// bit pinned to 0 and to 1, against the nothing-pinned baseline.
+struct PinProfile {
+  std::size_t baseline = 0;
+  std::size_t zero = 0;
+  std::size_t one = 0;
+};
+
+PinProfile pin_profile(const netlist::Netlist& nl, netlist::SignalId key_bit);
+
+}  // namespace cl::analysis

@@ -1,0 +1,197 @@
+#include "analysis/lint.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netlist/topo.hpp"
+
+namespace cl::analysis {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+void add(LintReport& rep, Severity sev, std::string code, std::string signal,
+         std::string message) {
+  rep.diagnostics.push_back(
+      {sev, std::move(code), std::move(signal), std::move(message)});
+}
+
+bool is_output(const Netlist& nl, SignalId s) {
+  return std::find(nl.outputs().begin(), nl.outputs().end(), s) !=
+         nl.outputs().end();
+}
+
+/// Merge `sub`'s diagnostics into `rep`, prefixing signals with which
+/// netlist of the submission they came from.
+void merge(LintReport& rep, const LintReport& sub, const std::string& which) {
+  for (Diagnostic d : sub.diagnostics) {
+    d.signal = d.signal.empty() ? which : which + "/" + d.signal;
+    rep.diagnostics.push_back(std::move(d));
+  }
+}
+
+}  // namespace
+
+LintReport lint(const Netlist& nl) {
+  LintReport rep;
+
+  if (nl.outputs().empty()) {
+    add(rep, Severity::Error, "no-outputs", "",
+        "netlist has no primary outputs; nothing is observable");
+  }
+
+  // Floating DFFs make the fanin graph unwalkable, so find them first and
+  // skip the graph-based checks when any exist.
+  bool floating = false;
+  for (SignalId d : nl.dffs()) {
+    if (nl.dff_input(d) == netlist::k_no_signal) {
+      floating = true;
+      add(rep, Severity::Error, "floating-dff", nl.signal_name(d),
+          "flip-flop D pin was never wired");
+    } else if (nl.dff_input(d) == d) {
+      add(rep, Severity::Warning, "self-loop-dff", nl.signal_name(d),
+          "flip-flop D pin is wired straight back to its own Q");
+    }
+  }
+  if (floating) return rep;
+
+  try {
+    (void)netlist::topo_order(nl);
+  } catch (const std::exception& e) {
+    add(rep, Severity::Error, "comb-loop", "", e.what());
+    return rep;
+  }
+
+  const auto fanout = netlist::fanouts(nl);
+  for (SignalId i : nl.inputs()) {
+    if (fanout[i].empty() && !is_output(nl, i)) {
+      add(rep, Severity::Warning, "unused-input", nl.signal_name(i),
+          "primary input has no readers");
+    }
+  }
+  for (SignalId k : nl.key_inputs()) {
+    if (fanout[k].empty() && !is_output(nl, k)) {
+      add(rep, Severity::Warning, "unused-input", nl.signal_name(k),
+          "key input has no readers; it cannot affect the function");
+    }
+  }
+
+  // Dead logic: gates/FFs unreachable from every output (remove_dangling's
+  // liveness rule).
+  {
+    std::vector<bool> live(nl.size(), false);
+    std::vector<SignalId> stack(nl.outputs().begin(), nl.outputs().end());
+    while (!stack.empty()) {
+      const SignalId s = stack.back();
+      stack.pop_back();
+      if (live[s]) continue;
+      live[s] = true;
+      for (SignalId f : nl.node(s).fanins) {
+        if (!live[f]) stack.push_back(f);
+      }
+    }
+    std::size_t dead = 0;
+    for (SignalId s = 0; s < nl.size(); ++s) {
+      const GateType t = nl.type(s);
+      if ((netlist::is_comb_gate(t) || t == GateType::Dff) && !live[s]) ++dead;
+    }
+    if (dead > 0) {
+      add(rep, Severity::Warning, "dead-logic", "",
+          std::to_string(dead) +
+              " gate(s)/flip-flop(s) are unreachable from every output");
+    }
+  }
+
+  // Duplicate gates: same type + same (canonicalized) fanin list.
+  {
+    const auto commutative = [](GateType t) {
+      return t == GateType::And || t == GateType::Nand || t == GateType::Or ||
+             t == GateType::Nor || t == GateType::Xor || t == GateType::Xnor;
+    };
+    std::map<std::pair<GateType, std::vector<SignalId>>, std::size_t> seen;
+    std::size_t duplicates = 0;
+    for (SignalId s = 0; s < nl.size(); ++s) {
+      if (!netlist::is_comb_gate(nl.type(s)) || nl.type(s) == GateType::Buf) {
+        continue;
+      }
+      std::vector<SignalId> fanins = nl.node(s).fanins;
+      if (commutative(nl.type(s))) std::sort(fanins.begin(), fanins.end());
+      if (++seen[{nl.type(s), std::move(fanins)}] > 1) ++duplicates;
+    }
+    if (duplicates > 0) {
+      add(rep, Severity::Warning, "duplicate-gates", "",
+          std::to_string(duplicates) +
+              " gate(s) duplicate another gate's function (strash would "
+              "merge them)");
+    }
+  }
+
+  for (SignalId o : nl.outputs()) {
+    const GateType t = nl.type(o);
+    if (t == GateType::Const0 || t == GateType::Const1) {
+      add(rep, Severity::Warning, "constant-output", nl.signal_name(o),
+          "primary output is pinned to a constant");
+    }
+  }
+
+  return rep;
+}
+
+LintReport lint_attack_inputs(const Netlist& locked, const Netlist& oracle) {
+  LintReport rep;
+  merge(rep, lint(locked), "locked");
+  merge(rep, lint(oracle), "oracle");
+
+  if (locked.key_inputs().empty()) {
+    add(rep, Severity::Error, "no-key-inputs", "locked",
+        "locked netlist has no key inputs; there is nothing to attack");
+  }
+  if (!oracle.key_inputs().empty()) {
+    add(rep, Severity::Error, "keyed-oracle", "oracle",
+        "oracle netlist has key inputs; the reference must be the unlocked "
+        "design");
+  }
+  if (locked.inputs().size() != oracle.inputs().size() ||
+      locked.outputs().size() != oracle.outputs().size()) {
+    add(rep, Severity::Error, "interface-mismatch", "",
+        "locked is " + std::to_string(locked.inputs().size()) + " in / " +
+            std::to_string(locked.outputs().size()) + " out but oracle is " +
+            std::to_string(oracle.inputs().size()) + " in / " +
+            std::to_string(oracle.outputs().size()) + " out");
+  }
+  return rep;
+}
+
+std::size_t LintReport::errors() const {
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Error) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::warnings() const {
+  return diagnostics.size() - errors();
+}
+
+std::string format_diagnostics(const LintReport& report) {
+  std::string out;
+  for (const Diagnostic& d : report.diagnostics) {
+    out += d.severity == Severity::Error ? "error[" : "warning[";
+    out += d.code;
+    out += "]";
+    if (!d.signal.empty()) {
+      out += " ";
+      out += d.signal;
+    }
+    out += ": ";
+    out += d.message;
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace cl::analysis

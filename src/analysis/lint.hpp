@@ -1,0 +1,53 @@
+// Structural netlist lint: the checks the service and CLI run on submitted
+// circuits before spending attack budget on them. Errors are conditions an
+// attack cannot survive (no outputs, combinational loops, floating DFFs);
+// warnings flag suspicious-but-legal structure (dead logic, unused inputs,
+// mergeable duplicate gates). Each finding is a structured diagnostic with a
+// stable code so clients can match on it.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace cl::analysis {
+
+enum class Severity : std::uint8_t { Error, Warning };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  std::string code;     ///< stable kebab-case identifier, e.g. "comb-loop"
+  std::string signal;   ///< offending signal name ("" for whole-netlist)
+  std::string message;  ///< human-readable explanation
+};
+
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool ok() const { return errors() == 0; }
+  std::size_t errors() const;
+  std::size_t warnings() const;
+};
+
+/// Check one netlist in isolation.
+///
+/// Errors: `no-outputs`, `comb-loop`, `floating-dff` (D pin never wired).
+/// Warnings: `dead-logic` (gates unreachable from any output), `unused-input`
+/// (port with no readers), `duplicate-gates` (strash would merge),
+/// `constant-output` (output pinned to a constant), `self-loop-dff` (D wired
+/// straight back to its own Q).
+LintReport lint(const netlist::Netlist& nl);
+
+/// Check a (locked, oracle) attack submission: both netlists individually,
+/// plus `no-key-inputs` (locked circuit has nothing to attack), `keyed-oracle`
+/// (the reference must be key-free), and `interface-mismatch` (input/output
+/// port counts differ, so the miter cannot be formed).
+LintReport lint_attack_inputs(const netlist::Netlist& locked,
+                              const netlist::Netlist& oracle);
+
+/// Render "error[code] signal: message" lines, one per diagnostic.
+std::string format_diagnostics(const LintReport& report);
+
+}  // namespace cl::analysis

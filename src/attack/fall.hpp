@@ -5,7 +5,7 @@
 //   1. Structural analysis: locate comparator structures in the locked
 //      netlist — AND-trees whose leaves are (possibly inverted) primary
 //      input literals. These are the hidden-pattern comparators that
-//      TTLock/SFLL-style stripped-functionality locks必 contain.
+//      TTLock/SFLL-style stripped-functionality locks contain.
 //   2. Functional analysis: key-unateness profiling prunes gates whose
 //      functions cannot be key comparators.
 //   3. Candidate keys: the literal polarities of each surviving comparator.

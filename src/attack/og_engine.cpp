@@ -3,10 +3,19 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "analysis/key_infer.hpp"
+#include "util/env.hpp"
+
 namespace cl::attack {
 
 using netlist::Netlist;
 using sat::Result;
+
+namespace {
+// Bits below this confidence stay out of the assumption set: a wrong hint is
+// recoverable (Unsat drops the whole set) but costs a wasted solve.
+constexpr double k_hint_confidence = 0.75;
+}  // namespace
 
 OgEngine::OgEngine(const Netlist& locked, const SequentialOracle& oracle,
                    const AttackBudget& budget, ObservationBank* bank)
@@ -31,8 +40,58 @@ AttackResult OgEngine::run(DipStrategy& strategy) {
   miter_.reset();  // references the solver: destroy before it
   solver_.reset();
   timer_.reset();
+  prepare_hints();
   strategy.on_start(*this);
   return strategy.attack(*this);
+}
+
+void OgEngine::set_hints(std::vector<std::pair<std::size_t, bool>> hints) {
+  hints_ = std::move(hints);
+}
+
+void OgEngine::prepare_hints() {
+  if (hints_.empty() && util::key_hints_from_env()) {
+    // Auto-compute from the structural analysis pass. Its cost counts
+    // against this attack's own wall budget (the timer is already running),
+    // so cap it well below the total.
+    analysis::InferOptions opt;
+    opt.time_limit_s = budget_.time_limit_s / 4;
+    hints_ = analysis::infer_key_hints(locked_, opt)
+                 .decided_bits(k_hint_confidence);
+  }
+  const std::size_t bits = locked_.key_inputs().size();
+  hints_.erase(std::remove_if(hints_.begin(), hints_.end(),
+                              [bits](const std::pair<std::size_t, bool>& h) {
+                                return h.first >= bits;
+                              }),
+               hints_.end());
+  hints_active_ = !hints_.empty();
+  result_.hinted_bits = hints_.size();
+}
+
+Result OgEngine::solve_hinted(std::vector<sat::Lit> assumptions,
+                              bool drop_on_unsat) {
+  if (!hints_active_) return solver_->solve(assumptions);
+  std::vector<sat::Lit> with = assumptions;
+  for (const auto& [bit, value] : hints_) {
+    // Pin BOTH key copies: a hint is a claim about the key itself, and the
+    // miter's two hypothesis keys must explore the same restricted space.
+    const sat::Var a = miter_->keys_a()[bit];
+    const sat::Var b = miter_->keys_b()[bit];
+    with.push_back(value ? sat::pos(a) : sat::neg(a));
+    with.push_back(value ? sat::pos(b) : sat::neg(b));
+  }
+  const Result r = solver_->solve(with);
+  if (r != Result::Unsat || !drop_on_unsat) return r;
+  // Consistency check: Unsat under hints means they contradict the recorded
+  // oracle facts. They are no longer trustworthy — drop them for the rest of
+  // the run and re-ask, so a Cns verdict is only ever concluded hint-free.
+  // (Diff solves pass drop_on_unsat=false: there, Unsat just means the
+  // hinted subspace is fully discriminated, and the loop routes that to the
+  // consistency phase where external verification arbitrates.)
+  hints_active_ = false;
+  arm_deadline();
+  return solver_->solve(assumptions);
 }
 
 bool OgEngine::out_of_budget() const {
@@ -150,6 +209,18 @@ AttackResult OgEngine::finish(Outcome outcome, std::string detail) {
   result_.outcome = outcome;
   result_.seconds = timer_.seconds();
   result_.detail = std::move(detail);
+  if (outcome == Outcome::Equal && !hints_.empty() && !result_.key.empty()) {
+    // Ground truth is only available once a key verified: score the hints
+    // against it so BENCH JSON can report how good the structural pass was.
+    std::size_t correct = 0;
+    for (const auto& [bit, value] : hints_) {
+      if (bit < result_.key.size() && (result_.key[bit] != 0) == value) {
+        ++correct;
+      }
+    }
+    result_.hint_accuracy =
+        static_cast<double>(correct) / static_cast<double>(hints_.size());
+  }
   return result_;
 }
 
@@ -185,7 +256,7 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
                 : "budget exhausted at depth " + std::to_string(depth));
       }
       arm_deadline();
-      const Result r = solver_->solve({miter_->diff_within(depth)});
+      const Result r = solve_hinted({miter_->diff_within(depth)}, false);
       if (r == Result::Unknown) {
         return finish_timeout(
             spec_.combinational
@@ -209,7 +280,7 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
                     : "budget exhausted at depth " + std::to_string(depth));
           }
           arm_deadline();
-          rr = solver_->solve({miter_->diff_within(depth)});
+          rr = solve_hinted({miter_->diff_within(depth)}, false);
         }
         if (rr == Result::Unknown) {
           // Solver budget death mid-round is a timeout, not "no DIP remains"
@@ -241,7 +312,7 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
     // Keys are indistinguishable within `depth` under all recorded
     // responses: any consistent key is the attack's current answer.
     arm_deadline();
-    const Result consistent = solver_->solve();
+    const Result consistent = solve_hinted({}, true);
     if (consistent == Result::Unknown) {
       return finish_timeout(spec_.combinational
                                 ? "consistency check exceeded solver budget"
@@ -260,15 +331,33 @@ AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
     const VerifyResult v =
         verify_static_key(locked_, key, oracle_.reference(),
                           verify_options(!spec_.combinational));
-    if (spec_.combinational) {
+    if (spec_.combinational && !hints_active_) {
       // Scan-model attacks conclude here, right or wrong: with no DIP left
-      // there is nothing more the oracle can discriminate.
+      // there is nothing more the oracle can discriminate. (Only hint-free:
+      // under hints, "no DIP left" covers the hinted subspace, not the key
+      // space — the hint-failure branch below re-enters the search instead.)
       result_.key = key;
       return finish(v.equivalent ? Outcome::Equal : Outcome::WrongKey, "");
     }
     if (v.equivalent) {
+      // Externally verified, so hints (if any) didn't have to be earned off.
       result_.key = key;
-      return finish(Outcome::Equal, "verified at depth " + std::to_string(depth));
+      return finish(Outcome::Equal,
+                    spec_.combinational
+                        ? ""
+                        : "verified at depth " + std::to_string(depth));
+    }
+    if (hints_active_) {
+      // The hinted subspace's best candidate fails on the real circuit: the
+      // hints were wrong. Drop them for the rest of the run and resume the
+      // search over the full key space; every terminal verdict from here on
+      // is reached exactly as it would have been without hints.
+      hints_active_ = false;
+      if (!v.counterexample.empty()) {
+        add_io(v.counterexample);
+        strategy.on_refuted(*this, key);
+      }
+      continue;
     }
     if (!v.counterexample.empty()) {
       // The candidate fails on a real sequence: feed it back as an oracle

@@ -29,6 +29,7 @@
 
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/observation_bank.hpp"
@@ -129,6 +130,18 @@ class OgEngine {
   const sim::BitVec& candidate() const { return candidate_; }
   void set_candidate(const sim::BitVec& key) { candidate_ = key; }
 
+  /// Structural key hints (bit index, value) installed as unit assumptions
+  /// on every solve, so the DIP search starts inside the hinted subspace.
+  /// The moment the hints prove unreliable — they contradict a recorded
+  /// oracle fact, or their subspace's best candidate fails external
+  /// verification — they are dropped for the rest of the run, so every
+  /// terminal verdict (Equal is externally verified; Cns and WrongKey are
+  /// concluded hint-free) is as sound as an unhinted run. Call before run();
+  /// when unset, run() auto-computes hints from analysis::infer_key_hints
+  /// iff CUTELOCK_KEY_HINTS=1 (and stable mode is off). Out-of-range bit
+  /// indices are discarded at run().
+  void set_hints(std::vector<std::pair<std::size_t, bool>> hints);
+
   /// Solver factory for strategies that manage their own instances (the
   /// periodic schedule sweep): portfolio width and conflict budget applied.
   std::unique_ptr<sat::PortfolioSolver> make_solver() const;
@@ -149,6 +162,14 @@ class OgEngine {
   };
 
   void replay_bank();
+  void prepare_hints();
+  /// solver_->solve(assumptions) with the active hints appended as unit
+  /// assumptions over BOTH key copies. With `drop_on_unsat` (the consistency
+  /// solve), Unsat under hints drops them permanently, re-arms the deadline,
+  /// and re-solves without; diff solves pass false — there Unsat means "the
+  /// hinted subspace is discriminated" and external verification arbitrates.
+  sat::Result solve_hinted(std::vector<sat::Lit> assumptions,
+                           bool drop_on_unsat);
 
   const netlist::Netlist& locked_;
   const SequentialOracle& oracle_;
@@ -160,6 +181,8 @@ class OgEngine {
   AttackResult result_;
   sim::BitVec candidate_;
   std::vector<IoFact> io_;  // replayed on rebuild()
+  std::vector<std::pair<std::size_t, bool>> hints_;
+  bool hints_active_ = false;
   std::unique_ptr<sat::PortfolioSolver> solver_;
   std::unique_ptr<cnf::SequentialMiter> miter_;
 };

@@ -41,6 +41,13 @@ struct AttackResult {
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
   std::uint64_t preloaded_facts = 0;
+  /// Key bits pinned as startup unit assumptions from a structural
+  /// analysis::KeyHintReport (CUTELOCK_KEY_HINTS=1; forced off in stable
+  /// mode). Zero when no hints were injected.
+  std::uint64_t hinted_bits = 0;
+  /// Fraction of injected hints matching the verified key, computed when
+  /// the attack ends Equal with hints active; -1 = not applicable.
+  double hint_accuracy = -1.0;
   std::string detail;          // free-form diagnostics
 
   std::string summary() const;

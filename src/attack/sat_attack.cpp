@@ -101,6 +101,7 @@ AttackResult sat_attack(const Netlist& locked, const SequentialOracle& oracle,
                         const SatAttackOptions& options) {
   OgEngine engine(locked, oracle, options.budget,
                   observation_bank_for(locked, oracle.reference()));
+  if (!options.hints.empty()) engine.set_hints(options.hints);
   if (options.mode == SatAttackOptions::Mode::AppSat) {
     AppSatStrategy strategy(options);
     return engine.run(strategy);

@@ -8,6 +8,10 @@
 // repeat until no DIP remains; any consistent key is then the correct key.
 #pragma once
 
+#include <cstddef>
+#include <utility>
+#include <vector>
+
 #include "attack/oracle.hpp"
 #include "attack/result.hpp"
 
@@ -16,6 +20,11 @@ namespace cl::attack {
 struct SatAttackOptions {
   AttackBudget budget;
   enum class Mode { Classic, AppSat, DoubleDip } mode = Mode::Classic;
+  /// Structural key hints (key-bit index, value) installed as unit
+  /// assumptions on the engine (OgEngine::set_hints): advisory, dropped on
+  /// any contradiction, never able to flip a verdict. Empty = engine
+  /// default (auto-compute iff CUTELOCK_KEY_HINTS=1 and not stable mode).
+  std::vector<std::pair<std::size_t, bool>> hints;
   // AppSAT settling parameters (Shamsi et al., HOST'17): every
   // `appsat_sample_every` DIP rounds draw `appsat_samples` random queries;
   // if the current candidate's observed error rate is below the threshold,

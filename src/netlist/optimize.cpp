@@ -14,7 +14,8 @@ namespace {
 enum class CVal : std::uint8_t { Zero, One, Unknown };
 
 /// One rewriting sweep. Returns the rewritten netlist and sets `changed`.
-Netlist sweep(const Netlist& nl, bool& changed) {
+/// `consts_propagated` is incremented once per gate output folded to 0/1.
+Netlist sweep(const Netlist& nl, bool& changed, std::size_t& consts_propagated) {
   changed = false;
   Netlist dst(nl.name());
   std::vector<SignalId> remap(nl.size(), k_no_signal);
@@ -78,6 +79,7 @@ Netlist sweep(const Netlist& nl, bool& changed) {
       remap[id] = one ? c1() : c0();
       cval[id] = one ? CVal::One : CVal::Zero;
       changed = true;
+      ++consts_propagated;
     };
     const auto forward = [&](std::size_t i) {
       remap[id] = ins[i];
@@ -222,16 +224,27 @@ Netlist sweep(const Netlist& nl, bool& changed) {
 }  // namespace
 
 Netlist optimize(const Netlist& nl) {
+  OptimizeStats stats;
+  return optimize(nl, stats);
+}
+
+Netlist optimize(const Netlist& nl, OptimizeStats& stats) {
+  stats = OptimizeStats{};
+  const NetlistStats before = nl.stats();
   Netlist current = strash(nl);
   for (int round = 0; round < 8; ++round) {
+    ++stats.rounds;
     bool changed = false;
-    Netlist next = sweep(current, changed);
+    Netlist next = sweep(current, changed, stats.constants_propagated);
     next = strash(next);
     const bool shrunk = next.size() < current.size();
     current = std::move(next);
     if (!changed && !shrunk) break;
   }
   current.check();
+  const NetlistStats after = current.stats();
+  stats.gates_removed = before.gates > after.gates ? before.gates - after.gates : 0;
+  stats.ffs_swept = before.dffs > after.dffs ? before.dffs - after.dffs : 0;
   return current;
 }
 

@@ -5,13 +5,29 @@
 // a raw netlist comparison would overstate everyone's overhead).
 #pragma once
 
+#include <cstddef>
+
 #include "netlist/netlist.hpp"
 
 namespace cl::netlist {
+
+/// What one optimize() run did to the circuit. The analysis module's
+/// SCOPE-style decision pass compares these between key-bit-pinned variants:
+/// the wrong key value typically lets more constants propagate and sweeps
+/// more logic than the right one (or vice versa for MUX locking).
+struct OptimizeStats {
+  std::size_t gates_removed = 0;        ///< comb gates in minus comb gates out
+  std::size_t constants_propagated = 0; ///< gate outputs folded to 0/1
+  std::size_t ffs_swept = 0;            ///< dead flip-flops removed
+  std::size_t rounds = 0;               ///< sweep+strash rounds executed
+};
 
 /// One full optimization pass (iterated internally to a fixpoint, bounded).
 /// Functionally equivalence-preserving; the interface (ports, DFF count and
 /// init values) is preserved except that dead flip-flops are swept.
 Netlist optimize(const Netlist& nl);
+
+/// Same, reporting what the pass did into `stats`.
+Netlist optimize(const Netlist& nl, OptimizeStats& stats);
 
 }  // namespace cl::netlist

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <stdexcept>
 
 #include "netlist/topo.hpp"
 
@@ -175,6 +176,41 @@ Netlist scan_expose(const Netlist& nl) {
   for (SignalId o : nl.outputs()) dst.add_output(remap[o]);
   // D pins become observable primary outputs.
   for (SignalId id : nl.dffs()) dst.add_output(remap[nl.dff_input(id)]);
+  dst.check();
+  return dst;
+}
+
+Netlist pin_signal(const Netlist& nl, SignalId source, bool value) {
+  const GateType src_type = nl.type(source);
+  if (src_type != GateType::Input && src_type != GateType::KeyInput) {
+    throw std::invalid_argument("pin_signal: '" + nl.signal_name(source) +
+                                "' is not an input or key input");
+  }
+  Netlist dst(nl.name());
+  std::vector<SignalId> remap(nl.size(), k_no_signal);
+  std::vector<SignalId> dffs_src;
+  for (SignalId id = 0; id < nl.size(); ++id) {
+    const Node& n = nl.node(id);
+    if (id == source) remap[id] = dst.add_const(value, n.name);
+    else if (n.type == GateType::Input) remap[id] = dst.add_input(n.name);
+    else if (n.type == GateType::KeyInput) remap[id] = dst.add_key_input(n.name);
+    else if (n.type == GateType::Const0 || n.type == GateType::Const1)
+      remap[id] = dst.add_const(n.type == GateType::Const1, n.name);
+  }
+  for (SignalId id : nl.dffs()) {
+    remap[id] = dst.add_dff(k_no_signal, nl.dff_init(id), nl.signal_name(id));
+    dffs_src.push_back(id);
+  }
+  for (SignalId id : topo_order(nl)) {
+    if (!is_comb_gate(nl.type(id))) continue;
+    const Node& n = nl.node(id);
+    std::vector<SignalId> fanins;
+    fanins.reserve(n.fanins.size());
+    for (SignalId f : n.fanins) fanins.push_back(remap[f]);
+    remap[id] = dst.add_gate(n.type, std::move(fanins), n.name);
+  }
+  for (SignalId id : dffs_src) dst.set_dff_input(remap[id], remap[nl.dff_input(id)]);
+  for (SignalId o : nl.outputs()) dst.add_output(remap[o]);
   dst.check();
   return dst;
 }

@@ -21,6 +21,13 @@ Netlist decompose_muxes(const Netlist& nl);
 /// BUFs. Keeps port/output/DFF names.
 Netlist strash(const Netlist& nl);
 
+/// Pin one primary input or key input to a constant: the port node is
+/// replaced by Const0/Const1 (keeping its name) and dropped from the port
+/// lists. The analysis module's SCOPE pass pins each key bit to 0 and to 1
+/// and compares what optimize() does to the two variants. Throws
+/// std::invalid_argument if `source` is not an Input/KeyInput node.
+Netlist pin_signal(const Netlist& nl, SignalId source, bool value);
+
 /// Map from signal name to SignalId for every named signal (convenience for
 /// tests comparing rewritten netlists).
 std::unordered_map<std::string, SignalId> name_map(const Netlist& nl);

@@ -14,9 +14,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include "analysis/key_infer.hpp"
+#include "analysis/lint.hpp"
 #include "attack/observation_bank.hpp"
 #include "attack/periodic_attack.hpp"
 #include "attack/sat_attack.hpp"
+#include "attack/scope.hpp"
 #include "attack/seq_attack.hpp"
 #include "attack/verify.hpp"
 #include "core/cute_lock_str.hpp"
@@ -58,6 +61,21 @@ bool bits_from_string(const std::string& text, sim::BitVec* out) {
 Json schedule_to_json(const std::vector<sim::BitVec>& schedule) {
   Json arr = Json::array();
   for (const auto& kv : schedule) arr.push_back(Json::string(sim::bits_to_string(kv)));
+  return arr;
+}
+
+Json diagnostics_to_json(const analysis::LintReport& report) {
+  Json arr = Json::array();
+  for (const analysis::Diagnostic& d : report.diagnostics) {
+    Json item = Json::object();
+    item.set("severity",
+             Json::string(d.severity == analysis::Severity::Error ? "error"
+                                                                  : "warning"));
+    item.set("code", Json::string(d.code));
+    if (!d.signal.empty()) item.set("signal", Json::string(d.signal));
+    item.set("message", Json::string(d.message));
+    arr.push_back(std::move(item));
+  }
   return arr;
 }
 
@@ -370,9 +388,10 @@ Json Server::handle_request(const Json& request, bool* defer_shutdown) {
 
 Json Server::submit_job(const Json& request) {
   const std::string kind = request.str_or("job", "attack");
-  if (kind != "attack" && kind != "verify" && kind != "lock") {
+  if (kind != "attack" && kind != "verify" && kind != "lock" &&
+      kind != "analyze") {
     return error_reply("unknown job kind \"" + kind +
-                       "\" (want attack/verify/lock)");
+                       "\" (want attack/verify/lock/analyze)");
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (!started_ || stopping_) return error_reply("server is shutting down");
@@ -492,6 +511,8 @@ void Server::run_job(Job& job) {
       run_attack_job(job, &result);
     } else if (job.kind == "verify") {
       run_verify_job(job, &result);
+    } else if (job.kind == "analyze") {
+      run_analyze_job(job, &result);
     } else {
       run_lock_job(job, &result);
     }
@@ -543,6 +564,16 @@ void Server::run_attack_job(Job& job, Json* result) {
   const auto reference = circuit_from(job.request, "oracle", &cache_hits, &error);
   if (reference == nullptr) throw std::runtime_error("attack: " + error);
 
+  // Reject malformed submissions up front: a truncated upload or a
+  // mismatched oracle would otherwise burn a worker slot on a solver run
+  // that can only end in nonsense.
+  const analysis::LintReport lint_rep =
+      analysis::lint_attack_inputs(locked->netlist(), reference->netlist());
+  if (!lint_rep.ok()) {
+    throw std::runtime_error("attack: rejected by netlist lint\n" +
+                             analysis::format_diagnostics(lint_rep));
+  }
+
   attack::AttackBudget budget;
   budget.time_limit_s = job.request.num_or("seconds", 10.0);
   budget.max_iterations = job.request.u64_or("max_iterations", budget.max_iterations);
@@ -555,6 +586,8 @@ void Server::run_attack_job(Job& job, Json* result) {
   attack::AttackResult r;
   std::size_t recovered_period = 0;
   std::vector<sim::BitVec> recovered_schedule;
+  std::size_t scope_decided = 0;
+  std::string scope_verdicts;
   if (mode == "bmc") {
     r = attack::bmc_attack(locked->netlist(), reference->oracle(), budget);
   } else if (mode == "kc2") {
@@ -589,6 +622,16 @@ void Server::run_attack_job(Job& job, Json* result) {
     if (mode == "appsat") o.mode = attack::SatAttackOptions::Mode::AppSat;
     if (mode == "double-dip") o.mode = attack::SatAttackOptions::Mode::DoubleDip;
     r = attack::sat_attack(ls, reference_scan->oracle(), o);
+  } else if (mode == "scope") {
+    // Oracle-free structural inference; the oracle only confirms a fully
+    // decided key, matching attack::scope_attack's contract.
+    attack::ScopeOptions o;
+    o.budget = budget;
+    const attack::ScopeResult sr =
+        attack::scope_attack(locked->netlist(), &reference->oracle(), o);
+    r = sr.result;
+    scope_decided = sr.decided;
+    scope_verdicts = sr.report.verdict_string();
   } else if (mode == "periodic") {
     attack::PeriodicAttackOptions o;
     o.budget = budget;
@@ -602,7 +645,7 @@ void Server::run_attack_job(Job& job, Json* result) {
   } else {
     throw std::runtime_error(
         "attack: unknown mode \"" + mode +
-        "\" (want bmc/kc2/rane/sat/appsat/double-dip/periodic)");
+        "\" (want bmc/kc2/rane/sat/appsat/double-dip/scope/periodic)");
   }
 
   Json& out = *result;
@@ -620,6 +663,10 @@ void Server::run_attack_job(Job& job, Json* result) {
   if (recovered_period != 0) {
     out.set("period", Json::number(static_cast<std::uint64_t>(recovered_period)));
     out.set("schedule", schedule_to_json(recovered_schedule));
+  }
+  if (mode == "scope") {
+    out.set("decided", Json::number(static_cast<std::uint64_t>(scope_decided)));
+    out.set("verdicts", Json::string(scope_verdicts));
   }
 }
 
@@ -670,6 +717,65 @@ void Server::run_lock_job(Job& job, Json* result) {
   out.set("locked", Json::string(netlist::write_bench_string(lr.locked)));
   out.set("scheme", Json::string(lr.scheme));
   out.set("key_schedule", schedule_to_json(lr.key_schedule));
+  out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
+}
+
+void Server::run_analyze_job(Job& job, Json* result) {
+  std::string error;
+  std::size_t cache_hits = 0;
+  const auto circuit = circuit_from(job.request, "circuit", &cache_hits, &error);
+  if (circuit == nullptr) throw std::runtime_error("analyze: " + error);
+  const netlist::Netlist& nl = circuit->netlist();
+  util::Timer timer;
+
+  Json& out = *result;
+  Json stats = Json::object();
+  stats.set("signals", Json::number(static_cast<std::uint64_t>(nl.size())));
+  stats.set("inputs", Json::number(static_cast<std::uint64_t>(nl.inputs().size())));
+  stats.set("key_inputs",
+            Json::number(static_cast<std::uint64_t>(nl.key_inputs().size())));
+  stats.set("outputs",
+            Json::number(static_cast<std::uint64_t>(nl.outputs().size())));
+  stats.set("dffs", Json::number(static_cast<std::uint64_t>(nl.dffs().size())));
+  out.set("stats", std::move(stats));
+
+  const analysis::LintReport lint_rep = analysis::lint(nl);
+  out.set("lint_ok", Json::boolean(lint_rep.ok()));
+  out.set("lint_errors",
+          Json::number(static_cast<std::uint64_t>(lint_rep.errors())));
+  out.set("lint_warnings",
+          Json::number(static_cast<std::uint64_t>(lint_rep.warnings())));
+  if (!lint_rep.diagnostics.empty()) {
+    out.set("diagnostics", diagnostics_to_json(lint_rep));
+  }
+
+  if (!nl.key_inputs().empty()) {
+    analysis::InferOptions opt;
+    opt.time_limit_s = job.request.num_or("seconds", 10.0);
+    opt.profile_unateness = job.request.bool_or("unateness", true);
+    const analysis::KeyHintReport report = analysis::infer_key_hints(nl, opt);
+    out.set("verdicts", Json::string(report.verdict_string()));
+    out.set("decided",
+            Json::number(static_cast<std::uint64_t>(report.decided())));
+    out.set("summary", Json::string(report.summary()));
+    if (report.budget_exhausted) {
+      out.set("budget_exhausted", Json::boolean(true));
+    }
+    Json bits = Json::array();
+    for (const analysis::BitHint& h : report.bits) {
+      Json bit = Json::object();
+      bit.set("name", Json::string(h.name));
+      bit.set("role", Json::string(analysis::role_name(h.role)));
+      bit.set("verdict",
+              Json::string(std::string(1, analysis::verdict_char(h.verdict))));
+      bit.set("confidence", Json::number(h.confidence));
+      bit.set("unateness", Json::string(analysis::unate_name(h.unate)));
+      bits.push_back(std::move(bit));
+    }
+    out.set("bits", std::move(bits));
+  }
+
+  out.set("seconds", Json::number(timer.seconds()));
   out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
 }
 

@@ -101,7 +101,7 @@ class Server {
  private:
   struct Job {
     std::uint64_t id = 0;
-    std::string kind;  // "attack" | "verify" | "lock"
+    std::string kind;  // "attack" | "verify" | "lock" | "analyze"
     enum class State { Queued, Running, Done, Cancelled, Error };
     State state = State::Queued;
     std::atomic<bool> cancel{false};
@@ -124,6 +124,7 @@ class Server {
   void run_attack_job(Job& job, Json* result);
   void run_verify_job(Job& job, Json* result);
   void run_lock_job(Job& job, Json* result);
+  void run_analyze_job(Job& job, Json* result);
 
   /// Netlist source for a job: inline bench text under `field`, or a
   /// server-side path under `field` + "_file". Null + *error when absent or

@@ -106,4 +106,10 @@ std::string obs_bank_path_from_env() {
   return env == nullptr ? std::string() : std::string(env);
 }
 
+bool key_hints_from_env() {
+  // Stable mode wins: hint injection changes solver trajectories, and the
+  // stable tables promise byte-identical output at any knob setting.
+  return env_flag("CUTELOCK_KEY_HINTS") && !env_flag("CUTELOCK_BENCH_STABLE");
+}
+
 }  // namespace cl::util

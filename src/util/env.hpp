@@ -55,4 +55,11 @@ bool obs_bank_from_env();
 /// shutdown, so facts survive restarts and can be shipped between machines.
 std::string obs_bank_path_from_env();
 
+/// Structural key hints seeding the oracle-guided engine:
+/// CUTELOCK_KEY_HINTS=1 makes OgEngine run analysis::infer_key_hints on the
+/// locked netlist and install high-confidence bits as startup unit
+/// assumptions. Default off, and forced off under CUTELOCK_BENCH_STABLE=1 so
+/// the stable tables stay byte-identical.
+bool key_hints_from_env();
+
 }  // namespace cl::util

@@ -1,0 +1,121 @@
+#include "analysis/const_prop.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+#include "netlist/transform.hpp"
+
+namespace cl::analysis {
+namespace {
+
+using netlist::Netlist;
+using sim::Trit;
+
+const char* k_chain = R"(
+INPUT(a)
+INPUT(b)
+INPUT(k)
+OUTPUT(y)
+g1 = AND(a, k)
+g2 = AND(g1, b)
+g3 = OR(g2, a)
+y = BUF(g3)
+)";
+
+TEST(ConstProp, NothingPinnedNothingDetermined) {
+  const Netlist nl = netlist::read_bench_string(k_chain, "c");
+  const ConstPropResult r = const_prop(nl);
+  EXPECT_EQ(r.determined, 0u);
+  EXPECT_EQ(r.determined_outputs, 0u);
+  for (netlist::SignalId s : nl.inputs()) EXPECT_EQ(r.values[s], Trit::X);
+}
+
+TEST(ConstProp, ZeroPinCollapsesAndChain) {
+  const Netlist nl = netlist::read_bench_string(k_chain, "c");
+  const auto names = netlist::name_map(nl);
+  // k=0 kills g1 and g2; g3 = OR(0, a) forwards a, still X.
+  const ConstPropResult r = const_prop(nl, {{names.at("k"), Trit::Zero}});
+  EXPECT_EQ(r.values[names.at("g1")], Trit::Zero);
+  EXPECT_EQ(r.values[names.at("g2")], Trit::Zero);
+  EXPECT_EQ(r.values[names.at("g3")], Trit::X);
+  EXPECT_EQ(r.determined, 2u);
+  EXPECT_EQ(r.determined_outputs, 0u);
+}
+
+TEST(ConstProp, OnePinDeterminesNothingHere) {
+  const Netlist nl = netlist::read_bench_string(k_chain, "c");
+  const auto names = netlist::name_map(nl);
+  const ConstPropResult r = const_prop(nl, {{names.at("k"), Trit::One}});
+  EXPECT_EQ(r.determined, 0u);
+}
+
+TEST(ConstProp, ConstantsAndDominatedGates) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+one = CONST1()
+t = OR(a, one)
+y = AND(t, one)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "c");
+  const auto names = netlist::name_map(nl);
+  const ConstPropResult r = const_prop(nl);
+  EXPECT_EQ(r.values[names.at("t")], Trit::One);
+  EXPECT_EQ(r.values[names.at("y")], Trit::One);
+  EXPECT_EQ(r.determined, 2u);
+  EXPECT_EQ(r.determined_outputs, 1u);
+}
+
+TEST(ConstProp, MuxSelectPinForwardsBranch) {
+  const char* text = R"(
+INPUT(a)
+INPUT(s)
+OUTPUT(y)
+zero = CONST0()
+y = MUX(s, zero, a)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "c");
+  const auto names = netlist::name_map(nl);
+  // sel=0 forwards the first data pin (the constant); sel=1 forwards a (X).
+  EXPECT_EQ(const_prop(nl, {{names.at("s"), Trit::Zero}}).values[names.at("y")],
+            Trit::Zero);
+  EXPECT_EQ(const_prop(nl, {{names.at("s"), Trit::One}}).values[names.at("y")],
+            Trit::X);
+}
+
+TEST(ConstProp, PinningAnInternalGateCutsItsCone) {
+  const Netlist nl = netlist::read_bench_string(k_chain, "c");
+  const auto names = netlist::name_map(nl);
+  const ConstPropResult r = const_prop(nl, {{names.at("g3"), Trit::One}});
+  EXPECT_EQ(r.values[names.at("g3")], Trit::One);
+  EXPECT_EQ(r.values[names.at("y")], Trit::One);
+  EXPECT_EQ(r.determined_outputs, 1u);
+  // Upstream of the pin stays X: the pin overrides, not propagates backward.
+  EXPECT_EQ(r.values[names.at("g1")], Trit::X);
+}
+
+TEST(ConstProp, DffQsStayUnknown) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(a)
+y = AND(q, a)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "c");
+  const auto names = netlist::name_map(nl);
+  const ConstPropResult r = const_prop(nl);
+  EXPECT_EQ(r.values[names.at("q")], Trit::X);
+  EXPECT_EQ(r.determined, 0u);
+}
+
+TEST(ConstProp, PinProfileIsAsymmetricForAndKeys) {
+  const Netlist nl = netlist::read_bench_string(k_chain, "c");
+  const auto names = netlist::name_map(nl);
+  const PinProfile p = pin_profile(nl, names.at("k"));
+  EXPECT_EQ(p.baseline, 0u);
+  EXPECT_EQ(p.zero, 2u);  // the AND chain collapses
+  EXPECT_EQ(p.one, 0u);   // AND with 1 forwards, nothing determined
+}
+
+}  // namespace
+}  // namespace cl::analysis

@@ -1,0 +1,204 @@
+#include "analysis/key_infer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/cute_lock_str.hpp"
+#include "lock/comb_locks.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/rng.hpp"
+
+namespace cl::analysis {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_comb = R"(
+INPUT(a)
+INPUT(b)
+INPUT(c)
+INPUT(d)
+OUTPUT(y)
+t1 = AND(a, b)
+t2 = OR(c, d)
+y = XOR(t1, t2)
+)";
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+struct Tally {
+  std::size_t bits = 0;
+  std::size_t decided = 0;
+  std::size_t correct = 0;
+  std::size_t wrong = 0;
+};
+
+void tally(const KeyHintReport& rep, const sim::BitVec& correct_key,
+           Tally& t) {
+  ASSERT_EQ(rep.bits.size(), correct_key.size());
+  for (std::size_t i = 0; i < rep.bits.size(); ++i) {
+    ++t.bits;
+    const BitVerdict v = rep.bits[i].verdict;
+    if (v == BitVerdict::Unknown) continue;
+    ++t.decided;
+    const bool value = v == BitVerdict::One;
+    if (value == (correct_key[i] != 0)) ++t.correct;
+    else ++t.wrong;
+  }
+}
+
+TEST(KeyInfer, RoleClassificationGolden) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+INPUT(keyinput0)
+INPUT(keyinput1)
+INPUT(keyinput2)
+OUTPUT(y)
+OUTPUT(z)
+OUTPUT(w)
+t = AND(a, b)
+kg = XNOR(t, keyinput0)
+y = BUF(kg)
+z = MUX(keyinput1, a, b)
+u1 = AND(keyinput2, a)
+u2 = OR(keyinput2, b)
+w = AND(u1, u2)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "roles");
+  ASSERT_EQ(nl.key_inputs().size(), 3u);
+  InferOptions opt;
+  opt.profile_unateness = false;
+  const KeyHintReport rep = infer_key_hints(nl, opt);
+  EXPECT_EQ(rep.bits[0].role, KeyRole::XorGate);
+  EXPECT_EQ(rep.bits[1].role, KeyRole::MuxSelect);
+  EXPECT_EQ(rep.bits[2].role, KeyRole::Complex);
+  EXPECT_EQ(rep.bits[2].verdict, BitVerdict::Unknown);
+  EXPECT_EQ(rep.bits[2].confidence, 0.0);
+}
+
+// The satellite regression: >= 90% of XOR/MUX comb-lock bits decided and
+// decided bits NEVER wrong, across seeds.
+TEST(KeyInfer, XorLockBitsRecovered) {
+  const Netlist nl = netlist::read_bench_string(k_comb, "c");
+  Tally t;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    const auto lr = lock::xor_lock(nl, 3, rng);
+    const KeyHintReport rep = infer_key_hints(lr.locked);
+    tally(rep, lr.correct_key, t);
+  }
+  EXPECT_EQ(t.wrong, 0u);
+  EXPECT_GE(t.correct * 10, t.bits * 9) << t.correct << "/" << t.bits;
+}
+
+TEST(KeyInfer, MuxLockBitsRecovered) {
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  Tally t;
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    const auto lr = lock::mux_lock(nl, 4, rng);
+    const KeyHintReport rep = infer_key_hints(lr.locked);
+    tally(rep, lr.correct_key, t);
+  }
+  EXPECT_EQ(t.wrong, 0u);
+  EXPECT_GE(t.correct * 10, t.bits * 9) << t.correct << "/" << t.bits;
+}
+
+// Cute-Lock-Str's key bits feed per-slot comparators (many readers), so the
+// pass must refuse to vote — unknown, never wrong.
+TEST(KeyInfer, CuteLockStrStaysUnknown) {
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    core::StrOptions opt;
+    opt.num_keys = 4;
+    opt.key_bits = 2;
+    opt.locked_ffs = 2;
+    opt.seed = seed;
+    const auto lr = core::cute_lock_str(nl, opt);
+    const KeyHintReport rep = infer_key_hints(lr.locked);
+    EXPECT_EQ(rep.decided(), 0u) << "seed " << seed << ": "
+                                 << rep.verdict_string();
+    for (const BitHint& h : rep.bits) {
+      EXPECT_EQ(h.role, KeyRole::Complex) << "seed " << seed;
+      EXPECT_EQ(h.verdict, BitVerdict::Unknown) << "seed " << seed;
+    }
+  }
+}
+
+TEST(KeyInfer, UnatenessGolden) {
+  const char* text = R"(
+INPUT(a)
+INPUT(keyinput0)
+INPUT(keyinput1)
+INPUT(keyinput2)
+OUTPUT(y)
+OUTPUT(z)
+kg = XOR(a, keyinput0)
+y = BUF(kg)
+z = AND(a, keyinput1)
+dead = AND(keyinput2, a)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "un");
+  const KeyHintReport rep = infer_key_hints(nl);
+  EXPECT_EQ(rep.bits[0].unate, Unateness::Binate);      // XOR flips both ways
+  EXPECT_EQ(rep.bits[1].unate, Unateness::Positive);    // AND only raises z
+  EXPECT_EQ(rep.bits[2].unate, Unateness::Insensitive); // cone never observed
+}
+
+TEST(KeyInfer, DecidedBitsRespectConfidenceFloor) {
+  const Netlist nl = netlist::read_bench_string(k_comb, "c");
+  util::Rng rng(7);
+  const auto lr = lock::xor_lock(nl, 3, rng);
+  const KeyHintReport rep = infer_key_hints(lr.locked);
+  for (const auto& [bit, value] : rep.decided_bits(0.75)) {
+    EXPECT_GE(rep.bits[bit].confidence, 0.75);
+    EXPECT_NE(rep.bits[bit].verdict, BitVerdict::Unknown);
+    (void)value;
+  }
+  // Filtering at an impossible confidence returns nothing.
+  EXPECT_TRUE(rep.decided_bits(1.1).empty());
+}
+
+TEST(KeyInfer, BudgetExhaustionLeavesBitsUnknown) {
+  const Netlist nl = netlist::read_bench_string(k_comb, "c");
+  util::Rng rng(3);
+  const auto lr = lock::xor_lock(nl, 3, rng);
+  InferOptions opt;
+  opt.time_limit_s = 1e-12;
+  const KeyHintReport rep = infer_key_hints(lr.locked, opt);
+  EXPECT_TRUE(rep.budget_exhausted);
+  EXPECT_EQ(rep.decided(), 0u);
+  EXPECT_NE(rep.summary().find("budget exhausted"), std::string::npos);
+}
+
+TEST(KeyInfer, ReportSummaryShape) {
+  const Netlist nl = netlist::read_bench_string(k_comb, "c");
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  const KeyHintReport rep = infer_key_hints(lr.locked);
+  EXPECT_EQ(rep.key_bits, 2u);
+  EXPECT_EQ(rep.verdict_string().size(), 2u);
+  EXPECT_NE(rep.summary().find("bits decided"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cl::analysis

@@ -1,0 +1,181 @@
+#include "analysis/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "lock/comb_locks.hpp"
+#include "netlist/bench_io.hpp"
+#include "util/rng.hpp"
+
+namespace cl::analysis {
+namespace {
+
+using netlist::Netlist;
+
+bool has_code(const LintReport& rep, const std::string& code) {
+  return std::any_of(rep.diagnostics.begin(), rep.diagnostics.end(),
+                     [&](const Diagnostic& d) { return d.code == code; });
+}
+
+const char* k_clean = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+t = AND(a, b)
+y = NOT(t)
+)";
+
+TEST(Lint, CleanCircuitPasses) {
+  const Netlist nl = netlist::read_bench_string(k_clean, "clean");
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_EQ(rep.diagnostics.size(), 0u);
+}
+
+TEST(Lint, NoOutputsIsAnError) {
+  Netlist nl("noout");
+  const auto a = nl.add_input("a");
+  nl.add_not(a, "n");
+  const LintReport rep = lint(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "no-outputs"));
+}
+
+TEST(Lint, UnwiredDffSurfacesAsSelfLoopWarning) {
+  // add_dff(k_no_signal) wires D to the DFF's own Q (the IR never leaves a
+  // floating D pin), so a forgotten set_dff_input shows up as self-loop-dff.
+  Netlist nl("float");
+  const auto a = nl.add_input("a");
+  nl.add_dff(netlist::k_no_signal, netlist::DffInit::Zero, "q");
+  nl.add_output(a);
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(has_code(rep, "self-loop-dff"));
+}
+
+TEST(Lint, SelfLoopDffIsAWarning) {
+  Netlist nl("loopff");
+  const auto a = nl.add_input("a");
+  const auto q = nl.add_dff(netlist::k_no_signal, netlist::DffInit::Zero, "q");
+  nl.set_dff_input(q, q);
+  nl.add_output(a);
+  nl.add_output(q);
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "self-loop-dff"));
+}
+
+TEST(Lint, CombinationalLoopIsAnError) {
+  Netlist nl("loop");
+  const auto a = nl.add_input("a");
+  const auto b = nl.add_input("b");
+  const auto g = nl.add_and(a, b, "g");
+  const auto h = nl.add_or(g, a, "h");
+  nl.replace_fanin(g, b, h);  // g <- h <- g
+  nl.add_output(h);
+  const LintReport rep = lint(nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "comb-loop"));
+}
+
+TEST(Lint, DeadLogicAndUnusedInputsWarn) {
+  const char* text = R"(
+INPUT(a)
+INPUT(unused)
+OUTPUT(y)
+dead = AND(a, a)
+y = NOT(a)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "warns");
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "dead-logic"));
+  EXPECT_TRUE(has_code(rep, "unused-input"));
+  EXPECT_EQ(rep.warnings(), rep.diagnostics.size());
+}
+
+TEST(Lint, DuplicateGatesWarn) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+g1 = AND(a, b)
+g2 = AND(b, a)
+y = OR(g1, g2)
+)";
+  const Netlist nl = netlist::read_bench_string(text, "dup");
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(has_code(rep, "duplicate-gates"));
+}
+
+TEST(Lint, ConstantOutputWarns) {
+  Netlist nl("constout");
+  nl.add_input("a");
+  const auto c = nl.add_const(true, "c1");
+  nl.add_output(c);
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(has_code(rep, "constant-output"));
+  EXPECT_TRUE(has_code(rep, "unused-input"));
+}
+
+TEST(Lint, AttackInputsAcceptAProperPair) {
+  const Netlist nl = netlist::read_bench_string(k_clean, "ref");
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  const LintReport rep = lint_attack_inputs(lr.locked, nl);
+  EXPECT_TRUE(rep.ok()) << format_diagnostics(rep);
+}
+
+TEST(Lint, AttackInputsRejectKeylessLocked) {
+  const Netlist nl = netlist::read_bench_string(k_clean, "ref");
+  const LintReport rep = lint_attack_inputs(nl, nl);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "no-key-inputs"));
+}
+
+TEST(Lint, AttackInputsRejectKeyedOracle) {
+  const Netlist nl = netlist::read_bench_string(k_clean, "ref");
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  const LintReport rep = lint_attack_inputs(lr.locked, lr.locked);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "keyed-oracle"));
+}
+
+TEST(Lint, AttackInputsRejectInterfaceMismatch) {
+  const Netlist nl = netlist::read_bench_string(k_clean, "ref");
+  const char* other = R"(
+INPUT(p)
+OUTPUT(q)
+q = NOT(p)
+)";
+  const Netlist small = netlist::read_bench_string(other, "small");
+  util::Rng rng(1);
+  const auto lr = lock::xor_lock(nl, 2, rng);
+  const LintReport rep = lint_attack_inputs(lr.locked, small);
+  EXPECT_FALSE(rep.ok());
+  EXPECT_TRUE(has_code(rep, "interface-mismatch"));
+}
+
+TEST(Lint, SubmissionDiagnosticsNameTheSide) {
+  Netlist locked("locked");
+  const auto a = locked.add_input("a");
+  locked.add_key_input("keyinput0");
+  locked.add_dff(netlist::k_no_signal, netlist::DffInit::Zero, "q");
+  locked.add_output(a);
+  const Netlist oracle = netlist::read_bench_string(k_clean, "oracle");
+  const LintReport rep = lint_attack_inputs(locked, oracle);
+  EXPECT_FALSE(rep.ok());
+  const std::string text = format_diagnostics(rep);
+  EXPECT_NE(text.find("locked/q"), std::string::npos) << text;
+}
+
+TEST(Lint, FormatDiagnosticsRendersCodes) {
+  Netlist nl("noout");
+  nl.add_input("a");
+  const std::string text = format_diagnostics(lint(nl));
+  EXPECT_NE(text.find("error[no-outputs]"), std::string::npos) << text;
+}
+
+}  // namespace
+}  // namespace cl::analysis

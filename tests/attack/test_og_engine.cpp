@@ -3,6 +3,9 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <utility>
+#include <vector>
 
 #include "attack/sat_attack.hpp"
 #include "attack/seq_attack.hpp"
@@ -304,6 +307,126 @@ class CancelAfterFirstRoundStrategy : public DipStrategy {
  private:
   std::atomic<bool>* flag_;
 };
+
+/// The shared loop as a plain scan-model attack — the shape under which the
+/// structural key hints are observable.
+class PlainCombStrategy : public DipStrategy {
+ public:
+  const char* name() const override { return "plain"; }
+  Spec spec() const override {
+    Spec s;
+    s.combinational = true;
+    s.caller = "plain";
+    return s;
+  }
+};
+
+TEST(OgEngine, CorrectHintsCutFreshQueriesToZero) {
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+
+  SequentialOracle baseline_oracle(original_scan);
+  OgEngine baseline(locked_scan, baseline_oracle, AttackBudget{});
+  PlainCombStrategy strategy;
+  const AttackResult plain = baseline.run(strategy);
+  ASSERT_EQ(plain.outcome, Outcome::Equal) << plain.summary();
+  ASSERT_GT(plain.fresh_queries, 0u);
+  EXPECT_EQ(plain.hinted_bits, 0u);
+  EXPECT_EQ(plain.hint_accuracy, -1.0);
+
+  // Every key bit hinted correctly: the first diff solve is Unsat inside the
+  // hinted subspace, the consistency solve names the key, and external
+  // verification confirms it — no oracle query was ever needed.
+  std::vector<std::pair<std::size_t, bool>> hints;
+  for (std::size_t i = 0; i < lr.correct_key.size(); ++i) {
+    hints.emplace_back(i, lr.correct_key[i] != 0);
+  }
+  SequentialOracle oracle(original_scan);
+  OgEngine engine(locked_scan, oracle, AttackBudget{});
+  engine.set_hints(hints);
+  const AttackResult hinted = engine.run(strategy);
+  EXPECT_EQ(hinted.outcome, Outcome::Equal) << hinted.summary();
+  EXPECT_EQ(hinted.key, lr.correct_key);
+  EXPECT_EQ(hinted.fresh_queries, 0u);
+  EXPECT_EQ(hinted.hinted_bits, lr.correct_key.size());
+  EXPECT_EQ(hinted.hint_accuracy, 1.0);
+}
+
+TEST(OgEngine, WrongHintsAreDroppedNotTrusted) {
+  // One deliberately flipped hint: the hinted subspace's best candidate
+  // fails verification, the engine sheds the hints, and the attack still
+  // converges on the correct key — never a WrongKey verdict on hint say-so.
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  std::vector<std::pair<std::size_t, bool>> hints;
+  for (std::size_t i = 0; i < lr.correct_key.size(); ++i) {
+    const bool truth = lr.correct_key[i] != 0;
+    hints.emplace_back(i, i == 0 ? !truth : truth);
+  }
+  SequentialOracle oracle(original_scan);
+  OgEngine engine(locked_scan, oracle, AttackBudget{});
+  engine.set_hints(hints);
+  PlainCombStrategy strategy;
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+  EXPECT_EQ(r.key, lr.correct_key);
+  EXPECT_EQ(r.hinted_bits, lr.correct_key.size());
+  // Accuracy is scored against the verified key: exactly one hint was wrong.
+  EXPECT_NEAR(r.hint_accuracy, 5.0 / 6.0, 1e-9);
+}
+
+TEST(OgEngine, OutOfRangeHintsAreDiscardedAtRun) {
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+  OgEngine engine(locked_scan, oracle, AttackBudget{});
+  engine.set_hints({{lr.correct_key.size() + 7, true}});
+  PlainCombStrategy strategy;
+  const AttackResult r = engine.run(strategy);
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+  EXPECT_EQ(r.hinted_bits, 0u);
+}
+
+TEST(OgEngine, EnvFlagSeedsHintsFromTheStructuralPass) {
+  // CUTELOCK_KEY_HINTS=1 routes analysis::infer_key_hints into every
+  // engine-based attack; on an XOR lock the pass decides all bits, so the
+  // hinted run needs strictly fewer oracle queries than the plain one.
+  const Netlist nl = s27();
+  util::Rng rng(7);
+  const auto lr = lock::xor_lock(nl, 6, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+  const AttackResult plain = sat_attack(locked_scan, oracle);
+  ASSERT_EQ(plain.outcome, Outcome::Equal) << plain.summary();
+
+  ASSERT_EQ(setenv("CUTELOCK_KEY_HINTS", "1", 1), 0);
+  const AttackResult hinted = sat_attack(locked_scan, oracle);
+  // Stable mode wins over the hints flag: tables stay byte-identical.
+  ASSERT_EQ(setenv("CUTELOCK_BENCH_STABLE", "1", 1), 0);
+  const AttackResult stable = sat_attack(locked_scan, oracle);
+  unsetenv("CUTELOCK_BENCH_STABLE");
+  unsetenv("CUTELOCK_KEY_HINTS");
+
+  EXPECT_EQ(hinted.outcome, Outcome::Equal) << hinted.summary();
+  EXPECT_EQ(hinted.key, lr.correct_key);
+  EXPECT_GT(hinted.hinted_bits, 0u);
+  EXPECT_EQ(hinted.hint_accuracy, 1.0);
+  EXPECT_LT(hinted.fresh_queries, plain.fresh_queries);
+
+  EXPECT_EQ(stable.outcome, Outcome::Equal) << stable.summary();
+  EXPECT_EQ(stable.hinted_bits, 0u);
+  EXPECT_EQ(stable.fresh_queries, plain.fresh_queries);
+}
 
 TEST(OgEngine, CancelFlagSetMidRunUnwindsWithTimeout) {
   const Netlist nl = s27();

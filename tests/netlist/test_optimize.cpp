@@ -148,5 +148,67 @@ TEST(Optimize, RandomCircuitsStayEquivalent) {
   }
 }
 
+TEST(Optimize, StatsCountConstantPropagation) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+zero = CONST0()
+dead = AND(a, zero)
+n = NOT(dead)
+y = AND(n, a)
+)";
+  const Netlist nl = read_bench_string(text, "st");
+  OptimizeStats stats;
+  const Netlist opt = optimize(nl, stats);
+  // dead -> 0 and n -> 1 are constant folds; y collapses to a wire to a.
+  EXPECT_GE(stats.constants_propagated, 2u);
+  EXPECT_EQ(stats.gates_removed, nl.stats().gates - opt.stats().gates);
+  EXPECT_EQ(stats.ffs_swept, 0u);
+  EXPECT_GE(stats.rounds, 1u);
+  expect_equivalent(nl, opt, 21);
+}
+
+TEST(Optimize, StatsCountSweptFlipFlops) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+dead_ff = DFF(a)
+also_dead = AND(dead_ff, a)
+y = BUF(a)
+)";
+  const Netlist nl = read_bench_string(text, "ffst");
+  OptimizeStats stats;
+  const Netlist opt = optimize(nl, stats);
+  EXPECT_EQ(opt.stats().dffs, 0u);
+  EXPECT_EQ(stats.ffs_swept, 1u);
+  EXPECT_EQ(stats.gates_removed, nl.stats().gates - opt.stats().gates);
+}
+
+TEST(Optimize, StatsAreQuietOnIrreducibleCircuits) {
+  const char* text = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+y = XOR(a, b)
+)";
+  const Netlist nl = read_bench_string(text, "quiet");
+  OptimizeStats stats;
+  const Netlist opt = optimize(nl, stats);
+  EXPECT_EQ(opt.stats().gates, 1u);
+  EXPECT_EQ(stats.gates_removed, 0u);
+  EXPECT_EQ(stats.constants_propagated, 0u);
+  EXPECT_EQ(stats.ffs_swept, 0u);
+}
+
+TEST(Optimize, StatsOverloadMatchesPlainOverload) {
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit("b03");
+  OptimizeStats stats;
+  const Netlist with_stats = optimize(circuit.netlist, stats);
+  const Netlist plain = optimize(circuit.netlist);
+  EXPECT_EQ(with_stats.size(), plain.size());
+  EXPECT_EQ(stats.gates_removed,
+            circuit.netlist.stats().gates - with_stats.stats().gates);
+}
+
 }  // namespace
 }  // namespace cl::netlist

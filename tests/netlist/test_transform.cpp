@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 #include "netlist/bench_io.hpp"
 #include "netlist/topo.hpp"
 
@@ -121,6 +123,44 @@ y = NOT(a)
   const auto m = name_map(nl);
   EXPECT_EQ(m.size(), nl.size());
   EXPECT_EQ(m.at("y"), nl.find("y"));
+}
+
+TEST(Transform, PinSignalReplacesKeyInputWithConstant) {
+  Netlist nl("pin");
+  const SignalId a = nl.add_input("a");
+  const SignalId k = nl.add_key_input("keyinput0");
+  nl.add_output(nl.add_xor(a, k, "y"));
+  const Netlist pinned = pin_signal(nl, k, true);
+  EXPECT_EQ(pinned.key_inputs().size(), 0u);
+  EXPECT_EQ(pinned.inputs().size(), 1u);
+  const SignalId pk = pinned.find("keyinput0");
+  ASSERT_NE(pk, k_no_signal);
+  EXPECT_EQ(pinned.type(pk), GateType::Const1);
+  EXPECT_EQ(pinned.outputs().size(), 1u);
+}
+
+TEST(Transform, PinSignalKeepsSequentialStructure) {
+  const char* text = R"(
+INPUT(a)
+OUTPUT(y)
+q = DFF(t)
+t = AND(a, q)
+y = NOT(q)
+)";
+  const Netlist nl = read_bench_string(text, "seq");
+  const Netlist pinned = pin_signal(nl, nl.find("a"), false);
+  EXPECT_EQ(pinned.inputs().size(), 0u);
+  EXPECT_EQ(pinned.dffs().size(), 1u);
+  EXPECT_EQ(pinned.type(pinned.find("a")), GateType::Const0);
+  EXPECT_EQ(pinned.stats().gates, nl.stats().gates);
+}
+
+TEST(Transform, PinSignalRejectsNonPorts) {
+  Netlist nl("bad");
+  const SignalId a = nl.add_input("a");
+  const SignalId g = nl.add_not(a, "g");
+  nl.add_output(g);
+  EXPECT_THROW((void)pin_signal(nl, g, true), std::invalid_argument);
 }
 
 }  // namespace

@@ -18,8 +18,10 @@
 #include "attack/seq_attack.hpp"
 #include "benchgen/catalog.hpp"
 #include "core/cute_lock_str.hpp"
+#include "lock/comb_locks.hpp"
 #include "netlist/bench_io.hpp"
 #include "service/client.hpp"
+#include "util/rng.hpp"
 
 namespace cl::service {
 namespace {
@@ -355,6 +357,105 @@ TEST_F(ServiceTest, VerifyAndLockJobsWork) {
   Json garbage = attack_request({"NOT A NETLIST", original_text}, "bmc");
   const Json rejected = submit_and_wait(client, garbage);
   EXPECT_EQ(rejected.str_or("status", "?"), "error") << rejected.dump();
+}
+
+TEST_F(ServiceTest, AnalyzeJobReportsLintAndKeyInference) {
+  const netlist::Netlist nl = benchgen::make_circuit("s27").netlist;
+  util::Rng rng(5);
+  const lock::LockResult lr = lock::xor_lock(nl, 6, rng);
+
+  ServerOptions options;
+  options.unix_socket = socket_path();
+  options.workers = 1;
+  Server server(options);
+  start(server);
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(socket_path(), &error)) << error;
+
+  Json request = Json::object();
+  request.set("op", Json::string("submit"));
+  request.set("job", Json::string("analyze"));
+  request.set("circuit", Json::string(netlist::write_bench_string(lr.locked)));
+  const Json done = submit_and_wait(client, request);
+  ASSERT_EQ(done.str_or("status", "?"), "done") << done.dump();
+  const Json* r = done.find("result");
+  ASSERT_NE(r, nullptr);
+  EXPECT_TRUE(r->bool_or("lint_ok", false)) << r->dump();
+  ASSERT_NE(r->find("stats"), nullptr);
+  EXPECT_EQ(r->find("stats")->u64_or("key_inputs", 0), 6u);
+  // Inline XOR key gates are exactly the shape the synthesis differential
+  // reads, so the sweep must decide bits and report one entry per key bit.
+  EXPECT_EQ(r->str_or("verdicts", "").size(), 6u);
+  EXPECT_GT(r->u64_or("decided", 0), 0u);
+  ASSERT_NE(r->find("bits"), nullptr);
+  EXPECT_EQ(r->find("bits")->elements().size(), 6u);
+
+  // A key-free circuit gets lint + stats but no inference block.
+  Json plain = Json::object();
+  plain.set("op", Json::string("submit"));
+  plain.set("job", Json::string("analyze"));
+  plain.set("circuit", Json::string(netlist::write_bench_string(nl)));
+  const Json done_plain = submit_and_wait(client, plain);
+  ASSERT_EQ(done_plain.str_or("status", "?"), "done") << done_plain.dump();
+  const Json* rp = done_plain.find("result");
+  ASSERT_NE(rp, nullptr);
+  EXPECT_TRUE(rp->bool_or("lint_ok", false));
+  EXPECT_EQ(rp->find("bits"), nullptr);
+  // Resubmitting the same analyze must hit the circuit cache.
+  const Json again = submit_and_wait(client, request);
+  ASSERT_EQ(again.str_or("status", "?"), "done");
+  EXPECT_GT(again.find("result")->u64_or("cache_hits", 0), 0u);
+}
+
+TEST_F(ServiceTest, AttackSubmissionsFailingLintAreRejected) {
+  ServerOptions options;
+  options.unix_socket = socket_path();
+  options.workers = 1;
+  Server server(options);
+  start(server);
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(socket_path(), &error)) << error;
+
+  // A "locked" circuit with no key inputs: nothing to attack, so lint must
+  // stop the job before any solver time is spent.
+  const std::string original_text =
+      netlist::write_bench_string(benchgen::make_circuit("s27").netlist);
+  const Json rejected = submit_and_wait(
+      client, attack_request({original_text, original_text}, "bmc"));
+  EXPECT_EQ(rejected.str_or("status", "?"), "error") << rejected.dump();
+  EXPECT_NE(rejected.str_or("error", "").find("netlist lint"),
+            std::string::npos);
+  EXPECT_NE(rejected.str_or("error", "").find("no-key-inputs"),
+            std::string::npos);
+}
+
+TEST_F(ServiceTest, ScopeAttackModeRunsOracleFreeInference) {
+  const netlist::Netlist nl = benchgen::make_circuit("s27").netlist;
+  util::Rng rng(5);
+  const lock::LockResult lr = lock::xor_lock(nl, 6, rng);
+  const LockedPair pair{netlist::write_bench_string(lr.locked),
+                        netlist::write_bench_string(nl)};
+
+  ServerOptions options;
+  options.unix_socket = socket_path();
+  options.workers = 1;
+  Server server(options);
+  start(server);
+  Client client;
+  std::string error;
+  ASSERT_TRUE(client.connect_unix(socket_path(), &error)) << error;
+
+  const Json done = submit_and_wait(client, attack_request(pair, "scope"));
+  ASSERT_EQ(done.str_or("status", "?"), "done") << done.dump();
+  const Json* r = done.find("result");
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(r->str_or("attack", ""), "scope");
+  EXPECT_EQ(r->str_or("verdicts", "").size(), 6u);
+  EXPECT_GT(r->u64_or("decided", 0), 0u);
+  // Oracle-free by construction: the oracle only confirms a complete key.
+  EXPECT_EQ(r->u64_or("fresh_queries", 99), 0u);
 }
 
 TEST_F(ServiceTest, ShutdownSavesBanksAndRejectsLateSubmissions) {

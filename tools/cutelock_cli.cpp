@@ -5,9 +5,13 @@
 //            [--ffs 2] [--seed 1] [--single-key] [--keys 1,3,2,0]
 //   cutelock attack <locked.bench> --oracle <original.bench>
 //            [--attack bmc|kc2|rane|sat|appsat|double-dip|bbo|fall|dana|
-//             periodic] [--seconds 10]
+//             scope|periodic] [--seconds 10]
 //            (sat/appsat/double-dip run the scan-access model: both circuits
-//             are scan-exposed first)
+//             are scan-exposed first; malformed submissions are rejected by
+//             the netlist lint before any solver runs)
+//   cutelock analyze <circuit.bench> [--seconds 10] [--no-unate]
+//            (netlist lint + SCOPE-style per-key-bit structural inference;
+//             exit 0 clean, 1 lint errors)
 //   cutelock overhead <circuit.bench> [--baseline <original.bench>]
 //   cutelock vcd <circuit.bench> -o <out.vcd> [--cycles 32] [--seed 1]
 //   cutelock gen <s27|s1423|b14|...> -o <circuit.bench>   (catalog circuits)
@@ -34,10 +38,13 @@
 #include <string>
 #include <vector>
 
+#include "analysis/key_infer.hpp"
+#include "analysis/lint.hpp"
 #include "attack/bbo.hpp"
 #include "attack/dana.hpp"
 #include "benchgen/catalog.hpp"
 #include "attack/fall.hpp"
+#include "attack/scope.hpp"
 #include "attack/observation_bank.hpp"
 #include "attack/periodic_attack.hpp"
 #include "attack/sat_attack.hpp"
@@ -91,7 +98,8 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: cutelock <info|lock|attack|overhead|vcd|serve|submit> "
+               "usage: cutelock <info|lock|attack|analyze|overhead|vcd|serve|"
+               "submit> "
                "<file> [options]\n  see the header of tools/cutelock_cli.cpp\n");
   return 64;
 }
@@ -175,6 +183,16 @@ int cmd_attack(const Args& args) {
   maybe_load_bank_file();
   const auto locked = netlist::read_bench_file(args.positional[0]);
   const auto original = netlist::read_bench_file(args.get("oracle", ""));
+  // Reject malformed submissions before any solver runs: a keyed oracle or a
+  // mismatched interface would otherwise surface as a confusing attack
+  // verdict (or an exception) minutes into the budget.
+  const analysis::LintReport lint_rep =
+      analysis::lint_attack_inputs(locked, original);
+  if (!lint_rep.ok()) {
+    std::fprintf(stderr, "cutelock attack: rejected by netlist lint:\n%s",
+                 analysis::format_diagnostics(lint_rep).c_str());
+    return 65;
+  }
   attack::SequentialOracle oracle(original);
   attack::AttackBudget budget;
   budget.time_limit_s = static_cast<double>(args.get_u64("seconds", 10));
@@ -220,6 +238,12 @@ int cmd_attack(const Args& args) {
     std::printf("FALL: %zu candidates, %zu confirmed\n", fr.candidates,
                 fr.confirmed);
     result = fr.result;
+  } else if (mode == "scope") {
+    attack::ScopeOptions o;
+    o.budget = budget;
+    const attack::ScopeResult sr = attack::scope_attack(locked, &oracle, o);
+    std::printf("SCOPE: %s\n", sr.report.summary().c_str());
+    result = sr.result;
   } else if (mode == "dana") {
     const attack::DanaResult dr = attack::dana_attack(locked);
     std::printf("DANA: %zu clusters over %zu FFs in %zu rounds (%.3fs)\n",
@@ -256,6 +280,43 @@ int cmd_attack(const Args& args) {
   }
   maybe_save_bank_file();
   return result.outcome == attack::Outcome::Equal ? 2 : 0;
+}
+
+int cmd_analyze(const Args& args) {
+  if (args.positional.empty()) return usage();
+  const auto nl = netlist::read_bench_file(args.positional[0]);
+  const auto st = nl.stats();
+  std::printf("%s: %zu inputs, %zu key inputs, %zu outputs, %zu FFs, "
+              "%zu gates\n",
+              nl.name().c_str(), st.inputs, st.key_inputs, st.outputs, st.dffs,
+              st.gates);
+
+  const analysis::LintReport lint_rep = analysis::lint(nl);
+  if (lint_rep.diagnostics.empty()) {
+    std::printf("lint: clean\n");
+  } else {
+    std::printf("lint: %zu error(s), %zu warning(s)\n%s", lint_rep.errors(),
+                lint_rep.warnings(),
+                analysis::format_diagnostics(lint_rep).c_str());
+  }
+
+  if (!nl.key_inputs().empty()) {
+    analysis::InferOptions options;
+    options.profile_unateness = !args.flag("no-unate");
+    options.time_limit_s = static_cast<double>(args.get_u64("seconds", 10));
+    const analysis::KeyHintReport report =
+        analysis::infer_key_hints(nl, options);
+    std::printf("\nkey inference (%s):\n", report.summary().c_str());
+    for (std::size_t i = 0; i < report.bits.size(); ++i) {
+      const analysis::BitHint& h = report.bits[i];
+      std::printf("  bit %3zu %-16s role=%-10s verdict=%c conf=%.2f "
+                  "unate=%s\n",
+                  i, h.name.c_str(), analysis::role_name(h.role),
+                  analysis::verdict_char(h.verdict), h.confidence,
+                  analysis::unate_name(h.unate));
+    }
+  }
+  return lint_rep.ok() ? 0 : 1;
 }
 
 int cmd_overhead(const Args& args) {
@@ -456,6 +517,7 @@ int main(int argc, char** argv) {
     if (command == "info") return cmd_info(args);
     if (command == "lock") return cmd_lock(args);
     if (command == "attack") return cmd_attack(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "overhead") return cmd_overhead(args);
     if (command == "vcd") return cmd_vcd(args);
     if (command == "serve") return cmd_serve(args);
