@@ -44,6 +44,7 @@ attack::AttackBudget table_budget(double seconds) {
   b.max_depth = 24;
   b.conflict_budget = 4'000'000;
   b.sat_workers = util::sat_portfolio_from_env();
+  b.sat_preprocess = util::sat_preprocess_from_env();
   if (stable_cells()) {
     // Byte-identical output requires outcomes that do not depend on the
     // clock: replace wall deadlines (attack and candidate-key verification)
@@ -53,6 +54,9 @@ attack::AttackBudget table_budget(double seconds) {
     b.time_limit_s = 1e9;
     b.verify_time_limit_s = 1e9;
     b.sat_workers = 1;
+    // sat_preprocess_from_env already yields false under stable mode; force
+    // it here too so a direct table_budget caller cannot drift.
+    b.sat_preprocess = false;
   }
   return b;
 }

@@ -69,6 +69,12 @@ struct AttackBudget {
   /// to 1 under CUTELOCK_BENCH_STABLE=1 (a race winner's model is not
   /// deterministic).
   std::size_t sat_workers = 1;
+  /// SAT pre/inprocessing: run bounded variable elimination (with model
+  /// reconstruction) on each rebuilt miter before search, and
+  /// subsumption/vivification at restart boundaries. Seeded from
+  /// CUTELOCK_SAT_PREPROCESS by the bench harnesses and the CLI, and forced
+  /// off under CUTELOCK_BENCH_STABLE=1 (it changes solver trajectories).
+  bool sat_preprocess = false;
   /// Cooperative cancellation (the attack-service's per-job kill switch).
   /// When non-null, the engine checks the flag alongside its wall/iteration
   /// budgets and arms it as the solver's interrupt hook, so a set flag

@@ -28,6 +28,20 @@ Dimacs read_dimacs(std::istream& in) {
     }
     const int lit = std::stoi(tok);
     if (lit == 0) {
+      // Reject malformed clauses at the boundary instead of letting the
+      // solver's add_clause simplification silently paper over them:
+      // a repeated literal is a typo, a complementary pair a tautology the
+      // producer almost certainly did not mean to emit.
+      for (std::size_t i = 0; i < clause.size(); ++i) {
+        for (std::size_t j = i + 1; j < clause.size(); ++j) {
+          if (clause[i] == clause[j]) {
+            throw std::runtime_error("dimacs: duplicate literal in clause");
+          }
+          if (clause[i] == -clause[j]) {
+            throw std::runtime_error("dimacs: contradictory literal in clause");
+          }
+        }
+      }
       d.clauses.push_back(clause);
       clause.clear();
     } else {

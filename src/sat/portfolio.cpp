@@ -80,9 +80,21 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::Unsat;
   conflict_assumptions_.clear();
   backtrack(0);
-  if (propagate() != nullptr) {
+  if (propagate() != k_cref_undef) {
     ok_ = false;
     return Result::Unsat;
+  }
+  // Workers get the problem via copy_problem_into, which does NOT carry
+  // elimination records: revive assumption variables in the master first so
+  // the replayed clause set constrains them.
+  if (!remapper_.empty()) {
+    for (const Lit& a : assumptions) {
+      if (a.var() >= 0 && a.var() < num_vars() &&
+          remapper_.eliminated(a.var())) {
+        revive(a.var());
+      }
+    }
+    if (!ok_) return Result::Unsat;
   }
 
   // Remaining budgets, translated from this solver's absolute counters to
@@ -161,6 +173,10 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
   stats_.minimized_literals += w.stats_.minimized_literals;
   stats_.shared_exported += w.stats_.shared_exported;
   stats_.shared_imported += w.stats_.shared_imported;
+  stats_.vars_eliminated += w.stats_.vars_eliminated;
+  stats_.clauses_subsumed += w.stats_.clauses_subsumed;
+  stats_.vivified_lits += w.stats_.vivified_lits;
+  stats_.arena_gc_bytes += w.stats_.arena_gc_bytes;
   if (exchange) {
     shared_published_ += exchange->published();
     shared_dropped_ += exchange->dropped();
@@ -173,12 +189,12 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
   if (w.ok_) {
     for (const Lit& unit : w.trail_) add_clause({unit});
     std::size_t imported = 0;
-    for (const Clause* c : w.learnts_) {
-      if (c->lbd > 2) continue;
+    for (const CRef c : w.learnts_) {
+      if (w.arena_.lbd(c) > 2) continue;
       if (imported_learnts_ >= k_max_imported_learnts_total) break;
       if (++imported > k_max_imported_learnts_per_race) break;
       ++imported_learnts_;
-      add_clause(c->lits);
+      add_clause(w.arena_.lits(c));
       if (!ok_) break;
     }
   } else {
@@ -188,6 +204,10 @@ Result PortfolioSolver::solve(const std::vector<Lit>& assumptions) {
 
   if (verdict == Result::Sat) {
     model_ = w.model_;
+    // The workers never eliminate (no remapper records travel with the
+    // problem copy), so eliminated variables are simply unconstrained in
+    // their models: reconstruct them from the master's ledger.
+    if (!remapper_.empty()) remapper_.extend(model_);
   } else {
     conflict_assumptions_ = w.conflict_assumptions_;
   }

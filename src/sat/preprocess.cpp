@@ -1,0 +1,256 @@
+#include "sat/preprocess.hpp"
+
+#include <algorithm>
+
+#include "sat/solver.hpp"
+
+namespace cl::sat {
+
+// ---- Remapper ---------------------------------------------------------------
+
+Remapper::Record& Remapper::push(Var v) {
+  if (record_of_var_.size() <= static_cast<std::size_t>(v)) {
+    record_of_var_.resize(static_cast<std::size_t>(v) + 1, -1);
+  }
+  record_of_var_[static_cast<std::size_t>(v)] =
+      static_cast<std::int32_t>(stack_.size());
+  stack_.emplace_back();
+  stack_.back().v = v;
+  ++live_records_;
+  return stack_.back();
+}
+
+Remapper::Record Remapper::take(Var v) {
+  const std::int32_t idx = record_of_var_[static_cast<std::size_t>(v)];
+  record_of_var_[static_cast<std::size_t>(v)] = -1;
+  Record out = std::move(stack_[static_cast<std::size_t>(idx)]);
+  // The stack slot stays (reconstruction order must be preserved for the
+  // records around it) but is marked revived so extend() skips it.
+  Record& slot = stack_[static_cast<std::size_t>(idx)];
+  slot.v = v;
+  slot.revived = true;
+  slot.pos.clear();
+  slot.neg.clear();
+  out.revived = false;
+  --live_records_;
+  return out;
+}
+
+void Remapper::extend(std::vector<LBool>& model) const {
+  // Newest elimination first: a removed clause can only mention variables
+  // that were still in the formula at its elimination time, i.e. variables
+  // eliminated later (already reconstructed by this walk) or never (assigned
+  // by the search).
+  for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+    if (it->revived) continue;
+    const auto vi = static_cast<std::size_t>(it->v);
+    model[vi] = LBool::False;
+    for (const std::vector<Lit>& cl : it->pos) {
+      bool satisfied = false;
+      for (const Lit& l : cl) {
+        if (l.var() == it->v) continue;
+        if ((model[static_cast<std::size_t>(l.var())] == LBool::True) !=
+            l.negated()) {
+          satisfied = true;
+          break;
+        }
+      }
+      if (!satisfied) {
+        // This pos-clause needs v True. No neg-clause can simultaneously
+        // need v False: their resolvent would be unsatisfied under the
+        // current partial model, yet every non-tautological resolvent was
+        // added back to the formula the model satisfies.
+        model[vi] = LBool::True;
+        break;
+      }
+    }
+  }
+}
+
+// ---- Preprocessor -----------------------------------------------------------
+
+Preprocessor::Preprocessor(Solver& solver, Limits limits)
+    : s_(solver), limits_(limits) {}
+
+bool Preprocessor::clause_root_satisfied(CRef c) const {
+  const std::uint32_t n = s_.arena_.size(c);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    if (s_.lit_value(s_.arena_.lit(c, i)) == LBool::True) return true;
+  }
+  return false;
+}
+
+void Preprocessor::remove_clause(CRef c) {
+  // Re-queue the variables losing an occurrence: they may have just become
+  // eliminable (fewer occurrences / newly pure).
+  const std::uint32_t n = s_.arena_.size(c);
+  for (std::uint32_t i = 0; i < n; ++i) touch(s_.arena_.lit(c, i).var());
+  s_.remove_clause_ref(c);
+}
+
+void Preprocessor::touch(Var v) {
+  const auto vi = static_cast<std::size_t>(v);
+  if (in_queue_[vi] || s_.frozen_[vi] || s_.remapper_.eliminated(v)) return;
+  in_queue_[vi] = true;
+  queue_.push_back(v);
+}
+
+bool Preprocessor::run() {
+  if (!s_.ok_) return false;
+  // Root reasons would otherwise pin clauses (remove_clause_ref clears one
+  // slot, but wholesale clearing up front is simpler and always sound:
+  // conflict analysis never resolves on level-0 assignments).
+  s_.clear_root_reasons();
+
+  occ_.assign(s_.watches_.size(), {});
+  const auto index_clause = [&](CRef c) {
+    const std::uint32_t n = s_.arena_.size(c);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      occ_[static_cast<std::size_t>(s_.arena_.lit(c, i).code())].push_back(c);
+    }
+  };
+  for (const CRef c : s_.clauses_) {
+    if (s_.arena_.dead(c)) continue;
+    if (clause_root_satisfied(c)) {
+      s_.remove_clause_ref(c);
+      continue;
+    }
+    index_clause(c);
+  }
+  for (const CRef c : s_.learnts_) {
+    if (s_.arena_.dead(c)) continue;
+    if (clause_root_satisfied(c)) {
+      s_.remove_clause_ref(c);
+      continue;
+    }
+    index_clause(c);
+  }
+
+  in_queue_.assign(static_cast<std::size_t>(s_.num_vars()), false);
+  queue_.clear();
+  for (Var v = 0; v < s_.num_vars(); ++v) {
+    queue_.push_back(v);
+    in_queue_[static_cast<std::size_t>(v)] = true;
+  }
+  // FIFO to fixpoint: eliminations re-queue the variables they touched.
+  std::size_t qhead = 0;
+  while (qhead < queue_.size()) {
+    if (!s_.ok_) return false;
+    const Var v = queue_[qhead++];
+    in_queue_[static_cast<std::size_t>(v)] = false;
+    try_eliminate(v);
+  }
+  s_.compact_clause_lists();
+  s_.maybe_gc();
+  return s_.ok_;
+}
+
+namespace {
+
+/// Resolve p and q on pivot v into `out`. Returns false (tautology) when the
+/// resolvent contains a complementary pair.
+bool resolve(const std::vector<Lit>& p, const std::vector<Lit>& q, Var v,
+             std::vector<Lit>& out) {
+  out.clear();
+  for (const Lit& l : p) {
+    if (l.var() != v) out.push_back(l);
+  }
+  for (const Lit& l : q) {
+    if (l.var() != v) out.push_back(l);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  // Codes 2v and 2v+1 are adjacent after sorting, so complementary pairs
+  // land next to each other.
+  for (std::size_t i = 0; i + 1 < out.size(); ++i) {
+    if (out[i] == ~out[i + 1]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool Preprocessor::try_eliminate(Var v) {
+  const auto vi = static_cast<std::size_t>(v);
+  if (s_.frozen_[vi] || s_.remapper_.eliminated(v)) return false;
+  if (s_.assigns_[vi] != LBool::Undef) return false;
+
+  // Gather live occurrences, compacting stale (dead / root-satisfied)
+  // entries out of the lists as we go.
+  std::vector<CRef> side_problem[2];
+  std::vector<CRef> side_learnt[2];
+  for (int sign = 0; sign < 2; ++sign) {
+    const Lit l(v, sign == 1);
+    auto& list = occ_[static_cast<std::size_t>(l.code())];
+    std::size_t w = 0;
+    for (const CRef c : list) {
+      if (s_.arena_.dead(c)) continue;
+      if (clause_root_satisfied(c)) {
+        remove_clause(c);
+        continue;
+      }
+      list[w++] = c;
+      (s_.arena_.learnt(c) ? side_learnt : side_problem)[sign].push_back(c);
+    }
+    list.resize(w);
+  }
+  const std::size_t n_pos = side_problem[0].size();
+  const std::size_t n_neg = side_problem[1].size();
+  const bool pure = n_pos == 0 || n_neg == 0;
+  // Pure literals are exempt from the occurrence bound: eliminating them
+  // adds no resolvents, only removes clauses.
+  if (!pure && n_pos + n_neg > limits_.max_occurrences) return false;
+
+  // Compute the resolvents; any over-long resolvent or formula growth
+  // vetoes the elimination.
+  std::vector<std::vector<Lit>> resolvents;
+  if (!pure) {
+    const std::size_t max_resolvents =
+        n_pos + n_neg + static_cast<std::size_t>(limits_.max_clause_growth);
+    for (const CRef p : side_problem[0]) {
+      const std::vector<Lit> p_lits = s_.arena_.lits(p);
+      for (const CRef q : side_problem[1]) {
+        if (!resolve(p_lits, s_.arena_.lits(q), v, scratch_)) continue;
+        if (scratch_.size() > limits_.max_resolvent_lits) return false;
+        resolvents.push_back(scratch_);
+        if (resolvents.size() > max_resolvents) return false;
+      }
+    }
+  }
+
+  // Commit. Save both polarity sides: extend() only reads pos, but revival
+  // needs the full set to restore equivalence.
+  Remapper::Record& rec = s_.remapper_.push(v);
+  for (const CRef c : side_problem[0]) rec.pos.push_back(s_.arena_.lits(c));
+  for (const CRef c : side_problem[1]) rec.neg.push_back(s_.arena_.lits(c));
+  ++s_.stats_.vars_eliminated;
+
+  const std::size_t trail_before = s_.trail_.size();
+  for (int sign = 0; sign < 2; ++sign) {
+    for (const CRef c : side_problem[sign]) remove_clause(c);
+    // Learnts mentioning the pivot are implied by the problem clauses being
+    // distributed; dropping them (without saving) is sound.
+    for (const CRef c : side_learnt[sign]) {
+      if (!s_.arena_.dead(c)) remove_clause(c);
+    }
+  }
+  for (const std::vector<Lit>& r : resolvents) {
+    const std::size_t before = s_.clauses_.size();
+    if (!s_.add_clause(r)) return true;  // refuted outright
+    if (s_.clauses_.size() > before) {
+      const CRef nc = s_.clauses_.back();
+      const std::uint32_t n = s_.arena_.size(nc);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        const Lit l = s_.arena_.lit(nc, i);
+        occ_[static_cast<std::size_t>(l.code())].push_back(nc);
+        touch(l.var());
+      }
+    }
+  }
+  // add_clause may have unit-propagated at the root, recording reasons that
+  // would pin clauses this run still wants to remove.
+  if (s_.trail_.size() != trail_before) s_.clear_root_reasons();
+  return true;
+}
+
+}  // namespace cl::sat

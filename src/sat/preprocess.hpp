@@ -1,0 +1,101 @@
+// Root-level CNF simplification with full model reconstruction.
+//
+// Preprocessor runs on a Solver at decision level 0: root unit propagation
+// to fixpoint, pure-literal elimination, and bounded variable elimination
+// (BVE) by clause distribution. Every elimination is recorded in the
+// solver's Remapper, which (a) reconstructs values for eliminated variables
+// when a model is found — the attacks need real keys, not just SAT/UNSAT —
+// and (b) holds the removed clauses so an eliminated variable can be
+// *revived* (its clauses re-added, the variable frozen) when the incremental
+// API later mentions it in a new clause or an assumption. Frozen variables
+// (key inputs, assumption variables) are never eliminated.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sat/arena.hpp"
+#include "sat/types.hpp"
+
+namespace cl::sat {
+
+class Solver;
+
+/// Elimination ledger: which variables were eliminated, in which order, and
+/// which clauses each elimination removed. Owned by the Solver.
+class Remapper {
+ public:
+  bool eliminated(Var v) const {
+    return static_cast<std::size_t>(v) < record_of_var_.size() &&
+           record_of_var_[static_cast<std::size_t>(v)] >= 0;
+  }
+  bool empty() const { return live_records_ == 0; }
+  std::size_t eliminated_count() const { return live_records_; }
+
+  /// Reconstruct values for eliminated variables: walk the elimination
+  /// records newest-first; for each variable, default it to False, then flip
+  /// it to True if some removed clause containing pos(v) is otherwise
+  /// unsatisfied. (The dual side cannot simultaneously need v False: the two
+  /// offending clauses would have an unsatisfied resolvent, and every
+  /// non-tautological resolvent was added back to the formula.)
+  void extend(std::vector<LBool>& model) const;
+
+ private:
+  friend class Solver;
+  friend class Preprocessor;
+
+  struct Record {
+    Var v = -1;
+    bool revived = false;
+    std::vector<std::vector<Lit>> pos;  ///< removed clauses containing pos(v)
+    std::vector<std::vector<Lit>> neg;  ///< removed clauses containing neg(v)
+  };
+
+  Record& push(Var v);
+  /// Mark `v` revived and hand back its record (the clauses to re-add).
+  Record take(Var v);
+
+  std::vector<Record> stack_;              // chronological elimination order
+  std::vector<std::int32_t> record_of_var_;  // var -> index in stack_, or -1
+  std::size_t live_records_ = 0;
+};
+
+/// One preprocessing run over a Solver. Cheap to construct; run() does the
+/// work and returns false when the formula was refuted outright.
+class Preprocessor {
+ public:
+  struct Limits {
+    /// A variable with more total occurrences is not a BVE candidate
+    /// (pure literals are exempt — eliminating them adds no resolvents).
+    std::size_t max_occurrences = 16;
+    /// Resolvents longer than this veto the elimination.
+    std::size_t max_resolvent_lits = 16;
+    /// Clause-count growth bound: resolvents kept minus clauses removed
+    /// must not exceed this (0 = eliminations never grow the formula).
+    int max_clause_growth = 0;
+  };
+
+  explicit Preprocessor(Solver& solver) : Preprocessor(solver, Limits()) {}
+  Preprocessor(Solver& solver, Limits limits);
+
+  /// Run elimination to fixpoint. Returns solver.ok() — false when the
+  /// formula is Unsat.
+  bool run();
+
+ private:
+  bool clause_root_satisfied(CRef c) const;
+  void remove_clause(CRef c);
+  bool try_eliminate(Var v);
+  void touch(Var v);
+
+  Solver& s_;
+  Limits limits_;
+  // occ_[lit code] -> refs of live clauses containing that literal. Entries
+  // go stale when clauses die or are strengthened; consumers re-check.
+  std::vector<std::vector<CRef>> occ_;
+  std::vector<Var> queue_;
+  std::vector<bool> in_queue_;
+  std::vector<Lit> scratch_;
+};
+
+}  // namespace cl::sat

@@ -5,18 +5,16 @@
 #include <stdexcept>
 
 #include "sat/exchange.hpp"
+#include "util/env.hpp"
 #include "util/fnv.hpp"
 
 namespace cl::sat {
 
-Solver::Solver() {
+Solver::Solver() : gc_frac_(util::sat_gc_frac_from_env()) {
   level_stamp_.push_back(0);  // slot for decision level 0
 }
 
-Solver::~Solver() {
-  for (Clause* c : clauses_) delete c;
-  for (Clause* c : learnts_) delete c;
-}
+Solver::~Solver() = default;
 
 std::uint64_t Solver::next_rand() {
   // xorshift64*: deterministic per Config::seed, cheap enough for the
@@ -35,9 +33,10 @@ Var Solver::new_var() {
   if (config_.random_initial_phase) initial_phase = (next_rand() & 1) != 0;
   phase_.push_back(initial_phase);
   best_phase_.push_back(initial_phase);
-  reason_.push_back(nullptr);
+  reason_.push_back(k_cref_undef);
   level_.push_back(0);
   seen_.push_back(false);
+  frozen_.push_back(false);
   watches_.emplace_back();
   watches_.emplace_back();
   bin_watches_.emplace_back();
@@ -66,6 +65,10 @@ void Solver::set_config(const Config& config) {
   best_trail_size_ = 0;
 }
 
+void Solver::set_frozen(Var v, bool frozen) {
+  frozen_[static_cast<std::size_t>(v)] = frozen;
+}
+
 void Solver::copy_problem_into(Solver& dst) const {
   if (decision_level() != 0) {
     throw std::logic_error("copy_problem_into: only legal at decision level 0");
@@ -79,10 +82,10 @@ void Solver::copy_problem_into(Solver& dst) const {
     return;
   }
   for (const Lit& l : trail_) dst.add_clause({l});  // root-level units
-  for (const Clause* c : clauses_) dst.add_clause(c->lits);
+  for (const CRef c : clauses_) dst.add_clause(arena_.lits(c));
   // Learnts are implied by the problem clauses, so replaying them seeds the
   // clone with everything this solver has derived so far.
-  for (const Clause* c : learnts_) dst.add_clause(c->lits);
+  for (const CRef c : learnts_) dst.add_clause(arena_.lits(c));
 }
 
 LBool Solver::lit_value(Lit l) const {
@@ -96,6 +99,17 @@ bool Solver::add_clause(std::vector<Lit> lits) {
   if (!ok_) return false;
   if (decision_level() != 0) {
     throw std::logic_error("add_clause: only legal at decision level 0");
+  }
+  // A clause over an eliminated variable re-opens it: revive first (re-adds
+  // the clauses BVE removed and freezes the variable) so the incremental
+  // database stays equivalent to the original problem.
+  if (!remapper_.empty()) {
+    for (const Lit& l : lits) {
+      if (l.var() >= 0 && l.var() < num_vars() && remapper_.eliminated(l.var())) {
+        revive(l.var());
+        if (!ok_) return false;
+      }
+    }
   }
   // Simplify: sort, drop duplicates, detect tautology, drop false literals,
   // detect satisfied clauses.
@@ -119,30 +133,32 @@ bool Solver::add_clause(std::vector<Lit> lits) {
     return false;
   }
   if (out.size() == 1) {
-    enqueue(out[0], nullptr);
-    if (propagate() != nullptr) ok_ = false;
+    enqueue(out[0], k_cref_undef);
+    if (propagate() != k_cref_undef) ok_ = false;
     return ok_;
   }
-  Clause* c = new Clause{std::move(out), 0.0, 0, false};
+  const CRef c = arena_.alloc(out, /*learnt=*/false);
   clauses_.push_back(c);
   attach(c);
   return true;
 }
 
-void Solver::attach(Clause* c) {
-  if (c->lits.size() == 2) {
-    bin_watches_[(~c->lits[0]).code()].push_back({c->lits[1], c});
-    bin_watches_[(~c->lits[1]).code()].push_back({c->lits[0], c});
+void Solver::attach(CRef c) {
+  const Lit l0 = arena_.lit(c, 0);
+  const Lit l1 = arena_.lit(c, 1);
+  if (arena_.size(c) == 2) {
+    bin_watches_[(~l0).code()].push_back({l1, c});
+    bin_watches_[(~l1).code()].push_back({l0, c});
     return;
   }
-  watches_[(~c->lits[0]).code()].push_back({c, c->lits[1]});
-  watches_[(~c->lits[1]).code()].push_back({c, c->lits[0]});
+  watches_[(~l0).code()].push_back({c, l1});
+  watches_[(~l1).code()].push_back({c, l0});
 }
 
-void Solver::detach(Clause* c) {
-  if (c->lits.size() == 2) {
+void Solver::detach(CRef c) {
+  if (arena_.size(c) == 2) {
     for (int i = 0; i < 2; ++i) {
-      auto& ws = bin_watches_[(~c->lits[i]).code()];
+      auto& ws = bin_watches_[(~arena_.lit(c, static_cast<std::uint32_t>(i))).code()];
       for (std::size_t j = 0; j < ws.size(); ++j) {
         if (ws[j].clause == c) {
           ws[j] = ws.back();
@@ -154,7 +170,7 @@ void Solver::detach(Clause* c) {
     return;
   }
   for (int i = 0; i < 2; ++i) {
-    auto& ws = watches_[(~c->lits[i]).code()];
+    auto& ws = watches_[(~arena_.lit(c, static_cast<std::uint32_t>(i))).code()];
     for (std::size_t j = 0; j < ws.size(); ++j) {
       if (ws[j].clause == c) {
         ws[j] = ws.back();
@@ -165,7 +181,7 @@ void Solver::detach(Clause* c) {
   }
 }
 
-void Solver::enqueue(Lit l, Clause* reason) {
+void Solver::enqueue(Lit l, CRef reason) {
   assigns_[l.var()] = l.negated() ? LBool::False : LBool::True;
   phase_[l.var()] = !l.negated();
   reason_[l.var()] = reason;
@@ -173,7 +189,7 @@ void Solver::enqueue(Lit l, Clause* reason) {
   trail_.push_back(l);
 }
 
-Solver::Clause* Solver::propagate() {
+CRef Solver::propagate() {
   while (propagate_head_ < trail_.size()) {
     const Lit p = trail_[propagate_head_++];
     ++stats_.propagations;
@@ -182,13 +198,13 @@ Solver::Clause* Solver::propagate() {
     for (const BinWatcher& bw : bin_watches_[p.code()]) {
       const LBool v = lit_value(bw.other);
       if (v == LBool::True) continue;
-      Clause* c = bw.clause;
+      const CRef c = bw.clause;
       if (v == LBool::False) {
         propagate_head_ = trail_.size();
         return c;
       }
       // analyze() expects the implied literal at position 0 of its reason.
-      if (c->lits[0] != bw.other) std::swap(c->lits[0], c->lits[1]);
+      if (arena_.lit(c, 0) != bw.other) arena_.swap_lits(c, 0, 1);
       enqueue(bw.other, c);
     }
     auto& ws = watches_[p.code()];
@@ -199,22 +215,24 @@ Solver::Clause* Solver::propagate() {
         ws[j++] = ws[i++];
         continue;
       }
-      Clause* c = w.clause;
+      const CRef c = w.clause;
       // Normalize: ensure the false literal ~p is at position 1.
       const Lit not_p = ~p;
-      if (c->lits[0] == not_p) std::swap(c->lits[0], c->lits[1]);
+      if (arena_.lit(c, 0) == not_p) arena_.swap_lits(c, 0, 1);
       // If first literal is true, keep watching.
-      if (lit_value(c->lits[0]) == LBool::True) {
-        ws[j++] = {c, c->lits[0]};
+      const Lit first = arena_.lit(c, 0);
+      if (lit_value(first) == LBool::True) {
+        ws[j++] = {c, first};
         ++i;
         continue;
       }
       // Search a new literal to watch.
       bool found = false;
-      for (std::size_t k = 2; k < c->lits.size(); ++k) {
-        if (lit_value(c->lits[k]) != LBool::False) {
-          std::swap(c->lits[1], c->lits[k]);
-          watches_[(~c->lits[1]).code()].push_back({c, c->lits[0]});
+      const std::uint32_t n = arena_.size(c);
+      for (std::uint32_t k = 2; k < n; ++k) {
+        if (lit_value(arena_.lit(c, k)) != LBool::False) {
+          arena_.swap_lits(c, 1, k);
+          watches_[(~arena_.lit(c, 1)).code()].push_back({c, first});
           found = true;
           break;
         }
@@ -224,20 +242,20 @@ Solver::Clause* Solver::propagate() {
         continue;
       }
       // Unit or conflicting.
-      if (lit_value(c->lits[0]) == LBool::False) {
+      if (lit_value(first) == LBool::False) {
         // Conflict: restore remaining watchers and report.
         while (i < ws.size()) ws[j++] = ws[i++];
         ws.resize(j);
         propagate_head_ = trail_.size();
         return c;
       }
-      enqueue(c->lits[0], c);
-      ws[j++] = {c, c->lits[0]};
+      enqueue(first, c);
+      ws[j++] = {c, first};
       ++i;
     }
     ws.resize(j);
   }
-  return nullptr;
+  return k_cref_undef;
 }
 
 void Solver::bump_var(Var v) {
@@ -249,10 +267,14 @@ void Solver::bump_var(Var v) {
   if (heap_pos_[v] >= 0) heap_percolate_up(heap_pos_[v]);
 }
 
-void Solver::bump_clause(Clause* c) {
-  c->activity += clause_inc_;
-  if (c->activity > 1e20) {
-    for (Clause* l : learnts_) l->activity *= 1e-20;
+void Solver::bump_clause(CRef c) {
+  arena_.set_activity(c, arena_.activity(c) + clause_inc_);
+  if (arena_.activity(c) > 1e20) {
+    // Rescale the learnt DB (the only clauses whose activity is compared);
+    // a hot problem clause keeps its large value and simply re-triggers.
+    for (const CRef l : learnts_) {
+      arena_.set_activity(l, arena_.activity(l) * 1e-20);
+    }
     clause_inc_ *= 1e-20;
   }
 }
@@ -279,27 +301,46 @@ int Solver::clause_lbd(const std::vector<Lit>& lits) {
   return lbd;
 }
 
-void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
+int Solver::clause_lbd(CRef c) {
+  if (level_stamp_.size() <= static_cast<std::size_t>(decision_level())) {
+    level_stamp_.resize(static_cast<std::size_t>(decision_level()) + 1, 0);
+  }
+  ++lbd_stamp_;
+  int lbd = 0;
+  const std::uint32_t n = arena_.size(c);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const int lev = level_[arena_.lit(c, i).var()];
+    if (lev <= 0) continue;
+    if (level_stamp_[static_cast<std::size_t>(lev)] != lbd_stamp_) {
+      level_stamp_[static_cast<std::size_t>(lev)] = lbd_stamp_;
+      ++lbd;
+    }
+  }
+  return lbd;
+}
+
+void Solver::analyze(CRef conflict, std::vector<Lit>& learnt,
                      int& backtrack_level) {
   learnt.clear();
   learnt.push_back(Lit::from_code(-2));  // slot for the asserting literal
   int counter = 0;
   Lit p = Lit::from_code(-2);
   std::size_t trail_index = trail_.size();
-  Clause* reason = conflict;
+  CRef reason = conflict;
 
   do {
     bump_clause(reason);
     // Update-on-use: a learnt clause re-derived during analysis may now sit
     // at a lower glue level; keeping the minimum protects it from reduction.
-    if (reason->learnt && reason->lits.size() > 2) {
-      const int glue = clause_lbd(reason->lits);
-      if (glue < reason->lbd) reason->lbd = glue;
+    if (arena_.learnt(reason) && arena_.size(reason) > 2) {
+      const int glue = clause_lbd(reason);
+      if (glue < arena_.lbd(reason)) arena_.set_lbd(reason, glue);
     }
-    // Start at 1 when `reason` is the reason of p (lits[0] == p).
-    const std::size_t start = (p.code() >= 0) ? 1 : 0;
-    for (std::size_t k = start; k < reason->lits.size(); ++k) {
-      const Lit q = reason->lits[k];
+    // Start at 1 when `reason` is the reason of p (lit 0 == p).
+    const std::uint32_t start = (p.code() >= 0) ? 1 : 0;
+    const std::uint32_t n = arena_.size(reason);
+    for (std::uint32_t k = start; k < n; ++k) {
+      const Lit q = arena_.lit(reason, k);
       if (!seen_[q.var()] && level_[q.var()] > 0) {
         seen_[q.var()] = true;
         bump_var(q.var());
@@ -333,7 +374,7 @@ void Solver::analyze(Clause* conflict, std::vector<Lit>& learnt,
   const std::size_t before_minimize = learnt.size();
   std::size_t out = 1;
   for (std::size_t i = 1; i < learnt.size(); ++i) {
-    if (reason_[learnt[i].var()] == nullptr ||
+    if (reason_[learnt[i].var()] == k_cref_undef ||
         !literal_redundant(learnt[i], abstract_levels)) {
       learnt[out++] = learnt[i];
     }
@@ -366,8 +407,8 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
   while (!analyze_stack_.empty()) {
     const Lit cur = analyze_stack_.back();
     analyze_stack_.pop_back();
-    const Clause* c = reason_[cur.var()];
-    if (c == nullptr) {
+    const CRef c = reason_[cur.var()];
+    if (c == k_cref_undef) {
       // Hit a decision: not redundant; undo marks made during this check.
       for (std::size_t i = top; i < analyze_clear_.size(); ++i) {
         seen_[analyze_clear_[i].var()] = false;
@@ -375,10 +416,11 @@ bool Solver::literal_redundant(Lit l, std::uint32_t abstract_levels) {
       analyze_clear_.resize(top);
       return false;
     }
-    for (std::size_t k = 1; k < c->lits.size(); ++k) {
-      const Lit q = c->lits[k];
+    const std::uint32_t n = arena_.size(c);
+    for (std::uint32_t k = 1; k < n; ++k) {
+      const Lit q = arena_.lit(c, k);
       if (seen_[q.var()] || level_[q.var()] == 0) continue;
-      if (reason_[q.var()] == nullptr ||
+      if (reason_[q.var()] == k_cref_undef ||
           ((1u << (level_[q.var()] & 31)) & abstract_levels) == 0) {
         for (std::size_t i = top; i < analyze_clear_.size(); ++i) {
           seen_[analyze_clear_[i].var()] = false;
@@ -400,7 +442,7 @@ void Solver::backtrack(int target_level) {
   for (int i = static_cast<int>(trail_.size()) - 1; i >= limit; --i) {
     const Var v = trail_[static_cast<std::size_t>(i)].var();
     assigns_[v] = LBool::Undef;
-    reason_[v] = nullptr;
+    reason_[v] = k_cref_undef;
     if (heap_pos_[v] < 0) heap_insert(v);
   }
   trail_.resize(static_cast<std::size_t>(limit));
@@ -415,7 +457,8 @@ Lit Solver::pick_branch() {
     const double roll = static_cast<double>(next_rand() >> 11) * 0x1.0p-53;
     if (roll < config_.random_decision_freq) {
       const Var v = heap_[static_cast<std::size_t>(next_rand() % heap_.size())];
-      if (assigns_[v] == LBool::Undef) {
+      if (assigns_[v] == LBool::Undef &&
+          (remapper_.empty() || !remapper_.eliminated(v))) {
         ++stats_.decisions;
         ++stats_.random_decisions;
         return Lit(v, !phase_[v]);
@@ -424,10 +467,12 @@ Lit Solver::pick_branch() {
   }
   while (!heap_empty()) {
     const Var v = heap_pop();
-    if (assigns_[v] == LBool::Undef) {
-      ++stats_.decisions;
-      return Lit(v, !phase_[v]);
-    }
+    if (assigns_[v] != LBool::Undef) continue;
+    // Eliminated variables appear in no clause: deciding them is wasted
+    // work, and their model values come from Remapper::extend anyway.
+    if (!remapper_.empty() && remapper_.eliminated(v)) continue;
+    ++stats_.decisions;
+    return Lit(v, !phase_[v]);
   }
   return Lit::from_code(-2);
 }
@@ -435,25 +480,27 @@ Lit Solver::pick_branch() {
 void Solver::reduce_db() {
   // Keep clauses with low LBD or high activity; delete the bottom half.
   // Glue clauses (LBD <= 2) and binaries are never deleted.
-  std::sort(learnts_.begin(), learnts_.end(), [](Clause* a, Clause* b) {
-    if (a->lbd != b->lbd) return a->lbd > b->lbd;
-    return a->activity < b->activity;
+  std::sort(learnts_.begin(), learnts_.end(), [this](CRef a, CRef b) {
+    const int la = arena_.lbd(a);
+    const int lb = arena_.lbd(b);
+    if (la != lb) return la > lb;
+    return arena_.activity(a) < arena_.activity(b);
   });
   const std::size_t target = learnts_.size() / 2;
-  std::vector<Clause*> kept;
+  std::vector<CRef> kept;
   kept.reserve(learnts_.size() - target);
   std::size_t removed = 0;
-  for (Clause* c : learnts_) {
+  for (const CRef c : learnts_) {
     bool locked = false;
     // A clause is locked if it is the reason of a current assignment.
-    const Lit first = c->lits[0];
+    const Lit first = arena_.lit(c, 0);
     if (lit_value(first) == LBool::True && reason_[first.var()] == c) {
       locked = true;
     }
-    const bool glue = c->lbd <= 2 || c->lits.size() <= 2;
+    const bool glue = arena_.lbd(c) <= 2 || arena_.size(c) <= 2;
     if (removed < target && !locked && !glue) {
       detach(c);
-      delete c;
+      arena_.free_clause(c);
       ++removed;
       ++stats_.learnts_deleted;
     } else {
@@ -475,13 +522,15 @@ void Solver::analyze_final(Lit p) {
        i >= level_limits_[0]; --i) {
     const Var v = trail_[static_cast<std::size_t>(i)].var();
     if (!seen_[v]) continue;
-    if (reason_[v] == nullptr) {
+    if (reason_[v] == k_cref_undef) {
       if (level_[v] > 0 && trail_[static_cast<std::size_t>(i)] != p) {
         conflict_assumptions_.push_back(trail_[static_cast<std::size_t>(i)]);
       }
     } else {
-      for (std::size_t k = 1; k < reason_[v]->lits.size(); ++k) {
-        const Var u = reason_[v]->lits[k].var();
+      const CRef r = reason_[v];
+      const std::uint32_t n = arena_.size(r);
+      for (std::uint32_t k = 1; k < n; ++k) {
+        const Var u = arena_.lit(r, k).var();
         if (level_[u] > 0) seen_[u] = true;
       }
     }
@@ -560,9 +609,21 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
   if (!ok_) return Result::Unsat;
   conflict_assumptions_.clear();
   backtrack(0);
-  if (propagate() != nullptr) {
+  if (propagate() != k_cref_undef) {
     ok_ = false;
     return Result::Unsat;
+  }
+  // Assumptions over eliminated variables: revive them (re-adds the clauses
+  // BVE removed, freezes the variable) so the verdict covers the original
+  // problem, not the reduced one.
+  if (!remapper_.empty()) {
+    for (const Lit& a : assumptions) {
+      if (a.var() >= 0 && a.var() < num_vars() &&
+          remapper_.eliminated(a.var())) {
+        revive(a.var());
+      }
+    }
+    if (!ok_) return Result::Unsat;
   }
   // Honour an already-expired wall deadline (or a fired interrupt) before
   // any search: conflicts are the only other place these are read, and an
@@ -579,8 +640,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
 
   std::vector<Lit> learnt;
   for (;;) {
-    Clause* conflict = propagate();
-    if (conflict != nullptr) {
+    const CRef conflict = propagate();
+    if (conflict != k_cref_undef) {
       ++stats_.conflicts;
       // Best-phase caching: snapshot the polarities of the deepest trail
       // seen this call; restarts can re-target it.
@@ -597,18 +658,22 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         // The conflict depends on assumptions only through decisions; collect
         // them by resolving the conflict fully.
         conflict_assumptions_.clear();
-        for (const Lit& l : conflict->lits) {
+        const std::uint32_t cn = arena_.size(conflict);
+        for (std::uint32_t k = 0; k < cn; ++k) {
+          const Lit l = arena_.lit(conflict, k);
           if (level_[l.var()] > 0) seen_[l.var()] = true;
         }
         for (int i = static_cast<int>(trail_.size()) - 1;
              i >= level_limits_[0]; --i) {
           const Var v = trail_[static_cast<std::size_t>(i)].var();
           if (!seen_[v]) continue;
-          if (reason_[v] == nullptr) {
+          if (reason_[v] == k_cref_undef) {
             conflict_assumptions_.push_back(trail_[static_cast<std::size_t>(i)]);
           } else {
-            for (std::size_t k = 1; k < reason_[v]->lits.size(); ++k) {
-              const Var u = reason_[v]->lits[k].var();
+            const CRef r = reason_[v];
+            const std::uint32_t rn = arena_.size(r);
+            for (std::uint32_t k = 1; k < rn; ++k) {
+              const Var u = arena_.lit(r, k).var();
               if (level_[u] > 0) seen_[u] = true;
             }
           }
@@ -627,7 +692,7 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         // the assumptions), so assert it at the root; the decision loop
         // re-places the assumptions afterwards.
         backtrack(0);
-        enqueue(learnt[0], nullptr);
+        enqueue(learnt[0], k_cref_undef);
       } else {
         // Never backtrack into the assumption prefix: clamp to the prefix
         // boundary. The learnt clause still asserts there — every literal
@@ -636,7 +701,8 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
         // case above already returned.)
         const int floor_level = static_cast<int>(assumptions.size());
         backtrack(std::max(back_level, floor_level));
-        Clause* c = new Clause{learnt, clause_inc_, learnt_lbd, true};
+        const CRef c = arena_.alloc(learnt, /*learnt=*/true, learnt_lbd);
+        arena_.set_activity(c, clause_inc_);
         learnts_.push_back(c);
         ++stats_.learned;
         attach(c);
@@ -681,10 +747,21 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
                         ? static_cast<int>(assumptions.size())
                         : 0);
         }
+        if (inprocess_enabled_ && stats_.restarts >= inprocess_next_restarts_) {
+          // Inprocessing needs the root (clauses must be unlocked); the
+          // decision loop re-places the assumptions afterwards. Doubling
+          // intervals keep the amortized cost bounded.
+          backtrack(0);
+          inprocess();
+          if (!ok_) return Result::Unsat;
+          inprocess_next_restarts_ *= 2;
+        }
+        maybe_gc();
       }
       if (learnts_.size() > max_learnts_) {
         reduce_db();
         max_learnts_ = max_learnts_ + max_learnts_ / 10;
+        maybe_gc();
       }
     } else {
       if (propagation_budget_ >= 0 &&
@@ -706,19 +783,21 @@ Result Solver::solve(const std::vector<Lit>& assumptions) {
           return Result::Unsat;
         }
         new_decision_level();
-        enqueue(a, nullptr);
+        enqueue(a, k_cref_undef);
         continue;
       }
       const Lit next = pick_branch();
       if (next.code() < 0) {
-        // All variables assigned: model found. Copy it out and restore the
+        // All variables assigned: model found. Copy it out, reconstruct
+        // values for preprocessing-eliminated variables, and restore the
         // solver to level 0 so clauses can be added incrementally.
         model_ = assigns_;
+        if (!remapper_.empty()) remapper_.extend(model_);
         backtrack(0);
         return Result::Sat;
       }
       new_decision_level();
-      enqueue(next, nullptr);
+      enqueue(next, k_cref_undef);
     }
   }
 }
@@ -758,6 +837,318 @@ void Solver::set_time_budget(double seconds) {
                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
                     std::chrono::duration<double>(seconds));
   }
+}
+
+// ---- preprocessing / inprocessing internals ---------------------------------
+
+bool Solver::preprocess() {
+  if (decision_level() != 0) {
+    throw std::logic_error("preprocess: only legal at decision level 0");
+  }
+  if (!ok_) return false;
+  if (propagate() != k_cref_undef) {
+    ok_ = false;
+    return false;
+  }
+  Preprocessor pre(*this);
+  return pre.run();
+}
+
+void Solver::revive(Var v) {
+  // take() clears the eliminated flag before we re-add the clauses, so the
+  // add_clause -> revive recursion (clauses mentioning other eliminated
+  // variables) terminates.
+  Remapper::Record rec = remapper_.take(v);
+  frozen_[static_cast<std::size_t>(v)] = true;
+  // The variable may have been popped (and skipped) from the decision heap
+  // while it was eliminated; put it back so the search can decide it again.
+  if (assigns_[v] == LBool::Undef && heap_pos_[v] < 0) heap_insert(v);
+  for (auto* side : {&rec.pos, &rec.neg}) {
+    for (std::vector<Lit>& cl : *side) {
+      if (!ok_) return;
+      add_clause(std::move(cl));
+    }
+  }
+}
+
+void Solver::remove_clause_ref(CRef c) {
+  // A root-level implication may still name `c` as its reason; clear the
+  // slot (root assignments never need their reasons again) so nothing
+  // dangles into freed arena words.
+  const Lit first = arena_.lit(c, 0);
+  if (assigns_[first.var()] != LBool::Undef && reason_[first.var()] == c) {
+    reason_[first.var()] = k_cref_undef;
+  }
+  detach(c);
+  arena_.free_clause(c);
+}
+
+void Solver::clear_root_reasons() {
+  for (const Lit& l : trail_) {
+    if (level_[l.var()] == 0) reason_[l.var()] = k_cref_undef;
+  }
+}
+
+void Solver::compact_clause_lists() {
+  std::erase_if(clauses_, [this](CRef c) { return arena_.dead(c); });
+  std::erase_if(learnts_, [this](CRef c) { return arena_.dead(c); });
+}
+
+void Solver::inprocess() {
+  // Level 0, clauses unlocked (root reasons cleared) — reduce_db's lock
+  // check and the passes' frees then never collide with the trail.
+  clear_root_reasons();
+  subsume_pass();
+  if (ok_) vivify_pass();
+  compact_clause_lists();
+  maybe_gc();
+}
+
+void Solver::subsume_pass() {
+  // Backward subsumption with self-subsuming resolution. Subsumers are
+  // problem clauses only (deleting a learnt that subsumes a problem clause
+  // would be unsound bookkeeping: learnts are disposable); subsumees are
+  // both problem clauses and learnts. Work is bounded by a literal-scan
+  // budget so a pathological occurrence profile cannot stall the search.
+  std::int64_t scan_budget = std::int64_t{1} << 22;
+
+  // Occurrence lists over every live clause (the subsumee side).
+  std::vector<std::vector<CRef>> occ(watches_.size());
+  auto index_clause = [&](CRef c) {
+    const std::uint32_t n = arena_.size(c);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      occ[static_cast<std::size_t>(arena_.lit(c, i).code())].push_back(c);
+    }
+  };
+  for (const CRef c : clauses_) {
+    if (!arena_.dead(c)) index_clause(c);
+  }
+  for (const CRef c : learnts_) {
+    if (!arena_.dead(c)) index_clause(c);
+  }
+
+  // Literal-code stamps identify the current subsumer's literal set.
+  std::vector<std::uint32_t> stamp(watches_.size(), 0);
+  std::uint32_t cur = 0;
+
+  for (std::size_t ci = 0; ci < clauses_.size() && scan_budget > 0 && ok_;
+       ++ci) {
+    const CRef c = clauses_[ci];
+    if (arena_.dead(c)) continue;
+    const std::uint32_t m = arena_.size(c);
+    // Root-satisfied clauses are dead weight; drop instead of subsuming with.
+    bool satisfied = false;
+    for (std::uint32_t i = 0; i < m; ++i) {
+      if (lit_value(arena_.lit(c, i)) == LBool::True) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      remove_clause_ref(c);
+      continue;
+    }
+    ++cur;
+    std::size_t min_occ = static_cast<std::size_t>(-1);
+    Lit min_lit = Lit::from_code(-2);
+    for (std::uint32_t i = 0; i < m; ++i) {
+      const Lit l = arena_.lit(c, i);
+      stamp[static_cast<std::size_t>(l.code())] = cur;
+      const std::size_t o = occ[static_cast<std::size_t>(l.code())].size();
+      if (o < min_occ) {
+        min_occ = o;
+        min_lit = l;
+      }
+    }
+    // Scan the shortest occurrence list for clauses c subsumes (every
+    // literal of c present) or strengthens (all but one present, that one
+    // present flipped: self-subsuming resolution removes it).
+    auto& cands = occ[static_cast<std::size_t>(min_lit.code())];
+    for (const CRef d : cands) {
+      if (d == c || arena_.dead(d)) continue;
+      const std::uint32_t dn = arena_.size(d);
+      if (dn < m) continue;
+      scan_budget -= static_cast<std::int64_t>(dn);
+      std::uint32_t found = 0;
+      std::uint32_t flipped = 0;
+      Lit flip_lit = Lit::from_code(-2);
+      for (std::uint32_t i = 0; i < dn; ++i) {
+        const Lit dl = arena_.lit(d, i);
+        if (stamp[static_cast<std::size_t>(dl.code())] == cur) {
+          ++found;
+        } else if (stamp[static_cast<std::size_t>((~dl).code())] == cur) {
+          ++flipped;
+          flip_lit = dl;
+        }
+      }
+      if (found == m) {
+        remove_clause_ref(d);
+        ++stats_.clauses_subsumed;
+      } else if (found == m - 1 && flipped == 1) {
+        strengthen_clause(d, flip_lit);
+        if (!ok_) return;
+        // Unit propagation inside strengthen_clause may have satisfied or
+        // falsified c itself; re-validation happens when c's literals are
+        // next scanned, which is sound either way.
+      }
+      if (scan_budget <= 0) break;
+    }
+  }
+}
+
+void Solver::strengthen_clause(CRef d, Lit out_lit) {
+  // Remove `out_lit` from `d` in place (order-preserving), reattach with
+  // sound root-level watches, and handle the unit/empty collapse.
+  detach(d);
+  const std::uint32_t dn = arena_.size(d);
+  std::uint32_t w = 0;
+  for (std::uint32_t i = 0; i < dn; ++i) {
+    const Lit dl = arena_.lit(d, i);
+    if (dl == out_lit) continue;
+    arena_.set_lit(d, w++, dl);
+  }
+  arena_.shrink(d, w);
+  ++stats_.vivified_lits;
+  reattach_simplified(d);
+}
+
+void Solver::reattach_simplified(CRef d) {
+  // `d` is detached and was just shrunk at decision level 0. Fresh watches
+  // must sit on non-false literals (a literal falsified before attach would
+  // never wake the clause), so partition non-false literals to the front;
+  // collapse to a root unit / conflict when fewer than two remain.
+  const std::uint32_t n = arena_.size(d);
+  std::uint32_t front = 0;
+  bool satisfied = false;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const LBool v = lit_value(arena_.lit(d, i));
+    if (v == LBool::True) satisfied = true;
+    if (v != LBool::False) {
+      if (i != front) arena_.swap_lits(d, front, i);
+      ++front;
+    }
+  }
+  if (satisfied) {
+    // Root-satisfied: no longer worth keeping.
+    arena_.free_clause(d);
+    return;
+  }
+  if (front == 0) {
+    arena_.free_clause(d);
+    ok_ = false;
+    return;
+  }
+  if (front == 1) {
+    const Lit unit = arena_.lit(d, 0);
+    arena_.free_clause(d);
+    enqueue(unit, k_cref_undef);
+    if (propagate() != k_cref_undef) {
+      ok_ = false;
+      return;
+    }
+    // The propagation just recorded reasons for new root assignments;
+    // clear them so later frees in this pass cannot dangle.
+    clear_root_reasons();
+    return;
+  }
+  if (front < n) arena_.shrink(d, front);
+  attach(d);
+}
+
+void Solver::vivify_pass() {
+  // Bounded clause vivification: for each problem clause (l1 .. ln), assume
+  // ~l1, ~l2, ... in turn under a throwaway decision level. A conflict
+  // proves the assumed prefix is already a valid clause; a literal found
+  // true proves the prefix plus that literal is; a literal found false is
+  // redundant (resolution on it against the implied prefix clause). The
+  // cursor persists across calls so successive inprocessing rounds walk
+  // different clauses.
+  const std::uint64_t prop_budget = 20000;
+  const std::uint64_t start_props = stats_.propagations;
+  std::size_t examined = 0;
+  std::vector<Lit> keep;
+  while (ok_ && examined < clauses_.size() &&
+         stats_.propagations - start_props < prop_budget) {
+    if (vivify_cursor_ >= clauses_.size()) vivify_cursor_ = 0;
+    const CRef c = clauses_[vivify_cursor_++];
+    ++examined;
+    if (arena_.dead(c) || arena_.size(c) < 3) continue;
+    const std::uint32_t n = arena_.size(c);
+    bool satisfied = false;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (lit_value(arena_.lit(c, i)) == LBool::True) {
+        satisfied = true;
+        break;
+      }
+    }
+    if (satisfied) {
+      remove_clause_ref(c);
+      continue;
+    }
+    detach(c);  // c must not propagate against itself below
+    keep.clear();
+    bool shortcut = false;  // conflict or satisfied-literal exit
+    new_decision_level();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      const Lit l = arena_.lit(c, i);
+      const LBool v = lit_value(l);
+      if (v == LBool::True) {
+        // ~keep implies l: (keep, l) is a valid replacement.
+        keep.push_back(l);
+        shortcut = true;
+        break;
+      }
+      if (v == LBool::False) continue;  // ~keep implies ~l: drop l
+      keep.push_back(l);
+      enqueue(~l, k_cref_undef);
+      if (propagate() != k_cref_undef) {
+        // ~keep is contradictory: keep alone is a valid replacement.
+        shortcut = true;
+        break;
+      }
+    }
+    backtrack(0);
+    (void)shortcut;
+    if (keep.size() >= n) {
+      attach(c);  // nothing gained
+      continue;
+    }
+    stats_.vivified_lits += n - static_cast<std::uint32_t>(keep.size());
+    if (keep.empty()) {
+      arena_.free_clause(c);
+      ok_ = false;
+      return;
+    }
+    for (std::uint32_t i = 0; i < keep.size(); ++i) {
+      arena_.set_lit(c, i, keep[static_cast<std::size_t>(i)]);
+    }
+    arena_.shrink(c, static_cast<std::uint32_t>(keep.size()));
+    reattach_simplified(c);
+  }
+}
+
+// ---- arena GC ---------------------------------------------------------------
+
+void Solver::gc_arena() {
+  stats_.arena_gc_bytes += arena_.wasted_bytes();
+  ClauseArena to;
+  to.reserve_words(arena_.used_words() - arena_.wasted_words());
+  // Relocation preserves the order of every watch list and of
+  // clauses_/learnts_, so the search trajectory is byte-for-byte unchanged;
+  // walking watch lists first lays co-watched clauses adjacently.
+  for (auto& ws : bin_watches_) {
+    for (BinWatcher& w : ws) w.clause = arena_.relocate(w.clause, to);
+  }
+  for (auto& ws : watches_) {
+    for (Watcher& w : ws) w.clause = arena_.relocate(w.clause, to);
+  }
+  for (const Lit& l : trail_) {
+    CRef& r = reason_[l.var()];
+    if (r != k_cref_undef) r = arena_.relocate(r, to);
+  }
+  for (CRef& c : clauses_) c = arena_.relocate(c, to);
+  for (CRef& c : learnts_) c = arena_.relocate(c, to);
+  arena_ = std::move(to);
 }
 
 // ---- activity heap ---------------------------------------------------------

@@ -1,14 +1,19 @@
 // Self-contained CDCL SAT solver.
 //
-// Features: two-watched-literal propagation with blockers and a dedicated
-// binary-clause watch scheme, VSIDS decision heuristic with phase saving and
-// best-phase caching, first-UIP conflict analysis with recursive clause
-// minimization, exact LBD (glue) computation with update-on-use and
-// LBD/activity-driven learned-clause reduction, Luby restarts, incremental
-// solving under assumptions (required by the KC2 attack), per-instance
-// diversification via Config (seeds, polarities, restart pacing) and an
-// external interrupt flag (first-winner cancellation in the portfolio). No
-// external dependencies.
+// Features: arena clause storage (sat/arena.hpp — contiguous 32-bit-ref
+// clause memory with compacting GC at reduce/restart boundaries),
+// two-watched-literal propagation with blockers and a dedicated
+// binary-clause watch scheme, VSIDS decision heuristic (activity heap) with
+// phase saving and best-phase caching, first-UIP conflict analysis with
+// recursive clause minimization, exact LBD (glue) computation with
+// update-on-use and LBD/activity-driven learned-clause reduction, Luby
+// restarts, incremental solving under assumptions (required by the KC2
+// attack), optional preprocessing (sat/preprocess.hpp — bounded variable
+// elimination with model reconstruction) and inprocessing at restart
+// boundaries (backward subsumption / self-subsuming resolution, clause
+// vivification), per-instance diversification via Config (seeds, polarities,
+// restart pacing) and an external interrupt flag (first-winner cancellation
+// in the portfolio). No external dependencies.
 #pragma once
 
 #include <atomic>
@@ -16,44 +21,13 @@
 #include <cstdint>
 #include <vector>
 
+#include "sat/arena.hpp"
+#include "sat/preprocess.hpp"
+#include "sat/types.hpp"
+
 namespace cl::sat {
 
 class ClauseExchange;
-
-/// 0-based variable index.
-using Var = std::int32_t;
-
-/// Literal: encodes (variable, sign) as 2*var + (negated ? 1 : 0).
-class Lit {
- public:
-  Lit() : code_(-2) {}
-  Lit(Var v, bool negated) : code_(2 * v + (negated ? 1 : 0)) {}
-
-  static Lit from_code(std::int32_t code) {
-    Lit l;
-    l.code_ = code;
-    return l;
-  }
-
-  Var var() const { return code_ >> 1; }
-  bool negated() const { return code_ & 1; }
-  Lit operator~() const { return from_code(code_ ^ 1); }
-  std::int32_t code() const { return code_; }
-
-  bool operator==(const Lit& o) const = default;
-  bool operator<(const Lit& o) const { return code_ < o.code_; }
-
- private:
-  std::int32_t code_;
-};
-
-inline Lit pos(Var v) { return Lit(v, false); }
-inline Lit neg(Var v) { return Lit(v, true); }
-
-enum class Result : std::uint8_t { Sat, Unsat, Unknown };
-
-/// Tri-state assignment value.
-enum class LBool : std::uint8_t { False = 0, True = 1, Undef = 2 };
 
 class Solver {
  public:
@@ -88,6 +62,11 @@ class Solver {
     std::uint64_t minimized_literals = 0;  ///< literals removed from learnts
     std::uint64_t shared_exported = 0;  ///< clauses published to the exchange
     std::uint64_t shared_imported = 0;  ///< clauses adopted from the exchange
+    std::uint64_t vars_eliminated = 0;  ///< variables removed by BVE
+    std::uint64_t clauses_subsumed = 0;  ///< clauses removed by subsumption
+    std::uint64_t vivified_lits = 0;  ///< literals removed by vivification
+                                      ///< and self-subsuming resolution
+    std::uint64_t arena_gc_bytes = 0;  ///< bytes reclaimed by arena GC
   };
 
   Solver();
@@ -101,6 +80,7 @@ class Solver {
 
   /// Add a clause over existing variables. Returns false if the database is
   /// already unsatisfiable (the clause is still recorded as appropriate).
+  /// Mentioning an eliminated variable revives it first (see preprocess()).
   bool add_clause(std::vector<Lit> lits);
   bool add_unit(Lit a) { return add_clause({a}); }
   bool add_binary(Lit a, Lit b) { return add_clause({a, b}); }
@@ -108,10 +88,13 @@ class Solver {
 
   /// Solve under the given assumptions. Returns Unknown when a budget set via
   /// set_conflict_budget / set_propagation_budget is exhausted, the deadline
-  /// passes, or the interrupt flag fires.
+  /// passes, or the interrupt flag fires. Assumptions over eliminated
+  /// variables revive (and freeze) them first.
   virtual Result solve(const std::vector<Lit>& assumptions = {});
 
-  /// Model access after Result::Sat.
+  /// Model access after Result::Sat. Models always cover the *original*
+  /// problem: values of preprocessing-eliminated variables are reconstructed
+  /// through the Remapper before solve() returns.
   bool model_value(Var v) const;
   bool model_value(Lit l) const;
 
@@ -152,7 +135,40 @@ class Solver {
   /// clauses, and current learnts (they are implied, so sharing them seeds
   /// the clone with everything learned so far) — into `dst`, which must not
   /// have more variables than this solver. Only legal at decision level 0.
+  /// Elimination records are NOT copied: revive assumption variables first
+  /// if the clone will be solved under assumptions (PortfolioSolver does).
   void copy_problem_into(Solver& dst) const;
+
+  // ---- preprocessing / inprocessing ---------------------------------------
+
+  /// Frozen variables are never eliminated by preprocess(). Freeze every
+  /// variable whose value must survive into the model untouched by
+  /// reconstruction ordering, and every variable that later clauses or
+  /// assumptions will mention cheaply (revival re-adds all removed clauses).
+  void set_frozen(Var v, bool frozen);
+  bool frozen(Var v) const { return frozen_[static_cast<std::size_t>(v)]; }
+
+  /// Root-level simplification: unit propagation to fixpoint, pure-literal
+  /// elimination, bounded variable elimination (sat::Preprocessor). Records
+  /// every elimination in the Remapper for model reconstruction and
+  /// revival. Only legal at decision level 0. Returns false when the
+  /// formula is refuted. Gated by the caller (CUTELOCK_SAT_PREPROCESS /
+  /// AttackBudget::sat_preprocess) — never runs implicitly.
+  bool preprocess();
+
+  /// Enable inprocessing at restart boundaries: backward subsumption with
+  /// self-subsuming resolution plus bounded clause vivification, first after
+  /// 10 restarts, then at doubling intervals. Off by default (stable-mode
+  /// determinism). Gated together with preprocess() by the same knobs.
+  void set_inprocess(bool on) { inprocess_enabled_ = on; }
+
+  /// Arena GC trigger: collect when `frac` of the arena words are wasted.
+  /// Default 0.25, or CUTELOCK_SAT_GC_FRAC (the ASan stress jobs set it very
+  /// low so compaction runs constantly).
+  void set_gc_frac(double frac) { gc_frac_ = frac; }
+
+  const Remapper& remapper() const { return remapper_; }
+  bool eliminated(Var v) const { return remapper_.eliminated(v); }
 
   // Statistics.
   const Stats& stats() const { return stats_; }
@@ -162,44 +178,41 @@ class Solver {
   std::uint64_t num_learned() const { return stats_.learned; }
   std::size_t num_clauses() const { return clauses_.size(); }
   std::size_t num_learnts() const { return learnts_.size(); }
+  std::size_t arena_bytes() const { return arena_.size_bytes(); }
 
  protected:
   friend class PortfolioSolver;
+  friend class Preprocessor;
 
-  struct Clause {
-    std::vector<Lit> lits;
-    double activity = 0.0;
-    int lbd = 0;
-    bool learnt = false;
-  };
   struct Watcher {
-    Clause* clause;
+    CRef clause;
     Lit blocker;
   };
   /// Binary clauses get their own watch lists: the implied literal is read
   /// straight from the watcher, so propagation over binaries never touches
-  /// clause memory. The Clause* survives only to serve as a reason /
+  /// clause memory. The clause ref survives only to serve as a reason /
   /// conflict object for analyze().
   struct BinWatcher {
     Lit other;
-    Clause* clause;
+    CRef clause;
   };
 
   LBool lit_value(Lit l) const;
   void new_decision_level() { level_limits_.push_back(static_cast<int>(trail_.size())); }
   int decision_level() const { return static_cast<int>(level_limits_.size()); }
-  void attach(Clause* c);
-  void detach(Clause* c);
-  void enqueue(Lit l, Clause* reason);
-  Clause* propagate();
-  void analyze(Clause* conflict, std::vector<Lit>& learnt, int& backtrack_level);
+  void attach(CRef c);
+  void detach(CRef c);
+  void enqueue(Lit l, CRef reason);
+  CRef propagate();
+  void analyze(CRef conflict, std::vector<Lit>& learnt, int& backtrack_level);
   bool literal_redundant(Lit l, std::uint32_t abstract_levels);
   void backtrack(int level);
   Lit pick_branch();
   void bump_var(Var v);
   void decay_var_activity() { var_inc_ /= 0.95; }
-  void bump_clause(Clause* c);
+  void bump_clause(CRef c);
   int clause_lbd(const std::vector<Lit>& lits);
+  int clause_lbd(CRef c);  ///< same, reading literals straight from the arena
   void reduce_db();
   void analyze_final(Lit p);
   bool interrupted() const {
@@ -210,6 +223,36 @@ class Solver {
   std::uint64_t next_rand();
   static double luby(double y, int i);
 
+  // ---- preprocessing / inprocessing internals -----------------------------
+
+  /// Re-add the removed clauses of an eliminated variable and freeze it
+  /// (recursively revives other eliminated variables those clauses mention).
+  void revive(Var v);
+  /// Detach + free, clearing a root reason slot if `c` holds one.
+  void remove_clause_ref(CRef c);
+  /// Root assignments never need their reasons again (analysis skips level
+  /// 0); clearing them unlocks the clauses for inprocessing.
+  void clear_root_reasons();
+  /// Backward subsumption + self-subsuming resolution. Level 0 only.
+  void subsume_pass();
+  /// Remove one literal from a clause (self-subsuming resolution) in place.
+  void strengthen_clause(CRef d, Lit out_lit);
+  /// Reattach a detached, just-shrunk clause with root-sound watches,
+  /// collapsing to a unit / conflict when fewer than two literals survive.
+  void reattach_simplified(CRef d);
+  /// Bounded clause vivification over problem clauses. Level 0 only.
+  void vivify_pass();
+  /// Drop dead refs from clauses_/learnts_ after a simplification pass.
+  void compact_clause_lists();
+  void inprocess();
+
+  // ---- arena GC -----------------------------------------------------------
+
+  void gc_arena();
+  void maybe_gc() {
+    if (arena_.gc_due(gc_frac_)) gc_arena();
+  }
+
   // Heap of variables ordered by activity.
   void heap_insert(Var v);
   void heap_update(Var v);
@@ -218,15 +261,16 @@ class Solver {
   void heap_percolate_up(int i);
   void heap_percolate_down(int i);
 
-  std::vector<Clause*> clauses_;
-  std::vector<Clause*> learnts_;
+  ClauseArena arena_;
+  std::vector<CRef> clauses_;
+  std::vector<CRef> learnts_;
   std::vector<std::vector<Watcher>> watches_;       // indexed by lit code
   std::vector<std::vector<BinWatcher>> bin_watches_;  // indexed by lit code
   std::vector<LBool> assigns_;
   std::vector<bool> phase_;
   std::vector<bool> best_phase_;      // phases at the deepest trail seen
   std::size_t best_trail_size_ = 0;
-  std::vector<Clause*> reason_;
+  std::vector<CRef> reason_;
   std::vector<int> level_;
   std::vector<Lit> trail_;
   std::vector<int> level_limits_;
@@ -262,6 +306,13 @@ class Solver {
   std::int64_t deadline_check_countdown_ = 0;
   std::chrono::steady_clock::time_point deadline_{};
   const std::atomic<bool>* interrupt_ = nullptr;
+
+  Remapper remapper_;
+  std::vector<bool> frozen_;
+  bool inprocess_enabled_ = false;
+  std::uint64_t inprocess_next_restarts_ = 10;
+  std::size_t vivify_cursor_ = 0;
+  double gc_frac_;
 
   Stats stats_;
   std::size_t max_learnts_ = 4000;

@@ -580,6 +580,7 @@ void Server::run_attack_job(Job& job, Json* result) {
   budget.max_depth = static_cast<std::size_t>(
       job.request.u64_or("max_depth", budget.max_depth));
   budget.sat_workers = util::sat_portfolio_from_env();
+  budget.sat_preprocess = util::sat_preprocess_from_env();
   budget.cancel = &job.cancel;
 
   const std::string mode = job.request.str_or("attack", "bmc");

@@ -112,4 +112,26 @@ bool key_hints_from_env() {
   return env_flag("CUTELOCK_KEY_HINTS") && !env_flag("CUTELOCK_BENCH_STABLE");
 }
 
+bool sat_preprocess_from_env() {
+  // Stable mode wins, exactly like key hints: preprocessing changes solver
+  // trajectories, and the stable tables promise byte-identical output.
+  return env_flag("CUTELOCK_SAT_PREPROCESS") &&
+         !env_flag("CUTELOCK_BENCH_STABLE");
+}
+
+double sat_gc_frac_from_env() {
+  static const double cached = [] {
+    const double v = env_double_or("CUTELOCK_SAT_GC_FRAC", 0.25);
+    if (v > 1.0) {
+      std::fprintf(stderr,
+                   "warning: CUTELOCK_SAT_GC_FRAC=%g > 1 would disable arena "
+                   "GC; using 0.25\n",
+                   v);
+      return 0.25;
+    }
+    return v;
+  }();
+  return cached;
+}
+
 }  // namespace cl::util

@@ -62,4 +62,17 @@ std::string obs_bank_path_from_env();
 /// the stable tables stay byte-identical.
 bool key_hints_from_env();
 
+/// SAT pre/inprocessing: CUTELOCK_SAT_PREPROCESS=1 makes the attacks run
+/// bounded variable elimination before search and subsumption/vivification
+/// at restart boundaries (seeds AttackBudget::sat_preprocess). Default off,
+/// and forced off under CUTELOCK_BENCH_STABLE=1 so the stable tables stay
+/// byte-identical.
+bool sat_preprocess_from_env();
+
+/// Arena GC trigger fraction: CUTELOCK_SAT_GC_FRAC, default 0.25; collect
+/// when that fraction of the clause arena is wasted words. Values > 1 warn
+/// and fall back (GC would effectively never run). Read once and cached —
+/// every Solver construction consults it.
+double sat_gc_frac_from_env();
+
 }  // namespace cl::util

@@ -47,5 +47,14 @@ TEST(Dimacs, LiteralBeyondHeaderRejected) {
   EXPECT_THROW(read_dimacs_string("p cnf 2 1\n3 0\n"), std::runtime_error);
 }
 
+TEST(Dimacs, DuplicateLiteralRejected) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 2 1 0\n"), std::runtime_error);
+}
+
+TEST(Dimacs, ContradictoryLiteralRejected) {
+  EXPECT_THROW(read_dimacs_string("p cnf 2 1\n1 -1 0\n"), std::runtime_error);
+  EXPECT_THROW(read_dimacs_string("p cnf 3 1\n2 3 -2 0\n"), std::runtime_error);
+}
+
 }  // namespace
 }  // namespace cl::sat

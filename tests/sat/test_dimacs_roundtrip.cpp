@@ -1,0 +1,102 @@
+// Randomized DIMACS write -> read -> solve equivalence: the parsed copy of
+// a written CNF must be literally identical, and both copies must solve to
+// the brute-force verdict.
+#include "sat/dimacs.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "cnf_test_util.hpp"
+#include "sat/solver.hpp"
+#include "util/rng.hpp"
+
+namespace cl::sat {
+namespace {
+
+/// Random CNF with distinct variables per clause (the parser rejects
+/// duplicate/contradictory literals by design, so the generator must not
+/// produce them).
+std::vector<std::vector<int>> random_strict_cnf(util::Rng& rng, int nv,
+                                                int nc, int width) {
+  std::vector<std::vector<int>> cnf;
+  std::vector<int> pool(static_cast<std::size_t>(nv));
+  for (int i = 0; i < nv; ++i) pool[static_cast<std::size_t>(i)] = i + 1;
+  for (int c = 0; c < nc; ++c) {
+    // Partial Fisher-Yates draw of `width` distinct variables.
+    for (int l = 0; l < width; ++l) {
+      const auto j = static_cast<std::size_t>(
+          l + static_cast<int>(rng.next_below(static_cast<std::uint64_t>(nv - l))));
+      std::swap(pool[static_cast<std::size_t>(l)], pool[j]);
+    }
+    std::vector<int> clause;
+    for (int l = 0; l < width; ++l) {
+      const int v = pool[static_cast<std::size_t>(l)];
+      clause.push_back(rng.chance(1, 2) ? v : -v);
+    }
+    cnf.push_back(clause);
+  }
+  return cnf;
+}
+
+TEST(DimacsRoundTrip, WriteReadSolveEquivalence) {
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Rng rng(seed * 101);
+    const int nv = 12;
+    const int nc = 30 + static_cast<int>(seed % 30);
+    Dimacs d;
+    d.num_vars = nv;
+    d.clauses = random_strict_cnf(rng, nv, nc, 3);
+
+    const std::string text = write_dimacs_string(d);
+    const Dimacs back = read_dimacs_string(text);
+    EXPECT_EQ(back.num_vars, d.num_vars) << "seed " << seed;
+    EXPECT_EQ(back.clauses, d.clauses) << "seed " << seed;
+
+    Solver s1;
+    const Var base1 = load_dimacs(s1, d);
+    Solver s2;
+    const Var base2 = load_dimacs(s2, back);
+    const bool expect = test_util::brute_force_sat(d.clauses, nv);
+    const Result r1 = s1.solve();
+    const Result r2 = s2.solve();
+    EXPECT_EQ(r1, expect ? Result::Sat : Result::Unsat) << "seed " << seed;
+    EXPECT_EQ(r2, r1) << "seed " << seed;
+    if (r1 == Result::Sat) {
+      // Each model satisfies its own copy of the formula.
+      for (const auto& clause : d.clauses) {
+        bool any1 = false;
+        bool any2 = false;
+        for (int l : clause) {
+          const Var off = static_cast<Var>(std::abs(l) - 1);
+          any1 = any1 || (s1.model_value(base1 + off) == (l > 0));
+          any2 = any2 || (s2.model_value(base2 + off) == (l > 0));
+        }
+        EXPECT_TRUE(any1) << "seed " << seed;
+        EXPECT_TRUE(any2) << "seed " << seed;
+      }
+    }
+  }
+}
+
+TEST(DimacsRoundTrip, RoundTripUnderPreprocessing) {
+  // The parsed copy fed through BVE must agree with the plain written copy.
+  for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+    util::Rng rng(seed * 7);
+    Dimacs d;
+    d.num_vars = 14;
+    d.clauses = random_strict_cnf(rng, 14, 40, 3);
+    const Dimacs back = read_dimacs_string(write_dimacs_string(d));
+
+    Solver plain;
+    load_dimacs(plain, d);
+    Solver pre;
+    load_dimacs(pre, back);
+    pre.preprocess();
+    EXPECT_EQ(pre.solve(), plain.solve()) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace cl::sat
