@@ -56,7 +56,9 @@ std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
     return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
                       slot->iterations, slot->replayed_queries,
                       slot->fresh_queries, slot->preloaded_facts,
-                      slot->hinted_bits, slot->hint_accuracy};
+                      slot->hinted_bits, slot->hint_accuracy,
+                      slot->key_exact, slot->any_key_pass,
+                      slot->corruption_rate};
   });
 }
 
@@ -132,6 +134,25 @@ std::string Runner::json() const {
     out += ", \"replayed_queries\": " + std::to_string(job.out.replayed_queries);
     out += ", \"fresh_queries\": " + std::to_string(job.out.fresh_queries);
     out += ", \"preloaded_facts\": " + std::to_string(job.out.preloaded_facts);
+    if (job.out.key_exact >= 0 || job.out.any_key_pass >= 0) {
+      // Only acceptance-judged jobs carry the criterion fields, mirroring
+      // the hint-fields pattern below: pre-acceptance baselines stay
+      // byte-identical.
+      if (job.out.key_exact >= 0) {
+        out += ", \"key_exact\": ";
+        out += job.out.key_exact ? "true" : "false";
+      }
+      if (job.out.any_key_pass >= 0) {
+        out += ", \"any_key_pass\": ";
+        out += job.out.any_key_pass ? "true" : "false";
+      }
+      if (job.out.corruption_rate >= 0) {
+        char rate[32];
+        std::snprintf(rate, sizeof rate, "%.4f", job.out.corruption_rate);
+        out += ", \"corruption_rate\": ";
+        out += rate;
+      }
+    }
     if (job.out.hinted_bits > 0) {
       // Only hinted jobs carry the fields: hint-free baselines stay
       // byte-identical to those written before hints existed.

@@ -47,6 +47,12 @@ struct JobOutcome {
   /// byte-identical to pre-hint ones.
   std::uint64_t hinted_bits = 0;
   double hint_accuracy = -1.0;
+  /// Acceptance-criterion facts (attack/accept.hpp), -1 = not evaluated.
+  /// Emitted into the JSON record only when an acceptance layer actually
+  /// judged the key, so pre-acceptance baselines stay byte-identical.
+  int key_exact = -1;
+  int any_key_pass = -1;
+  double corruption_rate = -1.0;
 };
 
 class Runner {

@@ -80,7 +80,12 @@ LintReport lint(const Netlist& nl) {
   }
 
   // Dead logic: gates/FFs unreachable from every output (remove_dangling's
-  // liveness rule).
+  // liveness rule). Decoy-latch cones are carved out first: a key input
+  // whose entire fanout cone is unobservable but holds a flip-flop is the
+  // programmable-decoy shape of latch-based locking (lock/latch_lock.hpp),
+  // deliberate structure rather than forgotten logic — report it as an
+  // info-level `latch-only-key` finding and exempt its cone from the
+  // `dead-logic` count.
   {
     std::vector<bool> live(nl.size(), false);
     std::vector<SignalId> stack(nl.outputs().begin(), nl.outputs().end());
@@ -93,10 +98,42 @@ LintReport lint(const Netlist& nl) {
         if (!live[f]) stack.push_back(f);
       }
     }
+    std::vector<bool> decoy_cone(nl.size(), false);
+    for (SignalId k : nl.key_inputs()) {
+      if (fanout[k].empty()) continue;  // reported as unused-input above
+      std::vector<bool> in_cone(nl.size(), false);
+      std::vector<SignalId> cone;
+      std::vector<SignalId> work{k};
+      in_cone[k] = true;
+      bool observable = false, has_dff = false;
+      while (!work.empty()) {
+        const SignalId s = work.back();
+        work.pop_back();
+        cone.push_back(s);
+        if (live[s]) observable = true;
+        if (nl.type(s) == GateType::Dff) has_dff = true;
+        for (SignalId reader : fanout[s]) {
+          if (!in_cone[reader]) {
+            in_cone[reader] = true;
+            work.push_back(reader);
+          }
+        }
+      }
+      if (!observable && has_dff) {
+        add(rep, Severity::Info, "latch-only-key", nl.signal_name(k),
+            "key input drives only unobservable sequential logic (a "
+            "latch-style decoy cone of " +
+                std::to_string(cone.size() - 1) + " node(s))");
+        for (SignalId s : cone) decoy_cone[s] = true;
+      }
+    }
     std::size_t dead = 0;
     for (SignalId s = 0; s < nl.size(); ++s) {
       const GateType t = nl.type(s);
-      if ((netlist::is_comb_gate(t) || t == GateType::Dff) && !live[s]) ++dead;
+      if ((netlist::is_comb_gate(t) || t == GateType::Dff) && !live[s] &&
+          !decoy_cone[s]) {
+        ++dead;
+      }
     }
     if (dead > 0) {
       add(rep, Severity::Warning, "dead-logic", "",
@@ -174,13 +211,23 @@ std::size_t LintReport::errors() const {
 }
 
 std::size_t LintReport::warnings() const {
-  return diagnostics.size() - errors();
+  std::size_t n = 0;
+  for (const Diagnostic& d : diagnostics) {
+    if (d.severity == Severity::Warning) ++n;
+  }
+  return n;
+}
+
+std::size_t LintReport::infos() const {
+  return diagnostics.size() - errors() - warnings();
 }
 
 std::string format_diagnostics(const LintReport& report) {
   std::string out;
   for (const Diagnostic& d : report.diagnostics) {
-    out += d.severity == Severity::Error ? "error[" : "warning[";
+    out += d.severity == Severity::Error
+               ? "error["
+               : (d.severity == Severity::Warning ? "warning[" : "info[");
     out += d.code;
     out += "]";
     if (!d.signal.empty()) {

@@ -2,8 +2,10 @@
 // circuits before spending attack budget on them. Errors are conditions an
 // attack cannot survive (no outputs, combinational loops, floating DFFs);
 // warnings flag suspicious-but-legal structure (dead logic, unused inputs,
-// mergeable duplicate gates). Each finding is a structured diagnostic with a
-// stable code so clients can match on it.
+// mergeable duplicate gates); infos flag structure that is intentional in
+// known defenses (latch-based decoy cones) so it is visible without looking
+// like a defect. Each finding is a structured diagnostic with a stable code
+// so clients can match on it.
 #pragma once
 
 #include <cstdint>
@@ -14,7 +16,7 @@
 
 namespace cl::analysis {
 
-enum class Severity : std::uint8_t { Error, Warning };
+enum class Severity : std::uint8_t { Error, Warning, Info };
 
 struct Diagnostic {
   Severity severity = Severity::Error;
@@ -29,6 +31,7 @@ struct LintReport {
   bool ok() const { return errors() == 0; }
   std::size_t errors() const;
   std::size_t warnings() const;
+  std::size_t infos() const;
 };
 
 /// Check one netlist in isolation.
@@ -38,6 +41,9 @@ struct LintReport {
 /// (port with no readers), `duplicate-gates` (strash would merge),
 /// `constant-output` (output pinned to a constant), `self-loop-dff` (D wired
 /// straight back to its own Q).
+/// Infos: `latch-only-key` (a key input whose entire fanout cone is
+/// unobservable but holds sequential state — the decoy-latch shape of
+/// latch-based locking; such cones are exempt from the `dead-logic` count).
 LintReport lint(const netlist::Netlist& nl);
 
 /// Check a (locked, oracle) attack submission: both netlists individually,

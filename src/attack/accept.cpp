@@ -1,0 +1,112 @@
+#include "attack/accept.hpp"
+
+#include <algorithm>
+
+#include "sim/compiled.hpp"
+
+namespace cl::attack {
+
+namespace {
+
+/// Corrupted-cycle fraction of `locked` under `key` against `original`.
+/// Exhaustive mode holds every input word for sample_cycles from reset;
+/// sampling mode draws sample_sequences random sequences.
+double measure_corruption(const netlist::Netlist& locked,
+                          const sim::BitVec& key,
+                          const netlist::Netlist& original,
+                          const AcceptOptions& options) {
+  const sim::CompiledNetlist locked_c(locked);
+  const sim::CompiledNetlist original_c(original);
+  const std::size_t num_inputs = original.inputs().size();
+  const std::size_t cycles = std::max<std::size_t>(1, options.sample_cycles);
+  util::Rng rng(options.seed);
+
+  std::uint64_t corrupted = 0, total = 0;
+  const auto tally = [&](const std::vector<sim::BitVec>& stim) {
+    const auto want = sim::run_sequence(original_c, stim);
+    const auto got = sim::run_sequence(locked_c, stim, {key});
+    for (std::size_t c = 0; c < want.size(); ++c) {
+      ++total;
+      if (want[c] != got[c]) ++corrupted;
+    }
+  };
+
+  if (options.exhaustive && num_inputs <= 16) {
+    for (std::uint64_t word = 0; word < (1ULL << num_inputs); ++word) {
+      tally(std::vector<sim::BitVec>(cycles,
+                                     sim::u64_to_bits(word, num_inputs)));
+    }
+  } else {
+    for (std::size_t s = 0; s < options.sample_sequences; ++s) {
+      tally(sim::random_stimulus(rng, cycles, num_inputs));
+    }
+  }
+  return total == 0 ? 0.0 : static_cast<double>(corrupted) / total;
+}
+
+}  // namespace
+
+std::optional<AcceptCriterion> parse_criterion(const std::string& name) {
+  if (name == "exact") return AcceptCriterion::ExactKey;
+  if (name == "any") return AcceptCriterion::AnyPassingKey;
+  if (name == "approx") return AcceptCriterion::Approximate;
+  return std::nullopt;
+}
+
+const char* criterion_name(AcceptCriterion criterion) {
+  switch (criterion) {
+    case AcceptCriterion::ExactKey: return "exact";
+    case AcceptCriterion::AnyPassingKey: return "any";
+    case AcceptCriterion::Approximate: return "approx";
+  }
+  return "?";
+}
+
+AcceptReport verify_any_key(const netlist::Netlist& locked,
+                            const sim::BitVec& key,
+                            const netlist::Netlist& original,
+                            const sim::BitVec* ground_truth,
+                            const AcceptOptions& options) {
+  AcceptReport report;
+  report.criterion = options.criterion;
+  if (key.size() != locked.key_inputs().size()) {
+    report.detail = "key width " + std::to_string(key.size()) +
+                    " does not match key port width " +
+                    std::to_string(locked.key_inputs().size());
+    return report;
+  }
+  if (ground_truth) {
+    report.key_exact = (key == *ground_truth) ? 1 : 0;
+  }
+  report.corruption_rate = measure_corruption(locked, key, original, options);
+  // Simulation already found a corrupted cycle: no point paying for the SAT
+  // equivalence phase, the key is not a passing key.
+  if (report.corruption_rate > 0.0) {
+    report.any_key_pass = 0;
+  } else if (options.criterion != AcceptCriterion::Approximate) {
+    const VerifyResult v =
+        verify_static_key(locked, key, original, options.verify);
+    report.any_key_pass = v.equivalent ? 1 : 0;
+  }
+  switch (options.criterion) {
+    case AcceptCriterion::ExactKey:
+      report.accepted = report.key_exact == 1;
+      if (!ground_truth) report.detail = "ground truth unknown";
+      break;
+    case AcceptCriterion::AnyPassingKey:
+      report.accepted = report.any_key_pass == 1;
+      break;
+    case AcceptCriterion::Approximate:
+      report.accepted = report.corruption_rate <= options.epsilon;
+      break;
+  }
+  return report;
+}
+
+void apply_acceptance(const AcceptReport& report, AttackResult* result) {
+  result->key_exact = report.key_exact;
+  result->any_key_pass = report.any_key_pass;
+  result->corruption_rate = report.corruption_rate;
+}
+
+}  // namespace cl::attack

@@ -48,6 +48,14 @@ struct AttackResult {
   /// Fraction of injected hints matching the verified key, computed when
   /// the attack ends Equal with hints active; -1 = not applicable.
   double hint_accuracy = -1.0;
+  /// Acceptance-criterion facts filled by attack::apply_acceptance when an
+  /// evaluation harness judges the reported key (see attack/accept.hpp);
+  /// -1 = not evaluated. `key_exact`: key equals ground truth (the one-key
+  /// premise). `any_key_pass`: key is functionally correct regardless of
+  /// ground truth. `corruption_rate`: observed output-corruption fraction.
+  int key_exact = -1;
+  int any_key_pass = -1;
+  double corruption_rate = -1.0;
   std::string detail;          // free-form diagnostics
 
   std::string summary() const;

@@ -1,0 +1,156 @@
+#include "lock/cac_lock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "logic/sop_builder.hpp"
+#include "netlist/topo.hpp"
+
+namespace cl::lock {
+
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// Internal word the obfuscation block compares the key against: comb-gate
+/// outputs of the ORIGINAL circuit, shuffled, cycled when the circuit is
+/// smaller than the key. Using internal nets (not the primary inputs the
+/// correction comparator reads) keeps the decoy comparator leaves
+/// structurally distinct from the real ones, so strash cannot pair them up.
+/// The flip target and its combinational fanout are excluded: the flip net
+/// depends on every W bit, so splicing it back into a net W reads would
+/// close a combinational cycle.
+std::vector<SignalId> obfuscation_word(const Netlist& nl, std::size_t width,
+                                       SignalId target, util::Rng& rng) {
+  const auto fo = netlist::fanouts(nl);
+  std::vector<bool> excluded(nl.size(), false);
+  std::vector<SignalId> queue{target};
+  excluded[target] = true;
+  while (!queue.empty()) {
+    const SignalId s = queue.back();
+    queue.pop_back();
+    for (SignalId reader : fo[s]) {
+      if (excluded[reader] || !netlist::is_comb_gate(nl.type(reader))) continue;
+      excluded[reader] = true;
+      queue.push_back(reader);
+    }
+  }
+  std::vector<SignalId> nets;
+  for (SignalId s = 0; s < nl.size(); ++s) {
+    if (netlist::is_comb_gate(nl.type(s)) && !excluded[s]) nets.push_back(s);
+  }
+  if (nets.empty()) {
+    throw std::invalid_argument("cac_lock: circuit has no internal nets");
+  }
+  rng.shuffle(nets);
+  std::vector<SignalId> word;
+  word.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) word.push_back(nets[i % nets.size()]);
+  return word;
+}
+
+}  // namespace
+
+LockResult cac_lock(const Netlist& nl, std::size_t key_bits,
+                    std::size_t decoy_bits, util::Rng& rng) {
+  if (key_bits == 0) throw std::invalid_argument("cac_lock: key_bits == 0");
+  if (nl.inputs().empty()) {
+    throw std::invalid_argument("cac_lock: circuit has no inputs");
+  }
+  if (nl.outputs().empty()) {
+    throw std::invalid_argument("cac_lock: circuit has no outputs");
+  }
+  LockResult result{nl.clone(nl.name() + "_cac2"), {}, {}, "cac_lock"};
+  Netlist& out = result.locked;
+
+  // Protected input word: the first min(key_bits, #inputs) primary inputs
+  // (the point-function shape shared with TTLock/SFLL).
+  const std::size_t width = std::min(key_bits, out.inputs().size());
+  const std::vector<SignalId> x(out.inputs().begin(),
+                                out.inputs().begin() + static_cast<long>(width));
+
+  // Output the flip will be spliced into — chosen up front so the
+  // obfuscation word can avoid its fanout cone. W is drawn now, before any
+  // lock gates exist, so it only taps original design logic.
+  const SignalId target = out.outputs()[rng.next_below(out.outputs().size())];
+  const std::vector<SignalId> w =
+      obfuscation_word(out, width + decoy_bits, target, rng);
+
+  // One key port, real and decoy positions interleaved by the rng so the
+  // port order reveals nothing.
+  const std::size_t total = width + decoy_bits;
+  std::vector<std::size_t> positions(total);
+  for (std::size_t i = 0; i < total; ++i) positions[i] = i;
+  rng.shuffle(positions);
+  // positions[0..width) are the real bits, the rest decoys.
+  std::vector<SignalId> keys(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    keys[i] = out.add_key_input("keyinput" + std::to_string(i));
+  }
+  result.correct_key.assign(total, 0);
+
+  // Secret protected pattern P over X.
+  const sim::BitVec pattern = sim::random_bits(rng, width);
+
+  // Corruption unit (hardwired): fires exactly on X == P.
+  std::vector<SignalId> prot_bits;
+  for (std::size_t i = 0; i < width; ++i) {
+    prot_bits.push_back(pattern[i]
+                            ? out.add_gate(GateType::Buf, {x[i]},
+                                           out.fresh_name("cac_p"))
+                            : out.add_not(x[i], out.fresh_name("cac_p")));
+  }
+  const SignalId corrupt = logic::build_and_tree(out, prot_bits, "cac_prot");
+
+  // Correction unit (keyed): cancels the flip when the real key word encodes
+  // P. Per-leaf polarity is random — an XOR leaf stores the inverted pattern
+  // bit — so no gate shape reveals a key value (CAC 2.0's obfuscated bits).
+  std::vector<SignalId> eq_bits;
+  for (std::size_t i = 0; i < width; ++i) {
+    const std::size_t pos = positions[i];
+    const bool invert = rng.chance(1, 2);
+    const SignalId leaf =
+        invert ? out.add_xor(x[i], keys[pos], out.fresh_name("cac_eq"))
+               : out.add_xnor(x[i], keys[pos], out.fresh_name("cac_eq"));
+    eq_bits.push_back(leaf);
+    result.correct_key[pos] = invert ? !pattern[i] : pattern[i];
+  }
+  const SignalId restore = logic::build_and_tree(out, eq_bits, "cac_rest");
+  SignalId flip = out.add_xor(corrupt, restore, out.fresh_name("cac_flip"));
+
+  // Obfuscation block: compare the FULL key word (real + decoy bits) against
+  // an internal-net word W and against ~W. Both matching at once is
+  // impossible for any width >= 1, so the conjunction is identically 0 and
+  // XORing it into the flip path never changes the function — but every key
+  // bit now has a second (or, for decoys, only) reader inside comparator
+  // logic, which is exactly the multi-reader shape analysis::infer_key_hints
+  // refuses to vote on. Decoy values are free: programmed at random into
+  // correct_key, recorded in decoy_key_bits.
+  {
+    std::vector<SignalId> same_bits, diff_bits;
+    for (std::size_t i = 0; i < total; ++i) {
+      same_bits.push_back(out.add_xnor(w[i], keys[i], out.fresh_name("cac_g")));
+      diff_bits.push_back(out.add_xor(w[i], keys[i], out.fresh_name("cac_h")));
+    }
+    const SignalId g = logic::build_and_tree(out, same_bits, "cac_gt");
+    const SignalId h = logic::build_and_tree(out, diff_bits, "cac_ht");
+    const SignalId never = out.add_and(g, h, out.fresh_name("cac_dead"));
+    flip = out.add_xor(flip, never, out.fresh_name("cac_flip2"));
+  }
+  for (std::size_t i = width; i < total; ++i) {
+    const std::size_t pos = positions[i];
+    result.correct_key[pos] = rng.chance(1, 2) ? 1 : 0;
+    result.decoy_key_bits.push_back(pos);
+  }
+  std::sort(result.decoy_key_bits.begin(), result.decoy_key_bits.end());
+
+  // Splice the flip into the chosen primary output.
+  const SignalId flipped = out.add_xor(target, flip, out.fresh_name("cac_out"));
+  out.replace_all_readers(target, flipped, {flipped});
+  out.check();
+  return result;
+}
+
+}  // namespace cl::lock

@@ -1,0 +1,41 @@
+// CAC 2.0 (Aksoy et al., "CAC 2.0: An Improved Corrupt-and-Correct Logic
+// Locking Technique Resistant to Structural Analysis"): corrupt-and-correct
+// locking hardened against SCOPE-style synthesis-differential inference.
+//
+// The base CAC scheme is TTLock-shaped: a hardwired corruption unit flips one
+// primary output on a secret protected input pattern, and a keyed correction
+// comparator cancels the flip when the key equals that pattern. CAC 2.0 adds
+// the two structural-analysis countermeasures this module reproduces:
+//
+//  * obfuscated key bits — every correction-comparator leaf picks a random
+//    XOR/XNOR polarity (the stored correct key bit absorbs the inversion), so
+//    no single gate's shape reveals a key value; and every key bit, real or
+//    decoy, is additionally tapped by the obfuscation block below, so no bit
+//    has the single-reader shape SCOPE can vote on.
+//  * decoy key bits — extra key inputs routed through an obfuscation block
+//    that is functionally inert by construction: two comparators test the
+//    full key word against an internal-net word W and against ~W, and their
+//    conjunction (both true is impossible for any width >= 1) is XORed into
+//    the flip path. The block looks like live correction logic but never
+//    fires, so ANY value of the decoy bits yields a working key — the lock
+//    has 2^decoy_bits correct keys, the regime where the one-key premise
+//    (judging attacks by ground-truth key equality) breaks down (Hu et al.).
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+/// Lock with `key_bits` real (correction) bits and `decoy_bits` obfuscated
+/// decoy bits; the key port is key_bits + decoy_bits wide, with real and
+/// decoy positions interleaved by `rng`. LockResult::correct_key stores the
+/// protected pattern (polarity-adjusted) at real positions and the
+/// rng-programmed — functionally irrelevant — values at decoy positions.
+/// Every key whose real positions match is a passing key.
+/// The decoy positions land in LockResult::decoy_key_bits, so harnesses can
+/// enumerate the full passing-key set.
+LockResult cac_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                    std::size_t decoy_bits, util::Rng& rng);
+
+}  // namespace cl::lock

@@ -1,0 +1,103 @@
+#include "lock/latch_lock.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "netlist/topo.hpp"
+
+namespace cl::lock {
+
+using netlist::DffInit;
+using netlist::GateType;
+using netlist::Netlist;
+using netlist::SignalId;
+
+namespace {
+
+/// Nets eligible for retiming: combinational gates that are actually read
+/// (by a gate, a DFF or a primary output). Inputs and DFF outputs are left
+/// alone — the reference scheme retimes logic paths, not registers.
+std::vector<SignalId> retimable_nets(const Netlist& nl) {
+  const auto fo = netlist::fanouts(nl);
+  std::vector<SignalId> nets;
+  for (SignalId s = 0; s < nl.size(); ++s) {
+    const bool read = !fo[s].empty() ||
+                      std::find(nl.outputs().begin(), nl.outputs().end(), s) !=
+                          nl.outputs().end();
+    if (netlist::is_comb_gate(nl.type(s)) && read) nets.push_back(s);
+  }
+  return nets;
+}
+
+/// Polarity stage between a key input and its latch-pair select: Buf or Not
+/// chosen by the rng. The stored correct bit absorbs the inversion, and the
+/// key bit's only direct reader is a one-input gate — a shape
+/// analysis::infer_key_hints classifies as Complex and refuses to vote on.
+SignalId polarity(Netlist& nl, SignalId key, bool invert) {
+  return invert ? nl.add_not(key, nl.fresh_name("llk_pol"))
+                : nl.add_gate(GateType::Buf, {key}, nl.fresh_name("llk_pol"));
+}
+
+}  // namespace
+
+LockResult latch_lock(const Netlist& nl, std::size_t key_bits,
+                      std::size_t decoy_bits, util::Rng& rng) {
+  if (key_bits == 0) throw std::invalid_argument("latch_lock: key_bits == 0");
+  LockResult result{nl.clone(nl.name() + "_latch"), {}, {}, "latch_lock"};
+  Netlist& out = result.locked;
+
+  std::vector<SignalId> nets = retimable_nets(out);
+  if (nets.empty()) {
+    throw std::invalid_argument("latch_lock: no retimable nets");
+  }
+  rng.shuffle(nets);
+  const std::size_t width = std::min(key_bits, nets.size());
+
+  // One key port, real and decoy positions interleaved by the rng.
+  const std::size_t total = width + decoy_bits;
+  std::vector<std::size_t> positions(total);
+  for (std::size_t i = 0; i < total; ++i) positions[i] = i;
+  rng.shuffle(positions);
+  std::vector<SignalId> keys(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    keys[i] = out.add_key_input("keyinput" + std::to_string(i));
+  }
+  result.correct_key.assign(total, 0);
+
+  // Real pairs: shadow register + key-selected transparency.
+  for (std::size_t i = 0; i < width; ++i) {
+    const SignalId n = nets[i];
+    const std::size_t pos = positions[i];
+    const bool invert = rng.chance(1, 2);
+    // The pair is transparent when the select is 0; with a Not polarity
+    // stage that means the correct stored bit is 1.
+    result.correct_key[pos] = invert ? 1 : 0;
+    const SignalId sel = polarity(out, keys[pos], invert);
+    const SignalId shadow = out.add_dff(n, DffInit::Zero, out.fresh_name("llk_q"));
+    const SignalId pair =
+        out.add_mux(sel, n, shadow, out.fresh_name("llk_pair"));
+    out.replace_all_readers(n, pair, {pair, shadow});
+  }
+
+  // Decoy pairs: a latch pair wired as a self-refreshing cell off a sampled
+  // net. Its Q never reaches an output, so the programmed bit is free —
+  // record the position so harnesses can enumerate the passing-key set.
+  for (std::size_t i = width; i < total; ++i) {
+    const std::size_t pos = positions[i];
+    const bool invert = rng.chance(1, 2);
+    result.correct_key[pos] = rng.chance(1, 2) ? 1 : 0;
+    result.decoy_key_bits.push_back(pos);
+    const SignalId sel = polarity(out, keys[pos], invert);
+    const SignalId sample = rng.pick(nets);
+    const SignalId dq =
+        out.add_dff(netlist::k_no_signal, DffInit::Zero, out.fresh_name("llk_dq"));
+    const SignalId hold = out.add_not(dq, out.fresh_name("llk_hold"));
+    const SignalId d = out.add_mux(sel, sample, hold, out.fresh_name("llk_dd"));
+    out.set_dff_input(dq, d);
+  }
+  std::sort(result.decoy_key_bits.begin(), result.decoy_key_bits.end());
+  out.check();
+  return result;
+}
+
+}  // namespace cl::lock

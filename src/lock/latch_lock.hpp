@@ -1,0 +1,44 @@
+// Latch-based logic locking (Sweeney et al., "Latch-Based Logic Locking"):
+// lock the *timing* of the design instead of its logic. The reference scheme
+// retimes combinational paths through added latch pairs whose transparency
+// is key-programmable; with the correct key a pair is transparent
+// back-to-back and the path keeps its original cycle behavior, while a wrong
+// key turns the pair into an extra register stage that skews the pipeline.
+// Decoy latches that never affect the function are sprinkled in so the
+// attacker cannot tell programmable timing elements from real ones.
+//
+// This module models the scheme on the repo's edge-triggered DFF primitive
+// (the netlist has no level-sensitive latch; a transparent-or-delay pair
+// collapses to "pass the net or its one-cycle-delayed copy"):
+//
+//  * real bit — a locked net n gains a shadow register q = DFF(n) and a
+//    key-controlled MUX that feeds n's readers either n (correct key value:
+//    transparent pair) or q (wrong value: the path is retimed by one cycle
+//    and the state machine skews). The key input reaches the MUX select
+//    through a polarity stage (Buf/Not chosen by the rng), so the stored
+//    correct bit is obfuscated and the bit's reader shape is opaque to
+//    SCOPE-style inference.
+//  * decoy bit — a programmable latch pair wired as a self-refreshing
+//    toggle cell off a sampled internal net; its output cone never reaches a
+//    primary output, so EITHER key value works. The lock therefore has
+//    2^decoy_bits correct keys (positions in LockResult::decoy_key_bits) —
+//    like CAC 2.0, a scheme where ground-truth key equality is the wrong
+//    attack-success criterion (the one-key premise, Hu et al.). Decoy cones
+//    are sequential-only by design; analysis::lint reports them as the
+//    info-level `latch-only-key` finding rather than dead logic.
+#pragma once
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+/// Lock `key_bits` internal nets with real latch pairs and add `decoy_bits`
+/// decoy pairs; the key port is key_bits + decoy_bits wide with real and
+/// decoy positions interleaved by `rng`. key_bits is capped at the number of
+/// lockable internal nets. Throws when the circuit has no combinational
+/// gates to retime.
+LockResult latch_lock(const netlist::Netlist& nl, std::size_t key_bits,
+                      std::size_t decoy_bits, util::Rng& rng);
+
+}  // namespace cl::lock

@@ -1,0 +1,57 @@
+#include "lock/lock_registry.hpp"
+
+#include "core/cute_lock_str.hpp"
+#include "lock/cac_lock.hpp"
+#include "lock/comb_locks.hpp"
+#include "lock/kgate_lock.hpp"
+#include "lock/latch_lock.hpp"
+
+namespace cl::lock {
+
+const std::vector<RegisteredLock>& lock_registry() {
+  static const std::vector<RegisteredLock> registry = {
+      {"xor", "xor_lock", false, false, false,
+       [](const netlist::Netlist& nl, util::Rng& rng) {
+         return xor_lock(nl, 4, rng);
+       }},
+      // K-Gate is multi-key: distinct key words can select the same gate
+      // function (encoding classes), so exact-key comparison undercounts.
+      {"kgate", "kgate_lock", false, true, false,
+       [](const netlist::Netlist& nl, util::Rng& rng) {
+         return kgate_lock(nl, 4, 2, rng);
+       }},
+      {"cac2", "cac_lock", false, true, false,
+       [](const netlist::Netlist& nl, util::Rng& rng) {
+         return cac_lock(nl, 4, 4, rng);
+       }},
+      {"latch", "latch_lock", true, true, false,
+       [](const netlist::Netlist& nl, util::Rng& rng) {
+         return latch_lock(nl, 3, 2, rng);
+       }},
+      {"cl-str", "cute_lock_str", true, true, true,
+       [](const netlist::Netlist& nl, util::Rng& rng) {
+         core::StrOptions options;
+         options.seed = rng.next_below(1u << 30);
+         return core::cute_lock_str(nl, options);
+       }},
+  };
+  return registry;
+}
+
+const RegisteredLock* find_lock(const std::string& name) {
+  for (const RegisteredLock& entry : lock_registry()) {
+    if (entry.name == name) return &entry;
+  }
+  return nullptr;
+}
+
+std::string lock_names() {
+  std::string names;
+  for (const RegisteredLock& entry : lock_registry()) {
+    if (!names.empty()) names += ", ";
+    names += entry.name;
+  }
+  return names;
+}
+
+}  // namespace cl::lock

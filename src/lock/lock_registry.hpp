@@ -1,0 +1,44 @@
+// Catalog of netlist-level locking schemes behind one build signature, so
+// conformance tests, the rivals bench table and the CLI can iterate over
+// every defense without knowing scheme-specific options. Each entry captures
+// the traits evaluation code keys off: whether the lock adds state (scan
+// exposure then changes the interface), whether it has more than one passing
+// static key (the regime where ground-truth key equality — the one-key
+// premise — is the wrong success criterion), and whether the correct key is
+// a schedule rather than a static word.
+//
+// Cute-Lock-Beh locks an STG, not a netlist, so it is not registered here;
+// harnesses that cover it synthesize from an FSM spec directly (see
+// bench/table3_beh_logic_attacks.cpp).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "lock/lock_result.hpp"
+#include "util/rng.hpp"
+
+namespace cl::lock {
+
+struct RegisteredLock {
+  std::string name;    // stable handle used by tests / tables / CLI --scheme
+  std::string scheme;  // LockResult::scheme the builder produces
+  bool adds_state;     // inserts DFFs of its own (breaks scan exposure)
+  bool multi_key;      // >1 passing key: decoy bits or a key schedule
+  bool dynamic_key;    // correct key is a per-cycle schedule
+  std::function<LockResult(const netlist::Netlist&, util::Rng&)> build;
+};
+
+/// All registered locks, in a stable order. Builders use small fixed key
+/// widths suitable for the ISCAS'89-size circuits the tests and smoke
+/// benches run on; scheme-specific options beyond that are defaulted.
+const std::vector<RegisteredLock>& lock_registry();
+
+/// Lookup by name; nullptr when absent.
+const RegisteredLock* find_lock(const std::string& name);
+
+/// Comma-separated registry names (for usage/error messages).
+std::string lock_names();
+
+}  // namespace cl::lock

@@ -30,6 +30,14 @@ struct LockResult {
   /// original from its reset state, delayed by this many cycles.
   std::size_t startup_cycles = 0;
 
+  /// Key-bit positions (indices into correct_key / the key-input list) that
+  /// do not influence the function: the lock accepts EVERY value there, so
+  /// the correct-key set has 2^|decoy_key_bits| members. Multi-key schemes
+  /// with obfuscated/decoy bits (CAC 2.0, latch-based decoy pairs) fill
+  /// this; ground-truth key equality is a meaningless attack criterion for
+  /// them (the one-key premise, Hu et al.) — use attack::verify_any_key.
+  std::vector<std::size_t> decoy_key_bits{};
+
   bool is_dynamic() const { return !key_schedule.empty(); }
 
   /// Key vectors for `cycles` consecutive cycles starting at reset.

@@ -16,6 +16,7 @@
 
 #include "analysis/key_infer.hpp"
 #include "analysis/lint.hpp"
+#include "attack/accept.hpp"
 #include "attack/observation_bank.hpp"
 #include "attack/periodic_attack.hpp"
 #include "attack/sat_attack.hpp"
@@ -69,8 +70,11 @@ Json diagnostics_to_json(const analysis::LintReport& report) {
   for (const analysis::Diagnostic& d : report.diagnostics) {
     Json item = Json::object();
     item.set("severity",
-             Json::string(d.severity == analysis::Severity::Error ? "error"
-                                                                  : "warning"));
+             Json::string(d.severity == analysis::Severity::Error
+                              ? "error"
+                              : (d.severity == analysis::Severity::Warning
+                                     ? "warning"
+                                     : "info")));
     item.set("code", Json::string(d.code));
     if (!d.signal.empty()) item.set("signal", Json::string(d.signal));
     item.set("message", Json::string(d.message));
@@ -649,6 +653,44 @@ void Server::run_attack_job(Job& job, Json* result) {
         "\" (want bmc/kc2/rane/sat/appsat/double-dip/scope/periodic)");
   }
 
+  // Acceptance-criterion judgement (docs/locking.md): when the request names
+  // a criterion, the reported key is re-judged under it and the verdict
+  // rides along in the result, so clients can score multi-key locks without
+  // the one-key premise baked into Equal/not-Equal.
+  const std::string accept_name = job.request.str_or("accept", "");
+  bool accept_ran = false;
+  attack::AcceptReport accept_report;
+  if (!accept_name.empty()) {
+    const auto criterion = attack::parse_criterion(accept_name);
+    if (!criterion) {
+      throw std::runtime_error(
+          "attack: \"accept\" must be exact, any or approx");
+    }
+    accept_ran = true;
+    accept_report.criterion = *criterion;
+    if (r.key.empty()) {
+      accept_report.detail = "no key reported";
+    } else {
+      attack::AcceptOptions accept_options;
+      accept_options.criterion = *criterion;
+      accept_options.epsilon = job.request.num_or("epsilon", 0.0);
+      sim::BitVec truth;
+      const sim::BitVec* truth_ptr = nullptr;
+      const std::string truth_text = job.request.str_or("true_key", "");
+      if (!truth_text.empty()) {
+        if (!bits_from_string(truth_text, &truth)) {
+          throw std::runtime_error(
+              "attack: \"true_key\" must be a 0/1 string");
+        }
+        truth_ptr = &truth;
+      }
+      accept_report = attack::verify_any_key(locked->netlist(), r.key,
+                                             reference->netlist(), truth_ptr,
+                                             accept_options);
+      attack::apply_acceptance(accept_report, &r);
+    }
+  }
+
   Json& out = *result;
   out.set("attack", Json::string(mode));
   out.set("outcome", Json::string(attack::outcome_label(r.outcome)));
@@ -660,6 +702,22 @@ void Server::run_attack_job(Job& job, Json* result) {
   out.set("replayed_queries", Json::number(r.replayed_queries));
   out.set("preloaded_facts", Json::number(r.preloaded_facts));
   if (!r.detail.empty()) out.set("detail", Json::string(r.detail));
+  if (accept_ran) {
+    out.set("accept", Json::string(accept_name));
+    out.set("accepted", Json::boolean(accept_report.accepted));
+    if (accept_report.key_exact >= 0) {
+      out.set("key_exact", Json::boolean(accept_report.key_exact == 1));
+    }
+    if (accept_report.any_key_pass >= 0) {
+      out.set("any_key_pass", Json::boolean(accept_report.any_key_pass == 1));
+    }
+    if (accept_report.corruption_rate >= 0) {
+      out.set("corruption_rate", Json::number(accept_report.corruption_rate));
+    }
+    if (!accept_report.detail.empty()) {
+      out.set("accept_detail", Json::string(accept_report.detail));
+    }
+  }
   out.set("cache_hits", Json::number(static_cast<std::uint64_t>(cache_hits)));
   if (recovered_period != 0) {
     out.set("period", Json::number(static_cast<std::uint64_t>(recovered_period)));
@@ -746,6 +804,10 @@ void Server::run_analyze_job(Job& job, Json* result) {
           Json::number(static_cast<std::uint64_t>(lint_rep.errors())));
   out.set("lint_warnings",
           Json::number(static_cast<std::uint64_t>(lint_rep.warnings())));
+  if (lint_rep.infos() > 0) {
+    out.set("lint_infos",
+            Json::number(static_cast<std::uint64_t>(lint_rep.infos())));
+  }
   if (!lint_rep.diagnostics.empty()) {
     out.set("diagnostics", diagnostics_to_json(lint_rep));
   }

@@ -3,7 +3,9 @@
 #include <gtest/gtest.h>
 
 #include "core/cute_lock_str.hpp"
+#include "lock/cac_lock.hpp"
 #include "lock/comb_locks.hpp"
+#include "lock/latch_lock.hpp"
 #include "netlist/bench_io.hpp"
 #include "util/rng.hpp"
 
@@ -139,6 +141,43 @@ TEST(KeyInfer, CuteLockStrStaysUnknown) {
                                  << rep.verdict_string();
     for (const BitHint& h : rep.bits) {
       EXPECT_EQ(h.role, KeyRole::Complex) << "seed " << seed;
+      EXPECT_EQ(h.verdict, BitVerdict::Unknown) << "seed " << seed;
+    }
+  }
+}
+
+// CAC 2.0's whole point (Aksoy et al.) is structural-analysis resistance:
+// every key bit — correction or decoy — is tapped by the obfuscation block's
+// comparators, so no bit has the single-reader XOR/MUX shape SCOPE votes on.
+// The pass must stay honest: unknown on every bit, never a confident wrong
+// hint about an obfuscated or decoy position.
+TEST(KeyInfer, CacLockBitsStayUnknown) {
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    const auto lr = lock::cac_lock(nl, 4, 4, rng);
+    const KeyHintReport rep = infer_key_hints(lr.locked);
+    EXPECT_EQ(rep.decided(), 0u) << "seed " << seed << ": "
+                                 << rep.verdict_string();
+    for (const BitHint& h : rep.bits) {
+      EXPECT_EQ(h.role, KeyRole::Complex) << "seed " << seed;
+      EXPECT_EQ(h.verdict, BitVerdict::Unknown) << "seed " << seed;
+    }
+  }
+}
+
+// Latch-based locking routes every key bit through a Buf/Not polarity stage
+// before its MUX select (real pairs) or decoy cell, so the reader shape is
+// opaque too — same honesty requirement as CAC 2.0 above.
+TEST(KeyInfer, LatchLockBitsStayUnknown) {
+  const Netlist nl = netlist::read_bench_string(k_s27, "s27");
+  for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+    util::Rng rng(seed);
+    const auto lr = lock::latch_lock(nl, 3, 2, rng);
+    const KeyHintReport rep = infer_key_hints(lr.locked);
+    EXPECT_EQ(rep.decided(), 0u) << "seed " << seed << ": "
+                                 << rep.verdict_string();
+    for (const BitHint& h : rep.bits) {
       EXPECT_EQ(h.verdict, BitVerdict::Unknown) << "seed " << seed;
     }
   }

@@ -5,6 +5,7 @@
 #include <algorithm>
 
 #include "lock/comb_locks.hpp"
+#include "lock/latch_lock.hpp"
 #include "netlist/bench_io.hpp"
 #include "util/rng.hpp"
 
@@ -175,6 +176,62 @@ TEST(Lint, FormatDiagnosticsRendersCodes) {
   nl.add_input("a");
   const std::string text = format_diagnostics(lint(nl));
   EXPECT_NE(text.find("error[no-outputs]"), std::string::npos) << text;
+}
+
+const char* k_seq = R"(
+INPUT(a)
+INPUT(b)
+OUTPUT(y)
+q = DFF(t)
+t = AND(a, b)
+u = OR(t, q)
+y = NOT(u)
+)";
+
+TEST(Lint, LatchLockDecoysAreInfoNotDeadLogic) {
+  // Regression: latch-based locking plants decoy cones (key input -> MUX ->
+  // self-refreshing DFF, never observable). These used to count as
+  // dead-logic; they must surface as the info-level latch-only-key finding
+  // instead, and must never gate an attack (errors stay 0).
+  const Netlist nl = netlist::read_bench_string(k_seq, "seq");
+  util::Rng rng(3);
+  const auto lr = lock::latch_lock(nl, 2, 2, rng);
+  const LintReport rep = lint(lr.locked);
+  EXPECT_TRUE(rep.ok()) << format_diagnostics(rep);
+  EXPECT_FALSE(has_code(rep, "dead-logic")) << format_diagnostics(rep);
+  EXPECT_TRUE(has_code(rep, "latch-only-key"));
+  EXPECT_EQ(rep.infos(), lr.decoy_key_bits.size());
+  for (const Diagnostic& d : rep.diagnostics) {
+    if (d.code == "latch-only-key") {
+      EXPECT_EQ(d.severity, Severity::Info);
+    }
+  }
+  EXPECT_NE(format_diagnostics(rep).find("info[latch-only-key]"),
+            std::string::npos)
+      << format_diagnostics(rep);
+}
+
+TEST(Lint, DeadKeyConeWithoutStateIsStillDeadLogic) {
+  // The carve-out is specific: a dead key cone with no sequential element is
+  // ordinary dead logic, not a latch decoy.
+  Netlist nl("deadkey");
+  const auto a = nl.add_input("a");
+  const auto k = nl.add_key_input("keyinput0");
+  nl.add_and(a, k, "deadgate");
+  nl.add_output(nl.add_not(a, "y"));
+  const LintReport rep = lint(nl);
+  EXPECT_TRUE(has_code(rep, "dead-logic"));
+  EXPECT_FALSE(has_code(rep, "latch-only-key"));
+}
+
+TEST(Lint, WarningsExcludeInfos) {
+  const Netlist nl = netlist::read_bench_string(k_seq, "seq");
+  util::Rng rng(5);
+  const auto lr = lock::latch_lock(nl, 2, 1, rng);
+  const LintReport rep = lint(lr.locked);
+  EXPECT_EQ(rep.errors() + rep.warnings() + rep.infos(),
+            rep.diagnostics.size());
+  EXPECT_GE(rep.infos(), 1u);
 }
 
 }  // namespace

@@ -1,0 +1,179 @@
+// Lock x attack conformance matrix: every registered defense must run
+// through every attack mode without crashing, produce lint-clean instances,
+// and end in a documented verdict. The only allowed "does not apply" cell is
+// the scan-model family (sat/appsat/double-dip) on locks that add their own
+// state, where scan exposure changes the I/O interface — the same rejection
+// the CLI and service give.
+//
+// The matrix is also where the one-key-premise gap (Hu et al.) must show up
+// in the wild: at least one cell has to end with a functionally passing key
+// that is NOT the ground-truth bit vector (any_key_pass = 1, key_exact = 0),
+// which is exactly the regime where the classic scoreboard undercounts
+// broken defenses.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "analysis/lint.hpp"
+#include "attack/accept.hpp"
+#include "attack/bbo.hpp"
+#include "attack/sat_attack.hpp"
+#include "attack/seq_attack.hpp"
+#include "benchgen/catalog.hpp"
+#include "benchgen/fsm_suite.hpp"
+#include "core/cute_lock_beh.hpp"
+#include "fsm/synth.hpp"
+#include "lock/lock_registry.hpp"
+#include "netlist/transform.hpp"
+
+namespace cl {
+namespace {
+
+attack::AttackBudget matrix_budget() {
+  attack::AttackBudget b;
+  b.time_limit_s = 5.0;
+  b.max_iterations = 80;
+  b.max_depth = 8;
+  b.verify_time_limit_s = 2.0;
+  return b;
+}
+
+const char* const k_attacks[] = {"bmc", "kc2", "rane", "sat", "bbo"};
+
+/// One matrix cell. nullopt = the documented scan-interface rejection.
+std::optional<attack::AttackResult> run_attack(
+    const std::string& mode, const netlist::Netlist& locked,
+    const netlist::Netlist& original) {
+  const attack::AttackBudget budget = matrix_budget();
+  attack::SequentialOracle oracle(original);
+  if (mode == "bmc") return attack::bmc_attack(locked, oracle, budget);
+  if (mode == "kc2") return attack::kc2_attack(locked, oracle, budget);
+  if (mode == "rane") return attack::rane_attack(locked, oracle, budget);
+  if (mode == "bbo") {
+    attack::BboOptions o;
+    o.budget = budget;
+    o.jobs = 1;
+    return attack::bbo_attack(locked, oracle, o);
+  }
+  // Scan-access model: full scan turns both circuits combinational. A lock
+  // that added flip-flops of its own widens the scan interface past the
+  // oracle's, and the attack does not apply (CLI/service reject the same
+  // way).
+  const netlist::Netlist locked_scan = netlist::scan_expose(locked);
+  const netlist::Netlist original_scan = netlist::scan_expose(original);
+  if (locked_scan.inputs().size() != original_scan.inputs().size() ||
+      locked_scan.outputs().size() != original_scan.outputs().size()) {
+    return std::nullopt;
+  }
+  attack::SequentialOracle scan_oracle(original_scan);
+  attack::SatAttackOptions o;
+  o.budget = matrix_budget();
+  return attack::sat_attack(locked_scan, scan_oracle, o);
+}
+
+struct GapTally {
+  std::size_t cells_run = 0;
+  std::size_t skipped = 0;
+  std::size_t gap_cells = 0;  // any_key_pass == 1 && key_exact == 0
+};
+
+void run_matrix(const netlist::Netlist& original, std::uint64_t seed,
+                GapTally& tally) {
+  for (const lock::RegisteredLock& entry : lock::lock_registry()) {
+    util::Rng rng(seed);
+    const lock::LockResult lr = entry.build(original, rng);
+    EXPECT_EQ(lr.scheme, entry.scheme);
+    EXPECT_EQ(lr.locked.dffs().size() > original.dffs().size(),
+              entry.adds_state)
+        << entry.name;
+    EXPECT_EQ(lr.is_dynamic(), entry.dynamic_key) << entry.name;
+
+    // Every instance must be lint-clean: no errors gating an attack, and no
+    // dead-logic mislabeling of deliberate decoy structure.
+    const analysis::LintReport inst = analysis::lint(lr.locked);
+    EXPECT_EQ(inst.errors(), 0u)
+        << entry.name << ":\n" << analysis::format_diagnostics(inst);
+    const analysis::LintReport pair =
+        analysis::lint_attack_inputs(lr.locked, original);
+    EXPECT_EQ(pair.errors(), 0u)
+        << entry.name << ":\n" << analysis::format_diagnostics(pair);
+
+    for (const char* mode : k_attacks) {
+      SCOPED_TRACE(std::string(entry.name) + " x " + mode);
+      const auto result = run_attack(mode, lr.locked, original);
+      if (!result) {
+        // Only the scan family on state-adding locks may bail out.
+        EXPECT_STREQ(mode, "sat");
+        EXPECT_TRUE(entry.adds_state);
+        ++tally.skipped;
+        continue;
+      }
+      ++tally.cells_run;
+      if (entry.dynamic_key) {
+        // No static key exists; an Equal here would be a verifier bug.
+        EXPECT_TRUE(attack::defense_held(result->outcome))
+            << result->summary();
+        continue;
+      }
+      if (result->outcome != attack::Outcome::Equal) continue;
+      // The attack claims success: the acceptance layer must agree that the
+      // reported key is functionally passing, whichever bits it picked for
+      // the decoys.
+      const attack::AcceptReport rep = attack::verify_any_key(
+          lr.locked, result->key, original, &lr.correct_key);
+      EXPECT_TRUE(rep.accepted) << rep.detail;
+      EXPECT_EQ(rep.any_key_pass, 1);
+      // No exactness assertion even for locks not flagged multi_key: two
+      // XOR key gates placed in series on one path constrain only their
+      // XOR-sum, so equivalence classes appear in any randomized placement.
+      if (rep.any_key_pass == 1 && rep.key_exact == 0) ++tally.gap_cells;
+    }
+  }
+}
+
+TEST(LockAttackMatrix, S27EveryLockEveryAttack) {
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit("s27");
+  GapTally tally;
+  run_matrix(circuit.netlist, 23, tally);
+  EXPECT_GT(tally.cells_run, 0u);
+  // The one-key-premise gap is not hypothetical: some attack on some
+  // multi-key lock recovered a passing key that differs from the secret.
+  EXPECT_GE(tally.gap_cells, 1u)
+      << tally.cells_run << " cells run, " << tally.skipped << " skipped";
+}
+
+TEST(LockAttackMatrix, S298EveryLockEveryAttack) {
+  const benchgen::SyntheticCircuit circuit = benchgen::make_circuit("s298");
+  GapTally tally;
+  run_matrix(circuit.netlist, 31, tally);
+  EXPECT_GT(tally.cells_run, 0u);
+}
+
+// Cute-Lock-Beh locks an STG rather than a netlist, so it sits outside the
+// registry; cover it the way the bench harnesses do — synthesize the locked
+// and reference FSMs, then run the sequential attacks against the pair.
+TEST(LockAttackMatrix, BehSynthesizedPairSurvivesSequentialAttacks) {
+  const fsm::Stg stg = benchgen::make_fsm(benchgen::find_fsm_spec("dmac"));
+  core::BehOptions options;
+  options.num_keys = 2;
+  options.key_bits = 7;
+  options.seed = 6;
+  const core::BehLock lock(stg, options);
+  const lock::LockResult lr =
+      lock.synthesize(fsm::SynthStyle::DirectTransitions, "dmac_l");
+  const netlist::Netlist original =
+      fsm::synthesize(stg, fsm::SynthStyle::DirectTransitions, "dmac");
+  const analysis::LintReport pair =
+      analysis::lint_attack_inputs(lr.locked, original);
+  EXPECT_EQ(pair.errors(), 0u) << analysis::format_diagnostics(pair);
+  for (const char* mode : {"bmc", "kc2"}) {
+    SCOPED_TRACE(mode);
+    const auto result = run_attack(mode, lr.locked, original);
+    ASSERT_TRUE(result.has_value());
+    // The correct key is a per-cycle schedule; no static key can be Equal.
+    EXPECT_TRUE(attack::defense_held(result->outcome)) << result->summary();
+  }
+}
+
+}  // namespace
+}  // namespace cl

@@ -1,0 +1,116 @@
+#include "lock/cac_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::lock {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+Netlist s27() { return netlist::read_bench_string(k_s27, "s27"); }
+
+/// Does `key` make the locked circuit transparent over random stimuli?
+bool transparent(const Netlist& original, const Netlist& locked,
+                 const sim::BitVec& key, util::Rng& rng,
+                 std::size_t sequences = 8, std::size_t cycles = 32) {
+  for (std::size_t trial = 0; trial < sequences; ++trial) {
+    const auto stim =
+        sim::random_stimulus(rng, cycles, original.inputs().size());
+    const auto want = sim::run_sequence(original, stim);
+    const auto got = sim::run_sequence(locked, stim, {key});
+    if (sim::first_divergence(want, got) != -1) return false;
+  }
+  return true;
+}
+
+class CacLockValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CacLockValidation, CorrectKeyTransparentWrongKeyCorrupts) {
+  const Netlist nl = s27();
+  util::Rng rng(GetParam());
+  const LockResult lr = cac_lock(nl, 4, 3, rng);
+  EXPECT_EQ(lr.scheme, "cac_lock");
+  EXPECT_EQ(validate_lock(nl, lr, rng), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CacLockValidation,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+TEST(CacLock, PortShapeAndDecoyBookkeeping) {
+  const Netlist nl = s27();
+  util::Rng rng(7);
+  const LockResult lr = cac_lock(nl, 4, 3, rng);
+  EXPECT_EQ(lr.locked.key_inputs().size(), 7u);
+  EXPECT_EQ(lr.correct_key.size(), 7u);
+  EXPECT_FALSE(lr.is_dynamic());
+  ASSERT_EQ(lr.decoy_key_bits.size(), 3u);
+  for (std::size_t pos : lr.decoy_key_bits) EXPECT_LT(pos, 7u);
+  // Positions are sorted and unique.
+  for (std::size_t i = 1; i < lr.decoy_key_bits.size(); ++i) {
+    EXPECT_LT(lr.decoy_key_bits[i - 1], lr.decoy_key_bits[i]);
+  }
+}
+
+TEST(CacLock, EveryDecoyAssignmentIsAPassingKey) {
+  const Netlist nl = s27();
+  util::Rng rng(11);
+  const LockResult lr = cac_lock(nl, 4, 3, rng);
+  ASSERT_EQ(lr.decoy_key_bits.size(), 3u);
+  for (std::uint64_t word = 0; word < 8; ++word) {
+    sim::BitVec key = lr.correct_key;
+    for (std::size_t b = 0; b < 3; ++b) {
+      key[lr.decoy_key_bits[b]] = (word >> b) & 1;
+    }
+    EXPECT_TRUE(transparent(nl, lr.locked, key, rng))
+        << "decoy word " << word << " should be accepted";
+  }
+}
+
+TEST(CacLock, FlippingAnyRealBitCorrupts) {
+  const Netlist nl = s27();
+  util::Rng rng(13);
+  const LockResult lr = cac_lock(nl, 4, 3, rng);
+  std::vector<bool> is_decoy(lr.correct_key.size(), false);
+  for (std::size_t pos : lr.decoy_key_bits) is_decoy[pos] = true;
+  for (std::size_t pos = 0; pos < lr.correct_key.size(); ++pos) {
+    if (is_decoy[pos]) continue;
+    sim::BitVec key = lr.correct_key;
+    key[pos] ^= 1;
+    EXPECT_FALSE(transparent(nl, lr.locked, key, rng))
+        << "real bit " << pos << " flip should corrupt";
+  }
+}
+
+TEST(CacLock, RejectsDegenerateInputs) {
+  const Netlist nl = s27();
+  util::Rng rng(1);
+  EXPECT_THROW(cac_lock(nl, 0, 2, rng), std::invalid_argument);
+  Netlist empty("empty");
+  EXPECT_THROW(cac_lock(empty, 4, 2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::lock

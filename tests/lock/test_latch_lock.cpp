@@ -1,0 +1,111 @@
+#include "lock/latch_lock.hpp"
+
+#include <gtest/gtest.h>
+
+#include "netlist/bench_io.hpp"
+
+namespace cl::lock {
+namespace {
+
+using netlist::Netlist;
+
+const char* k_s27 = R"(
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NAND(G2, G12)
+)";
+
+Netlist s27() { return netlist::read_bench_string(k_s27, "s27"); }
+
+bool transparent(const Netlist& original, const Netlist& locked,
+                 const sim::BitVec& key, util::Rng& rng,
+                 std::size_t sequences = 8, std::size_t cycles = 32) {
+  for (std::size_t trial = 0; trial < sequences; ++trial) {
+    const auto stim =
+        sim::random_stimulus(rng, cycles, original.inputs().size());
+    const auto want = sim::run_sequence(original, stim);
+    const auto got = sim::run_sequence(locked, stim, {key});
+    if (sim::first_divergence(want, got) != -1) return false;
+  }
+  return true;
+}
+
+class LatchLockValidation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(LatchLockValidation, CorrectKeyTransparentWrongKeyCorrupts) {
+  const Netlist nl = s27();
+  util::Rng rng(GetParam());
+  const LockResult lr = latch_lock(nl, 3, 2, rng);
+  EXPECT_EQ(lr.scheme, "latch_lock");
+  EXPECT_EQ(validate_lock(nl, lr, rng), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LatchLockValidation,
+                         ::testing::Values(1ULL, 2ULL, 3ULL, 4ULL));
+
+TEST(LatchLock, AddsOneRegisterPerPair) {
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const LockResult lr = latch_lock(nl, 3, 2, rng);
+  // 3 real shadow registers + 2 decoy cells on top of the original 3 DFFs.
+  EXPECT_EQ(lr.locked.dffs().size(), nl.dffs().size() + 5);
+  EXPECT_EQ(lr.locked.key_inputs().size(), 5u);
+  EXPECT_EQ(lr.correct_key.size(), 5u);
+  EXPECT_EQ(lr.decoy_key_bits.size(), 2u);
+}
+
+TEST(LatchLock, EveryDecoyAssignmentIsAPassingKey) {
+  const Netlist nl = s27();
+  util::Rng rng(9);
+  const LockResult lr = latch_lock(nl, 3, 2, rng);
+  ASSERT_EQ(lr.decoy_key_bits.size(), 2u);
+  for (std::uint64_t word = 0; word < 4; ++word) {
+    sim::BitVec key = lr.correct_key;
+    for (std::size_t b = 0; b < 2; ++b) {
+      key[lr.decoy_key_bits[b]] = (word >> b) & 1;
+    }
+    EXPECT_TRUE(transparent(nl, lr.locked, key, rng))
+        << "decoy word " << word << " should be accepted";
+  }
+}
+
+TEST(LatchLock, FlippingAnyRealBitCorrupts) {
+  const Netlist nl = s27();
+  util::Rng rng(17);
+  const LockResult lr = latch_lock(nl, 3, 2, rng);
+  std::vector<bool> is_decoy(lr.correct_key.size(), false);
+  for (std::size_t pos : lr.decoy_key_bits) is_decoy[pos] = true;
+  for (std::size_t pos = 0; pos < lr.correct_key.size(); ++pos) {
+    if (is_decoy[pos]) continue;
+    sim::BitVec key = lr.correct_key;
+    key[pos] ^= 1;
+    EXPECT_FALSE(transparent(nl, lr.locked, key, rng))
+        << "real bit " << pos << " flip should retime and corrupt";
+  }
+}
+
+TEST(LatchLock, RejectsDegenerateInputs) {
+  util::Rng rng(1);
+  Netlist empty("empty");
+  EXPECT_THROW(latch_lock(empty, 2, 1, rng), std::invalid_argument);
+  const Netlist nl = s27();
+  EXPECT_THROW(latch_lock(nl, 0, 1, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cl::lock

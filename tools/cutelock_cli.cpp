@@ -3,9 +3,16 @@
 //   cutelock info <circuit.bench>
 //   cutelock lock <circuit.bench> -o <locked.bench> [--k 4] [--ki 4]
 //            [--ffs 2] [--seed 1] [--single-key] [--keys 1,3,2,0]
+//            [--scheme cl-str|xor|kgate|cac2|latch]
+//            (non-default schemes take --seed only and print the correct key
+//             plus any decoy key-bit positions)
 //   cutelock attack <locked.bench> --oracle <original.bench>
 //            [--attack bmc|kc2|rane|sat|appsat|double-dip|bbo|fall|dana|
 //             scope|periodic] [--seconds 10]
+//            [--accept exact|any|approx] [--epsilon 0.05] [--true-key 0101]
+//            (--accept judges the reported key under the chosen acceptance
+//             criterion — docs/locking.md — and the exit code follows that
+//             verdict instead of the attack's ground-truth comparison)
 //            (sat/appsat/double-dip run the scan-access model: both circuits
 //             are scan-exposed first; malformed submissions are rejected by
 //             the netlist lint before any solver runs)
@@ -40,6 +47,7 @@
 
 #include "analysis/key_infer.hpp"
 #include "analysis/lint.hpp"
+#include "attack/accept.hpp"
 #include "attack/bbo.hpp"
 #include "attack/dana.hpp"
 #include "benchgen/catalog.hpp"
@@ -50,6 +58,7 @@
 #include "attack/sat_attack.hpp"
 #include "attack/seq_attack.hpp"
 #include "core/cute_lock_str.hpp"
+#include "lock/lock_registry.hpp"
 #include "netlist/transform.hpp"
 #include "netlist/bench_io.hpp"
 #include "service/client.hpp"
@@ -155,6 +164,32 @@ int cmd_info(const Args& args) {
 int cmd_lock(const Args& args) {
   if (args.positional.empty() || !args.flag("out")) return usage();
   const auto nl = netlist::read_bench_file(args.positional[0]);
+  // Registry schemes (xor, kgate, cac2, latch, ...) share one build
+  // signature; "cl-str" falls through to the option-rich Cute-Lock-Str path
+  // below, which remains the default.
+  const std::string scheme = args.get("scheme", "cl-str");
+  if (scheme != "cl-str") {
+    const lock::RegisteredLock* entry = lock::find_lock(scheme);
+    if (entry == nullptr) {
+      std::fprintf(stderr, "cutelock lock: unknown --scheme %s (have: %s)\n",
+                   scheme.c_str(), lock::lock_names().c_str());
+      return 64;
+    }
+    util::Rng rng(args.get_u64("seed", 1));
+    const lock::LockResult locked = entry->build(nl, rng);
+    netlist::write_bench_file(args.get("out", ""), locked.locked);
+    std::printf("locked %s with %s -> %s\ncorrect key: %s\n", nl.name().c_str(),
+                entry->name.c_str(), args.get("out", "").c_str(),
+                sim::bits_to_string(locked.correct_key).c_str());
+    if (!locked.decoy_key_bits.empty()) {
+      std::printf("decoy key bits (any value passes):");
+      for (const std::size_t pos : locked.decoy_key_bits) {
+        std::printf(" %zu", pos);
+      }
+      std::printf("\n");
+    }
+    return 0;
+  }
   core::StrOptions options;
   options.num_keys = args.get_u64("k", 4);
   options.key_bits = args.get_u64("ki", 4);
@@ -280,6 +315,53 @@ int cmd_attack(const Args& args) {
                 static_cast<unsigned long long>(result.preloaded_facts));
   }
   maybe_save_bank_file();
+
+  // Acceptance-criterion mode (--accept exact|any|approx): the exit code
+  // reflects the chosen criterion's verdict on the reported key instead of
+  // the attack's own Equal/not-Equal (which bakes in the one-key premise).
+  const std::string accept_name = args.get("accept", "");
+  if (!accept_name.empty()) {
+    const auto criterion = attack::parse_criterion(accept_name);
+    if (!criterion) {
+      std::fprintf(stderr,
+                   "cutelock attack: --accept must be exact, any or approx\n");
+      return 64;
+    }
+    if (result.key.empty()) {
+      std::printf("acceptance (%s): rejected (no key reported)\n",
+                  accept_name.c_str());
+      return 0;
+    }
+    attack::AcceptOptions accept_options;
+    accept_options.criterion = *criterion;
+    accept_options.epsilon = std::stod(args.get("epsilon", "0"));
+    sim::BitVec truth;
+    const sim::BitVec* truth_ptr = nullptr;
+    if (args.flag("true-key")) {
+      for (const char c : args.get("true-key", "")) {
+        truth.push_back(c == '1' ? 1 : 0);
+      }
+      truth_ptr = &truth;
+    }
+    const attack::AcceptReport report =
+        attack::verify_any_key(locked, result.key, original, truth_ptr,
+                               accept_options);
+    attack::apply_acceptance(report, &result);
+    std::printf("acceptance (%s): %s", accept_name.c_str(),
+                report.accepted ? "accepted" : "rejected");
+    if (report.key_exact >= 0) {
+      std::printf(" key_exact=%s", report.key_exact ? "yes" : "no");
+    }
+    if (report.any_key_pass >= 0) {
+      std::printf(" any_key_pass=%s", report.any_key_pass ? "yes" : "no");
+    }
+    if (report.corruption_rate >= 0) {
+      std::printf(" corruption_rate=%.4f", report.corruption_rate);
+    }
+    if (!report.detail.empty()) std::printf(" (%s)", report.detail.c_str());
+    std::printf("\n");
+    return report.accepted ? 2 : 0;
+  }
   return result.outcome == attack::Outcome::Equal ? 2 : 0;
 }
 
@@ -296,8 +378,8 @@ int cmd_analyze(const Args& args) {
   if (lint_rep.diagnostics.empty()) {
     std::printf("lint: clean\n");
   } else {
-    std::printf("lint: %zu error(s), %zu warning(s)\n%s", lint_rep.errors(),
-                lint_rep.warnings(),
+    std::printf("lint: %zu error(s), %zu warning(s), %zu info(s)\n%s",
+                lint_rep.errors(), lint_rep.warnings(), lint_rep.infos(),
                 analysis::format_diagnostics(lint_rep).c_str());
   }
 
@@ -444,6 +526,17 @@ int cmd_submit(const Args& args) {
     request.set("max_period",
                 service::Json::number(args.get_u64("max-period", 8)));
   }
+  if (args.flag("accept")) {
+    request.set("accept", service::Json::string(args.get("accept", "")));
+    if (args.flag("epsilon")) {
+      request.set("epsilon",
+                  service::Json::number(std::stod(args.get("epsilon", "0"))));
+    }
+    if (args.flag("true-key")) {
+      request.set("true_key",
+                  service::Json::string(args.get("true-key", "")));
+    }
+  }
   service::Json submitted;
   if (!client.request(request, &submitted, &error)) {
     std::fprintf(stderr, "cutelock submit: %s\n", error.c_str());
@@ -484,6 +577,28 @@ int cmd_submit(const Args& args) {
                 static_cast<unsigned long long>(result->u64_or("fresh_queries", 0)),
                 static_cast<unsigned long long>(replayed),
                 static_cast<unsigned long long>(preloaded));
+  }
+  if (!result->str_or("accept", "").empty()) {
+    // Mirror `cutelock attack --accept`: print the verdict and let the exit
+    // code follow the acceptance criterion instead of the outcome label.
+    const bool accepted = result->bool_or("accepted", false);
+    std::printf("acceptance (%s): %s",
+                result->str_or("accept", "?").c_str(),
+                accepted ? "accepted" : "rejected");
+    if (result->find("key_exact") != nullptr) {
+      std::printf(" key_exact=%s",
+                  result->bool_or("key_exact", false) ? "yes" : "no");
+    }
+    if (result->find("any_key_pass") != nullptr) {
+      std::printf(" any_key_pass=%s",
+                  result->bool_or("any_key_pass", false) ? "yes" : "no");
+    }
+    if (result->find("corruption_rate") != nullptr) {
+      std::printf(" corruption_rate=%.4f",
+                  result->num_or("corruption_rate", -1.0));
+    }
+    std::printf("\n");
+    return accepted ? 2 : 0;
   }
   return result->str_or("outcome", "") == "Equal" ? 2 : 0;
 }
