@@ -17,8 +17,10 @@
 #include "sat/solver.hpp"
 #include "sim/bit_sim.hpp"
 #include "sim/compiled.hpp"
+#include "sim/kernels.hpp"
 #include "sim/reference_sim.hpp"
 #include "tech/mapper.hpp"
+#include "util/cpu.hpp"
 #include "util/env.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -338,6 +340,68 @@ void BM_CompiledSimWide(benchmark::State& state) {
 }
 BENCHMARK(BM_CompiledSimWide)->Arg(1)->Arg(4)->Arg(16);
 
+// ---- sim-ISA axis ----------------------------------------------------------
+//
+// One row per (kernel tier, lane width) available on this host, registered
+// dynamically in main(): BM_CompiledSimIsa/<isa>/<lane_words>. The circuit is
+// b14 (cache-resident buffers even at 16 lane words), so the rows compare
+// kernel throughput rather than memory bandwidth. Only the generic rows live
+// in the checked-in baseline — AVX rows exist only on hosts that report the
+// extension, and tools/check_bench_baseline.py hard-fails on baseline rows
+// missing from a fresh run. sim_gates / sim_lane_words are deterministic
+// counters the baseline diff pins, like the SAT trajectory counters.
+
+const benchgen::SyntheticCircuit& isa_circuit() {
+  static const benchgen::SyntheticCircuit c = benchgen::make_circuit("b14");
+  return c;
+}
+
+void BM_CompiledSimIsa(benchmark::State& state, util::SimIsa isa,
+                       std::size_t lane_words) {
+  const auto& circuit = isa_circuit();
+  const std::size_t gates = circuit.netlist.stats().gates;
+  const util::SimIsa previous = sim::kernels::active_isa();
+  sim::kernels::set_active_isa(isa);
+  sim::SimConfig config;
+  config.lanes = lane_words;
+  config.jobs = 1;
+  sim::WideSim simulator(circuit.netlist, config);
+  util::Rng rng(7);
+  for (auto _ : state) {
+    for (auto i : circuit.netlist.inputs()) {
+      for (std::size_t w = 0; w < lane_words; ++w) {
+        simulator.set_word(i, w, rng.next_u64());
+      }
+    }
+    simulator.eval();
+    simulator.step();
+    benchmark::DoNotOptimize(
+        simulator.get_word(circuit.netlist.outputs()[0], 0));
+  }
+  sim::kernels::set_active_isa(previous);
+  state.counters["sim_gates"] = static_cast<double>(gates);
+  state.counters["sim_lane_words"] = static_cast<double>(lane_words);
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<std::int64_t>(lane_words) *
+                          static_cast<std::int64_t>(gates));
+}
+
+void register_sim_isa_benchmarks() {
+  using util::SimIsa;
+  for (SimIsa isa : {SimIsa::Generic, SimIsa::Avx2, SimIsa::Avx512}) {
+    if (!sim::kernels::available(isa)) continue;
+    for (std::size_t lane_words : {std::size_t{4}, std::size_t{16}}) {
+      const std::string name = std::string("BM_CompiledSimIsa/") +
+                               util::sim_isa_name(isa) + "/" +
+                               std::to_string(lane_words);
+      benchmark::RegisterBenchmark(
+          name.c_str(), [isa, lane_words](benchmark::State& s) {
+            BM_CompiledSimIsa(s, isa, lane_words);
+          });
+    }
+  }
+}
+
 /// Generated + compiled once per process: Google Benchmark re-invokes the
 /// benchmark function while calibrating iteration counts, and regenerating
 /// a million-gate netlist per re-entry would swamp the run.
@@ -447,6 +511,7 @@ int main(int argc, char** argv) {
     args.insert(args.begin() + 2, json_fmt.data());
   }
   int n = static_cast<int>(args.size());
+  register_sim_isa_benchmarks();
   benchmark::Initialize(&n, args.data());
   if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
   benchmark::RunSpecifiedBenchmarks();

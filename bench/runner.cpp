@@ -56,6 +56,7 @@ std::size_t Runner::add_attack(JobMeta meta, attack::AttackResult* slot,
     return JobOutcome{attack::outcome_label(slot->outcome), slot->seconds,
                       slot->iterations, slot->replayed_queries,
                       slot->fresh_queries, slot->preloaded_facts,
+                      slot->batched_queries, slot->oracle_batches,
                       slot->hinted_bits, slot->hint_accuracy,
                       slot->key_exact, slot->any_key_pass,
                       slot->corruption_rate};
@@ -134,6 +135,13 @@ std::string Runner::json() const {
     out += ", \"replayed_queries\": " + std::to_string(job.out.replayed_queries);
     out += ", \"fresh_queries\": " + std::to_string(job.out.fresh_queries);
     out += ", \"preloaded_facts\": " + std::to_string(job.out.preloaded_facts);
+    if (job.out.oracle_batches > 0) {
+      // Only attacks that issued wide-lane oracle passes carry the batch
+      // fields, mirroring the hint-fields pattern: per-query baselines stay
+      // byte-identical.
+      out += ", \"batched_queries\": " + std::to_string(job.out.batched_queries);
+      out += ", \"oracle_batches\": " + std::to_string(job.out.oracle_batches);
+    }
     if (job.out.key_exact >= 0 || job.out.any_key_pass >= 0) {
       // Only acceptance-judged jobs carry the criterion fields, mirroring
       // the hint-fields pattern below: pre-acceptance baselines stay

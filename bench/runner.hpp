@@ -40,6 +40,11 @@ struct JobOutcome {
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
   std::uint64_t preloaded_facts = 0;
+  /// Wide-lane oracle traffic (attack::AttackResult::batched_queries /
+  /// oracle_batches). Emitted into the JSON record only when the attack
+  /// actually issued batches, so pre-batching baselines stay byte-identical.
+  std::uint64_t batched_queries = 0;
+  std::uint64_t oracle_batches = 0;
   /// Structural key hints seeded into the attack (CUTELOCK_KEY_HINTS=1 or
   /// attack::scope_attack) and, once a key verified, the fraction of them
   /// that were right. Emitted into the JSON record only when hints were

@@ -10,7 +10,10 @@ namespace {
 
 /// Corrupted-cycle fraction of `locked` under `key` against `original`.
 /// Exhaustive mode holds every input word for sample_cycles from reset;
-/// sampling mode draws sample_sequences random sequences.
+/// sampling mode draws sample_sequences random sequences. Both modes run
+/// the whole pattern set through wide-lane batched passes (one pair of
+/// evals retires up to 64*W sequences); exhaustive enumeration is chunked
+/// so a 16-input sweep does not materialize a 65536-lane buffer.
 double measure_corruption(const netlist::Netlist& locked,
                           const sim::BitVec& key,
                           const netlist::Netlist& original,
@@ -22,24 +25,37 @@ double measure_corruption(const netlist::Netlist& locked,
   util::Rng rng(options.seed);
 
   std::uint64_t corrupted = 0, total = 0;
-  const auto tally = [&](const std::vector<sim::BitVec>& stim) {
-    const auto want = sim::run_sequence(original_c, stim);
-    const auto got = sim::run_sequence(locked_c, stim, {key});
-    for (std::size_t c = 0; c < want.size(); ++c) {
-      ++total;
-      if (want[c] != got[c]) ++corrupted;
+  const auto tally_batch = [&](const std::vector<std::vector<sim::BitVec>>&
+                                   stims) {
+    const auto want = sim::run_sequences_batched(original_c, stims);
+    const auto got = sim::run_sequences_batched(locked_c, stims, {key});
+    for (std::size_t s = 0; s < stims.size(); ++s) {
+      for (std::size_t c = 0; c < want[s].size(); ++c) {
+        ++total;
+        if (want[s][c] != got[s][c]) ++corrupted;
+      }
     }
   };
 
   if (options.exhaustive && num_inputs <= 16) {
-    for (std::uint64_t word = 0; word < (1ULL << num_inputs); ++word) {
-      tally(std::vector<sim::BitVec>(cycles,
-                                     sim::u64_to_bits(word, num_inputs)));
+    constexpr std::uint64_t k_chunk = 8192;  // 128 lane words per chunk
+    const std::uint64_t words = 1ULL << num_inputs;
+    for (std::uint64_t base = 0; base < words; base += k_chunk) {
+      const std::uint64_t end = std::min(words, base + k_chunk);
+      std::vector<std::vector<sim::BitVec>> stims;
+      stims.reserve(static_cast<std::size_t>(end - base));
+      for (std::uint64_t word = base; word < end; ++word) {
+        stims.emplace_back(cycles, sim::u64_to_bits(word, num_inputs));
+      }
+      tally_batch(stims);
     }
   } else {
+    std::vector<std::vector<sim::BitVec>> stims;
+    stims.reserve(options.sample_sequences);
     for (std::size_t s = 0; s < options.sample_sequences; ++s) {
-      tally(sim::random_stimulus(rng, cycles, num_inputs));
+      stims.push_back(sim::random_stimulus(rng, cycles, num_inputs));
     }
+    tally_batch(stims);
   }
   return total == 0 ? 0.0 : static_cast<double>(corrupted) / total;
 }

@@ -140,6 +140,51 @@ std::vector<sim::BitVec> OgEngine::query_oracle(
   return outputs;
 }
 
+std::vector<std::vector<sim::BitVec>> OgEngine::query_oracle_batch(
+    const std::vector<std::vector<sim::BitVec>>& sequences) {
+  std::vector<std::vector<sim::BitVec>> outputs(sequences.size());
+  // Bank hits are answered in place; the misses go to the oracle in wide
+  // batches, grouped by sequence length (query_batch requires equal-length
+  // lanes).
+  std::vector<std::size_t> misses;
+  for (std::size_t j = 0; j < sequences.size(); ++j) {
+    if (bank_ != nullptr) {
+      if (auto banked = bank_->lookup(sequences[j])) {
+        ++result_.replayed_queries;
+        outputs[j] = *std::move(banked);
+        continue;
+      }
+    }
+    misses.push_back(j);
+  }
+  std::size_t group_begin = 0;
+  while (group_begin < misses.size()) {
+    std::size_t group_end = group_begin + 1;
+    const std::size_t cycles = sequences[misses[group_begin]].size();
+    while (group_end < misses.size() &&
+           sequences[misses[group_end]].size() == cycles) {
+      ++group_end;
+    }
+    std::vector<std::vector<sim::BitVec>> batch;
+    batch.reserve(group_end - group_begin);
+    for (std::size_t g = group_begin; g < group_end; ++g) {
+      batch.push_back(sequences[misses[g]]);
+    }
+    std::vector<std::vector<sim::BitVec>> responses =
+        oracle_.query_batch(batch);
+    for (std::size_t g = group_begin; g < group_end; ++g) {
+      const std::size_t j = misses[g];
+      ++result_.fresh_queries;
+      ++result_.batched_queries;
+      if (bank_ != nullptr) bank_->record(sequences[j], responses[g - group_begin]);
+      outputs[j] = std::move(responses[g - group_begin]);
+    }
+    ++result_.oracle_batches;
+    group_begin = group_end;
+  }
+  return outputs;
+}
+
 void OgEngine::constrain_both_keys(const std::vector<sim::BitVec>& inputs,
                                    const std::vector<sim::BitVec>& outputs) {
   const std::vector<sat::Var>* init =
@@ -155,6 +200,16 @@ void OgEngine::add_io(const std::vector<sim::BitVec>& inputs) {
   constrain_both_keys(fact.inputs, fact.outputs);
   io_.push_back(std::move(fact));
   ++result_.iterations;
+}
+
+void OgEngine::add_io_batch(
+    const std::vector<std::vector<sim::BitVec>>& sequences) {
+  std::vector<std::vector<sim::BitVec>> outputs = query_oracle_batch(sequences);
+  for (std::size_t j = 0; j < sequences.size(); ++j) {
+    constrain_both_keys(sequences[j], outputs[j]);
+    io_.push_back(IoFact{sequences[j], std::move(outputs[j])});
+    ++result_.iterations;
+  }
 }
 
 std::unique_ptr<sat::PortfolioSolver> OgEngine::make_solver() const {
@@ -246,14 +301,25 @@ AttackResult OgEngine::finish_timeout(std::string detail) {
 AttackResult OgEngine::run_dip_loop(DipStrategy& strategy) {
   rebuild(spec_.start_depth);
   replay_bank();
-  for (std::size_t w = 0; w < spec_.warmup_sequences; ++w) {
+  if (spec_.warmup_sequences > 0 && !out_of_budget()) {
     // Simulation-guided warmup: random traces prune the hypothesis space
     // before the (expensive) discriminating-sequence search starts. Warmup
     // queries are real oracle queries, so they honour the budget too — a
-    // job cancelled before its first solve must not pay any.
-    if (out_of_budget()) break;
-    add_io(sim::random_stimulus(rng_, spec_.warmup_cycles,
-                                oracle_.num_inputs()));
+    // job cancelled before its first solve must not pay any, and the batch
+    // is capped at the iterations the budget has left. Stimuli are drawn in
+    // the same RNG order as per-sequence warmup, and add_io_batch constrains
+    // in element order, so the solver sees an identical clause stream — the
+    // only change is that all bank misses ride one wide oracle pass.
+    const std::uint64_t room = budget_.max_iterations - result_.iterations;
+    const std::size_t n = static_cast<std::size_t>(
+        std::min<std::uint64_t>(spec_.warmup_sequences, room));
+    std::vector<std::vector<sim::BitVec>> warm;
+    warm.reserve(n);
+    for (std::size_t w = 0; w < n; ++w) {
+      warm.push_back(sim::random_stimulus(rng_, spec_.warmup_cycles,
+                                          oracle_.num_inputs()));
+    }
+    add_io_batch(warm);
   }
 
   std::size_t depth = spec_.start_depth;

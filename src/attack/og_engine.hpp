@@ -105,6 +105,15 @@ class OgEngine {
   /// the fact into the bank (when attached), returns the response.
   std::vector<sim::BitVec> query_oracle(const std::vector<sim::BitVec>& inputs);
 
+  /// Batched query_oracle: element j of the result equals
+  /// query_oracle(sequences[j]), with identical bank/accounting semantics
+  /// (bank hits count replayed, misses fresh), but the bank misses travel to
+  /// the oracle in wide-lane query_batch() passes — one per distinct
+  /// sequence length — retiring up to 64*W sequences per eval charge. The
+  /// batch traffic lands in AttackResult::batched_queries/oracle_batches.
+  std::vector<std::vector<sim::BitVec>> query_oracle_batch(
+      const std::vector<std::vector<sim::BitVec>>& sequences);
+
   /// Guarded snapshot of the attached bank: every fact whose interface
   /// matches this oracle, each counted as one preloaded fact. Empty without
   /// a bank. The one place the replay guard/accounting lives — both the
@@ -120,6 +129,11 @@ class OgEngine {
   /// The DIP-loop step: query the oracle, constrain both key copies, append
   /// to the replayable I/O log, count one iteration.
   void add_io(const std::vector<sim::BitVec>& inputs);
+
+  /// add_io over many sequences with one batched oracle pass. Constraints
+  /// are added and iterations counted in element order, so the solver sees
+  /// the exact clause stream of per-sequence add_io calls.
+  void add_io_batch(const std::vector<std::vector<sim::BitVec>>& sequences);
 
   /// Fresh solver + miter at `depth`, replaying the recorded I/O log (the
   /// non-incremental deepening policy). Also the initial construction.

@@ -118,10 +118,22 @@ class PeriodicScheduleStrategy : public DipStrategy {
       io.emplace_back(inputs, engine.query_oracle(inputs));
       ++engine.result().iterations;
     };
-    // Seed with a few random traces long enough to cover every hypothesis.
-    for (int i = 0; i < 4; ++i) {
-      add_io(sim::random_stimulus(engine.rng(), 2 * options_.max_period + 6,
-                                  engine.oracle().num_inputs()));
+    // Seed with a few random traces long enough to cover every hypothesis,
+    // batched into one wide oracle pass (the stimuli were always drawn
+    // unconditionally, so the RNG stream is unchanged).
+    {
+      std::vector<std::vector<sim::BitVec>> seeds;
+      seeds.reserve(4);
+      for (int i = 0; i < 4; ++i) {
+        seeds.push_back(sim::random_stimulus(engine.rng(),
+                                             2 * options_.max_period + 6,
+                                             engine.oracle().num_inputs()));
+      }
+      auto outs = engine.query_oracle_batch(seeds);
+      for (std::size_t i = 0; i < seeds.size(); ++i) {
+        io.emplace_back(std::move(seeds[i]), std::move(outs[i]));
+        ++engine.result().iterations;
+      }
     }
 
     for (std::size_t period = 1; period <= options_.max_period; ++period) {

@@ -41,6 +41,14 @@ struct AttackResult {
   std::uint64_t replayed_queries = 0;
   std::uint64_t fresh_queries = 0;
   std::uint64_t preloaded_facts = 0;
+  /// Wide-lane oracle accounting: of the fresh_queries above,
+  /// `batched_queries` counts the sequences that travelled inside a
+  /// query_batch() pass (each lane counts once, same unit as fresh_queries),
+  /// and `oracle_batches` counts the passes themselves. A fully batched
+  /// attack phase retires up to 64*W sequences per pass for one eval charge.
+  /// Both zero for attacks (or phases) that query one sequence at a time.
+  std::uint64_t batched_queries = 0;
+  std::uint64_t oracle_batches = 0;
   /// Key bits pinned as startup unit assumptions from a structural
   /// analysis::KeyHintReport (CUTELOCK_KEY_HINTS=1; forced off in stable
   /// mode). Zero when no hints were injected.

@@ -62,17 +62,26 @@ class AppSatStrategy : public CombDipStrategy {
       return RoundAction::kBreakDis;  // key space empty
     }
     engine.set_candidate(engine.miter().extract_key_a());
+    // All samples are drawn first (the engine RNG is untouched by oracle
+    // queries, so the draw order matches per-sample querying), then both the
+    // candidate simulation and the oracle travel as wide-lane batches.
+    // Failing samples constrain in draw order, preserving the clause stream
+    // of the per-sample loop.
+    std::vector<std::vector<sim::BitVec>> samples;
+    samples.reserve(options_.appsat_samples);
+    for (std::size_t s = 0; s < options_.appsat_samples; ++s) {
+      samples.push_back(
+          {sim::random_bits(engine.rng(), engine.locked().inputs().size())});
+    }
+    const auto got_all = sim::run_sequences_batched(
+        *compiled_, samples, {engine.candidate()});
+    const auto want_all = engine.query_oracle_batch(samples);
     std::size_t errors = 0;
     for (std::size_t s = 0; s < options_.appsat_samples; ++s) {
-      const sim::BitVec x =
-          sim::random_bits(engine.rng(), engine.locked().inputs().size());
-      const auto got =
-          sim::run_sequence(*compiled_, {x}, {engine.candidate()})[0];
-      const auto want = engine.query_oracle({x})[0];
-      if (got != want) {
+      if (got_all[s][0] != want_all[s][0]) {
         ++errors;
         // AppSAT reinforces with failing samples as additional constraints.
-        engine.constrain_both_keys({x}, {want});
+        engine.constrain_both_keys(samples[s], want_all[s]);
       }
     }
     const double error_rate = static_cast<double>(errors) /

@@ -22,21 +22,36 @@ VerifyResult verify_static_key(const Netlist& locked, const sim::BitVec& key,
   }
   util::Rng rng(options.seed);
   // Phase 1: randomized simulation. Both circuits compile once for all
-  // trials (the levelization is the expensive part on large netlists).
+  // trials (the levelization is the expensive part on large netlists), and
+  // the trials ride wide pattern lanes: one chunk of up to 64 sequences per
+  // eval pair instead of one eval pair per trial. Chunks of one lane word
+  // keep the early exit cheap when divergence is common (the DIP loop's
+  // refuted candidates). Trials are scanned in draw order, so the returned
+  // counterexample is the one per-trial simulation would have found.
   const sim::CompiledNetlist compiled_original(original);
   const sim::CompiledNetlist compiled_locked(locked);
-  for (std::size_t trial = 0; trial < options.random_sequences; ++trial) {
-    const auto stim = sim::random_stimulus(rng, options.sequence_cycles,
-                                           original.inputs().size());
-    const auto want = sim::run_sequence(compiled_original, stim);
-    const auto got = sim::run_sequence(compiled_locked, stim, {key});
-    const int diverge = sim::first_divergence(want, got);
-    if (diverge != -1) {
-      VerifyResult r;
-      r.equivalent = false;
-      r.counterexample.assign(stim.begin(), stim.begin() + diverge + 1);
-      return r;
+  for (std::size_t done = 0; done < options.random_sequences;) {
+    const std::size_t chunk =
+        std::min<std::size_t>(64, options.random_sequences - done);
+    std::vector<std::vector<sim::BitVec>> stims;
+    stims.reserve(chunk);
+    for (std::size_t t = 0; t < chunk; ++t) {
+      stims.push_back(sim::random_stimulus(rng, options.sequence_cycles,
+                                           original.inputs().size()));
     }
+    const auto want = sim::run_sequences_batched(compiled_original, stims);
+    const auto got = sim::run_sequences_batched(compiled_locked, stims, {key});
+    for (std::size_t t = 0; t < chunk; ++t) {
+      const int diverge = sim::first_divergence(want[t], got[t]);
+      if (diverge != -1) {
+        VerifyResult r;
+        r.equivalent = false;
+        r.counterexample.assign(stims[t].begin(),
+                                stims[t].begin() + diverge + 1);
+        return r;
+      }
+    }
+    done += chunk;
   }
   // Phase 2: bounded SAT equivalence with the key pinned, as an incremental
   // depth ladder — each per-depth UNSAT proof reuses the learned clauses of

@@ -45,7 +45,7 @@ void BitSim::eval() {
             std::popcount(values_[s] ^ prev_values_[s]));
       }
     }
-    prev_values_ = values_;
+    prev_values_.assign(values_.begin(), values_.end());
     have_prev_ = true;
   }
 }

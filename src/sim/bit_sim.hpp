@@ -72,10 +72,10 @@ class BitSim {
  private:
   std::shared_ptr<const CompiledNetlist> compiled_;
   SimConfig config_;
-  std::vector<std::uint64_t> values_;
+  util::AlignedVec<std::uint64_t> values_;   // 64-byte-aligned SoA buffer
   std::vector<std::uint64_t> prev_values_;
   std::vector<std::uint64_t> toggles_;
-  std::vector<std::uint64_t> dff_scratch_;
+  util::AlignedVec<std::uint64_t> dff_scratch_;
   bool count_toggles_ = false;
   bool have_prev_ = false;
 };

@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "netlist/topo.hpp"
+#include "sim/kernels.hpp"
 #include "util/env.hpp"
 
 namespace cl::sim {
@@ -134,140 +135,14 @@ void CompiledNetlist::reset_words(std::uint64_t* values,
   }
 }
 
-namespace {
-
-/// Kernel body shared by the fixed-width template and the generic-width
-/// fallback. `W` is the compile-time lane count (0 = use `lanes`).
-template <std::size_t W>
-inline void eval_instr(const Instr& in, const SignalId* pool,
-                       std::uint64_t* v, std::size_t lanes) {
-  const std::size_t n = W == 0 ? lanes : W;
-  std::uint64_t* out = v + std::size_t{in.out} * n;
-  const auto operand = [&](std::uint32_t s) {
-    return v + std::size_t{s} * n;
-  };
-  switch (in.op) {
-    case Op::Buf: {
-      const std::uint64_t* a = operand(in.a);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w];
-      break;
-    }
-    case Op::Not: {
-      const std::uint64_t* a = operand(in.a);
-      for (std::size_t w = 0; w < n; ++w) out[w] = ~a[w];
-      break;
-    }
-    case Op::And2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w] & b[w];
-      break;
-    }
-    case Op::Nand2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = ~(a[w] & b[w]);
-      break;
-    }
-    case Op::Or2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w] | b[w];
-      break;
-    }
-    case Op::Nor2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = ~(a[w] | b[w]);
-      break;
-    }
-    case Op::Xor2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w] ^ b[w];
-      break;
-    }
-    case Op::Xnor2: {
-      const std::uint64_t* a = operand(in.a);
-      const std::uint64_t* b = operand(in.b);
-      for (std::size_t w = 0; w < n; ++w) out[w] = ~(a[w] ^ b[w]);
-      break;
-    }
-    case Op::Mux: {
-      const std::uint64_t* sel = operand(in.a);
-      const std::uint64_t* d0 = operand(in.b);
-      const std::uint64_t* d1 = operand(in.c);
-      for (std::size_t w = 0; w < n; ++w) {
-        out[w] = (sel[w] & d1[w]) | (~sel[w] & d0[w]);
-      }
-      break;
-    }
-    case Op::AndN:
-    case Op::NandN: {
-      const std::uint64_t* a = operand(pool[in.a]);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w];
-      for (std::uint32_t f = 1; f < in.b; ++f) {
-        const std::uint64_t* x = operand(pool[in.a + f]);
-        for (std::size_t w = 0; w < n; ++w) out[w] &= x[w];
-      }
-      if (in.op == Op::NandN) {
-        for (std::size_t w = 0; w < n; ++w) out[w] = ~out[w];
-      }
-      break;
-    }
-    case Op::OrN:
-    case Op::NorN: {
-      const std::uint64_t* a = operand(pool[in.a]);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w];
-      for (std::uint32_t f = 1; f < in.b; ++f) {
-        const std::uint64_t* x = operand(pool[in.a + f]);
-        for (std::size_t w = 0; w < n; ++w) out[w] |= x[w];
-      }
-      if (in.op == Op::NorN) {
-        for (std::size_t w = 0; w < n; ++w) out[w] = ~out[w];
-      }
-      break;
-    }
-    case Op::XorN:
-    case Op::XnorN: {
-      const std::uint64_t* a = operand(pool[in.a]);
-      for (std::size_t w = 0; w < n; ++w) out[w] = a[w];
-      for (std::uint32_t f = 1; f < in.b; ++f) {
-        const std::uint64_t* x = operand(pool[in.a + f]);
-        for (std::size_t w = 0; w < n; ++w) out[w] ^= x[w];
-      }
-      if (in.op == Op::XnorN) {
-        for (std::size_t w = 0; w < n; ++w) out[w] = ~out[w];
-      }
-      break;
-    }
-  }
-}
-
-template <std::size_t W>
-void eval_span(const Instr* first, const Instr* last, const SignalId* pool,
-               std::uint64_t* v, std::size_t lanes) {
-  for (const Instr* in = first; in != last; ++in) {
-    eval_instr<W>(*in, pool, v, lanes);
-  }
-}
-
-}  // namespace
-
 void CompiledNetlist::eval_range(std::size_t first, std::size_t last,
                                  std::uint64_t* values,
                                  std::size_t lanes) const {
-  const Instr* b = instrs_.data() + first;
-  const Instr* e = instrs_.data() + last;
-  const SignalId* pool = pool_.data();
-  switch (lanes) {
-    case 1: eval_span<1>(b, e, pool, values, lanes); break;
-    case 2: eval_span<2>(b, e, pool, values, lanes); break;
-    case 4: eval_span<4>(b, e, pool, values, lanes); break;
-    case 8: eval_span<8>(b, e, pool, values, lanes); break;
-    case 16: eval_span<16>(b, e, pool, values, lanes); break;
-    default: eval_span<0>(b, e, pool, values, lanes); break;
-  }
+  // The Op kernels live in sim/kernels_*.cpp, one translation unit per ISA
+  // tier; eval_span_for resolves the strongest tier for this host and lane
+  // count (overridable via CUTELOCK_SIM_ISA).
+  kernels::eval_span_for(lanes)(instrs_.data() + first, instrs_.data() + last,
+                                pool_.data(), values, lanes);
 }
 
 void CompiledNetlist::eval(std::uint64_t* values, std::size_t lanes) const {
@@ -320,16 +195,15 @@ void CompiledNetlist::eval_auto(std::uint64_t* values, std::size_t lanes,
   }
 }
 
-void CompiledNetlist::step_words(std::uint64_t* values, std::size_t lanes,
-                                 std::vector<std::uint64_t>& scratch) const {
-  scratch.resize(dff_q_.size() * lanes);
+void CompiledNetlist::step_words_raw(std::uint64_t* values, std::size_t lanes,
+                                     std::uint64_t* scratch) const {
   for (std::size_t i = 0; i < dff_q_.size(); ++i) {
     const std::uint64_t* d = values + std::size_t{dff_d_[i]} * lanes;
-    std::copy(d, d + lanes, scratch.data() + i * lanes);
+    std::copy(d, d + lanes, scratch + i * lanes);
   }
   for (std::size_t i = 0; i < dff_q_.size(); ++i) {
     std::uint64_t* q = values + std::size_t{dff_q_[i]} * lanes;
-    std::copy(scratch.data() + i * lanes, scratch.data() + (i + 1) * lanes, q);
+    std::copy(scratch + i * lanes, scratch + (i + 1) * lanes, q);
   }
 }
 

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "netlist/netlist.hpp"
+#include "util/aligned.hpp"
 #include "util/thread_pool.hpp"
 
 namespace cl::sim {
@@ -127,9 +128,18 @@ class CompiledNetlist {
                  const SimConfig& config) const;
 
   /// Latch every DFF: Q <= D, two-phase (register-to-register safe).
-  /// `scratch` is resized as needed and may be reused across calls.
+  /// `scratch` must hold dff_qs().size() * lanes words.
+  void step_words_raw(std::uint64_t* values, std::size_t lanes,
+                      std::uint64_t* scratch) const;
+
+  /// step_words_raw with an owning scratch vector (any allocator), resized
+  /// as needed and reusable across calls.
+  template <class Alloc>
   void step_words(std::uint64_t* values, std::size_t lanes,
-                  std::vector<std::uint64_t>& scratch) const;
+                  std::vector<std::uint64_t, Alloc>& scratch) const {
+    scratch.resize(dff_q_.size() * lanes);
+    step_words_raw(values, lanes, scratch.data());
+  }
 
  private:
   void eval_range(std::size_t first, std::size_t last, std::uint64_t* values,
@@ -189,8 +199,8 @@ class WideSim {
   std::shared_ptr<const CompiledNetlist> compiled_;
   SimConfig config_;
   std::size_t lanes_;
-  std::vector<std::uint64_t> values_;
-  std::vector<std::uint64_t> scratch_;
+  util::AlignedVec<std::uint64_t> values_;   // 64-byte-aligned SoA buffer
+  util::AlignedVec<std::uint64_t> scratch_;
 };
 
 }  // namespace cl::sim

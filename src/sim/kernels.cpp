@@ -1,0 +1,87 @@
+// Kernel tier selection. The per-ISA entry points live in their own
+// translation units (kernels_generic/avx2/avx512.cpp); this file owns the
+// process-wide decision of which ones may run, combining three inputs:
+// compile-time availability (did the toolchain build the intrinsics?),
+// runtime CPU support (util::cpu), and the CUTELOCK_SIM_ISA override.
+#include "sim/kernels.hpp"
+
+#include <cstdio>
+
+namespace cl::sim::kernels {
+
+// Defined in the respective kernels_*.cpp: true when that TU was built with
+// real intrinsics rather than the forwarding stub.
+bool detail_generic_compiled_in();
+bool detail_avx2_compiled_in();
+bool detail_avx512_compiled_in();
+
+bool compiled_in(util::SimIsa isa) {
+  switch (isa) {
+    case util::SimIsa::Generic: return detail_generic_compiled_in();
+    case util::SimIsa::Avx2: return detail_avx2_compiled_in();
+    case util::SimIsa::Avx512: return detail_avx512_compiled_in();
+  }
+  return false;
+}
+
+bool available(util::SimIsa isa) {
+  return compiled_in(isa) && util::cpu_supports(isa);
+}
+
+namespace {
+
+util::SimIsa detect_active_isa() {
+  util::SimIsa best = util::SimIsa::Generic;
+  if (available(util::SimIsa::Avx512)) {
+    best = util::SimIsa::Avx512;
+  } else if (available(util::SimIsa::Avx2)) {
+    best = util::SimIsa::Avx2;
+  }
+  util::SimIsa requested{};
+  if (util::sim_isa_from_env(&requested)) {
+    if (available(requested)) return requested;
+    std::fprintf(stderr,
+                 "warning: CUTELOCK_SIM_ISA=%s is not available on this host "
+                 "(compiled_in=%d cpu=%d); using %s\n",
+                 util::sim_isa_name(requested),
+                 int(compiled_in(requested)),
+                 int(util::cpu_supports(requested)),
+                 util::sim_isa_name(best));
+  }
+  return best;
+}
+
+util::SimIsa& active_isa_slot() {
+  static util::SimIsa isa = detect_active_isa();
+  return isa;
+}
+
+}  // namespace
+
+util::SimIsa active_isa() { return active_isa_slot(); }
+
+bool set_active_isa(util::SimIsa isa) {
+  if (!available(isa)) return false;
+  active_isa_slot() = isa;
+  return true;
+}
+
+EvalSpanFn eval_span_for(std::size_t lanes, util::SimIsa isa) {
+  // A tier only pays off when at least one full vector fits in the lane
+  // block; narrower blocks run the tier below.
+  if (isa >= util::SimIsa::Avx512 && lanes >= 8 &&
+      available(util::SimIsa::Avx512)) {
+    return &eval_span_avx512;
+  }
+  if (isa >= util::SimIsa::Avx2 && lanes >= 4 &&
+      available(util::SimIsa::Avx2)) {
+    return &eval_span_avx2;
+  }
+  return &eval_span_generic;
+}
+
+EvalSpanFn eval_span_for(std::size_t lanes) {
+  return eval_span_for(lanes, active_isa());
+}
+
+}  // namespace cl::sim::kernels

@@ -51,8 +51,8 @@ std::vector<BitVec> run_sequence(const CompiledNetlist& compiled,
   check_widths(compiled.inputs().size(), compiled.key_inputs().size(), inputs,
                keys);
   const SimConfig config = sim_config_from_env();
-  std::vector<std::uint64_t> v(compiled.buffer_words(1), 0);
-  std::vector<std::uint64_t> scratch;
+  util::AlignedVec<std::uint64_t> v(compiled.buffer_words(1), 0);
+  util::AlignedVec<std::uint64_t> scratch;
   compiled.reset_words(v.data(), 1);
   std::vector<BitVec> out;
   out.reserve(inputs.size());
@@ -79,12 +79,8 @@ std::vector<BitVec> run_sequence(const CompiledNetlist& compiled,
 
 std::vector<std::vector<BitVec>> run_sequences_batched(
     const CompiledNetlist& compiled,
-    const std::vector<std::vector<BitVec>>& sequences) {
-  if (!compiled.key_inputs().empty()) {
-    throw std::invalid_argument(
-        "run_sequences_batched: circuit must be key-free (batch lanes carry "
-        "input sequences, not key candidates)");
-  }
+    const std::vector<std::vector<BitVec>>& sequences,
+    const std::vector<BitVec>& keys) {
   if (sequences.empty()) return {};
   const std::size_t cycles = sequences[0].size();
   for (const auto& seq : sequences) {
@@ -99,10 +95,25 @@ std::vector<std::vector<BitVec>> run_sequences_batched(
       }
     }
   }
+  for (const BitVec& v : keys) {
+    if (v.size() != compiled.key_inputs().size()) {
+      throw std::invalid_argument("run_sequences_batched: key width mismatch");
+    }
+  }
+  if (!keys.empty() && keys.size() != 1 && keys.size() != cycles) {
+    throw std::invalid_argument(
+        "run_sequences_batched: keys must be empty, size 1 (static) or "
+        "per-cycle");
+  }
+  if (keys.empty() && !compiled.key_inputs().empty()) {
+    throw std::invalid_argument(
+        "run_sequences_batched: circuit has key inputs but no key values "
+        "given");
+  }
   const std::size_t lanes = (sequences.size() + 63) / 64;  // W words
   SimConfig config = sim_config_from_env();
-  std::vector<std::uint64_t> v(compiled.buffer_words(lanes), 0);
-  std::vector<std::uint64_t> scratch;
+  util::AlignedVec<std::uint64_t> v(compiled.buffer_words(lanes), 0);
+  util::AlignedVec<std::uint64_t> scratch;
   compiled.reset_words(v.data(), lanes);
   std::vector<std::vector<BitVec>> out(
       sequences.size(), std::vector<BitVec>(cycles));
@@ -112,6 +123,15 @@ std::vector<std::vector<BitVec>> run_sequences_batched(
       std::fill(words, words + lanes, 0ULL);
       for (std::size_t j = 0; j < sequences.size(); ++j) {
         if (sequences[j][c][i]) words[j / 64] |= 1ULL << (j % 64);
+      }
+    }
+    if (!keys.empty()) {
+      // The key candidate is shared by every lane: broadcast each key bit
+      // across the whole lane block.
+      const BitVec& kv = key_for_cycle(keys, c);
+      for (std::size_t k = 0; k < compiled.key_inputs().size(); ++k) {
+        std::uint64_t* words = v.data() + compiled.key_inputs()[k] * lanes;
+        std::fill(words, words + lanes, kv[k] ? ~0ULL : 0ULL);
       }
     }
     compiled.eval_auto(v.data(), lanes, config);
@@ -170,8 +190,8 @@ std::vector<std::vector<std::uint64_t>> run_sequence_keyed_lanes(
     throw std::invalid_argument("run_sequence_keyed_lanes: key width mismatch");
   }
   const SimConfig config = sim_config_from_env();
-  std::vector<std::uint64_t> v(compiled.buffer_words(1), 0);
-  std::vector<std::uint64_t> scratch;
+  util::AlignedVec<std::uint64_t> v(compiled.buffer_words(1), 0);
+  util::AlignedVec<std::uint64_t> scratch;
   compiled.reset_words(v.data(), 1);
   std::vector<std::vector<std::uint64_t>> out;
   out.reserve(inputs.size());

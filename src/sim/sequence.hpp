@@ -37,11 +37,15 @@ std::vector<BitVec> run_sequence(const CompiledNetlist& compiled,
 
 /// Batched sequence evaluation with wide lanes: run `sequences.size()`
 /// independent input sequences (all of equal length and width) in one
-/// multi-word pass — sequence j rides pattern lane j. Returns per-sequence
+/// multi-word pass — sequence j rides pattern lane j. `keys` follows the
+/// run_sequence contract (empty for key-free circuits, one entry held
+/// static, or per-cycle) and is broadcast to every lane, so a keyed circuit
+/// can batch many stimuli under one key candidate. Returns per-sequence
 /// output traces, element-for-element equal to running run_sequence on each.
 std::vector<std::vector<BitVec>> run_sequences_batched(
     const CompiledNetlist& compiled,
-    const std::vector<std::vector<BitVec>>& sequences);
+    const std::vector<std::vector<BitVec>>& sequences,
+    const std::vector<BitVec>& keys = {});
 
 /// Three-valued variant (power-up X preserved). Returns trits per cycle.
 std::vector<std::vector<Trit>> run_sequence_x(const netlist::Netlist& nl,

@@ -1,0 +1,51 @@
+// Cache-line-aligned allocation for the simulation word buffers.
+//
+// The compiled engine's signal storage is SoA (signal s owns words
+// [s*lanes, (s+1)*lanes)), and the SIMD kernels stream 256/512-bit loads
+// over those blocks. A 64-byte-aligned base keeps every lane block on as few
+// cache lines as possible and lets full-width vectors land on aligned
+// addresses whenever lanes is a multiple of the vector width. The kernels
+// themselves use unaligned load/store instructions, so alignment is a
+// performance property here, never a correctness requirement.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace cl::util {
+
+template <class T, std::size_t Align = 64>
+struct AlignedAllocator {
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+  using value_type = T;
+
+  AlignedAllocator() = default;
+  template <class U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <class U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) {
+    return true;
+  }
+};
+
+/// The simulation buffer type: a std::vector whose data() is 64-byte
+/// aligned.
+template <class T>
+using AlignedVec = std::vector<T, AlignedAllocator<T>>;
+
+}  // namespace cl::util

@@ -1,0 +1,59 @@
+#include "util/cpu.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace cl::util {
+
+const char* sim_isa_name(SimIsa isa) {
+  switch (isa) {
+    case SimIsa::Generic: return "generic";
+    case SimIsa::Avx2: return "avx2";
+    case SimIsa::Avx512: return "avx512";
+  }
+  return "?";
+}
+
+bool cpu_supports(SimIsa isa) {
+  if (isa == SimIsa::Generic) return true;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (isa == SimIsa::Avx2) return __builtin_cpu_supports("avx2");
+  // The 512-bit kernels use only foundation ops (loads, stores, bitwise
+  // logic, vpternlog), so AVX-512F is the whole requirement.
+  return __builtin_cpu_supports("avx512f");
+#else
+  return false;
+#endif
+}
+
+SimIsa best_cpu_sim_isa() {
+  if (cpu_supports(SimIsa::Avx512)) return SimIsa::Avx512;
+  if (cpu_supports(SimIsa::Avx2)) return SimIsa::Avx2;
+  return SimIsa::Generic;
+}
+
+bool sim_isa_from_env(SimIsa* out) {
+  const char* env = std::getenv("CUTELOCK_SIM_ISA");
+  if (env == nullptr) return false;
+  if (std::strcmp(env, "generic") == 0) {
+    *out = SimIsa::Generic;
+    return true;
+  }
+  if (std::strcmp(env, "avx2") == 0) {
+    *out = SimIsa::Avx2;
+    return true;
+  }
+  if (std::strcmp(env, "avx512") == 0) {
+    *out = SimIsa::Avx512;
+    return true;
+  }
+  std::fprintf(stderr,
+               "warning: ignoring invalid CUTELOCK_SIM_ISA=\"%s\" (want "
+               "generic, avx2 or avx512); auto-detecting\n",
+               env);
+  return false;
+}
+
+}  // namespace cl::util

@@ -1,0 +1,40 @@
+// Runtime ISA detection for the SIMD simulation kernels.
+//
+// The library is compiled for a portable baseline (-march is never raised
+// globally), and the vector kernels live in dedicated translation units
+// built with their own -m flags (src/sim/kernels_*.cpp). This helper is the
+// single place that decides, once per process, which of those units the
+// dispatcher may call: the CPU must report the extension at runtime AND the
+// toolchain must have been able to build the unit with real intrinsics.
+// CUTELOCK_SIM_ISA=generic|avx2|avx512 narrows the choice (never widens it:
+// requesting an ISA the host lacks warns on stderr and falls back).
+#pragma once
+
+#include <cstdint>
+
+namespace cl::util {
+
+/// Instruction-set tiers of the simulation kernels, weakest first. The
+/// ordering is meaningful: a host that supports a tier supports every tier
+/// below it, so "best supported" is a simple max.
+enum class SimIsa : std::uint8_t { Generic = 0, Avx2 = 1, Avx512 = 2 };
+
+/// "generic" | "avx2" | "avx512".
+const char* sim_isa_name(SimIsa isa);
+
+/// True when the running CPU reports the extensions the tier's kernels use
+/// (AVX2 for Avx2; AVX-512F for Avx512). Generic is always true. Says
+/// nothing about whether the kernels were compiled in — sim::kernels owns
+/// that half of the decision.
+bool cpu_supports(SimIsa isa);
+
+/// Strongest tier cpu_supports() accepts.
+SimIsa best_cpu_sim_isa();
+
+/// CUTELOCK_SIM_ISA parsed strictly ("generic" | "avx2" | "avx512"): true
+/// and *out set when the variable holds a valid tier. Unset returns false
+/// silently; anything else warns on stderr and returns false (the caller
+/// falls back to auto-detection).
+bool sim_isa_from_env(SimIsa* out);
+
+}  // namespace cl::util

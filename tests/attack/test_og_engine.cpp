@@ -124,6 +124,68 @@ TEST(OgEngine, EngineAttacksMatchTheirLegacyContracts) {
   EXPECT_EQ(doubled.key, lr.correct_key);
 }
 
+TEST(OgEngine, BatchedOracleQueriesMatchSerialAndCountTraffic) {
+  // query_oracle_batch answers like N query_oracle calls, but groups the
+  // misses into wide-lane oracle passes (consecutive equal lengths share a
+  // pass) and accounts them as batched_queries / oracle_batches on top of
+  // the fresh/replayed split.
+  const Netlist nl = s27();
+  util::Rng rng(5);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  SequentialOracle oracle(nl);
+  ObservationBank bank;
+  OgEngine engine(lr.locked, oracle, AttackBudget{}, &bank);
+
+  std::vector<std::vector<sim::BitVec>> seqs;
+  seqs.push_back(sim::random_stimulus(engine.rng(), 3, oracle.num_inputs()));
+  seqs.push_back(sim::random_stimulus(engine.rng(), 3, oracle.num_inputs()));
+  seqs.push_back(sim::random_stimulus(engine.rng(), 5, oracle.num_inputs()));
+
+  const auto batched = engine.query_oracle_batch(seqs);
+  ASSERT_EQ(batched.size(), seqs.size());
+  EXPECT_EQ(engine.result().fresh_queries, 3u);
+  EXPECT_EQ(engine.result().batched_queries, 3u);
+  EXPECT_EQ(engine.result().oracle_batches, 2u);  // lengths {3,3} and {5}
+  EXPECT_EQ(engine.result().replayed_queries, 0u);
+
+  // Element-for-element equal to the serial path — which now answers every
+  // repeat from the bank the batch recorded into, costing no fresh queries.
+  for (std::size_t i = 0; i < seqs.size(); ++i) {
+    EXPECT_EQ(batched[i], engine.query_oracle(seqs[i])) << "sequence " << i;
+  }
+  EXPECT_EQ(engine.result().fresh_queries, 3u);
+  EXPECT_EQ(engine.result().replayed_queries, 3u);
+
+  // A second batch over already-banked sequences is all replays: no new
+  // batches, no new oracle traffic.
+  const auto replayed = engine.query_oracle_batch(seqs);
+  EXPECT_EQ(replayed, batched);
+  EXPECT_EQ(engine.result().fresh_queries, 3u);
+  EXPECT_EQ(engine.result().batched_queries, 3u);
+  EXPECT_EQ(engine.result().oracle_batches, 2u);
+  EXPECT_EQ(engine.result().replayed_queries, 6u);
+}
+
+TEST(OgEngine, WarmupSequencesRideOneOracleBatch) {
+  // The shared DIP loop's warmup sampling goes through add_io_batch: the
+  // stimuli retire in one wide pass and the accounting shows up in the
+  // result (and from there in the BENCH json).
+  const Netlist nl = s27();
+  util::Rng rng(7);
+  const auto lr = lock::xor_lock(nl, 4, rng);
+  const Netlist locked_scan = netlist::scan_expose(lr.locked);
+  const Netlist original_scan = netlist::scan_expose(nl);
+  SequentialOracle oracle(original_scan);
+  SeqAttackOptions o;
+  o.warmup_sequences = 6;
+  o.warmup_cycles = 3;
+  const AttackResult r = seq_attack(locked_scan, oracle, o);
+  EXPECT_EQ(r.outcome, Outcome::Equal) << r.summary();
+  EXPECT_EQ(r.batched_queries, 6u);
+  EXPECT_EQ(r.oracle_batches, 1u);
+  EXPECT_GE(r.fresh_queries, r.batched_queries);
+}
+
 TEST(OgEngine, ValidationErrorsKeepTheirCallers) {
   const Netlist nl = s27();
   util::Rng rng(1);

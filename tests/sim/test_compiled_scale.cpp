@@ -7,6 +7,8 @@
 
 #include "benchgen/catalog.hpp"
 #include "sim/compiled.hpp"
+#include "sim/kernels.hpp"
+#include "util/aligned.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -53,6 +55,46 @@ TEST(CompiledScale, MillionGateSuiteSimulatesThroughShardedPath) {
   bool saw_one = false;
   for (SignalId o : compiled.outputs()) saw_one |= serial[o] != 0;
   EXPECT_TRUE(saw_one);
+}
+
+TEST(CompiledScale, MillionGateWideLanesMatchForcedGenericKernels) {
+  // The lanes=1 test above never leaves the scalar kernels (SIMD needs at
+  // least one full register per signal), so rerun the sharded path at 4 lane
+  // words — wide enough for the AVX tiers on hosts that have them — once
+  // under the host's active tier and once with the generic kernels forced,
+  // and require bit-identical buffers. On a generic-only host both runs take
+  // the same kernels and the test degenerates to a determinism check.
+  const auto circuit = benchgen::make_circuit("syn1m");
+  const CompiledNetlist compiled(circuit.netlist);
+  constexpr std::size_t kLanes = 4;
+
+  util::ThreadPool pool(4);
+  util::Rng rng(23);
+  util::AlignedVec<std::uint64_t> active(compiled.buffer_words(kLanes), 0);
+  util::AlignedVec<std::uint64_t> generic(compiled.buffer_words(kLanes), 0);
+  compiled.reset_words(active.data(), kLanes);
+  compiled.reset_words(generic.data(), kLanes);
+
+  const util::SimIsa before = kernels::active_isa();
+  util::AlignedVec<std::uint64_t> scratch_a, scratch_g;
+  for (int cycle = 0; cycle < 2; ++cycle) {
+    for (SignalId i : compiled.inputs()) {
+      for (std::size_t w = 0; w < kLanes; ++w) {
+        const std::uint64_t word = rng.next_u64();
+        active[i * kLanes + w] = word;
+        generic[i * kLanes + w] = word;
+      }
+    }
+    ASSERT_TRUE(kernels::set_active_isa(before));
+    compiled.eval_sharded(active.data(), kLanes, pool);
+    compiled.step_words(active.data(), kLanes, scratch_a);
+    ASSERT_TRUE(kernels::set_active_isa(util::SimIsa::Generic));
+    compiled.eval_sharded(generic.data(), kLanes, pool);
+    compiled.step_words(generic.data(), kLanes, scratch_g);
+    ASSERT_TRUE(kernels::set_active_isa(before));
+    // ASSERT_EQ would print millions of words on failure.
+    ASSERT_TRUE(active == generic) << "buffers diverged at cycle " << cycle;
+  }
 }
 
 TEST(CompiledScale, FullScaleB18B19Specs) {

@@ -1,0 +1,102 @@
+// util::cpu: the runtime half of the kernel-tier decision. These tests can
+// only assert host-independent invariants (nothing here may assume AVX
+// hardware), plus the strict CUTELOCK_SIM_ISA parse.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/cpu.hpp"
+
+namespace cl::util {
+namespace {
+
+/// Scoped CUTELOCK_SIM_ISA override, restoring the previous value on exit so
+/// the test leaves the process environment untouched.
+class ScopedSimIsaEnv {
+ public:
+  explicit ScopedSimIsaEnv(const char* value) {
+    const char* old = std::getenv("CUTELOCK_SIM_ISA");
+    had_old_ = old != nullptr;
+    if (had_old_) old_ = old;
+    if (value == nullptr) {
+      ::unsetenv("CUTELOCK_SIM_ISA");
+    } else {
+      ::setenv("CUTELOCK_SIM_ISA", value, 1);
+    }
+  }
+  ~ScopedSimIsaEnv() {
+    if (had_old_) {
+      ::setenv("CUTELOCK_SIM_ISA", old_.c_str(), 1);
+    } else {
+      ::unsetenv("CUTELOCK_SIM_ISA");
+    }
+  }
+
+ private:
+  bool had_old_ = false;
+  std::string old_;
+};
+
+TEST(Cpu, SimIsaNames) {
+  EXPECT_STREQ(sim_isa_name(SimIsa::Generic), "generic");
+  EXPECT_STREQ(sim_isa_name(SimIsa::Avx2), "avx2");
+  EXPECT_STREQ(sim_isa_name(SimIsa::Avx512), "avx512");
+}
+
+TEST(Cpu, GenericIsAlwaysSupported) {
+  EXPECT_TRUE(cpu_supports(SimIsa::Generic));
+}
+
+TEST(Cpu, SupportIsMonotoneInTheTierOrder) {
+  // The enum ordering promises: supporting a tier implies supporting every
+  // tier below it, so best_cpu_sim_isa() is a meaningful max.
+  const SimIsa best = best_cpu_sim_isa();
+  EXPECT_TRUE(cpu_supports(best));
+  if (best >= SimIsa::Avx2) {
+    EXPECT_TRUE(cpu_supports(SimIsa::Avx2));
+  }
+  if (best >= SimIsa::Avx512) {
+    EXPECT_TRUE(cpu_supports(SimIsa::Avx512));
+    EXPECT_TRUE(cpu_supports(SimIsa::Avx2));
+  }
+  if (!cpu_supports(SimIsa::Avx2)) {
+    EXPECT_FALSE(cpu_supports(SimIsa::Avx512));
+  }
+}
+
+TEST(Cpu, SimIsaFromEnvParsesStrictly) {
+  SimIsa out = SimIsa::Avx512;
+  {
+    ScopedSimIsaEnv env(nullptr);  // unset: silently absent
+    EXPECT_FALSE(sim_isa_from_env(&out));
+  }
+  {
+    ScopedSimIsaEnv env("generic");
+    EXPECT_TRUE(sim_isa_from_env(&out));
+    EXPECT_EQ(out, SimIsa::Generic);
+  }
+  {
+    ScopedSimIsaEnv env("avx2");
+    EXPECT_TRUE(sim_isa_from_env(&out));
+    EXPECT_EQ(out, SimIsa::Avx2);
+  }
+  {
+    ScopedSimIsaEnv env("avx512");
+    EXPECT_TRUE(sim_isa_from_env(&out));
+    EXPECT_EQ(out, SimIsa::Avx512);
+  }
+  {
+    // Anything else is a warning + fallback, never a guess: "AVX2",
+    // "avx-512" and "" are all rejected.
+    ScopedSimIsaEnv env("AVX2");
+    EXPECT_FALSE(sim_isa_from_env(&out));
+  }
+  {
+    ScopedSimIsaEnv env("");
+    EXPECT_FALSE(sim_isa_from_env(&out));
+  }
+}
+
+}  // namespace
+}  // namespace cl::util

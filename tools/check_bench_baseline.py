@@ -27,6 +27,11 @@ TRAJECTORY_COUNTERS = [
     "vars_eliminated",
     "clauses_subsumed",
     "vivified_lits",
+    # Sim-axis determinism: circuit size and lane width of the
+    # BM_CompiledSimIsa rows are fixed properties of the benchmark, so any
+    # drift means the harness changed shape, not the machine.
+    "sim_gates",
+    "sim_lane_words",
 ]
 EXCLUDED_PREFIXES = ("BM_SolverPortfolioRace",)
 TIME_REGRESSION_FACTOR = 1.15
